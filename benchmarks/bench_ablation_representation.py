@@ -1,0 +1,71 @@
+"""Ablation D1: event-based versus membership-based constraint tracking.
+
+The membership baseline (pre-Armus tools) pays a global bookkeeping
+operation per register/arrive/block/unblock and must reimplement the
+release protocol; the event-based representation pays only at
+block/unblock.  The bench times both trackers processing an identical
+SYNC-shaped trace and records the op-count ratio.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.harness import representation_ablation
+from repro.core.baseline import MembershipTracker
+from repro.core.checker import DeadlockChecker
+from repro.core.events import BlockedStatus, Event
+
+N_TASKS = 16
+STEPS = 200
+
+
+def _drive_membership() -> int:
+    tracker = MembershipTracker()
+    tracker.create("bar")
+    for t in range(N_TASKS):
+        tracker.register("bar", f"t{t}")
+    for _ in range(STEPS):
+        for t in range(N_TASKS):
+            tracker.block(f"t{t}", "bar")
+            tracker.arrive("bar", f"t{t}")
+        for t in range(N_TASKS):
+            tracker.unblock(f"t{t}")
+    return tracker.ops
+
+
+def _drive_event_based() -> int:
+    checker = DeadlockChecker()
+    ops = 0
+    for step in range(STEPS):
+        for t in range(N_TASKS):
+            checker.set_blocked(
+                f"t{t}",
+                BlockedStatus(
+                    waits=frozenset({Event("bar", step + 1)}),
+                    registered={"bar": step + 1},
+                ),
+            )
+            ops += 1
+        for t in range(N_TASKS):
+            checker.clear(f"t{t}")
+            ops += 1
+    return ops
+
+
+def test_membership_tracking_cost(benchmark):
+    ops = benchmark(_drive_membership)
+    benchmark.extra_info["bookkeeping_ops"] = ops
+
+
+def test_event_based_cost(benchmark):
+    ops = benchmark(_drive_event_based)
+    benchmark.extra_info["bookkeeping_ops"] = ops
+
+
+def test_op_count_ratio(benchmark):
+    stats = benchmark(representation_ablation, n_tasks=N_TASKS, steps=STEPS)
+    assert stats["membership_ops"] > stats["event_ops"]
+    benchmark.extra_info.update(
+        {k: round(v, 2) for k, v in stats.items()}
+    )

@@ -1,0 +1,40 @@
+"""Ablation D2: the adaptive SG-abort threshold factor (default 2.0).
+
+Sweeps the factor on an SG-friendly program (PS) and a balanced one
+(FI).  PS should be insensitive (its SG is tiny at any threshold); FI's
+edge counts grow as looser thresholds keep it on the SG longer.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.selection import GraphModel
+from repro.runtime.verifier import ArmusRuntime, VerificationMode
+from repro.workloads.course import KERNELS
+from repro.bench.harness import COURSE_SIZES
+
+FACTORS = (0.5, 2.0, 8.0)
+
+
+@pytest.mark.parametrize("factor", FACTORS)
+@pytest.mark.parametrize("kernel", ("PS", "FI"))
+def test_threshold_factor(benchmark, kernel: str, factor: float):
+    edges = []
+
+    def run():
+        runtime = ArmusRuntime(
+            mode=VerificationMode.AVOIDANCE,
+            model=GraphModel.AUTO,
+            threshold_factor=factor,
+        ).start()
+        try:
+            result = KERNELS[kernel](runtime, **COURSE_SIZES[kernel])
+        finally:
+            runtime.stop()
+        edges.append(runtime.stats.mean_edges)
+        return result
+
+    result = benchmark.pedantic(run, rounds=2, warmup_rounds=1, iterations=1)
+    assert result.validated
+    benchmark.extra_info["mean_edges"] = round(sum(edges) / len(edges), 1)

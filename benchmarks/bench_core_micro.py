@@ -1,0 +1,86 @@
+"""Core-library microbenchmarks: graph construction and cycle detection.
+
+Not a paper artefact, but the foundation of every overhead number: how
+fast one verification check is, as a function of blocked-task count and
+the task:event ratio (Proposition 4.2's complexity in practice).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.checker import DeadlockChecker
+from repro.core.dependency import ResourceDependency
+from repro.core.events import BlockedStatus, Event
+from repro.core.graphs import build_grg, build_sg, build_wfg
+from repro.core.cycles import find_cycle
+from repro.core.selection import GraphModel, build_graph
+
+
+def _spmd_snapshot(n_tasks: int, phase_skew: bool = True):
+    """An SPMD-shaped state: all tasks on one barrier, half a phase
+    ahead (the generation-overlap pattern that densifies the WFG)."""
+    dep = ResourceDependency()
+    for i in range(n_tasks):
+        phase = 2 if (phase_skew and i % 2) else 1
+        dep.set_blocked(
+            f"t{i}",
+            BlockedStatus(
+                waits=frozenset({Event("bar", phase)}),
+                registered={"bar": phase},
+            ),
+        )
+    return dep.snapshot()
+
+
+def _forkjoin_snapshot(n_tasks: int):
+    """A fork/join-shaped state: one event per task (futures pattern)."""
+    dep = ResourceDependency()
+    for i in range(n_tasks):
+        dep.set_blocked(
+            f"t{i}",
+            BlockedStatus(
+                waits=frozenset({Event(f"f{(i + 1) % n_tasks}", 1)}),
+                registered={f"f{i}": 0},
+            ),
+        )
+    return dep.snapshot()
+
+
+@pytest.mark.parametrize("n_tasks", (16, 64, 256))
+@pytest.mark.parametrize(
+    "builder", (build_wfg, build_sg, build_grg), ids=("wfg", "sg", "grg")
+)
+def test_build_spmd(benchmark, builder, n_tasks: int):
+    snapshot = _spmd_snapshot(n_tasks)
+    graph = benchmark(builder, snapshot)
+    benchmark.extra_info["edges"] = graph.edge_count
+
+
+@pytest.mark.parametrize("n_tasks", (16, 64, 256))
+@pytest.mark.parametrize("model", ("auto", "wfg", "sg"))
+def test_full_check_spmd(benchmark, model: str, n_tasks: int):
+    snapshot = _spmd_snapshot(n_tasks)
+    gm = GraphModel(model)
+
+    def check():
+        built = build_graph(snapshot, gm)
+        return find_cycle(built.graph), built
+
+    cycle, built = benchmark(check)
+    assert cycle is None  # phase skew alone is not a deadlock
+    benchmark.extra_info["edges"] = built.edge_count
+    benchmark.extra_info["model_used"] = built.model_used.value
+
+
+@pytest.mark.parametrize("n_tasks", (16, 64, 256))
+def test_full_check_forkjoin_cycle(benchmark, n_tasks: int):
+    """Worst case with a real cycle: the futures ring deadlock."""
+    snapshot = _forkjoin_snapshot(n_tasks)
+    checker = DeadlockChecker(model=GraphModel.AUTO)
+
+    def check():
+        return checker.check(snapshot=snapshot)
+
+    report = benchmark(check)
+    assert report is not None and len(report.tasks) == n_tasks

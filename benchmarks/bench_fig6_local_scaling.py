@@ -1,0 +1,29 @@
+"""Figure 6 (a-f): execution time vs task count per verification mode.
+
+The full grid is kernels x modes x task counts; to bound suite time the
+bench sweeps every kernel at the three modes for n=4, and sweeps the
+task axis on CG (Figure 6b, the most barrier-intensive kernel).
+Detection should stay flat with task count; avoidance should grow.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.harness import LOCAL_KERNELS, run_local_kernel
+
+MODES = ("off", "detection", "avoidance")
+
+
+@pytest.mark.parametrize("mode", MODES)
+@pytest.mark.parametrize("kernel", sorted(LOCAL_KERNELS))
+def test_modes_at_4_tasks(bench, kernel: str, mode: str):
+    result = bench(run_local_kernel, kernel, mode, 4)
+    assert result.validated
+
+
+@pytest.mark.parametrize("n_tasks", (2, 4, 8, 16))
+@pytest.mark.parametrize("mode", MODES)
+def test_cg_task_scaling(bench, mode: str, n_tasks: int):
+    result = bench(run_local_kernel, "CG", mode, n_tasks)
+    assert result.validated

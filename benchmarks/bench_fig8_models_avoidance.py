@@ -1,0 +1,25 @@
+"""Figure 8: graph-model choice under deadlock *avoidance*.
+
+Course programs (SE, FI, FR, BFS, PS) x {unchecked, Auto, SG, WFG}.
+The paper's headline: the model choice severely amplifies avoidance
+overhead — fixed WFG on PS costs 600% versus 82% adaptive — and Auto
+never loses to the better fixed model by much.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.harness import SELECTIONS, run_course_kernel
+from repro.workloads.course import KERNELS
+
+
+@pytest.mark.parametrize("selection", list(SELECTIONS))
+@pytest.mark.parametrize("kernel", sorted(KERNELS))
+def test_avoidance_model_choice(bench, kernel: str, selection: str):
+    model = SELECTIONS[selection]
+    if model is None:
+        result, _rt = bench(run_course_kernel, kernel, "off")
+    else:
+        result, _rt = bench(run_course_kernel, kernel, "avoidance", model)
+    assert result.validated

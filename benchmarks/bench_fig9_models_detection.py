@@ -1,0 +1,24 @@
+"""Figure 9: graph-model choice under deadlock *detection*.
+
+Same grid as Figure 8 in detection mode: the dedicated checker task
+decouples verification from the application, so overheads are far lower
+and the model choice matters less (paper: up to 9% difference).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.harness import SELECTIONS, run_course_kernel
+from repro.workloads.course import KERNELS
+
+
+@pytest.mark.parametrize("selection", list(SELECTIONS))
+@pytest.mark.parametrize("kernel", sorted(KERNELS))
+def test_detection_model_choice(bench, kernel: str, selection: str):
+    model = SELECTIONS[selection]
+    if model is None:
+        result, _rt = bench(run_course_kernel, kernel, "off")
+    else:
+        result, _rt = bench(run_course_kernel, kernel, "detection", model)
+    assert result.validated

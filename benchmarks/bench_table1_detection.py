@@ -1,0 +1,22 @@
+"""Table 1: relative execution overhead in detection mode.
+
+Rows = kernels (BT, CG, FT, MG, RT, SP), columns = task counts.
+Compare each ``[kernel-nN-detection]`` benchmark against its
+``[kernel-nN-off]`` baseline to obtain the table's overhead cell.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.harness import LOCAL_KERNELS, run_local_kernel
+
+TASK_COUNTS = (2, 4, 8)
+
+
+@pytest.mark.parametrize("n_tasks", TASK_COUNTS)
+@pytest.mark.parametrize("kernel", sorted(LOCAL_KERNELS))
+@pytest.mark.parametrize("mode", ("off", "detection"))
+def test_detection_overhead(bench, kernel: str, n_tasks: int, mode: str):
+    result = bench(run_local_kernel, kernel, mode, n_tasks)
+    assert result.validated

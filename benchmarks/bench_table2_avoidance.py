@@ -1,0 +1,22 @@
+"""Table 2: relative execution overhead in avoidance mode.
+
+Compare ``[kernel-nN-avoidance]`` against ``[kernel-nN-off]``; the
+paper's shape: overhead grows with the task count (every task checks
+the graph whenever it blocks), CG worst at 50% for 64 threads.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.harness import LOCAL_KERNELS, run_local_kernel
+
+TASK_COUNTS = (2, 4, 8)
+
+
+@pytest.mark.parametrize("n_tasks", TASK_COUNTS)
+@pytest.mark.parametrize("kernel", sorted(LOCAL_KERNELS))
+@pytest.mark.parametrize("mode", ("off", "avoidance"))
+def test_avoidance_overhead(bench, kernel: str, n_tasks: int, mode: str):
+    result = bench(run_local_kernel, kernel, mode, n_tasks)
+    assert result.validated

@@ -1,0 +1,37 @@
+"""Table 3: average analysis-graph edge count per benchmark per model.
+
+The benchmark's ``extra_info`` records the mean edge count observed by
+avoidance-mode checks (every blocked state is analysed, so the average
+matches the paper's accounting).  Expected shape:
+
+* PS and BFS: WFG edges orders of magnitude above SG edges;
+* FI / FR: SG at least as large as the WFG;
+* SE: both models comparable;
+* Auto: always tracks the smaller model.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.selection import GraphModel
+from repro.bench.harness import run_course_kernel
+from repro.workloads.course import KERNELS
+
+MODELS = {"auto": GraphModel.AUTO, "sg": GraphModel.SG, "wfg": GraphModel.WFG}
+
+
+@pytest.mark.parametrize("model_name", list(MODELS))
+@pytest.mark.parametrize("kernel", sorted(KERNELS))
+def test_edge_counts(benchmark, kernel: str, model_name: str):
+    model = MODELS[model_name]
+    edges = []
+
+    def run():
+        result, runtime = run_course_kernel(kernel, "avoidance", model)
+        edges.append(runtime.stats.mean_edges)
+        return result
+
+    result = benchmark.pedantic(run, rounds=2, warmup_rounds=1, iterations=1)
+    assert result.validated
+    benchmark.extra_info["mean_edges"] = round(sum(edges) / len(edges), 1)

@@ -1,0 +1,34 @@
+"""Shared configuration for the pytest-benchmark suite.
+
+Each bench file regenerates one of the paper's tables/figures (see
+DESIGN.md's per-experiment index).  Benchmarks use ``pedantic`` mode
+with a small fixed round count so the full suite stays in the minutes
+range; `python -m repro.bench.tables <exp>` runs the same experiments
+with the paper's statistical methodology and renders the tables.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+#: Rounds per benchmark; bump for tighter confidence at the cost of time.
+ROUNDS = 3
+WARMUP_ROUNDS = 1
+
+
+@pytest.fixture
+def bench(benchmark):
+    """A pedantic-mode wrapper: fixed rounds, one warm-up, one iteration
+    per round (the workloads manage their own internal repetition)."""
+
+    def run(fn, *args, **kwargs):
+        return benchmark.pedantic(
+            fn,
+            args=args,
+            kwargs=kwargs,
+            rounds=ROUNDS,
+            warmup_rounds=WARMUP_ROUNDS,
+            iterations=1,
+        )
+
+    return run

@@ -1,0 +1,11 @@
+"""Setup shim; all metadata lives in setup.cfg.
+
+The setup.cfg/setup.py layout (instead of pyproject.toml) is deliberate:
+with a pyproject.toml present, pip builds in an isolated environment
+that needs network access to fetch setuptools, and this repository must
+install with ``pip install -e .`` fully offline.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,20 @@
+"""repro — a complete reproduction of Armus (PPoPP 2015).
+
+Dynamic deadlock verification for general barrier synchronisation:
+event-based concurrency constraints, WFG/SG/adaptive graph analysis,
+detection and avoidance modes, distributed one-phase detection, the PL
+formal model, and the paper's benchmark suites.
+
+Typical entry points::
+
+    from repro.runtime import ArmusRuntime, VerificationMode, Clock, Phaser
+    from repro.core import DeadlockChecker, GraphModel
+    from repro.distributed import Cluster
+    from repro.pl import programs, Interpreter
+
+See README.md for a tour and DESIGN.md for the system inventory.
+"""
+
+__version__ = "1.0.0"
+
+__all__ = ["__version__"]

@@ -1,0 +1,60 @@
+"""ASCII bar charts for the figure renderers.
+
+The paper presents Figures 6-9 as bar charts; terminals get the same
+visual through :func:`bar_chart`, e.g.::
+
+    SE | Unchecked #########################  310.5ms
+       | Auto      #######################    288.1ms
+       | SG        ######################     284.7ms
+       | WFG       #######################    294.9ms
+
+Used by ``python -m repro.bench.tables fig8 --chart`` (and fig6/7/9).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Mapping, Sequence
+
+from repro.bench.stats import Measurement
+
+#: Width of the widest bar, in characters.
+BAR_WIDTH = 46
+
+
+def bar_chart(
+    groups: Mapping[str, Mapping[str, Measurement]],
+    series_order: Sequence[str],
+    unit_scale: float = 1e3,
+    unit: str = "ms",
+) -> str:
+    """Render grouped measurements as an ASCII bar chart.
+
+    ``groups`` maps group label (e.g. benchmark name) to a mapping of
+    series label (e.g. "Auto") to measurement; bars are normalised to
+    the global maximum so groups are visually comparable, as in the
+    paper's per-figure shared axes.
+    """
+    peak = max(
+        (m.mean for series in groups.values() for m in series.values()),
+        default=0.0,
+    )
+    if peak <= 0.0:
+        return "(no data)"
+    label_width = max((len(s) for s in series_order), default=0)
+    lines = []
+    for group, series in groups.items():
+        prefix = f"{group:>6} | "
+        for name in series_order:
+            meas = series.get(name)
+            if meas is None:
+                continue
+            bar = "#" * max(1, round(meas.mean / peak * BAR_WIDTH))
+            value = f"{meas.mean * unit_scale:.1f}{unit}"
+            ci = f" ±{meas.ci95 * unit_scale:.1f}"
+            lines.append(
+                f"{prefix}{name:<{label_width}} "
+                f"{bar:<{BAR_WIDTH + 1}} {value}{ci}"
+            )
+            prefix = " " * 6 + " | "
+        lines.append("")
+    return "\n".join(lines).rstrip()

@@ -1,0 +1,198 @@
+"""Paper-style table/figure renderers.
+
+Usage::
+
+    python -m repro.bench.tables table1 [--full]
+    python -m repro.bench.tables table2 [--full]
+    python -m repro.bench.tables fig6   [--full]
+    python -m repro.bench.tables fig7
+    python -m repro.bench.tables fig8
+    python -m repro.bench.tables fig9
+    python -m repro.bench.tables table3
+    python -m repro.bench.tables ablations
+    python -m repro.bench.tables all    [--full]
+
+Quick profiles run in minutes; ``--full`` restores the paper's sweeps
+(31 samples, task counts up to 64) and can take an hour.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Dict, Sequence
+
+from repro.bench import harness
+from repro.bench.stats import Measurement
+
+
+def _fmt_pct(value: float) -> str:
+    return f"{value:+.0f}%"
+
+
+def _print_overhead_table(
+    title: str, data: Dict[str, Dict[int, float]], task_counts: Sequence[int]
+) -> None:
+    print(f"\n== {title} ==")
+    header = "Kernel " + "".join(f"{n:>8}" for n in task_counts)
+    print(header)
+    for kernel, row in data.items():
+        cells = "".join(f"{_fmt_pct(row[n]):>8}" for n in task_counts if n in row)
+        print(f"{kernel:<7}{cells}")
+
+
+def table1(args) -> None:
+    counts = harness.FULL_TASKS if args.full else harness.QUICK_TASKS
+    data = harness.overhead_table(
+        "detection", task_counts=counts, samples=args.samples
+    )
+    _print_overhead_table(
+        "Table 1: relative execution overhead in detection mode", data, counts
+    )
+
+
+def table2(args) -> None:
+    counts = harness.FULL_TASKS if args.full else harness.QUICK_TASKS
+    data = harness.overhead_table(
+        "avoidance", task_counts=counts, samples=args.samples
+    )
+    _print_overhead_table(
+        "Table 2: relative execution overhead in avoidance mode", data, counts
+    )
+
+
+def fig6(args) -> None:
+    counts = harness.FULL_TASKS if args.full else harness.QUICK_TASKS
+    data = harness.scaling_series(task_counts=counts, samples=args.samples)
+    print("\n== Figure 6: execution time vs task count (ms, mean ±95% CI) ==")
+    for kernel, modes in data.items():
+        print(f"-- {kernel} --")
+        print("tasks  " + "".join(f"{m:>22}" for m in modes))
+        for n in counts:
+            row = f"{n:<7}"
+            for mode in modes:
+                meas: Measurement = modes[mode][n]
+                row += f"{meas.mean * 1e3:>14.1f} ±{meas.ci95 * 1e3:<6.1f}"
+            print(row)
+
+
+def fig7(args) -> None:
+    data = harness.distributed_comparison(
+        n_places=args.places, samples=args.samples
+    )
+    print("\n== Figure 7: distributed deadlock detection ==")
+    print(f"{'Kernel':<8}{'Unchecked':>14}{'Checked':>14}{'Overhead':>10}  CI overlap")
+    for kernel, row in data.items():
+        base: Measurement = row["unchecked"]  # type: ignore[assignment]
+        checked: Measurement = row["checked"]  # type: ignore[assignment]
+        print(
+            f"{kernel:<8}{base.mean * 1e3:>12.1f}ms{checked.mean * 1e3:>12.1f}ms"
+            f"{row['overhead_pct']:>+9.0f}%  {row['ci_overlap']}"
+        )
+    print(
+        "(the paper reports no statistical evidence of overhead: expect"
+        " CI overlap = True for most rows)"
+    )
+
+
+def _fig_models(mode: str, args) -> None:
+    number = "8" if mode == "avoidance" else "9"
+    data = harness.model_choice_comparison(mode, samples=args.samples)
+    print(
+        f"\n== Figure {number}: graph-model choice, {mode} mode"
+        " (ms, mean ±95% CI) =="
+    )
+    selections = list(harness.SELECTIONS)
+    if getattr(args, "chart", False):
+        from repro.bench.plots import bar_chart
+
+        print(bar_chart(data, selections))
+        return
+    print("Bench  " + "".join(f"{s:>20}" for s in selections))
+    for kernel, row in data.items():
+        cells = ""
+        for sel in selections:
+            meas = row[sel]
+            cells += f"{meas.mean * 1e3:>13.1f} ±{meas.ci95 * 1e3:<5.1f}"
+        print(f"{kernel:<7}{cells}")
+
+
+def fig8(args) -> None:
+    _fig_models("avoidance", args)
+
+
+def fig9(args) -> None:
+    _fig_models("detection", args)
+
+
+def table3(args) -> None:
+    data = harness.edge_count_table(samples=args.samples)
+    print("\n== Table 3: edge count and verification overhead per graph mode ==")
+    kernels = list(data)
+    print(f"{'':<18}" + "".join(f"{k:>8}" for k in kernels))
+    for sel in ("Auto", "SG", "WFG"):
+        edges = "".join(f"{data[k][sel]['edges']:>8.0f}" for k in kernels)
+        avoid = "".join(
+            f"{_fmt_pct(data[k][sel]['avoidance_pct']):>8}" for k in kernels
+        )
+        detect = "".join(
+            f"{_fmt_pct(data[k][sel]['detection_pct']):>8}" for k in kernels
+        )
+        print(f"{sel:<6}{'Edges':<12}{edges}")
+        print(f"{'':<6}{'Avoidance':<12}{avoid}")
+        print(f"{'':<6}{'Detection':<12}{detect}")
+
+
+def ablations(args) -> None:
+    rep = harness.representation_ablation()
+    print("\n== Ablation D1: constraint representation bookkeeping ==")
+    print(
+        f"membership-tracking ops: {rep['membership_ops']}, "
+        f"event-based ops: {rep['event_ops']} "
+        f"(ratio {rep['ratio']:.2f}x)"
+    )
+    thr = harness.threshold_ablation(samples=args.samples)
+    print("\n== Ablation D2: adaptive SG-abort threshold factor ==")
+    for kernel, rows in thr.items():
+        print(f"-- {kernel} --")
+        for factor, row in rows.items():
+            print(
+                f"  factor {factor:>4}: {row['mean_s'] * 1e3:8.1f}ms, "
+                f"avg edges {row['edges']:.0f}"
+            )
+
+
+EXPERIMENTS = {
+    "table1": table1,
+    "table2": table2,
+    "fig6": fig6,
+    "fig7": fig7,
+    "fig8": fig8,
+    "fig9": fig9,
+    "table3": table3,
+    "ablations": ablations,
+}
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("experiment", choices=[*EXPERIMENTS, "all"])
+    parser.add_argument("--full", action="store_true", help="paper-size sweeps")
+    parser.add_argument("--samples", type=int, default=None)
+    parser.add_argument("--places", type=int, default=4)
+    parser.add_argument(
+        "--chart", action="store_true", help="ASCII bar charts for figures"
+    )
+    args = parser.parse_args(argv)
+    if args.samples is None:
+        args.samples = 31 if args.full else 3
+    if args.experiment == "all":
+        for fn in EXPERIMENTS.values():
+            fn(args)
+    else:
+        EXPERIMENTS[args.experiment](args)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

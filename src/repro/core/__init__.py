@@ -1,0 +1,54 @@
+"""Armus core verification library.
+
+This package implements the paper's primary contribution: the event-based
+representation of concurrency constraints (Section 4.1), the three graph
+models built from a resource-dependency state (Wait-For Graph, State Graph
+and General Resource Graph, Definitions 4.2-4.4), cycle detection, the
+adaptive graph-model selection of Section 5.1, and the deadlock checker
+used by both the detection and avoidance verification modes (Section 5).
+
+The core package is deliberately free of threading: it operates on
+immutable :class:`~repro.core.events.BlockedStatus` values supplied by an
+application layer (the :mod:`repro.runtime` substrate, the
+:mod:`repro.distributed` sites, or the :mod:`repro.pl` interpreter).
+"""
+
+from repro.core.events import Event, BlockedStatus, TaskId, PhaserId
+from repro.core.dependency import ResourceDependency, DependencySnapshot
+from repro.core.graphs import DiGraph, build_wfg, build_sg, build_grg
+from repro.core.cycles import has_cycle, find_cycle, strongly_connected_components
+from repro.core.selection import GraphModel, GraphBuildResult, build_graph
+from repro.core.checker import DeadlockChecker, CheckStats
+from repro.core.report import (
+    DeadlockReport,
+    DeadlockError,
+    DeadlockDetectedError,
+    DeadlockAvoidedError,
+)
+from repro.core.monitor import DetectionMonitor
+
+__all__ = [
+    "Event",
+    "BlockedStatus",
+    "TaskId",
+    "PhaserId",
+    "ResourceDependency",
+    "DependencySnapshot",
+    "DiGraph",
+    "build_wfg",
+    "build_sg",
+    "build_grg",
+    "has_cycle",
+    "find_cycle",
+    "strongly_connected_components",
+    "GraphModel",
+    "GraphBuildResult",
+    "build_graph",
+    "DeadlockChecker",
+    "CheckStats",
+    "DeadlockReport",
+    "DeadlockError",
+    "DeadlockDetectedError",
+    "DeadlockAvoidedError",
+    "DetectionMonitor",
+]

@@ -1,0 +1,267 @@
+"""The deadlock checker: Armus' verification-layer entry point (Section 5.1).
+
+The checker owns a :class:`~repro.core.dependency.ResourceDependency`
+(updated by the application layer on every block/unblock), builds the
+analysis graph under the configured model selection, runs cycle detection,
+and assembles :class:`~repro.core.report.DeadlockReport` evidence.
+
+Two usage patterns map to the paper's two verification modes:
+
+* **detection** — a monitor periodically calls :meth:`DeadlockChecker.check`
+  on a snapshot; found cycles are re-validated against the live statuses to
+  discard unblock races, then reported;
+* **avoidance** — a task about to block calls
+  :meth:`DeadlockChecker.check_before_block`, which tentatively publishes
+  the status and reports whether blocking would complete a cycle; on a hit
+  the status is withdrawn and the caller raises
+  :class:`~repro.core.report.DeadlockAvoidedError` instead of blocking.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+from repro.core.cycles import cycle_through, find_cycle
+from repro.core.dependency import DependencySnapshot, ResourceDependency
+from repro.core.events import BlockedStatus, Event, TaskId
+from repro.core.report import DeadlockReport
+from repro.core.selection import (
+    DEFAULT_THRESHOLD_FACTOR,
+    GraphBuildResult,
+    GraphModel,
+    build_graph,
+)
+
+
+@dataclass
+class CheckStats:
+    """Accounting across checks — the source of Table 3's edge counts."""
+
+    checks: int = 0
+    cycles_found: int = 0
+    edge_counts: List[int] = field(default_factory=list)
+    models_used: List[GraphModel] = field(default_factory=list)
+    total_time_s: float = 0.0
+
+    @property
+    def mean_edges(self) -> float:
+        """Average number of edges per check (Table 3's "Edges" row)."""
+        if not self.edge_counts:
+            return 0.0
+        return sum(self.edge_counts) / len(self.edge_counts)
+
+    @property
+    def max_edges(self) -> int:
+        return max(self.edge_counts, default=0)
+
+    def model_histogram(self) -> dict:
+        hist: dict = {}
+        for m in self.models_used:
+            hist[m] = hist.get(m, 0) + 1
+        return hist
+
+    def merge(self, other: "CheckStats") -> None:
+        self.checks += other.checks
+        self.cycles_found += other.cycles_found
+        self.edge_counts.extend(other.edge_counts)
+        self.models_used.extend(other.models_used)
+        self.total_time_s += other.total_time_s
+
+
+class DeadlockChecker:
+    """Builds graphs from blocked statuses and finds deadlock cycles.
+
+    Parameters
+    ----------
+    model:
+        Graph-model selection mode (fixed WFG, fixed SG, or adaptive).
+    threshold_factor:
+        SG-abort threshold for adaptive mode (Section 5.1; default 2).
+    dependency:
+        The blocked-status store; a fresh one is created when omitted.
+        Sharing one store among several checkers is how distributed sites
+        analyse a global view.
+    """
+
+    def __init__(
+        self,
+        model: GraphModel = GraphModel.AUTO,
+        threshold_factor: float = DEFAULT_THRESHOLD_FACTOR,
+        dependency: Optional[ResourceDependency] = None,
+    ) -> None:
+        self.model = model
+        self.threshold_factor = threshold_factor
+        self.dependency = dependency if dependency is not None else ResourceDependency()
+        self.stats = CheckStats()
+        # Serialises avoidance checks: two tasks blocking concurrently must
+        # not both conclude "no cycle yet" for a cycle they jointly create.
+        self._avoidance_lock = threading.Lock()
+        self._stats_lock = threading.Lock()
+
+    # ------------------------------------------------------------------
+    # blocked-status bookkeeping (delegated to the dependency store)
+    # ------------------------------------------------------------------
+    def set_blocked(self, task: TaskId, status: BlockedStatus) -> BlockedStatus:
+        """Publish ``task``'s blocked status (detection-mode block entry)."""
+        return self.dependency.set_blocked(task, status)
+
+    def clear(self, task: TaskId) -> None:
+        """Withdraw ``task``'s blocked status (the task unblocked)."""
+        self.dependency.clear(task)
+
+    # ------------------------------------------------------------------
+    # verification
+    # ------------------------------------------------------------------
+    def check(
+        self,
+        snapshot: Optional[DependencySnapshot] = None,
+        revalidate: bool = False,
+    ) -> Optional[DeadlockReport]:
+        """Analyse ``snapshot`` (or a fresh one) for a deadlock cycle.
+
+        With ``revalidate=True`` (detection mode), a found cycle is only
+        reported if every involved task is still blocked with the very
+        status that produced the cycle — eliminating false positives from
+        tasks that unblocked after the snapshot was taken.
+        """
+        t0 = time.perf_counter()
+        if snapshot is None:
+            snapshot = self.dependency.snapshot()
+        if snapshot.is_empty():
+            self._record(t0, None, GraphModel.SG if self.model is not GraphModel.WFG else GraphModel.WFG, 0)
+            return None
+        built = build_graph(snapshot, self.model, self.threshold_factor)
+        cycle = find_cycle(built.graph)
+        report = None
+        if cycle is not None:
+            report = self._report_from_cycle(snapshot, built, cycle, avoided=False)
+            if revalidate and not self._still_current(snapshot, report):
+                report = None
+        self._record(t0, report, built.model_used, built.edge_count)
+        return report
+
+    def check_before_block(
+        self, task: TaskId, status: BlockedStatus
+    ) -> Tuple[Optional[DeadlockReport], Optional[BlockedStatus]]:
+        """Avoidance-mode check at block entry.
+
+        Tentatively publishes ``status`` for ``task`` and analyses the
+        resulting state.  Returns ``(report, None)`` when blocking would
+        deadlock — the status has been withdrawn and the caller must raise
+        instead of blocking.  Returns ``(None, stamped_status)`` when it is
+        safe to block — the status stays published and the caller proceeds
+        to wait (clearing it on wake-up).
+        """
+        with self._avoidance_lock:
+            t0 = time.perf_counter()
+            prior = self.dependency.get(task)
+            stamped = self.dependency.set_blocked(task, status)
+            snapshot = self.dependency.snapshot()
+            built = build_graph(snapshot, self.model, self.threshold_factor)
+            cycle = self._cycle_for_avoidance(task, status, built)
+            if cycle is None:
+                self._record(t0, None, built.model_used, built.edge_count)
+                return None, stamped
+            # Withdraw the doomed status; if the caller was already
+            # blocked elsewhere (re-entrant or multi-wait usage), its
+            # previous status must survive the refusal untouched.
+            if prior is not None:
+                self.dependency.restore(task, prior)
+            else:
+                self.dependency.clear(task)
+            report = self._report_from_cycle(snapshot, built, cycle, avoided=True)
+            self._record(t0, report, built.model_used, built.edge_count)
+            return report, None
+
+    # ------------------------------------------------------------------
+    # internals
+    # ------------------------------------------------------------------
+    def _cycle_for_avoidance(
+        self, task: TaskId, status: BlockedStatus, built: GraphBuildResult
+    ):
+        """Find the cycle the new block would create.
+
+        Since every block is vetted, a cycle can only appear through the
+        blocking task's own vertex (WFG) or one of its waited events (SG);
+        falling back to a whole-graph search keeps the check conservative
+        even if earlier statuses were published without vetting (mixed
+        detection/avoidance deployments).
+        """
+        if built.model_used is GraphModel.WFG:
+            cycle = cycle_through(built.graph, task)
+        else:
+            cycle = None
+            for event in status.waits:
+                cycle = cycle_through(built.graph, event)
+                if cycle is not None:
+                    break
+        if cycle is None:
+            cycle = find_cycle(built.graph)
+        return cycle
+
+    def _report_from_cycle(
+        self,
+        snapshot: DependencySnapshot,
+        built: GraphBuildResult,
+        cycle: list,
+        avoided: bool,
+    ) -> DeadlockReport:
+        """Translate a graph cycle into task/event evidence."""
+        if built.model_used is GraphModel.WFG:
+            tasks = tuple(dict.fromkeys(cycle[:-1]))
+            events: list[Event] = []
+            for t in tasks:
+                events.extend(sorted(snapshot.statuses[t].waits))
+            events_t = tuple(dict.fromkeys(events))
+        else:
+            events_t = tuple(dict.fromkeys(cycle[:-1]))
+            event_set = set(events_t)
+            tasks = tuple(
+                t
+                for t, s in snapshot.statuses.items()
+                if s.waits & event_set
+            )
+        return DeadlockReport(
+            tasks=tasks,
+            events=events_t,
+            cycle=tuple(cycle),
+            model_used=built.model_used,
+            edge_count=built.edge_count,
+            avoided=avoided,
+        )
+
+    def _still_current(
+        self, snapshot: DependencySnapshot, report: DeadlockReport
+    ) -> bool:
+        """Re-validate that every task in the report is still blocked."""
+        for t in report.tasks:
+            status = snapshot.statuses.get(t)
+            if status is None or not self.dependency.is_current(t, status):
+                return False
+        return True
+
+    def _record(
+        self,
+        t0: float,
+        report: Optional[DeadlockReport],
+        model_used: GraphModel,
+        edge_count: int,
+    ) -> None:
+        dt = time.perf_counter() - t0
+        with self._stats_lock:
+            self.stats.checks += 1
+            self.stats.total_time_s += dt
+            self.stats.edge_counts.append(edge_count)
+            self.stats.models_used.append(model_used)
+            if report is not None:
+                self.stats.cycles_found += 1
+
+    def reset_stats(self) -> CheckStats:
+        """Swap in a fresh stats object; return the old one."""
+        with self._stats_lock:
+            old = self.stats
+            self.stats = CheckStats()
+            return old

@@ -1,0 +1,179 @@
+"""Cycle detection on concurrency-constraint graphs.
+
+Deadlock analysis reduces to cycle detection (Section 4): a cycle in the
+WFG (equivalently the SG, Theorem 4.8) of a resource-dependency state
+witnesses a deadlocked task set.  We use an iterative Tarjan strongly-
+connected-components algorithm — O(V + E), Proposition 4.2 — and extract a
+concrete cycle from any non-trivial SCC for reporting.
+
+All algorithms are iterative (explicit stacks): verification runs inside
+user programs whose graphs can be deep, and CPython's recursion limit must
+not constrain them.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Dict, Hashable, List, Optional, Sequence, Set
+
+from repro.core.graphs import DiGraph
+
+Vertex = Hashable
+
+
+def strongly_connected_components(graph: DiGraph) -> List[List[Vertex]]:
+    """Tarjan's SCC algorithm, iterative formulation.
+
+    Returns the components in reverse topological order (Tarjan's natural
+    output order).  Each component is a list of vertices.
+    """
+    index_of: Dict[Vertex, int] = {}
+    lowlink: Dict[Vertex, int] = {}
+    on_stack: Dict[Vertex, bool] = {}
+    stack: List[Vertex] = []
+    components: List[List[Vertex]] = []
+    counter = 0
+
+    for root in list(graph.vertices):
+        if root in index_of:
+            continue
+        # Each frame is (vertex, iterator over successors).
+        work: List[tuple] = [(root, iter(graph.successors(root)))]
+        index_of[root] = lowlink[root] = counter
+        counter += 1
+        stack.append(root)
+        on_stack[root] = True
+        while work:
+            v, it = work[-1]
+            advanced = False
+            for w in it:
+                if w not in index_of:
+                    index_of[w] = lowlink[w] = counter
+                    counter += 1
+                    stack.append(w)
+                    on_stack[w] = True
+                    work.append((w, iter(graph.successors(w))))
+                    advanced = True
+                    break
+                if on_stack.get(w):
+                    lowlink[v] = min(lowlink[v], index_of[w])
+            if advanced:
+                continue
+            work.pop()
+            if work:
+                parent = work[-1][0]
+                lowlink[parent] = min(lowlink[parent], lowlink[v])
+            if lowlink[v] == index_of[v]:
+                component: List[Vertex] = []
+                while True:
+                    w = stack.pop()
+                    on_stack[w] = False
+                    component.append(w)
+                    if w == v:
+                        break
+                components.append(component)
+    return components
+
+
+def has_cycle(graph: DiGraph) -> bool:
+    """Whether the graph contains any directed cycle.
+
+    A graph is cyclic iff it has an SCC with more than one vertex, or a
+    vertex with a self-loop.
+    """
+    for component in strongly_connected_components(graph):
+        if len(component) > 1:
+            return True
+        v = component[0]
+        if graph.has_edge(v, v):
+            return True
+    return False
+
+
+def find_cycle(graph: DiGraph) -> Optional[List[Vertex]]:
+    """A concrete cycle ``[v1, ..., vk, v1]`` if one exists, else ``None``."""
+    for component in strongly_connected_components(graph):
+        v = component[0]
+        if len(component) == 1 and not graph.has_edge(v, v):
+            continue
+        return _cycle_containing(graph, set(component), v)
+    return None
+
+
+def cycle_through(graph: DiGraph, vertex: Vertex) -> Optional[List[Vertex]]:
+    """A cycle containing ``vertex`` if one exists, else ``None``.
+
+    Used by avoidance mode to confirm the blocking task itself is on the
+    cycle it is about to complete.  Within a cyclic SCC, strong
+    connectivity guarantees every member lies on some cycle.
+    """
+    if vertex not in graph.adj:
+        return None
+    for component in strongly_connected_components(graph):
+        if vertex not in component:
+            continue
+        if len(component) == 1 and not graph.has_edge(vertex, vertex):
+            return None
+        return _cycle_containing(graph, set(component), vertex)
+    return None
+
+
+def cycle_reachable_from(
+    graph: DiGraph, vertex: Vertex
+) -> Optional[List[Vertex]]:
+    """A cycle reachable from ``vertex`` (possibly not through it).
+
+    This is the exact shape of Theorem 4.15 (completeness): a deadlocked
+    task reaches a ``t'``-cycle in the WFG, but need not lie on it.
+    """
+    if vertex not in graph.adj:
+        return None
+    reachable = graph.subgraph_reachable_from(vertex)
+    return find_cycle(reachable)
+
+
+def _cycle_containing(
+    graph: DiGraph, members: Set[Vertex], v: Vertex
+) -> List[Vertex]:
+    """A cycle through ``v`` inside the cyclic SCC ``members``.
+
+    BFS from the successors of ``v`` (restricted to the SCC) back to ``v``;
+    strong connectivity guarantees the search succeeds.
+    """
+    if graph.has_edge(v, v):
+        return [v, v]
+    parent: Dict[Vertex, Vertex] = {}
+    queue: deque[Vertex] = deque()
+    for w in graph.successors(v):
+        if w in members and w not in parent:
+            parent[w] = v
+            queue.append(w)
+    while queue:
+        u = queue.popleft()
+        for w in graph.successors(u):
+            if w == v:
+                # Reconstruct v ... u, then close the cycle at v.
+                path = [u]
+                while path[-1] != v:
+                    path.append(parent[path[-1]])
+                path.reverse()
+                path.append(v)
+                return path
+            if w in members and w not in parent:
+                parent[w] = u
+                queue.append(w)
+    raise AssertionError(
+        "cyclic SCC must contain a cycle through each member"
+    )  # pragma: no cover
+
+
+def is_walk(graph: DiGraph, walk: Sequence[Vertex]) -> bool:
+    """Whether ``walk`` is a walk on ``graph`` (used by theorem tests)."""
+    if len(walk) < 2:
+        return False
+    return all(graph.has_edge(u, v) for u, v in zip(walk, walk[1:]))
+
+
+def is_cycle(graph: DiGraph, walk: Sequence[Vertex]) -> bool:
+    """Whether ``walk`` is a cycle on ``graph`` (closed walk)."""
+    return is_walk(graph, walk) and walk[0] == walk[-1]

@@ -1,0 +1,160 @@
+"""Resource-dependency state (Definition 4.1) and its mutable container.
+
+A resource-dependency state ``D = (I, W)`` pairs the *impeding tasks* map
+``I`` (event -> tasks that have not arrived at that event) with the
+*waiting resources* map ``W`` (task -> events it is blocked on).
+
+Section 5.1 of the paper notes that maintaining the blocked status is far
+more frequent than checking for deadlocks, "so the resource-dependencies
+are rearranged per task to optimise updates".  :class:`ResourceDependency`
+follows that design: it stores one :class:`~repro.core.events.BlockedStatus`
+per blocked task, O(1) to set and clear, and materialises the ``(I, W)``
+view only when a check runs (:meth:`ResourceDependency.snapshot`).
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass
+from typing import Dict, Iterator, Mapping, Optional, Tuple
+
+from repro.core.events import BlockedStatus, Event, PhaserId, TaskId
+
+
+@dataclass(frozen=True)
+class DependencySnapshot:
+    """An immutable point-in-time view of the blocked statuses.
+
+    This is the input to graph construction.  ``statuses`` maps each
+    blocked task to the status it reported; the classical ``W`` map is
+    ``{t: statuses[t].waits}`` and ``I`` is derived by comparing local
+    phases against awaited events (see :meth:`impeders_of`).
+    """
+
+    statuses: Mapping[TaskId, BlockedStatus]
+
+    @property
+    def tasks(self) -> Tuple[TaskId, ...]:
+        return tuple(self.statuses)
+
+    @property
+    def waits(self) -> Dict[TaskId, frozenset[Event]]:
+        """The ``W`` map of Definition 4.1 restricted to blocked tasks."""
+        return {t: s.waits for t, s in self.statuses.items()}
+
+    @property
+    def awaited_events(self) -> frozenset[Event]:
+        """All events some blocked task is waiting on (the resources)."""
+        out: set[Event] = set()
+        for status in self.statuses.values():
+            out.update(status.waits)
+        return frozenset(out)
+
+    def impeders_of(self, event: Event) -> frozenset[TaskId]:
+        """The ``I(event)`` set restricted to blocked tasks.
+
+        Restricting ``I`` to blocked tasks preserves both soundness and
+        completeness of cycle detection: every vertex on a WFG cycle has an
+        outgoing edge, hence waits, hence is blocked (Lemma 4.9/4.11).
+        """
+        return frozenset(
+            t for t, s in self.statuses.items() if s.impedes(event)
+        )
+
+    def impeding_map(self) -> Dict[Event, frozenset[TaskId]]:
+        """The full ``I`` map over all awaited events."""
+        return {e: self.impeders_of(e) for e in self.awaited_events}
+
+    def phaser_index(self) -> Dict[PhaserId, list[Tuple[TaskId, int]]]:
+        """Index ``phaser -> [(task, local phase)]`` over blocked tasks.
+
+        Used by graph builders to find impeders of ``(p, n)`` without
+        scanning all tasks per event.
+        """
+        index: Dict[PhaserId, list[Tuple[TaskId, int]]] = {}
+        for t, s in self.statuses.items():
+            for p, n in s.registered.items():
+                index.setdefault(p, []).append((t, n))
+        return index
+
+    def __len__(self) -> int:
+        return len(self.statuses)
+
+    def __iter__(self) -> Iterator[TaskId]:
+        return iter(self.statuses)
+
+    def is_empty(self) -> bool:
+        return not self.statuses
+
+
+class ResourceDependency:
+    """Thread-safe per-task store of blocked statuses.
+
+    The application layer calls :meth:`set_blocked` when a task is about to
+    block and :meth:`clear` when it unblocks.  The deadlock checker calls
+    :meth:`snapshot` to obtain a consistent immutable view.
+
+    A per-task ``generation`` counter is stamped on each status so that a
+    checker can later verify a status is unchanged (``is_current``) before
+    reporting — this closes the race in detection mode where a task
+    unblocks between the snapshot and the analysis.
+    """
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._statuses: Dict[TaskId, BlockedStatus] = {}
+        self._generation = 0
+
+    def set_blocked(self, task: TaskId, status: BlockedStatus) -> BlockedStatus:
+        """Record that ``task`` is blocked with ``status``.
+
+        Returns the stamped status (with a fresh generation number).
+        """
+        with self._lock:
+            self._generation += 1
+            stamped = BlockedStatus(
+                waits=status.waits,
+                registered=status.registered,
+                generation=self._generation,
+            )
+            self._statuses[task] = stamped
+            return stamped
+
+    def clear(self, task: TaskId) -> None:
+        """Remove ``task``'s blocked status (the task unblocked or died)."""
+        with self._lock:
+            self._statuses.pop(task, None)
+
+    def get(self, task: TaskId) -> Optional[BlockedStatus]:
+        """The currently published status of ``task``, if any."""
+        with self._lock:
+            return self._statuses.get(task)
+
+    def restore(self, task: TaskId, status: BlockedStatus) -> None:
+        """Put back a previously stamped status verbatim.
+
+        Used by the avoidance path to undo a tentative publication: the
+        original generation is preserved so in-flight revalidations of
+        the restored status remain valid.
+        """
+        with self._lock:
+            self._statuses[task] = status
+
+    def snapshot(self) -> DependencySnapshot:
+        """An immutable, consistent copy of all current blocked statuses."""
+        with self._lock:
+            return DependencySnapshot(statuses=dict(self._statuses))
+
+    def is_current(self, task: TaskId, status: BlockedStatus) -> bool:
+        """Whether ``task`` is still blocked with exactly ``status``."""
+        with self._lock:
+            cur = self._statuses.get(task)
+            return cur is not None and cur.generation == status.generation
+
+    def blocked_count(self) -> int:
+        with self._lock:
+            return len(self._statuses)
+
+    def clear_all(self) -> None:
+        with self._lock:
+            self._statuses.clear()

@@ -1,0 +1,75 @@
+"""Deadlock reports and exceptions raised by the two verification modes."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+from repro.core.events import Event, TaskId
+from repro.core.selection import GraphModel
+
+
+@dataclass(frozen=True)
+class DeadlockReport:
+    """Evidence of a (potential or avoided) deadlock.
+
+    Attributes
+    ----------
+    tasks:
+        The deadlocked task set (vertices of the WFG cycle, or the tasks
+        contributing the SG cycle's edges).
+    events:
+        The synchronisation events involved (SG cycle vertices, or the
+        events the ``tasks`` wait on).
+    cycle:
+        The concrete cycle found, as a closed vertex walk in whichever
+        graph model was analysed.
+    model_used:
+        The graph model the cycle was found in.
+    edge_count:
+        Size of the analysed graph, for diagnostics and Table 3 accounting.
+    avoided:
+        True when the report was produced by avoidance mode (the deadlock
+        never materialised).
+    """
+
+    tasks: Tuple[TaskId, ...]
+    events: Tuple[Event, ...]
+    cycle: Tuple[object, ...]
+    model_used: GraphModel
+    edge_count: int
+    avoided: bool = False
+
+    def describe(self) -> str:
+        """Human-readable multi-line description (the tool's user report)."""
+        kind = "avoided" if self.avoided else "detected"
+        lines = [
+            f"barrier deadlock {kind} ({self.model_used.value.upper()} cycle, "
+            f"{len(self.tasks)} task(s), {self.edge_count} edge(s))",
+            "  tasks: " + ", ".join(str(t) for t in self.tasks),
+            "  events: " + ", ".join(str(e) for e in self.events),
+            "  cycle: " + " -> ".join(str(v) for v in self.cycle),
+        ]
+        return "\n".join(lines)
+
+
+class DeadlockError(RuntimeError):
+    """Base class for deadlock verification errors."""
+
+    def __init__(self, report: DeadlockReport, message: Optional[str] = None):
+        super().__init__(message or report.describe())
+        self.report = report
+
+
+class DeadlockDetectedError(DeadlockError):
+    """Raised into blocked tasks cancelled by the detection monitor."""
+
+
+class DeadlockAvoidedError(DeadlockError):
+    """Raised by avoidance mode instead of entering a deadlocked wait.
+
+    The paper: "Armus checks for deadlocks before the task blocks and
+    interrupts the blocking operation with an exception if the deadlock is
+    found. The programmer can treat the exceptional situation to develop
+    applications resilient to deadlocks."
+    """

@@ -1,0 +1,76 @@
+"""The one-phase distributed detection algorithm (Section 5.2).
+
+Armus's two changes to Kshemkalyani & Singhal's one-phase algorithm:
+
+1. logical clocks (phaser events) instead of vector clocks — barrier
+   synchronisation gives a natural per-resource total order, so no
+   vector-timestamp machinery is needed to keep the global view
+   consistent: each task's blocked status is self-contained;
+2. no designated control site — the global status lives in a dedicated
+   (fault-tolerant) store and *all* sites check, so detection survives
+   any site failure.
+
+:class:`DistributedChecker` is the per-site checking half: pull every
+site's published bucket, merge into one
+:class:`~repro.core.dependency.DependencySnapshot`, run the ordinary
+graph analysis.  A deadlock spanning sites appears as a cycle exactly as
+a local one would, because event names are global.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Mapping, Optional
+
+from repro.core.checker import DeadlockChecker
+from repro.core.dependency import DependencySnapshot
+from repro.core.events import BlockedStatus
+from repro.core.report import DeadlockReport
+from repro.core.selection import GraphModel
+from repro.distributed.store import decode_statuses
+
+
+def merge_payloads(payloads: Mapping[str, Mapping]) -> DependencySnapshot:
+    """Merge the per-site buckets into one global snapshot.
+
+    Task ids are globally unique, so the merge is a disjoint union; a
+    duplicate id across sites would indicate a publishing bug and raises.
+    """
+    merged: Dict[str, BlockedStatus] = {}
+    for site_id, payload in payloads.items():
+        statuses = decode_statuses(payload)
+        overlap = merged.keys() & statuses.keys()
+        if overlap:
+            raise ValueError(
+                f"tasks {sorted(overlap)} published by several sites "
+                f"(last: {site_id})"
+            )
+        merged.update(statuses)
+    return DependencySnapshot(statuses=merged)
+
+
+class DistributedChecker:
+    """The checking half of a site: global view -> cycle detection."""
+
+    def __init__(
+        self,
+        store,
+        model: GraphModel = GraphModel.AUTO,
+        threshold_factor: float = 2.0,
+    ) -> None:
+        self.store = store
+        self.checker = DeadlockChecker(model=model, threshold_factor=threshold_factor)
+
+    def check_global(self) -> Optional[DeadlockReport]:
+        """One detection pass over the published global state.
+
+        Store outages surface as exceptions for the caller (the site's
+        checking loop) to tolerate — the algorithm's fault-tolerance is
+        *continuing to run*, not pretending the read succeeded.
+        """
+        payloads = self.store.get_all()
+        snapshot = merge_payloads(payloads)
+        return self.checker.check(snapshot=snapshot)
+
+    @property
+    def stats(self):
+        return self.checker.stats

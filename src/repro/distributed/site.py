@@ -1,0 +1,192 @@
+"""A distributed site: one place of an X10-style cluster (Section 5.2).
+
+Each site owns an :class:`~repro.runtime.verifier.ArmusRuntime` whose
+blocked statuses it periodically publishes to its own bucket of the
+global store, plus a checking loop running the full one-phase detection
+over the global view.  Every site checks (fault tolerance: no control
+site); reports are de-duplicated per site and the involved *local* tasks
+are cancelled, while remote tasks are cancelled by their own site when
+it observes the same cycle.
+
+Failure injection for tests and fault-tolerance benches:
+
+* :meth:`Site.kill` — abrupt site death: loops stop, its stale bucket
+  remains in the store (exactly what a crashed machine leaves behind);
+* store outages — both loops tolerate
+  :class:`~repro.distributed.store.StoreUnavailableError` by skipping the
+  round, and recover when the store returns.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Callable, List, Optional
+
+from repro.core.report import DeadlockReport
+from repro.core.selection import GraphModel
+from repro.distributed.detector import DistributedChecker
+from repro.distributed.store import StoreUnavailableError, encode_statuses
+from repro.runtime.tasks import Task
+from repro.runtime.verifier import ArmusRuntime, VerificationMode
+
+#: The paper's distributed detection period (Armus-X10: every 200 ms).
+DEFAULT_CHECK_INTERVAL_S = 0.2
+DEFAULT_PUBLISH_INTERVAL_S = 0.05
+
+
+class Site:
+    """One place of the simulated cluster.
+
+    Parameters
+    ----------
+    site_id:
+        Unique site name (its bucket key in the store).
+    store:
+        The shared global store (or a replicated facade).
+    model:
+        Graph model for the site's global checks.
+    check_interval_s / publish_interval_s:
+        Cadences of the two loops.
+    cancel_on_detect:
+        Cancel local tasks involved in a detected cycle.
+    """
+
+    def __init__(
+        self,
+        site_id: str,
+        store,
+        model: GraphModel = GraphModel.AUTO,
+        check_interval_s: float = DEFAULT_CHECK_INTERVAL_S,
+        publish_interval_s: float = DEFAULT_PUBLISH_INTERVAL_S,
+        cancel_on_detect: bool = True,
+        on_deadlock: Optional[Callable[[DeadlockReport], None]] = None,
+    ) -> None:
+        self.site_id = site_id
+        self.store = store
+        # Local runtime in DETECTION mode: blocking ops publish statuses
+        # into the local dependency; the monitor stays off — the site's
+        # own checking loop replaces it.
+        self.runtime = ArmusRuntime(
+            mode=VerificationMode.DETECTION, model=model, cancel_on_detect=False
+        )
+        self.checker = DistributedChecker(store, model=model)
+        self.check_interval_s = check_interval_s
+        self.publish_interval_s = publish_interval_s
+        self.cancel_on_detect = cancel_on_detect
+        self.on_deadlock = on_deadlock
+        self.reports: List[DeadlockReport] = []
+        self.publish_failures = 0
+        self.check_failures = 0
+        self._seen_cycles: set = set()
+        self._stop = threading.Event()
+        self._threads: List[threading.Thread] = []
+        self._lock = threading.Lock()
+        self._alive = False
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+    def start(self) -> "Site":
+        with self._lock:
+            if self._alive:
+                return self
+            self._alive = True
+        self._stop.clear()
+        for name, target, interval in (
+            ("publisher", self._publish_once, self.publish_interval_s),
+            ("checker", self._check_once, self.check_interval_s),
+        ):
+            thread = threading.Thread(
+                target=self._loop,
+                args=(target, interval),
+                name=f"{self.site_id}-{name}",
+                daemon=True,
+            )
+            thread.start()
+            self._threads.append(thread)
+        return self
+
+    def stop(self, timeout: float = 5.0) -> None:
+        """Graceful shutdown: loops drain, the bucket is withdrawn."""
+        self._stop.set()
+        for thread in self._threads:
+            thread.join(timeout)
+        self._threads.clear()
+        with self._lock:
+            self._alive = False
+        try:
+            self.store.delete(self.site_id)
+        except StoreUnavailableError:
+            pass
+
+    def kill(self) -> None:
+        """Abrupt site death: loops stop, the stale bucket stays behind."""
+        self._stop.set()
+        with self._lock:
+            self._alive = False
+
+    @property
+    def alive(self) -> bool:
+        with self._lock:
+            return self._alive
+
+    def __enter__(self) -> "Site":
+        return self.start()
+
+    def __exit__(self, *exc) -> None:
+        self.stop()
+
+    # ------------------------------------------------------------------
+    # spawning (the at (p) async of X10)
+    # ------------------------------------------------------------------
+    def spawn(self, fn, *args, **kwargs) -> Task:
+        """Run a task at this place (``at (p) async S``)."""
+        return self.runtime.spawn(fn, *args, **kwargs)
+
+    # ------------------------------------------------------------------
+    # loops
+    # ------------------------------------------------------------------
+    def _loop(self, body: Callable[[], None], interval: float) -> None:
+        while not self._stop.wait(interval):
+            try:
+                body()
+            except StoreUnavailableError:
+                # Fault tolerance: skip the round, try again next period.
+                if body is self._publish_once:
+                    self.publish_failures += 1
+                else:
+                    self.check_failures += 1
+            except Exception:  # pragma: no cover - defensive logging path
+                raise
+
+    def _publish_once(self) -> None:
+        snapshot = self.runtime.checker.dependency.snapshot()
+        self.store.put(self.site_id, encode_statuses(snapshot.statuses))
+
+    def _check_once(self) -> None:
+        report = self.checker.check_global()
+        if report is None:
+            return
+        key = frozenset(report.tasks)
+        if key in self._seen_cycles:
+            return
+        self._seen_cycles.add(key)
+        self.reports.append(report)
+        if self.on_deadlock is not None:
+            self.on_deadlock(report)
+        if self.cancel_on_detect:
+            self._cancel_local(report)
+
+    def _cancel_local(self, report: DeadlockReport) -> None:
+        for task_id in report.tasks:
+            task = self.runtime.task_by_id(task_id)
+            if task is not None and task.runtime is self.runtime:
+                task.cancel(report)
+
+    # ------------------------------------------------------------------
+    def poll_detection(self) -> Optional[DeadlockReport]:
+        """Run one synchronous publish+check round (tests, benches)."""
+        self._publish_once()
+        before = len(self.reports)
+        self._check_once()
+        return self.reports[-1] if len(self.reports) > before else None

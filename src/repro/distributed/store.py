@@ -1,0 +1,163 @@
+"""The global resource-dependency store (the paper's Redis).
+
+Sites publish their local blocked statuses under their own key — writes
+are disjoint by construction, so no cross-site coordination is needed —
+and checkers read a snapshot of all keys.  Statuses cross the "wire" in
+an explicit serialised form (plain lists/dicts), keeping the store
+substitutable by a real network KV store.
+
+Fault injection: :meth:`InMemoryStore.set_available` simulates an outage
+(operations raise :class:`StoreUnavailableError`);
+:class:`ReplicatedStore` layers Redis-style failover on top, so detection
+survives the loss of a replica — the property the paper relies on for
+"the algorithm resists (ii) because Redis itself is fault-tolerant".
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Dict, List, Mapping, Optional, Sequence
+
+from repro.core.events import BlockedStatus, Event, TaskId
+
+
+class StoreUnavailableError(RuntimeError):
+    """The data store (or every replica) is unreachable."""
+
+
+# ---------------------------------------------------------------------------
+# wire format
+# ---------------------------------------------------------------------------
+def encode_statuses(statuses: Mapping[TaskId, BlockedStatus]) -> dict:
+    """Serialise blocked statuses to a plain JSON-able structure."""
+    return {
+        str(task): {
+            "waits": sorted([str(e.phaser), e.phase] for e in status.waits),
+            "registered": {str(p): n for p, n in status.registered.items()},
+            "generation": status.generation,
+        }
+        for task, status in statuses.items()
+    }
+
+
+def decode_statuses(payload: Mapping) -> Dict[str, BlockedStatus]:
+    """Inverse of :func:`encode_statuses`."""
+    out: Dict[str, BlockedStatus] = {}
+    for task, blob in payload.items():
+        out[task] = BlockedStatus(
+            waits=frozenset(Event(p, n) for p, n in blob["waits"]),
+            registered=dict(blob["registered"]),
+            generation=blob.get("generation", 0),
+        )
+    return out
+
+
+# ---------------------------------------------------------------------------
+# stores
+# ---------------------------------------------------------------------------
+class InMemoryStore:
+    """A thread-safe bucket-per-site KV store with injectable outages."""
+
+    def __init__(self, name: str = "store") -> None:
+        self.name = name
+        self._lock = threading.Lock()
+        self._buckets: Dict[str, dict] = {}
+        self._available = True
+        # Operation counters: the distributed benchmarks report traffic.
+        self.puts = 0
+        self.gets = 0
+
+    # -- failure injection ---------------------------------------------------
+    def set_available(self, available: bool) -> None:
+        with self._lock:
+            self._available = available
+
+    @property
+    def available(self) -> bool:
+        with self._lock:
+            return self._available
+
+    def _check_up(self) -> None:
+        if not self._available:
+            raise StoreUnavailableError(f"{self.name} is down")
+
+    # -- KV operations ----------------------------------------------------------
+    def put(self, site_id: str, payload: dict) -> None:
+        """Replace ``site_id``'s bucket (the disjoint per-site write)."""
+        with self._lock:
+            self._check_up()
+            self.puts += 1
+            self._buckets[site_id] = payload
+
+    def get(self, site_id: str) -> Optional[dict]:
+        with self._lock:
+            self._check_up()
+            self.gets += 1
+            return self._buckets.get(site_id)
+
+    def get_all(self) -> Dict[str, dict]:
+        """Snapshot of every site's bucket (the checker's global view)."""
+        with self._lock:
+            self._check_up()
+            self.gets += 1
+            return dict(self._buckets)
+
+    def delete(self, site_id: str) -> None:
+        with self._lock:
+            self._check_up()
+            self._buckets.pop(site_id, None)
+
+    def clear(self) -> None:
+        with self._lock:
+            self._buckets.clear()
+
+
+class ReplicatedStore:
+    """Redis-style replication: write-through to all live replicas, read
+    from the first reachable one.
+
+    The store only becomes unavailable when *every* replica is down;
+    recovered replicas are resynchronised on the next write (buckets are
+    whole-sale replaced, so stale reads self-heal within one publishing
+    period — the same eventual consistency the paper's periodic publishing
+    tolerates by design).
+    """
+
+    def __init__(self, replicas: Sequence[InMemoryStore]) -> None:
+        if not replicas:
+            raise ValueError("need at least one replica")
+        self.replicas: List[InMemoryStore] = list(replicas)
+
+    def put(self, site_id: str, payload: dict) -> None:
+        wrote = False
+        for replica in self.replicas:
+            try:
+                replica.put(site_id, payload)
+                wrote = True
+            except StoreUnavailableError:
+                continue
+        if not wrote:
+            raise StoreUnavailableError("all replicas down")
+
+    def get(self, site_id: str) -> Optional[dict]:
+        for replica in self.replicas:
+            try:
+                return replica.get(site_id)
+            except StoreUnavailableError:
+                continue
+        raise StoreUnavailableError("all replicas down")
+
+    def get_all(self) -> Dict[str, dict]:
+        for replica in self.replicas:
+            try:
+                return replica.get_all()
+            except StoreUnavailableError:
+                continue
+        raise StoreUnavailableError("all replicas down")
+
+    def delete(self, site_id: str) -> None:
+        for replica in self.replicas:
+            try:
+                replica.delete(site_id)
+            except StoreUnavailableError:
+                continue

@@ -1,0 +1,152 @@
+"""Random PL states and programs for property-based testing.
+
+Two generators back the theorem tests in ``tests/test_theorems.py``:
+
+* :func:`random_state` draws arbitrary well-formed PL states — phasers
+  with random memberships and phases, tasks awaiting random phasers they
+  are registered with.  The soundness/completeness theorems quantify over
+  states, so this is the direct test vector.
+* :func:`random_program` draws well-formed driver programs mixing the
+  patterns of :mod:`repro.pl.programs` — SPMD rounds, crossed barrier
+  orders, dropped arrivals, dropped deregistrations — some of which
+  deadlock and some of which do not.  Running them through the
+  interpreter with a checker attached exercises the whole pipeline.
+
+Determinism: both take a :class:`random.Random` so hypothesis can drive
+them through seeds.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List, Optional
+
+from repro.pl.phaser import Phaser
+from repro.pl.state import State
+from repro.pl.syntax import (
+    Adv,
+    Await,
+    Dereg,
+    Fork,
+    NewPhaser,
+    NewTid,
+    Reg,
+    Seq,
+    Skip,
+    seq,
+)
+
+
+def random_state(
+    rng: random.Random,
+    max_tasks: int = 6,
+    max_phasers: int = 4,
+    max_phase: int = 3,
+) -> State:
+    """An arbitrary well-formed PL state.
+
+    Every task is either awaiting one of its phasers (body =
+    ``await(p); skip``) or running (body = ``skip`` or ``end``).
+    Membership and local phases are random; awaiting tasks exist whose
+    predicate already holds, tasks blocked for good, and cycles.
+    """
+    n_tasks = rng.randint(1, max_tasks)
+    n_phasers = rng.randint(1, max_phasers)
+    task_names = [f"t{i}" for i in range(n_tasks)]
+    phaser_names = [f"p{i}" for i in range(n_phasers)]
+
+    phasers = {}
+    membership: dict = {t: [] for t in task_names}
+    for p in phaser_names:
+        members = {}
+        for t in task_names:
+            if rng.random() < 0.6:
+                members[t] = rng.randint(0, max_phase)
+                membership[t].append(p)
+        if members:
+            phasers[p] = Phaser(members)
+
+    tasks = {}
+    for t in task_names:
+        registered = membership[t]
+        roll = rng.random()
+        if registered and roll < 0.7:
+            p = rng.choice(registered)
+            tasks[t] = seq(Await(p), Skip())
+        elif roll < 0.85:
+            tasks[t] = seq(Skip())
+        else:
+            tasks[t] = ()
+    return State(phasers=phasers, tasks=tasks)
+
+
+def random_program(
+    rng: random.Random,
+    max_workers: int = 4,
+    max_phasers: int = 3,
+    max_rounds: int = 3,
+    drop_arrival_p: float = 0.15,
+    drop_dereg_p: float = 0.15,
+    shuffle_order_p: float = 0.5,
+) -> Seq:
+    """A random well-formed driver program.
+
+    The driver creates ``k`` phasers, forks ``m`` workers registered with
+    a random non-empty subset, and joins via a dedicated join phaser.
+    Worker bodies run synchronisation rounds over their phasers in a
+    per-worker order (shuffled with probability ``shuffle_order_p`` —
+    crossed orders are the classic deadlock seed), skip an arrival with
+    probability ``drop_arrival_p`` (missing-participant deadlocks), and
+    skip a final deregistration with probability ``drop_dereg_p``
+    (starvation of later joiners).
+    """
+    n_workers = rng.randint(1, max_workers)
+    n_phasers = rng.randint(1, max_phasers)
+    phasers = [f"p{i}" for i in range(n_phasers)]
+    join = "pj"
+
+    driver: List = [NewPhaser(p) for p in phasers]
+    driver.append(NewPhaser(join))
+
+    for w in range(n_workers):
+        t = f"w{w}"
+        mine = [p for p in phasers if rng.random() < 0.7] or [rng.choice(phasers)]
+        order = list(mine)
+        if rng.random() < shuffle_order_p:
+            rng.shuffle(order)
+        rounds = rng.randint(1, max_rounds)
+        body: List = []
+        for _ in range(rounds):
+            for p in order:
+                if rng.random() < drop_arrival_p:
+                    body.append(Skip())
+                    continue
+                body.append(Adv(p))
+                body.append(Await(p))
+        for p in mine:
+            if rng.random() >= drop_dereg_p:
+                body.append(Dereg(p))
+        body.append(Dereg(join))
+        driver.append(NewTid(t))
+        for p in mine:
+            driver.append(Reg(task=t, phaser=p))
+        driver.append(Reg(task=t, phaser=join))
+        driver.append(Fork(task=t, body=seq(*body)))
+
+    # The driver leaves the worker phasers (it was auto-registered by
+    # newPhaser) and joins the workers.
+    for p in phasers:
+        driver.append(Dereg(p))
+    driver.append(Adv(join))
+    driver.append(Await(join))
+    return seq(*driver)
+
+
+def random_seeded_program(seed: int, **kwargs) -> Seq:
+    """Convenience wrapper keyed by an integer seed (hypothesis-friendly)."""
+    return random_program(random.Random(seed), **kwargs)
+
+
+def random_seeded_state(seed: int, **kwargs) -> State:
+    """Convenience wrapper keyed by an integer seed (hypothesis-friendly)."""
+    return random_state(random.Random(seed), **kwargs)

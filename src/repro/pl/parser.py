@@ -1,0 +1,227 @@
+"""A parser for PL's concrete syntax (the notation of Figure 3).
+
+Accepts the textual form produced by :func:`repro.pl.syntax.pretty` and
+used throughout the paper::
+
+    pc = newPhaser();
+    t = newTid();
+    reg(pc, t);
+    fork(t)
+      loop
+        skip;
+        adv(pc); await(pc);
+      end;
+    end;
+    dereg(pc);
+
+``parse`` returns an instruction sequence (:data:`repro.pl.syntax.Seq`);
+``pretty`` and ``parse`` round-trip (tested for the whole program
+library).  Errors carry line/column positions.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+from repro.pl.syntax import (
+    Adv,
+    Await,
+    Dereg,
+    Fork,
+    Instruction,
+    Loop,
+    NewPhaser,
+    NewTid,
+    Reg,
+    Seq,
+    Skip,
+)
+
+
+class PLSyntaxError(ValueError):
+    """A parse error with source position."""
+
+    def __init__(self, message: str, line: int, column: int):
+        super().__init__(f"{message} (line {line}, column {column})")
+        self.line = line
+        self.column = column
+
+
+@dataclass(frozen=True)
+class _Token:
+    kind: str  # IDENT | PUNCT | KEYWORD
+    text: str
+    line: int
+    column: int
+
+
+_KEYWORDS = {
+    "skip",
+    "loop",
+    "end",
+    "fork",
+    "reg",
+    "dereg",
+    "adv",
+    "await",
+    "newTid",
+    "newPhaser",
+}
+
+_TOKEN_RE = re.compile(
+    r"""
+    (?P<ws>\s+)
+  | (?P<comment>//[^\n]*)
+  | (?P<ident>[A-Za-z_][A-Za-z0-9_]*)
+  | (?P<punct>[=();,])
+    """,
+    re.VERBOSE,
+)
+
+
+def _tokenize(source: str) -> List[_Token]:
+    tokens: List[_Token] = []
+    line, col = 1, 1
+    pos = 0
+    while pos < len(source):
+        match = _TOKEN_RE.match(source, pos)
+        if match is None:
+            raise PLSyntaxError(
+                f"unexpected character {source[pos]!r}", line, col
+            )
+        text = match.group(0)
+        if match.lastgroup == "ident":
+            kind = "KEYWORD" if text in _KEYWORDS else "IDENT"
+            tokens.append(_Token(kind, text, line, col))
+        elif match.lastgroup == "punct":
+            tokens.append(_Token("PUNCT", text, line, col))
+        # advance the position bookkeeping (newlines reset the column)
+        newlines = text.count("\n")
+        if newlines:
+            line += newlines
+            col = len(text) - text.rfind("\n")
+        else:
+            col += len(text)
+        pos = match.end()
+    return tokens
+
+
+class _Parser:
+    def __init__(self, tokens: List[_Token]):
+        self.tokens = tokens
+        self.index = 0
+
+    # -- token helpers ----------------------------------------------------
+    def _peek(self) -> Optional[_Token]:
+        if self.index < len(self.tokens):
+            return self.tokens[self.index]
+        return None
+
+    def _next(self) -> _Token:
+        token = self._peek()
+        if token is None:
+            last = self.tokens[-1] if self.tokens else _Token("", "", 1, 1)
+            raise PLSyntaxError("unexpected end of input", last.line, last.column)
+        self.index += 1
+        return token
+
+    def _expect(self, text: str) -> _Token:
+        token = self._next()
+        if token.text != text:
+            raise PLSyntaxError(
+                f"expected {text!r}, found {token.text!r}",
+                token.line,
+                token.column,
+            )
+        return token
+
+    def _ident(self) -> str:
+        token = self._next()
+        if token.kind != "IDENT":
+            raise PLSyntaxError(
+                f"expected a name, found {token.text!r}", token.line, token.column
+            )
+        return token.text
+
+    # -- grammar ------------------------------------------------------------
+    def sequence(self, closers: Tuple[str, ...] = ()) -> Seq:
+        """``stmt*`` until end-of-input or one of ``closers``."""
+        out: List[Instruction] = []
+        while True:
+            token = self._peek()
+            if token is None or token.text in closers:
+                return tuple(out)
+            out.append(self.instruction())
+
+    def instruction(self) -> Instruction:
+        token = self._next()
+        if token.kind == "IDENT":
+            # binder form: IDENT = newTid() ; | IDENT = newPhaser() ;
+            self._expect("=")
+            ctor = self._next()
+            if ctor.text not in ("newTid", "newPhaser"):
+                raise PLSyntaxError(
+                    f"expected newTid or newPhaser, found {ctor.text!r}",
+                    ctor.line,
+                    ctor.column,
+                )
+            self._expect("(")
+            self._expect(")")
+            self._expect(";")
+            if ctor.text == "newTid":
+                return NewTid(token.text)
+            return NewPhaser(token.text)
+
+        if token.text == "skip":
+            self._expect(";")
+            return Skip()
+
+        if token.text in ("adv", "await", "dereg"):
+            self._expect("(")
+            phaser = self._ident()
+            self._expect(")")
+            self._expect(";")
+            return {"adv": Adv, "await": Await, "dereg": Dereg}[token.text](phaser)
+
+        if token.text == "reg":
+            # reg(p, t): phaser first, as printed in Figure 3.
+            self._expect("(")
+            phaser = self._ident()
+            self._expect(",")
+            task = self._ident()
+            self._expect(")")
+            self._expect(";")
+            return Reg(task=task, phaser=phaser)
+
+        if token.text == "fork":
+            self._expect("(")
+            task = self._ident()
+            self._expect(")")
+            body = self.sequence(closers=("end",))
+            self._expect("end")
+            self._expect(";")
+            return Fork(task=task, body=body)
+
+        if token.text == "loop":
+            body = self.sequence(closers=("end",))
+            self._expect("end")
+            self._expect(";")
+            return Loop(body=body)
+
+        raise PLSyntaxError(
+            f"unexpected token {token.text!r}", token.line, token.column
+        )
+
+
+def parse(source: str) -> Seq:
+    """Parse PL concrete syntax into an instruction sequence."""
+    parser = _Parser(_tokenize(source))
+    seq = parser.sequence()
+    trailing = parser._peek()
+    if trailing is not None:  # pragma: no cover - sequence() consumes all
+        raise PLSyntaxError(
+            f"trailing input {trailing.text!r}", trailing.line, trailing.column
+        )
+    return seq

@@ -1,0 +1,106 @@
+"""The phaser data structure (Figure 4, "Phasers" block).
+
+A phaser ``P`` maps task names to local phases.  Three operations mutate
+it — ``reg(t, n)``, ``dereg(t)``, ``adv(t)`` — and one predicate observes
+it: ``await(P, n)`` holds when every member's local phase is at least
+``n``::
+
+    forall t in dom(P): P(t) >= n  =>  await(P, n)
+
+The structure is immutable: each operation returns a new phaser, which
+keeps PL states hashable and makes the interpreter's backtracking and the
+property-based tests straightforward.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, Mapping, Optional
+
+from repro.pl.syntax import Name
+
+
+class Phaser(Mapping[Name, int]):
+    """Immutable mapping from member task names to local phases."""
+
+    __slots__ = ("_members",)
+
+    def __init__(self, members: Optional[Mapping[Name, int]] = None) -> None:
+        self._members: Dict[Name, int] = dict(members or {})
+
+    # -- Mapping interface -------------------------------------------------
+    def __getitem__(self, task: Name) -> int:
+        return self._members[task]
+
+    def __iter__(self) -> Iterator[Name]:
+        return iter(self._members)
+
+    def __len__(self) -> int:
+        return len(self._members)
+
+    def __repr__(self) -> str:
+        inner = ", ".join(f"{t}: {n}" for t, n in sorted(self._members.items()))
+        return "{" + inner + "}"
+
+    def __eq__(self, other: object) -> bool:
+        if isinstance(other, Phaser):
+            return self._members == other._members
+        return NotImplemented
+
+    def __hash__(self) -> int:
+        return hash(frozenset(self._members.items()))
+
+    # -- operations (Figure 4) ----------------------------------------------
+    def reg(self, task: Name, phase: int) -> "Phaser":
+        """Rule [reg]: add member ``task`` at ``phase``.
+
+        The premise ``exists t': P(t') <= n`` forbids registering a task
+        "in the past's future": the new member's phase may not exceed every
+        existing member's phase, otherwise it could observe an event that
+        will never be impeded.  (When the registering task passes its own
+        phase — the only way rule [reg] of the state semantics is invoked —
+        the premise holds trivially.)
+        """
+        if task in self._members:
+            raise PhaserError(f"task {task!r} already registered")
+        if self._members and not any(n <= phase for n in self._members.values()):
+            raise PhaserError(
+                f"cannot register {task!r} at phase {phase}: "
+                f"all members are past it ({self!r})"
+            )
+        out = dict(self._members)
+        out[task] = phase
+        return Phaser(out)
+
+    def dereg(self, task: Name) -> "Phaser":
+        """Rule [dereg]: revoke ``task``'s membership."""
+        if task not in self._members:
+            raise PhaserError(f"task {task!r} not registered")
+        out = dict(self._members)
+        del out[task]
+        return Phaser(out)
+
+    def adv(self, task: Name) -> "Phaser":
+        """Rule [adv]: increment ``task``'s local phase."""
+        if task not in self._members:
+            raise PhaserError(f"task {task!r} not registered")
+        out = dict(self._members)
+        out[task] += 1
+        return Phaser(out)
+
+    # -- observation ---------------------------------------------------------
+    def phase_of(self, task: Name) -> Optional[int]:
+        return self._members.get(task)
+
+
+def await_holds(phaser: Phaser, phase: int) -> bool:
+    """The ``await(P, n)`` predicate: every member is at least at ``phase``.
+
+    Vacuously true for a memberless phaser (universal quantification over
+    an empty domain) — a task deregistered by everyone else can always
+    proceed.
+    """
+    return all(n >= phase for n in phaser.values())
+
+
+class PhaserError(RuntimeError):
+    """An ill-formed phaser operation (violated rule premise)."""

@@ -1,0 +1,262 @@
+"""A library of PL programs: the paper's running example and the barrier
+synchronisation patterns surveyed in Sections 2 and 3.
+
+Each builder returns the *body of the driver task*; wrap it with
+``State.initial(...)`` to obtain the initial state.  Programs marked
+"deadlocks" reach a deadlocked state under every schedule that lets all
+workers start (the test-suite model-checks the small instances).
+"""
+
+from __future__ import annotations
+
+from repro.pl.state import State
+from repro.pl.syntax import (
+    Adv,
+    Await,
+    Dereg,
+    Fork,
+    NewPhaser,
+    NewTid,
+    Reg,
+    Seq,
+    Skip,
+    seq,
+)
+
+
+def worker_body(J: int, cyclic: str, join: str) -> Seq:
+    """The worker of Figure 3: J iterations of the two-step averaging loop,
+    then deregistration from both barriers (unrolled; PL's ``loop`` is
+    nondeterministic, so tests prefer the deterministic unrolling)."""
+    one_iter = seq(
+        Skip(),  # read neighbours
+        Adv(cyclic),
+        Await(cyclic),
+        Skip(),  # write average
+        Adv(cyclic),
+        Await(cyclic),
+    )
+    body: list = []
+    for _ in range(J):
+        body.append(one_iter)
+    body.append(Dereg(cyclic))
+    body.append(Dereg(join))  # notify finish
+    return seq(*body)
+
+
+def running_example(I: int = 3, J: int = 1) -> Seq:
+    """Figure 3: the deadlocking parallel 1-D iterative averaging driver.
+
+    The driver creates the cyclic barrier ``pc`` (implicitly registering
+    itself) and the join barrier ``pb``, spawns ``I`` workers registered
+    with both, then joins on ``pb`` — without ever advancing or leaving
+    ``pc``.  All workers block on their first ``await(pc)`` forever:
+    deadlock (Example 4.1 is this program with I=3 at the first await).
+    """
+    body: list = [NewPhaser("pc"), NewPhaser("pb")]
+    for i in range(I):
+        t = f"w{i}"
+        body += [
+            NewTid(t),
+            Reg(task=t, phaser="pc"),
+            Reg(task=t, phaser="pb"),
+            Fork(task=t, body=worker_body(J, "pc", "pb")),
+        ]
+    body += [Adv("pb"), Await("pb"), Skip()]  # join barrier step; handle(a)
+    return seq(*body)
+
+
+def running_example_fixed(I: int = 3, J: int = 1) -> Seq:
+    """The fix from Section 2.1: the driver drops its ``pc`` membership
+    before joining (the PL rendering of inserting ``c.drop()``)."""
+    body: list = [NewPhaser("pc"), NewPhaser("pb")]
+    for i in range(I):
+        t = f"w{i}"
+        body += [
+            NewTid(t),
+            Reg(task=t, phaser="pc"),
+            Reg(task=t, phaser="pb"),
+            Fork(task=t, body=worker_body(J, "pc", "pb")),
+        ]
+    body += [Dereg("pc"), Adv("pb"), Await("pb"), Skip()]
+    return seq(*body)
+
+
+def two_barrier_cross() -> Seq:
+    """Two tasks arrive at two phasers in opposite orders: the classic
+    crossed-barrier deadlock (group synchronisation gone wrong).
+
+    t0: adv(a); await(a); adv(b); await(b)
+    t1: adv(b); await(b); adv(a); await(a)
+
+    Both registered with both phasers: t0 blocks on ``a@1`` (t1 is at
+    ``a@0``), t1 blocks on ``b@1`` (t0 is at ``b@0``).  Deadlocks.
+    """
+    t0 = seq(Adv("a"), Await("a"), Adv("b"), Await("b"), Dereg("a"), Dereg("b"))
+    t1 = seq(Adv("b"), Await("b"), Adv("a"), Await("a"), Dereg("a"), Dereg("b"))
+    return seq(
+        NewPhaser("a"),
+        NewPhaser("b"),
+        NewTid("x"),
+        Reg(task="x", phaser="a"),
+        Reg(task="x", phaser="b"),
+        NewTid("y"),
+        Reg(task="y", phaser="a"),
+        Reg(task="y", phaser="b"),
+        Fork(task="x", body=t0),
+        Fork(task="y", body=t1),
+        # The driver leaves both phasers so only the workers synchronise.
+        Dereg("a"),
+        Dereg("b"),
+    )
+
+
+def two_barrier_aligned() -> Seq:
+    """The deadlock-free variant: both tasks take the phasers in the same
+    order."""
+    t = seq(Adv("a"), Await("a"), Adv("b"), Await("b"), Dereg("a"), Dereg("b"))
+    return seq(
+        NewPhaser("a"),
+        NewPhaser("b"),
+        NewTid("x"),
+        Reg(task="x", phaser="a"),
+        Reg(task="x", phaser="b"),
+        NewTid("y"),
+        Reg(task="y", phaser="a"),
+        Reg(task="y", phaser="b"),
+        Fork(task="x", body=t),
+        Fork(task="y", body=t),
+        Dereg("a"),
+        Dereg("b"),
+    )
+
+
+def split_phase(n: int = 2, work_len: int = 3) -> Seq:
+    """Split-phase (fuzzy) barrier: each task *arrives* early (``adv``),
+    overlaps local work, and *awaits* later.  Deadlock-free; exercises the
+    adv/await decoupling that MPI calls non-blocking collectives."""
+    work = tuple(Skip() for _ in range(work_len))
+    body = seq(Adv("p"), *work, Await("p"), Dereg("p"))
+    out: list = [NewPhaser("p")]
+    for i in range(n):
+        t = f"w{i}"
+        out += [NewTid(t), Reg(task=t, phaser="p"), Fork(task=t, body=body)]
+    out += [Adv("p"), Await("p"), Dereg("p")]
+    return seq(*out)
+
+
+def spmd_rounds(n: int = 3, rounds: int = 2) -> Seq:
+    """SPMD stepping: ``n`` workers synchronise ``rounds`` times on one
+    phaser; the driver leaves the phaser after spawning.  Deadlock-free."""
+    step = seq(Skip(), Adv("p"), Await("p"))
+    body = seq(*([step] * rounds), Dereg("p"))
+    out: list = [NewPhaser("p")]
+    for i in range(n):
+        t = f"w{i}"
+        out += [NewTid(t), Reg(task=t, phaser="p"), Fork(task=t, body=body)]
+    out.append(Dereg("p"))
+    return seq(*out)
+
+
+def fork_join(n: int = 3) -> Seq:
+    """The finish/join-barrier pattern alone: workers signal completion by
+    deregistering; the driver awaits.  Deadlock-free."""
+    out: list = [NewPhaser("pb")]
+    for i in range(n):
+        t = f"w{i}"
+        out += [
+            NewTid(t),
+            Reg(task=t, phaser="pb"),
+            Fork(task=t, body=seq(Skip(), Dereg("pb"))),
+        ]
+    out += [Adv("pb"), Await("pb")]
+    return seq(*out)
+
+
+def missing_participant(n: int = 3) -> Seq:
+    """One worker of ``n`` terminates without arriving at the cyclic
+    barrier while still registered.  The remaining workers block forever,
+    yet the state is **not** deadlocked by Definition 3.2: the impeding
+    task is terminated, not awaiting, so no totally-deadlocked subset
+    exists.  This is *starvation*, outside the circular-wait class Armus
+    verifies — and outside what can happen in X10/HJ, where tasks
+    deregister upon termination (Section 7, "Deadlock avoidance").  The
+    tests use this program to probe the soundness boundary: the checker
+    must stay silent here.
+    """
+    good = seq(Adv("p"), Await("p"), Dereg("p"))
+    bad = seq(Skip())  # terminates without adv or dereg
+    out: list = [NewPhaser("p")]
+    for i in range(n):
+        t = f"w{i}"
+        body = bad if i == 0 else good
+        out += [NewTid(t), Reg(task=t, phaser="p"), Fork(task=t, body=body)]
+    out.append(Dereg("p"))
+    return seq(*out)
+
+
+def dynamic_membership(n: int = 3) -> Seq:
+    """Workers join the barrier, synchronise once, and leave one by one
+    while the remainder keeps synchronising — legal dynamic membership,
+    deadlock-free.  Worker ``i`` performs ``i+1`` synchronisations."""
+    out: list = [NewPhaser("p")]
+    for i in range(n):
+        t = f"w{i}"
+        steps = []
+        for _ in range(i + 1):
+            steps += [Adv("p"), Await("p")]
+        steps.append(Dereg("p"))
+        out += [NewTid(t), Reg(task=t, phaser="p"), Fork(task=t, body=seq(*steps))]
+    out.append(Dereg("p"))
+    return seq(*out)
+
+
+def nested_fork_join(width: int = 2) -> Seq:
+    """Two-level nested finish: the driver joins ``width`` middle tasks,
+    each of which joins ``width`` leaves.  Deadlock-free; a task is
+    registered with every enclosing join barrier, as in X10."""
+    out: list = [NewPhaser("outer")]
+    for i in range(width):
+        mid = f"m{i}"
+        inner_name = f"inner{i}"
+        mid_body: list = [NewPhaser(inner_name)]
+        for j in range(width):
+            leaf = f"l{i}_{j}"
+            mid_body += [
+                NewTid(leaf),
+                Reg(task=leaf, phaser=inner_name),
+                Fork(task=leaf, body=seq(Skip(), Dereg(inner_name))),
+            ]
+        mid_body += [Adv(inner_name), Await(inner_name), Dereg("outer")]
+        out += [
+            NewTid(mid),
+            Reg(task=mid, phaser="outer"),
+            Fork(task=mid, body=seq(*mid_body)),
+        ]
+    out += [Adv("outer"), Await("outer")]
+    return seq(*out)
+
+
+def smallest_deadlock() -> Seq:
+    """The smallest circular deadlock: two tasks, two phasers, each task
+    awaiting an event only the other can enable (length-2 WFG cycle).
+
+    d is registered with ``a``+``b``; w likewise.  w advances+awaits ``a``
+    (needs d to advance ``a``); d advances+awaits ``b`` (needs w to
+    advance ``b``).  Both block: deadlocked by Definition 3.2.
+    """
+    return seq(
+        NewPhaser("a"),
+        NewPhaser("b"),
+        NewTid("w"),
+        Reg(task="w", phaser="a"),
+        Reg(task="w", phaser="b"),
+        Fork(task="w", body=seq(Adv("a"), Await("a"))),
+        Adv("b"),
+        Await("b"),
+    )
+
+
+def initial(body: Seq) -> State:
+    """Wrap a driver body into the canonical initial state."""
+    return State.initial(body)

@@ -1,0 +1,211 @@
+"""Abstract syntax of PL (Section 3).
+
+The grammar::
+
+    s ::= c; s | end
+    c ::= t = newTid() | fork(t) s | p = newPhaser() | reg(t, p)
+        | dereg(p) | adv(p) | await(p) | loop s | skip
+
+An instruction sequence ``s`` is represented as a Python tuple of
+:class:`Instruction` values; ``end`` is the empty tuple.  Task and phaser
+*variables* are strings; the ``newTid``/``newPhaser`` binders substitute a
+fresh concrete name for the bound variable in the continuation (rules
+[new-t] and [new-ph] of Figure 4), so a well-formed program only ever
+manipulates names introduced by a binder or passed in from the initial
+state.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple, Union
+
+Name = str
+Seq = Tuple["Instruction", ...]
+
+#: The empty instruction sequence (``end``).
+END: Seq = ()
+
+
+class Instruction:
+    """Base class for PL instructions (sum type)."""
+
+    __slots__ = ()
+
+    def substitute(self, var: Name, name: Name) -> "Instruction":
+        """Capture-avoiding substitution of ``name`` for ``var``."""
+        raise NotImplementedError  # pragma: no cover
+
+
+@dataclass(frozen=True)
+class NewTid(Instruction):
+    """``t = newTid()`` — bind a fresh task name to ``var``."""
+
+    var: Name
+
+    def substitute(self, var: Name, name: Name) -> "NewTid":
+        # ``var`` is a binder: occurrences underneath are rebound, but the
+        # binder itself never needs renaming because fresh names chosen by
+        # the semantics cannot collide with programmer-written variables.
+        return self
+
+
+@dataclass(frozen=True)
+class Fork(Instruction):
+    """``fork(t) s`` — start task ``task`` with body ``body``."""
+
+    task: Name
+    body: Seq
+
+    def substitute(self, var: Name, name: Name) -> "Fork":
+        return Fork(
+            task=name if self.task == var else self.task,
+            body=substitute_seq(self.body, var, name),
+        )
+
+
+@dataclass(frozen=True)
+class NewPhaser(Instruction):
+    """``p = newPhaser()`` — create a phaser, register the current task
+    at phase zero, and bind the phaser's name to ``var``."""
+
+    var: Name
+
+    def substitute(self, var: Name, name: Name) -> "NewPhaser":
+        return self
+
+
+@dataclass(frozen=True)
+class Reg(Instruction):
+    """``reg(t, p)`` — register task ``task`` with phaser ``phaser``;
+    the registered task inherits the current task's local phase."""
+
+    task: Name
+    phaser: Name
+
+    def substitute(self, var: Name, name: Name) -> "Reg":
+        return Reg(
+            task=name if self.task == var else self.task,
+            phaser=name if self.phaser == var else self.phaser,
+        )
+
+
+@dataclass(frozen=True)
+class Dereg(Instruction):
+    """``dereg(p)`` — revoke the current task's membership of ``phaser``."""
+
+    phaser: Name
+
+    def substitute(self, var: Name, name: Name) -> "Dereg":
+        return Dereg(phaser=name if self.phaser == var else self.phaser)
+
+
+@dataclass(frozen=True)
+class Adv(Instruction):
+    """``adv(p)`` — increment the current task's local phase on ``phaser``
+    (the non-blocking arrival half of a synchronisation)."""
+
+    phaser: Name
+
+    def substitute(self, var: Name, name: Name) -> "Adv":
+        return Adv(phaser=name if self.phaser == var else self.phaser)
+
+
+@dataclass(frozen=True)
+class Await(Instruction):
+    """``await(p)`` — block until every member of ``phaser`` reaches the
+    current task's local phase (the blocking half; rule [sync])."""
+
+    phaser: Name
+
+    def substitute(self, var: Name, name: Name) -> "Await":
+        return Await(phaser=name if self.phaser == var else self.phaser)
+
+
+@dataclass(frozen=True)
+class Loop(Instruction):
+    """``loop s`` — unfold the body an arbitrary number of times
+    (captures while/for loops and conditionals)."""
+
+    body: Seq
+
+    def substitute(self, var: Name, name: Name) -> "Loop":
+        return Loop(body=substitute_seq(self.body, var, name))
+
+
+@dataclass(frozen=True)
+class Skip(Instruction):
+    """``skip`` — a data-related operation irrelevant to synchronisation."""
+
+    def substitute(self, var: Name, name: Name) -> "Skip":
+        return self
+
+
+def substitute_seq(s: Seq, var: Name, name: Name) -> Seq:
+    """Substitute ``name`` for ``var`` throughout sequence ``s``
+    (``s[name/var]`` in the paper's notation).
+
+    Binders scope over the remainder of their sequence: substitution stops
+    at a ``newTid``/``newPhaser`` instruction that rebinds ``var``, which
+    makes shadowing safe.
+    """
+    out: list[Instruction] = []
+    for i, c in enumerate(s):
+        if isinstance(c, (NewTid, NewPhaser)) and c.var == var:
+            # ``var`` is rebound from here on; the tail is untouched.
+            out.append(c)
+            out.extend(s[i + 1:])
+            return tuple(out)
+        out.append(c.substitute(var, name))
+    return tuple(out)
+
+
+def seq(*instructions: Union[Instruction, Seq]) -> Seq:
+    """Build an instruction sequence, splicing nested sequences.
+
+    ``seq(Skip(), seq(Adv("p"), Await("p")))`` flattens to a 3-tuple.
+    """
+    out: list[Instruction] = []
+    for item in instructions:
+        if isinstance(item, Instruction):
+            out.append(item)
+        elif isinstance(item, tuple):
+            for sub in item:
+                if not isinstance(sub, Instruction):
+                    raise TypeError(f"not an instruction: {sub!r}")
+                out.append(sub)
+        else:
+            raise TypeError(f"not an instruction or sequence: {item!r}")
+    return tuple(out)
+
+
+def pretty(s: Seq, indent: int = 0) -> str:
+    """Render a sequence in the paper's concrete syntax (for debugging)."""
+    pad = "  " * indent
+    lines: list[str] = []
+    for c in s:
+        if isinstance(c, NewTid):
+            lines.append(f"{pad}{c.var} = newTid();")
+        elif isinstance(c, Fork):
+            lines.append(f"{pad}fork({c.task})")
+            lines.append(pretty(c.body, indent + 1))
+            lines.append(f"{pad}end;")
+        elif isinstance(c, NewPhaser):
+            lines.append(f"{pad}{c.var} = newPhaser();")
+        elif isinstance(c, Reg):
+            lines.append(f"{pad}reg({c.phaser}, {c.task});")
+        elif isinstance(c, Dereg):
+            lines.append(f"{pad}dereg({c.phaser});")
+        elif isinstance(c, Adv):
+            lines.append(f"{pad}adv({c.phaser});")
+        elif isinstance(c, Await):
+            lines.append(f"{pad}await({c.phaser});")
+        elif isinstance(c, Loop):
+            lines.append(f"{pad}loop")
+            lines.append(pretty(c.body, indent + 1))
+            lines.append(f"{pad}end;")
+        elif isinstance(c, Skip):
+            lines.append(f"{pad}skip;")
+        else:  # pragma: no cover - defensive
+            lines.append(f"{pad}{c!r};")
+    return "\n".join(lines)

@@ -1,0 +1,67 @@
+"""The instrumented concurrent runtime: Python's JArmus/Armus-X10.
+
+This package is the *application layer* of the tool architecture
+(Section 5): barrier abstractions whose blocking operations are woven
+with verification hooks.  Where JArmus rewrites Java bytecode, we build
+the hooks directly into the barrier classes — the observation points are
+identical (block entry, unblock, register/deregister/advance).
+
+Public surface:
+
+* :class:`~repro.runtime.verifier.ArmusRuntime` — configuration (mode,
+  graph model, check interval), task registry, checker and monitor;
+* :class:`~repro.runtime.tasks.Task` / ``spawn`` — cancellable tasks;
+* :class:`~repro.runtime.phaser.Phaser` — the Java-``Phaser``-style API
+  (register / arrive / arriveAndAwaitAdvance / arriveAndDeregister /
+  awaitAdvance, split-phase);
+* :class:`~repro.runtime.clock.Clock` and
+  :class:`~repro.runtime.finish.Finish` — the X10-style API
+  (``advance``/``resume``/``drop``, lexically-scoped join barriers,
+  clocked spawns);
+* :class:`~repro.runtime.barriers.CyclicBarrier`,
+  :class:`~repro.runtime.barriers.CountDownLatch` — the JArmus-supported
+  ``java.util.concurrent`` classes, with JArmus-style registration;
+* :class:`~repro.runtime.clocked_var.ClockedVar` — clocked variables
+  (Atkins et al.), used by the Section 6.3 course programs;
+* :class:`~repro.runtime.locks.ArmusLock` — reentrant locks folded into
+  the same event-based analysis.
+"""
+
+from repro.core.report import (
+    DeadlockAvoidedError,
+    DeadlockDetectedError,
+    DeadlockError,
+    DeadlockReport,
+)
+from repro.core.selection import GraphModel
+from repro.runtime.verifier import ArmusRuntime, VerificationMode
+from repro.runtime.tasks import Task, TaskFailedError, current_task
+from repro.runtime.modes import RegistrationMode
+from repro.runtime.phaser import Phaser
+from repro.runtime.clock import Clock
+from repro.runtime.finish import Finish
+from repro.runtime.barriers import CyclicBarrier, CountDownLatch, BrokenBarrierError
+from repro.runtime.clocked_var import ClockedVar
+from repro.runtime.locks import ArmusLock
+
+__all__ = [
+    "ArmusRuntime",
+    "VerificationMode",
+    "GraphModel",
+    "Task",
+    "TaskFailedError",
+    "current_task",
+    "Phaser",
+    "RegistrationMode",
+    "Clock",
+    "Finish",
+    "CyclicBarrier",
+    "CountDownLatch",
+    "BrokenBarrierError",
+    "ClockedVar",
+    "ArmusLock",
+    "DeadlockReport",
+    "DeadlockError",
+    "DeadlockDetectedError",
+    "DeadlockAvoidedError",
+]

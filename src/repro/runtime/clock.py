@@ -1,0 +1,66 @@
+"""X10-style clocks (Section 2.1).
+
+A clock is a phaser with the X10 vocabulary: ``advance()`` blocks until
+all registered tasks advance (Figure 1's ``c.advance()``); ``resume()``
+initiates a split-phase advance that ``advance()`` later completes;
+``drop()`` revokes membership.  The creating task is implicitly
+registered, and children are registered at spawn via
+``runtime.spawn(fn, register=[clock])`` — the ``async clocked(c)`` idiom.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.runtime.phaser import Phaser
+from repro.runtime.tasks import Task
+from repro.runtime.verifier import ArmusRuntime
+
+
+class Clock(Phaser):
+    """An X10 clock: a phaser with implicit creator registration."""
+
+    def __init__(
+        self,
+        runtime: Optional[ArmusRuntime] = None,
+        name: Optional[str] = None,
+    ) -> None:
+        super().__init__(runtime, register_self=True, name=name or "clock")
+        self._resumed: dict[Task, int] = {}
+
+    @staticmethod
+    def make(runtime: Optional[ArmusRuntime] = None) -> "Clock":
+        """X10 spelling: ``Clock.make()``."""
+        return Clock(runtime)
+
+    def advance(self) -> int:
+        """The clock step: arrive and wait for all registered tasks.
+
+        Completes a pending :meth:`resume` instead of arriving twice
+        (X10's resume/advance pairing).
+        """
+        task = self.runtime.current_task()
+        with self._cond:
+            pending = self._resumed.pop(task, None)
+        if pending is not None:
+            self.await_advance(pending)
+            return pending
+        return self.arrive_and_await_advance()
+
+    def resume(self) -> int:
+        """Split-phase initiation: signal arrival without waiting.
+
+        The task keeps running; the matching :meth:`advance` only waits.
+        """
+        task = self.runtime.current_task()
+        phase = self.arrive()
+        with self._cond:
+            self._resumed[task] = phase
+        return phase
+
+    def drop(self) -> None:
+        """Revoke the caller's registration (X10 ``c.drop()``)."""
+        task = self.runtime.current_task()
+        with self._cond:
+            self._resumed.pop(task, None)
+        self.deregister(task)

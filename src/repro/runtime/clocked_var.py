@@ -1,0 +1,110 @@
+"""Clocked variables (Atkins, Potanin, Groves — Section 2.2, Section 6.3).
+
+A clocked variable pairs a barrier (an X10 clock) with a value and gives
+phased read/write access: readers see the value *committed at their
+current phase*; writers prepare the value for the *next* phase; the
+clock's ``advance`` commits.  Data races are excluded by construction —
+writes only become visible across a synchronisation.
+
+The protocol (per registered task, per phase ``n``)::
+
+    v = cv.get()     # the value committed at phase n
+    cv.set(f(v))     # propose the value for phase n+1
+    cv.next()        # advance the clock: everyone moves to phase n+1
+
+The course programs of Section 6.3 (FI, FR, SE) are built on this
+abstraction; their task:barrier ratios are what stress the graph-model
+selection.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Any, Callable, Dict, Optional
+
+from repro.runtime.clock import Clock
+from repro.runtime.tasks import Task
+from repro.runtime.verifier import ArmusRuntime, get_default_runtime
+
+
+class ClockedVar:
+    """A value mediated by its own clock.
+
+    Parameters
+    ----------
+    initial:
+        The value committed at phase 0.
+    reducer:
+        Optional combiner for concurrent same-phase writes
+        (e.g. ``operator.add`` turns the variable into a phased
+        accumulator, the pattern of parallel reductions).  Default:
+        last-write-wins.
+    runtime, clock:
+        Runtime and clock; a fresh clock is created when none is given
+        (the creating task becomes registered, as with any clock).
+    """
+
+    def __init__(
+        self,
+        initial: Any = None,
+        reducer: Optional[Callable[[Any, Any], Any]] = None,
+        runtime: Optional[ArmusRuntime] = None,
+        clock: Optional[Clock] = None,
+    ) -> None:
+        self.runtime = runtime if runtime is not None else get_default_runtime()
+        self.clock = clock if clock is not None else Clock(self.runtime, name="cvar")
+        self._reducer = reducer
+        self._lock = threading.Lock()
+        self._committed: Dict[int, Any] = {0: initial}
+        self._latest_phase = 0
+
+    # ------------------------------------------------------------------
+    def _my_phase(self, task: Optional[Task] = None) -> int:
+        phase = self.clock.local_phase(task)
+        if phase is None:
+            raise RuntimeError("task not registered with the clocked variable")
+        return phase
+
+    def get(self) -> Any:
+        """The value committed at the caller's current phase."""
+        phase = self._my_phase()
+        with self._lock:
+            # Phases without an explicit write inherit the previous value.
+            p = phase
+            while p > 0 and p not in self._committed:
+                p -= 1
+            return self._committed.get(p)
+
+    def set(self, value: Any) -> None:
+        """Propose the value observed after the next synchronisation."""
+        phase = self._my_phase()
+        with self._lock:
+            target = phase + 1
+            if self._reducer is not None and target in self._committed:
+                self._committed[target] = self._reducer(
+                    self._committed[target], value
+                )
+            else:
+                self._committed[target] = value
+            self._latest_phase = max(self._latest_phase, target)
+
+    def next(self) -> int:
+        """Advance the clock (commit boundary); returns the new phase."""
+        return self.clock.advance()
+
+    # -- registration passthroughs (so spawn(register=[cv]) works) --------
+    def register(self, task: Optional[Task] = None) -> None:
+        self.clock.register(task)
+
+    def register_child(self, child: Task, parent: Optional[Task] = None) -> None:
+        self.clock.register_child(child, parent)
+
+    def drop(self) -> None:
+        self.clock.drop()
+
+    def __repr__(self) -> str:
+        with self._lock:
+            return (
+                f"<ClockedVar phase<={self._latest_phase} "
+                f"value={self._committed.get(self._latest_phase)!r}>"
+            )

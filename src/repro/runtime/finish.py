@@ -1,0 +1,130 @@
+"""X10-style ``finish`` blocks: lexically-scoped join barriers.
+
+``finish { ... async S ... }`` waits for every task transitively spawned
+in its scope.  The paper encodes the join barrier as a phaser (Figure 3):
+children are registered at spawn and deregister on termination; the owner
+advances and awaits.  Nested finishes follow X10's rule that "a task
+spawned within the scope of three finishes is registered with three join
+barriers" (Section 2.2): each task carries a stack of active finish
+scopes, children inherit it at spawn (handled centrally by
+``ArmusRuntime.spawn``), and every spawn registers the child with each
+enclosing join barrier.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Iterable, List, Optional
+
+from repro.core.report import DeadlockError
+from repro.runtime.phaser import Phaser
+from repro.runtime.tasks import Task, TaskFailedError
+from repro.runtime.verifier import ArmusRuntime, get_default_runtime
+
+
+class Finish:
+    """A join barrier used as a context manager.
+
+    >>> with Finish(runtime) as f:
+    ...     for i in range(4):
+    ...         f.spawn(work, i)
+    ... # exiting the block joins the four tasks
+
+    Child failures are collected and re-raised when the block exits,
+    after every child finished — the closest Python analogue of X10's
+    rooted exceptions.  Deadlock verification errors raised inside
+    children propagate unwrapped so callers can observe them directly.
+    """
+
+    def __init__(self, runtime: Optional[ArmusRuntime] = None) -> None:
+        self.runtime = runtime if runtime is not None else get_default_runtime()
+        self._phaser = Phaser(self.runtime, register_self=False, name="finish")
+        self._owner: Optional[Task] = None
+        self._children: List[Task] = []
+
+    # -- context manager ------------------------------------------------
+    def __enter__(self) -> "Finish":
+        self._owner = self.runtime.current_task()
+        self._phaser.register(self._owner)
+        _finish_stack(self._owner).append(self)
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        owner = self._owner
+        assert owner is not None
+        stack = _finish_stack(owner)
+        assert stack and stack[-1] is self, "unbalanced finish scopes"
+        stack.pop()
+        if exc is not None:
+            # The block body failed; detach from the join barrier so
+            # children do not block on the owner forever.
+            self._phaser.arrive_and_deregister()
+            return
+        # The join step of Figure 3: adv(pb); await(pb).
+        self._phaser.arrive()
+        try:
+            self._phaser.await_advance()
+        finally:
+            if self._phaser.is_registered(owner):
+                self._phaser.deregister(owner)
+        self._raise_child_failures()
+
+    def _raise_child_failures(self) -> None:
+        failed = [t for t in self._children if t.exception is not None]
+        if not failed:
+            return
+        cause = failed[0].exception
+        assert cause is not None
+        if isinstance(cause, DeadlockError):
+            raise cause
+        raise TaskFailedError(failed[0], cause) from cause
+
+    # -- spawning ----------------------------------------------------------
+    def spawn(
+        self,
+        fn: Callable[..., Any],
+        *args: Any,
+        clocks: Iterable[object] = (),
+        name: Optional[str] = None,
+        **kwargs: Any,
+    ) -> Task:
+        """``async clocked(...) S`` within this finish.
+
+        Registration with this finish (and any outer ones) happens through
+        the spawning task's finish stack; ``clocks`` adds X10 clock
+        registrations.  Must be called from a task inside the finish's
+        dynamic scope.
+        """
+        parent = self.runtime.current_task()
+        if self not in _finish_stack(parent):
+            raise RuntimeError(
+                "Finish.spawn called outside the finish's dynamic scope"
+            )
+        return self.runtime.spawn(fn, *args, name=name, register=clocks, **kwargs)
+
+    # -- spawn adoption (called by ArmusRuntime.spawn) -----------------------
+    def _adopt_spawn(self, child: Task, parent: Task) -> None:
+        self._phaser.register_child(child, parent)
+        self._children.append(child)
+
+    @property
+    def pending_children(self) -> int:
+        """Children still registered (not yet terminated)."""
+        owner_registered = (
+            1
+            if self._owner is not None and self._phaser.is_registered(self._owner)
+            else 0
+        )
+        return self._phaser.registered_parties - owner_registered
+
+
+def _finish_stack(task: Task) -> list:
+    stack = getattr(task, "_finish_scopes", None)
+    if stack is None:
+        stack = []
+        task._finish_scopes = stack  # type: ignore[attr-defined]
+    return stack
+
+
+def finish(runtime: Optional[ArmusRuntime] = None) -> Finish:
+    """Convenience spelling: ``with finish(rt) as f: ...``."""
+    return Finish(runtime)

@@ -1,0 +1,49 @@
+"""HJ-style phaser registration modes (the paper's §8 future work).
+
+Habanero-Java phasers register tasks in a *mode* that bounds their
+capabilities (Shirako et al., ICS'08):
+
+* ``SIG_WAIT`` — the full barrier member (the only mode in PL/X10/Java):
+  arrives and waits;
+* ``SIG`` — signal-only (a producer): arrives, never waits, hence can
+  run ahead of the phase;
+* ``WAIT`` — wait-only (a consumer): waits for signals, never arrives,
+  hence never gates anyone.
+
+Verification semantics under the event-based representation:
+
+* signal-side members (``SIG``/``SIG_WAIT``) impede the phaser's signal
+  events ``(p, n)`` until they arrive at ``n``;
+* ``WAIT`` members impede **nothing** on the signal side — the key
+  difference: a consumer's absence can never deadlock the producers
+  (unless the phaser is *bounded*, below);
+* a *bounded* phaser (the bounded producer-consumer of HJ) gives the
+  wait side its own resource ``p/w``: consumers "arrive" on it whenever
+  they complete a wait, and a producer more than ``bound`` phases ahead
+  blocks waiting on the event ``(p/w, n - bound)`` — so a stuck
+  consumer shows up as an ordinary impeder and producer-side deadlocks
+  are detected by the unchanged graph analysis.
+"""
+
+from __future__ import annotations
+
+import enum
+
+
+class RegistrationMode(enum.Enum):
+    """How a task participates in a phaser's synchronisation."""
+
+    SIG_WAIT = "sig_wait"
+    SIG = "sig"
+    WAIT = "wait"
+
+    @property
+    def signals(self) -> bool:
+        return self in (RegistrationMode.SIG_WAIT, RegistrationMode.SIG)
+
+    @property
+    def waits(self) -> bool:
+        return self in (RegistrationMode.SIG_WAIT, RegistrationMode.WAIT)
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.value

@@ -1,0 +1,106 @@
+"""The task observer: instrumented blocking for every synchronizer.
+
+This module is the one place where "a task blocks" meets "the verifier
+learns about it" (the *task observer* component of JArmus/Armus-X10,
+Section 5.3).  Synchronizers express their wait as a condition +
+predicate and a blocked-status factory; :func:`verified_wait` weaves in:
+
+1. a fast path (no verification traffic when the wait would not block);
+2. the avoidance check before blocking (raising instead of deadlocking);
+3. status publication for the detection monitor while blocked;
+4. cancellation polling, so detected deadlocks abort the wait;
+5. guaranteed status withdrawal on every exit path.
+
+The blocked status is built *once*, at block entry: a blocked task cannot
+arrive at, register with, or leave any synchronizer, so its local view is
+immutable for the duration of the wait — the insight that makes per-task
+consistency purely local (Section 2.1).
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Callable, Dict, Optional, TYPE_CHECKING
+
+from repro.core.events import BlockedStatus, Event
+from repro.core.report import DeadlockAvoidedError, DeadlockReport
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.runtime.tasks import Task
+    from repro.runtime.verifier import ArmusRuntime
+
+
+def registered_phases(task: "Task") -> Dict[str, int]:
+    """The local half of the event-based representation for ``task``:
+    ``resource id -> local phase`` over every synchronizer the task is a
+    member of (phasers, clocks, finish blocks, latch obligations, held
+    locks).
+
+    Synchronizers with several resource sides (e.g. a bounded phaser's
+    signal and wait clocks) implement ``_registrations_of`` and return
+    the whole mapping; the common case implements ``_phase_of`` for the
+    synchronizer's single ``_rid``.
+    """
+    phases: Dict[str, int] = {}
+    for sync in task.registered_synchronizers():
+        multi = getattr(sync, "_registrations_of", None)
+        if multi is not None:
+            phases.update(multi(task))
+            continue
+        phase = sync._phase_of(task)  # noqa: SLF001 - observer protocol
+        if phase is not None:
+            phases[sync._rid] = phase  # noqa: SLF001
+    return phases
+
+
+def blocked_status(task: "Task", *events: Event) -> BlockedStatus:
+    """Assemble the :class:`BlockedStatus` for ``task`` waiting on
+    ``events``."""
+    return BlockedStatus(
+        waits=frozenset(events), registered=registered_phases(task)
+    )
+
+
+def verified_wait(
+    runtime: "ArmusRuntime",
+    cond: threading.Condition,
+    predicate: Callable[[], bool],
+    task: "Task",
+    status_factory: Callable[[], BlockedStatus],
+    on_avoided: Optional[Callable[[DeadlockReport], None]] = None,
+) -> None:
+    """Block on ``cond`` until ``predicate()`` holds, with verification.
+
+    ``on_avoided`` runs before raising :class:`DeadlockAvoidedError`
+    (synchronizers deregister the task there, following the paper: "an
+    exception is raised ... and the tasks become deregistered").
+    ``cond`` must *not* be held by the caller.
+
+    Verification traffic goes through the **task's** runtime, not the
+    synchronizer's: a distributed clock is shared across sites, and each
+    site monitors its own tasks (Section 5.2's locality).
+    """
+    runtime = task.runtime
+    # A task condemned by the detection monitor raises at its next
+    # synchronisation point, even if the operation could proceed — this
+    # keeps the outcome of a detected deadlock deterministic (all tasks
+    # of the cycle observe the report, not just the unlucky ones).
+    task.check_cancelled()
+    with cond:
+        if predicate():
+            return
+    status = status_factory()
+    report = runtime.block_entry(task, status)
+    if report is not None:
+        if on_avoided is not None:
+            on_avoided(report)
+        raise DeadlockAvoidedError(report)
+    try:
+        with cond:
+            while True:
+                task.check_cancelled()
+                if predicate():
+                    return
+                cond.wait(runtime.poll_s)
+    finally:
+        runtime.block_exit(task)

@@ -1,0 +1,43 @@
+"""JArmus-style registration annotations.
+
+Java leaves barrier participation implicit, so JArmus requires each task
+to announce the barriers it uses: ``JArmus.register(c, b)`` before the
+synchronisation loop (Section 2.2).  :func:`register` is that annotation;
+it accepts any mix of this package's synchronizers and registers the
+*calling* task with each.
+
+X10-style code does not need it — clocks register at creation/spawn, and
+``Finish`` scopes register automatically — but the Java-flavoured
+workloads (the NPB/JGF ports) use it verbatim.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.runtime.tasks import Task
+
+
+def register(*synchronizers: object, task: Optional[Task] = None) -> None:
+    """Announce that the calling task participates in ``synchronizers``.
+
+    The JArmus annotation: ``register(c, b)`` mirrors
+    ``JArmus.register(c, b)`` in Figure 2's fixed version.
+    """
+    for sync in synchronizers:
+        reg = getattr(sync, "register", None)
+        if reg is None:
+            raise TypeError(f"{sync!r} is not a registrable synchronizer")
+        reg(task) if task is not None else reg()
+
+
+def deregister(*synchronizers: object, task: Optional[Task] = None) -> None:
+    """Leave ``synchronizers`` (dynamic-membership departure)."""
+    for sync in synchronizers:
+        dereg = getattr(sync, "deregister", None) or getattr(sync, "drop", None)
+        if dereg is None:
+            raise TypeError(f"{sync!r} cannot be deregistered from")
+        try:
+            dereg(task) if task is not None else dereg()
+        except TypeError:
+            dereg()

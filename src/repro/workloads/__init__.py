@@ -1,0 +1,38 @@
+"""Benchmark workloads (Section 6).
+
+Scaled-down but *validated* reimplementations of the paper's three
+benchmark suites, preserving the synchronisation structure that drives
+verification cost (see DESIGN.md, "Substitutions"):
+
+* :mod:`repro.workloads.npb` — NPB-like kernels BT, CG, FT, MG, SP
+  (Section 6.1): SPMD, fixed task count, fixed set of cyclic barriers,
+  stepwise iteration, output checked against a direct solver/transform;
+* :mod:`repro.workloads.jgf` — the JGF-like RT ray tracer and the
+  SYNC barrier microbenchmark;
+* :mod:`repro.workloads.hpcc` — the distributed suite of Section 6.2
+  (FT, STREAM, KMEANS, JACOBI, SSCA2) running on
+  :class:`~repro.distributed.places.Cluster`;
+* :mod:`repro.workloads.course` — the Columbia PPPP course programs of
+  Section 6.3 (BFS, FI, FR, SE, PS): dynamic task/barrier creation with
+  extreme task:barrier ratios, the worst cases for graph-model choice.
+
+Every workload raises :class:`ValidationError` if its numerical output
+is wrong — verification overhead measured on silently-broken kernels is
+meaningless.
+"""
+
+from repro.workloads.common import (
+    ValidationError,
+    WorkloadResult,
+    SpmdPool,
+    slab,
+    make_runtime,
+)
+
+__all__ = [
+    "ValidationError",
+    "WorkloadResult",
+    "SpmdPool",
+    "slab",
+    "make_runtime",
+]

@@ -1,0 +1,39 @@
+"""The Columbia PPPP course programs (Section 6.3): BFS, FI, FR, SE, PS.
+
+These programs "spawn tasks and create barriers as needed, depending on
+the size of the program" — unlike the SPMD suites — and exercise the
+worst-case task:barrier ratios for the graph-model choice (Table 3):
+
+* **PS** and **BFS** — many tasks, one/few barriers: the WFG explodes
+  (hundreds of edges), the SG stays tiny;
+* **FI** and **FR** — a clocked variable (barrier) per value/call: as
+  many or more barriers than tasks, where the WFG is the smaller model;
+* **SE** — one task and one clocked variable per pipeline stage: both
+  models are comparable.
+"""
+
+from repro.workloads.course.ps import run_ps
+from repro.workloads.course.bfs import run_bfs
+from repro.workloads.course.fi import run_fi
+from repro.workloads.course.fr import run_fr
+from repro.workloads.course.se import run_se
+from repro.workloads.course.pt2pt import run_pt2pt
+
+KERNELS = {
+    "SE": run_se,
+    "FI": run_fi,
+    "FR": run_fr,
+    "BFS": run_bfs,
+    "PS": run_ps,
+    "PT2PT": run_pt2pt,
+}
+
+__all__ = [
+    "run_ps",
+    "run_bfs",
+    "run_fi",
+    "run_fr",
+    "run_se",
+    "run_pt2pt",
+    "KERNELS",
+]

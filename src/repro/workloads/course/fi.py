@@ -1,0 +1,91 @@
+"""FI: iterative Fibonacci over a shared array of clocked variables.
+
+"Each element of the array holds the outcome of a Fibonacci number.
+When the program starts it launches n tasks. The i-th task stores its
+Fibonacci number in the i-th clocked variable and synchronises with
+task i+1 and task i+2 that read the produced value."
+
+One clocked variable (hence one barrier) *per value*: resources scale
+with tasks, the regime where the SG is no smaller than the WFG
+(Table 3: FI's SG is about twice the Auto/WFG edge count).
+
+Deadlock-freedom discipline: every task touches its clocks in ascending
+index order — the classic resource-ordering argument; the test-suite's
+mutation check shows that *violating* the order deadlocks (and Armus
+reports it).
+
+Validation: exact Fibonacci numbers.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.runtime.clocked_var import ClockedVar
+from repro.runtime.verifier import ArmusRuntime
+from repro.workloads.common import WorkloadResult
+
+
+def run_fi(
+    runtime: ArmusRuntime,
+    n: int = 16,
+) -> WorkloadResult:
+    """Compute fib(0..n-1) with one task and one clocked variable each."""
+    if n < 3:
+        raise ValueError("n >= 3 keeps every case interesting")
+    cvs: List[ClockedVar] = [ClockedVar(None, runtime=runtime) for _ in range(n)]
+    results = [0] * n
+
+    def my_indices(i: int) -> List[int]:
+        """The clocked variables task ``i`` interacts with, in ascending
+        order: its two inputs (tasks 2+) and its own output.  A task must
+        register with *exactly* these clocks — registering with a clock
+        it never advances would stall that clock's other members (the
+        deadlock the test-suite's mutation check demonstrates).
+        """
+        inputs = [i - 2, i - 1] if i >= 2 else []
+        return inputs + [i]
+
+    def worker(i: int) -> None:
+        # Ascending clock order: read inputs (i-2 then i-1), write own.
+        if i >= 2:
+            a = _read(cvs[i - 2])
+            b = _read(cvs[i - 1])
+            value = a + b
+        else:
+            value = i  # fib(0) = 0, fib(1) = 1
+        cvs[i].set(value)
+        cvs[i].next()
+        results[i] = value
+        for j in my_indices(i):
+            cvs[j].drop()
+
+    def _read(cv: ClockedVar) -> int:
+        cv.next()  # synchronise with the writer's commit
+        return cv.get()
+
+    tasks = []
+    for i in range(n):
+        clocks = [cvs[j].clock for j in my_indices(i)]
+        tasks.append(
+            runtime.spawn(worker, i, register=clocks, name=f"fi-{i}")
+        )
+    # The driver created every clocked variable, hence is registered with
+    # every clock; it must leave or everyone blocks on it (the running
+    # example's bug, avoided the X10 way).
+    for cv in cvs:
+        cv.drop()
+    for t in tasks:
+        t.join(60)
+
+    expected = [0, 1]
+    while len(expected) < n:
+        expected.append(expected[-1] + expected[-2])
+    validated = results == expected[:n]
+    return WorkloadResult(
+        name="FI",
+        n_tasks=n,
+        checksum=float(results[-1]),
+        validated=validated,
+        details={"n": n, "fib_last": results[-1]},
+    ).require_valid()

@@ -1,0 +1,79 @@
+"""FR: recursive Fibonacci with a clocked variable per call.
+
+"Recursive calls are executed in parallel and a clocked variable
+synchronises the caller with the callee" — the futures-encoded-as-
+barriers pattern of Section 2.2 ("languages with futures turn each
+function call into a join barrier, so it can happen that there are as
+many join barriers as there are tasks").
+
+Every call creates an output clocked variable; the caller creates the
+variable (and is thereby registered with its clock), spawns the callee
+registered as writer, and reads by advancing the clock.  Barriers grow
+with the call tree, the regime where a fixed SG can be 10x bigger than
+the WFG (Table 3's FR row).
+
+Validation: exact Fibonacci value, and the call count must equal the
+known call-tree size (2*fib(n+1) - 1 for the naive recursion).
+"""
+
+from __future__ import annotations
+
+import threading
+
+from repro.runtime.clocked_var import ClockedVar
+from repro.runtime.verifier import ArmusRuntime
+from repro.workloads.common import WorkloadResult
+
+
+def run_fr(
+    runtime: ArmusRuntime,
+    n: int = 9,
+) -> WorkloadResult:
+    """Compute fib(n) with one task + one clocked variable per call."""
+    calls = [0]
+    calls_lock = threading.Lock()
+
+    def fib_task(k: int, out: ClockedVar) -> None:
+        """Compute fib(k), publish through ``out``, release it."""
+        with calls_lock:
+            calls[0] += 1
+        if k < 2:
+            value = k
+        else:
+            left = ClockedVar(None, runtime=runtime)   # caller registered
+            right = ClockedVar(None, runtime=runtime)
+            runtime.spawn(fib_task, k - 1, left, register=[left.clock])
+            runtime.spawn(fib_task, k - 2, right, register=[right.clock])
+            left.next()
+            a = left.get()
+            left.drop()
+            right.next()
+            b = right.get()
+            right.drop()
+            value = a + b
+        out.set(value)
+        out.next()
+        out.drop()
+
+    root = ClockedVar(None, runtime=runtime)
+    runtime.spawn(fib_task, n, root, register=[root.clock])
+    root.next()
+    result = root.get()
+    root.drop()
+
+    def fib(k: int) -> int:
+        a, b = 0, 1
+        for _ in range(k):
+            a, b = b, a + b
+        return a
+
+    expected = fib(n)
+    expected_calls = 2 * fib(n + 1) - 1
+    validated = result == expected and calls[0] == expected_calls
+    return WorkloadResult(
+        name="FR",
+        n_tasks=calls[0],
+        checksum=float(result),
+        validated=validated,
+        details={"n": n, "calls": calls[0], "expected_calls": expected_calls},
+    ).require_valid()

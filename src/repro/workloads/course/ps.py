@@ -1,0 +1,66 @@
+"""PS: parallel prefix sum (cumulative sum).
+
+"Given an input array with as many elements as there are tasks, the
+outcome of task i is the partial sum of the array up to the i-th
+element. All tasks proceed stepwise and are synchronised by a global
+barrier."  Hillis-Steele inclusive scan: log2(n) doubling rounds, one
+task per element, one global barrier.
+
+This is the WFG's worst case (Table 3: 781 average WFG edges vs 6 SG
+edges): every round, up to ``n`` tasks block on the *same* event, and
+each of them impedes the others' next event — a dense task-to-task
+dependency that the SG collapses into a couple of event vertices.
+
+Validation: exact match with ``numpy.cumsum``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.runtime.barriers import CyclicBarrier
+from repro.runtime.verifier import ArmusRuntime
+from repro.workloads.common import WorkloadResult
+
+
+def run_ps(
+    runtime: ArmusRuntime,
+    n_tasks: int = 32,
+    seed: int = 3,
+) -> WorkloadResult:
+    """Prefix sum over ``n_tasks`` elements, one task per element."""
+    rng = np.random.default_rng(seed)
+    values = rng.integers(1, 100, size=n_tasks).astype(np.float64)
+    x = values.copy()
+    buf = x.copy()
+    rounds = int(np.ceil(np.log2(max(n_tasks, 2))))
+
+    barrier = CyclicBarrier(n_tasks, runtime, name="ps-bar")
+
+    def element(i: int) -> None:
+        for k in range(rounds):
+            stride = 1 << k
+            contribution = x[i - stride] if i >= stride else 0.0
+            barrier.await_barrier()  # everyone has read the old values
+            buf[i] = x[i] + contribution
+            barrier.await_barrier()  # everyone has written the new values
+            x[i] = buf[i]
+            barrier.await_barrier()  # publish before the next read
+        barrier.deregister()
+
+    tasks = [
+        runtime.spawn(element, i, register=[barrier], name=f"ps-{i}")
+        for i in range(n_tasks)
+    ]
+    for t in tasks:
+        t.join(60)
+
+    expected = np.cumsum(values)
+    err = float(np.max(np.abs(x - expected)))
+    return WorkloadResult(
+        name="PS",
+        n_tasks=n_tasks,
+        checksum=float(x[-1]),
+        validated=err == 0.0,
+        details={"err": err, "rounds": rounds},
+    ).require_valid()

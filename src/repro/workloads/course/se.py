@@ -1,0 +1,111 @@
+"""SE: the Sieve of Eratosthenes as a clocked pipeline.
+
+"There is a task per prime number and one clocked variable per task":
+stage ``j`` adopts the first number it sees as its prime and filters
+multiples out of the stream; survivors flow to the next stage through
+the stage's output clocked variable, one number per clock phase.
+
+The pipeline is synchronous: every stage advances its input and output
+clocks once per phase, for a fixed number of phases (stream length plus
+pipeline depth), carrying ``HOLE`` markers where a number was filtered
+— this keeps every clock's membership busy each phase, the discipline
+that makes the program deadlock-free.
+
+Tasks ≈ clocked variables: the regime where WFG and SG sizes coincide
+(Table 3's SE row: 23 vs 51 vs 23 edges).
+
+Validation: collected primes must equal the classic array sieve's.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.runtime.clocked_var import ClockedVar
+from repro.runtime.verifier import ArmusRuntime
+from repro.workloads.common import WorkloadResult
+
+#: Marker for "no number this phase" (filtered upstream or drained).
+HOLE = None
+
+
+def array_sieve(limit: int) -> List[int]:
+    """The classic sequential sieve, as the validation reference."""
+    flags = [True] * (limit + 1)
+    flags[0] = flags[1] = False
+    for i in range(2, int(limit**0.5) + 1):
+        if flags[i]:
+            for j in range(i * i, limit + 1, i):
+                flags[j] = False
+    return [i for i, f in enumerate(flags) if f]
+
+
+def run_se(
+    runtime: ArmusRuntime,
+    limit: int = 50,
+) -> WorkloadResult:
+    """Sieve the primes up to ``limit`` through a clocked pipeline."""
+    numbers = list(range(2, limit + 1))
+    expected = array_sieve(limit)
+    n_stages = len(expected)  # one stage per prime
+    phases = len(numbers) + n_stages + 1  # stream + drain
+
+    # cv[j] is the channel from stage j-1 to stage j (cv[0] is fed by
+    # the driver); cv[n_stages] is the tail the driver drains.
+    cvs: List[ClockedVar] = [
+        ClockedVar(HOLE, runtime=runtime) for _ in range(n_stages + 1)
+    ]
+    primes: List[Optional[int]] = [HOLE] * n_stages
+
+    def stage(j: int) -> None:
+        """Adopt the first incoming number as my prime; filter the rest."""
+        inp, out = cvs[j], cvs[j + 1]
+        my_prime: Optional[int] = None
+        for _ in range(phases):
+            inp.next()
+            value = inp.get()
+            forward: Optional[int] = HOLE
+            if value is not HOLE:
+                if my_prime is None:
+                    my_prime = value
+                    primes[j] = value
+                elif value % my_prime != 0:
+                    forward = value
+            out.set(forward)
+            out.next()
+        inp.drop()
+        out.drop()
+
+    tasks = [
+        runtime.spawn(
+            stage, j, register=[cvs[j].clock, cvs[j + 1].clock], name=f"se-{j}"
+        )
+        for j in range(n_stages)
+    ]
+    # The driver feeds cv[0] and drains cv[n_stages]; it drops the clocks
+    # of every intermediate channel it implicitly created.
+    for cv in cvs[1:-1]:
+        cv.drop()
+    leaked: List[int] = []
+    feed = cvs[0]
+    tail = cvs[-1]
+    for phase in range(phases):
+        feed.set(numbers[phase] if phase < len(numbers) else HOLE)
+        feed.next()
+        tail.next()
+        value = tail.get()
+        if value is not HOLE:
+            leaked.append(value)  # a number no stage claimed or filtered
+    feed.drop()
+    tail.drop()
+    for t in tasks:
+        t.join(60)
+
+    validated = primes == expected and not leaked
+    return WorkloadResult(
+        name="SE",
+        n_tasks=n_stages,
+        checksum=float(sum(p for p in primes if p is not None)),
+        validated=validated,
+        details={"primes": len(expected), "leaked": leaked},
+    ).require_valid()

@@ -1,0 +1,31 @@
+"""HPCC-style distributed workloads (Section 6.2).
+
+One SPMD task per place of a :class:`~repro.distributed.places.Cluster`,
+synchronised by a distributed clock (the X10 deployment sketch of
+Section 2.1).  Kernels: FT and STREAM from the HPC Challenge suite,
+SSCA2 from the HPCS graph-analysis benchmark, and JACOBI / KMEANS from
+the X10 website examples — the paper's Figure 7 set.
+"""
+
+from repro.workloads.hpcc.stream import run_stream
+from repro.workloads.hpcc.ft import run_dist_ft
+from repro.workloads.hpcc.kmeans import run_kmeans
+from repro.workloads.hpcc.jacobi import run_jacobi
+from repro.workloads.hpcc.ssca2 import run_ssca2
+
+KERNELS = {
+    "FT": run_dist_ft,
+    "KMEANS": run_kmeans,
+    "JACOBI": run_jacobi,
+    "SSCA2": run_ssca2,
+    "STREAM": run_stream,
+}
+
+__all__ = [
+    "run_stream",
+    "run_dist_ft",
+    "run_kmeans",
+    "run_jacobi",
+    "run_ssca2",
+    "KERNELS",
+]

@@ -1,0 +1,85 @@
+"""Shared scaffolding for the distributed kernels: one task per place,
+a cluster-wide clock for global barrier steps, clock-based reductions.
+
+The deployment mirrors the paper's sketch::
+
+    finish for (p in CLUSTER) at (p) async kernel();
+
+with the clock spanning every place — the case that motivates the
+event-based representation: no site ever needs the global membership of
+the clock, only its own tasks' local phases.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Any, Callable, List
+
+import numpy as np
+
+from repro.distributed.places import Cluster
+from repro.runtime.clock import Clock
+from repro.runtime.tasks import Task
+
+
+class DistPool:
+    """``len(cluster)`` SPMD ranks, one per place, on a shared clock."""
+
+    def __init__(self, cluster: Cluster, name: str = "dist") -> None:
+        self.cluster = cluster
+        self.n = len(cluster)
+        self.name = name
+        # The driver creates the clock (and is registered); it drops out
+        # after spawning so only the per-place ranks synchronise.
+        self.clock = Clock(cluster[0].runtime, name=f"{name}-clock")
+        self._partials = np.zeros(self.n)
+        self._errors: List[BaseException] = []
+        self._errors_lock = threading.Lock()
+
+    # -- rank-side -----------------------------------------------------------
+    def barrier(self) -> None:
+        """Cluster-wide barrier step (distributed clock advance)."""
+        self.clock.advance()
+
+    def all_reduce(self, rank: int, value: float) -> float:
+        """Deposit a partial; returns the cluster-wide sum (two steps)."""
+        self._partials[rank] = value
+        self.clock.advance()
+        total = float(self._partials.sum())
+        self.clock.advance()
+        return total
+
+    # -- driver-side ------------------------------------------------------------
+    def run(
+        self, body: Callable[[int, "DistPool"], Any], timeout: float = 120.0
+    ) -> List[Task]:
+        """Spawn one rank per place, drop the driver's clock membership,
+        join everyone."""
+
+        def wrapped(rank: int) -> None:
+            try:
+                body(rank, self)
+            except BaseException as exc:  # noqa: BLE001 - re-raised by join
+                with self._errors_lock:
+                    self._errors.append(exc)
+                raise
+            finally:
+                # Ranks leave the clock so stragglers never wait on a
+                # terminated sibling (X10 terminate-and-deregister also
+                # applies, this just makes it explicit).
+                if self.clock.is_registered():
+                    self.clock.drop()
+
+        tasks = [
+            place.spawn(
+                wrapped,
+                rank,
+                register=[self.clock],
+                name=f"{self.name}@{place.site_id}",
+            )
+            for rank, place in enumerate(self.cluster.places)
+        ]
+        self.clock.drop()  # the driver stops impeding the ranks
+        for t in tasks:
+            t.join(timeout)
+        return tasks

@@ -1,0 +1,136 @@
+"""SSCA2: the HPCS graph-analysis benchmark (Figure 7's SSCA2).
+
+A scaled rendition of SSCA#2's kernel structure on an R-MAT-style
+power-law graph (the paper uses 2^15 vertices, edge probability 7%):
+
+* K1 — build the graph (driver side, deterministic);
+* K2 — classify heavy edges (max-weight search, distributed reduce);
+* K3/K4 — per-root BFS traversals computing reachability and
+  shortest-path counts, roots partitioned across places, with clock
+  steps between kernels.
+
+Validation: heavy-edge weight and per-root BFS statistics must match a
+serial recomputation exactly; reachability counts must also match a
+classic matrix-power closure on the small instance.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import List, Tuple
+
+import numpy as np
+
+from repro.distributed.places import Cluster
+from repro.workloads.common import WorkloadResult, slab
+from repro.workloads.hpcc.common import DistPool
+
+
+def rmat_graph(
+    scale: int, avg_degree: int, seed: int
+) -> Tuple[List[List[int]], np.ndarray]:
+    """An R-MAT-ish directed graph: adjacency lists + edge-weight matrix.
+
+    Recursive quadrant sampling with the canonical (0.57, 0.19, 0.19,
+    0.05) probabilities — power-law degrees like SSCA2's generator.
+    """
+    n = 1 << scale
+    rng = np.random.default_rng(seed)
+    n_edges = n * avg_degree
+    srcs = np.zeros(n_edges, dtype=np.int64)
+    dsts = np.zeros(n_edges, dtype=np.int64)
+    for level in range(scale):
+        r = rng.random(n_edges)
+        quad_src = (r >= 0.57 + 0.19) & (r < 0.57 + 0.19 + 0.19)
+        quad_dst = (r >= 0.57) & (r < 0.57 + 0.19)
+        quad_both = r >= 0.57 + 0.19 + 0.19
+        bit = 1 << level
+        srcs += bit * (quad_src | quad_both)
+        dsts += bit * (quad_dst | quad_both)
+    weights = np.zeros((n, n))
+    adj: List[List[int]] = [[] for _ in range(n)]
+    w = rng.integers(1, 100, size=n_edges)
+    for s, d, wt in zip(srcs, dsts, w):
+        if s != d and weights[s, d] == 0.0:
+            weights[s, d] = float(wt)
+            adj[s].append(int(d))
+    for neighbours in adj:
+        neighbours.sort()
+    return adj, weights
+
+
+def bfs_stats(adj: List[List[int]], root: int) -> Tuple[int, int, int]:
+    """(reached vertices, sum of depths, max depth) for one BFS."""
+    depth = {root: 0}
+    queue = deque([root])
+    total_depth = 0
+    max_depth = 0
+    while queue:
+        v = queue.popleft()
+        for u in adj[v]:
+            if u not in depth:
+                depth[u] = depth[v] + 1
+                total_depth += depth[u]
+                max_depth = max(max_depth, depth[u])
+                queue.append(u)
+    return len(depth), total_depth, max_depth
+
+
+def run_ssca2(
+    cluster: Cluster,
+    scale: int = 7,
+    avg_degree: int = 6,
+    n_roots: int = 16,
+    seed: int = 47,
+) -> WorkloadResult:
+    """Run K2 (heavy edges) and K3/K4 (per-root BFS) across places."""
+    n_places = len(cluster)
+    adj, weights = rmat_graph(scale, avg_degree, seed)
+    n = len(adj)
+    rng = np.random.default_rng(seed + 1)
+    roots = rng.integers(0, n, size=n_roots)
+
+    heavy_partial = np.zeros(n_places)
+    stats = np.zeros((n_roots, 3), dtype=np.int64)
+
+    pool = DistPool(cluster, name="ssca2")
+
+    def body(rank: int, pool: DistPool) -> None:
+        # K2: distributed max-weight edge search over row slabs.
+        rows = slab(n, rank, n_places)
+        heavy_partial[rank] = float(weights[rows].max()) if rows.stop > rows.start else 0.0
+        pool.barrier()
+        # K3/K4: BFS statistics, roots partitioned across places.
+        mine = slab(n_roots, rank, n_places)
+        for i in range(mine.start, mine.stop):
+            stats[i] = bfs_stats(adj, int(roots[i]))
+        pool.barrier()
+
+    pool.run(body)
+    heavy = float(heavy_partial.max())
+
+    # Serial validation.
+    ref_heavy = float(weights.max())
+    ref_stats = np.array([bfs_stats(adj, int(r)) for r in roots])
+    stats_err = int(np.abs(stats - ref_stats).max())
+    # Cross-check reachability with a boolean matrix closure (small n).
+    reach = weights > 0
+    closure = reach | np.eye(n, dtype=bool)
+    for _ in range(scale + 1):
+        closure = closure | (closure @ closure)
+    closure_counts = closure[roots].sum(axis=1)
+    closure_err = int(np.abs(stats[:, 0] - closure_counts).max())
+
+    validated = heavy == ref_heavy and stats_err == 0 and closure_err == 0
+    return WorkloadResult(
+        name="SSCA2",
+        n_tasks=n_places,
+        checksum=float(stats.sum()),
+        validated=validated,
+        details={
+            "heavy_edge": heavy,
+            "stats_err": stats_err,
+            "closure_err": closure_err,
+            "vertices": n,
+        },
+    ).require_valid()

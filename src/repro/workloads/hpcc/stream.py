@@ -1,0 +1,47 @@
+"""STREAM: the HPCC memory-bandwidth triad, distributed.
+
+Each place repeatedly computes its slab of ``a = b + s * c`` with a
+cluster-wide clock step between repetitions (the HPCC "epoch" barrier).
+Validation is exact: the result must equal the closed form everywhere.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.distributed.places import Cluster
+from repro.workloads.common import WorkloadResult, slab
+from repro.workloads.hpcc.common import DistPool
+
+
+def run_stream(
+    cluster: Cluster,
+    size: int = 65_536,
+    reps: int = 5,
+    scalar: float = 3.0,
+) -> WorkloadResult:
+    """Run ``reps`` triad epochs over a ``size``-element vector."""
+    n = len(cluster)
+    b = np.arange(size, dtype=np.float64)
+    c = np.ones(size) * 0.5
+    a = np.zeros(size)
+
+    pool = DistPool(cluster, name="stream")
+
+    def body(rank: int, pool: DistPool) -> None:
+        mine = slab(size, rank, n)
+        for _ in range(reps):
+            a[mine] = b[mine] + scalar * c[mine]
+            pool.barrier()
+
+    pool.run(body)
+
+    expected = b + scalar * c
+    err = float(np.max(np.abs(a - expected)))
+    return WorkloadResult(
+        name="STREAM",
+        n_tasks=n,
+        checksum=float(a.sum()),
+        validated=err == 0.0,
+        details={"err": err, "reps": reps, "size": size},
+    ).require_valid()

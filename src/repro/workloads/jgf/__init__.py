@@ -1,0 +1,9 @@
+"""JGF-like workloads (Section 6.1): the RT ray tracer and the SYNC
+barrier microbenchmark from the Java Grande Forum suite."""
+
+from repro.workloads.jgf.rt import run_rt
+from repro.workloads.jgf.sync import run_sync
+
+KERNELS = {"RT": run_rt, "SYNC": run_sync}
+
+__all__ = ["run_rt", "run_sync", "KERNELS"]

@@ -1,0 +1,52 @@
+"""SYNC: the JGF barrier microbenchmark.
+
+Measures raw barrier throughput — ``n`` tasks performing ``steps``
+back-to-back barrier synchronisations with no work in between.  This is
+the purest measure of instrumentation overhead: every task blocks on
+every step, so verification traffic is maximal per unit time.
+
+Validation: a shared step counter must equal ``n * steps`` afterwards,
+and a per-rank phase trace must show all ranks in lockstep (no rank ever
+two steps ahead — the barrier property itself).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.workloads.common import SpmdPool, WorkloadResult
+from repro.runtime.verifier import ArmusRuntime
+
+
+def run_sync(
+    runtime: ArmusRuntime,
+    n_tasks: int = 4,
+    steps: int = 50,
+) -> WorkloadResult:
+    """Run ``steps`` empty barrier synchronisations on ``n_tasks`` ranks."""
+    arrivals = np.zeros((n_tasks, steps), dtype=np.int64)
+    progress = np.zeros(n_tasks, dtype=np.int64)
+
+    pool = SpmdPool(runtime, n_tasks, name="sync")
+
+    def body(rank: int, pool: SpmdPool) -> None:
+        for step in range(steps):
+            # Lockstep witness: nobody may be more than one step ahead of
+            # anyone else *before* the barrier of this step.
+            spread = int(progress.max() - progress.min())
+            arrivals[rank, step] = spread
+            progress[rank] += 1
+            pool.barrier_step()
+
+    pool.run(body)
+
+    total = int(progress.sum())
+    max_spread = int(arrivals.max())
+    validated = total == n_tasks * steps and max_spread <= 1
+    return WorkloadResult(
+        name="SYNC",
+        n_tasks=n_tasks,
+        checksum=float(total),
+        validated=validated,
+        details={"max_spread": max_spread, "steps": steps},
+    ).require_valid()

@@ -1,0 +1,28 @@
+"""NPB-like kernels (Section 6.1): BT, CG, FT, MG, SP.
+
+Scaled-down reimplementations of the NAS Parallel Benchmark kernels and
+pseudo-applications used by the paper, preserving their synchronisation
+structure: SPMD over a fixed task count, a fixed set of cyclic barriers,
+stepwise iteration, barrier-based reductions, and validated output.
+
+Problem sizes are tiny "class T" instances (laptop-scale); the
+verification cost drivers — tasks, barrier steps, blocked statuses —
+scale with the task count exactly as in the originals.
+"""
+
+from repro.workloads.npb.cg import run_cg
+from repro.workloads.npb.mg import run_mg
+from repro.workloads.npb.ft import run_ft
+from repro.workloads.npb.bt import run_bt
+from repro.workloads.npb.sp import run_sp
+
+#: name -> callable(runtime, n_tasks, **params) for harness sweeps
+KERNELS = {
+    "BT": run_bt,
+    "CG": run_cg,
+    "FT": run_ft,
+    "MG": run_mg,
+    "SP": run_sp,
+}
+
+__all__ = ["run_bt", "run_cg", "run_ft", "run_mg", "run_sp", "KERNELS"]

@@ -1,0 +1,93 @@
+"""Harness smoke tests: every experiment runner produces sane data.
+
+These use 1-2 samples and the smallest kernels — the goal is shape
+(keys, validation, sign conventions), not statistics; the real runs live
+in ``benchmarks/`` and ``python -m repro.bench.tables``.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench import harness
+from repro.core.selection import GraphModel
+
+
+class TestLocalRunners:
+    def test_run_local_kernel_all_modes(self):
+        for mode in ("off", "detection", "avoidance"):
+            result = harness.run_local_kernel("CG", mode, 2)
+            assert result.validated
+
+    def test_overhead_table_shape(self):
+        data = harness.overhead_table(
+            "detection", task_counts=(2,), samples=1, kernels=("RT",)
+        )
+        assert set(data) == {"RT"}
+        assert set(data["RT"]) == {2}
+        assert isinstance(data["RT"][2], float)
+
+    def test_scaling_series_shape(self):
+        data = harness.scaling_series(
+            task_counts=(2,), samples=1, kernels=("SP",)
+        )
+        assert set(data["SP"]) == {"off", "detection", "avoidance"}
+        assert data["SP"]["off"][2].mean > 0
+
+
+class TestDistributedRunner:
+    def test_comparison_shape(self):
+        data = harness.distributed_comparison(
+            n_places=2, samples=1, kernels=("STREAM",)
+        )
+        row = data["STREAM"]
+        assert row["unchecked"].mean > 0
+        assert row["checked"].mean > 0
+        assert isinstance(row["ci_overlap"], bool)
+
+
+class TestModelChoiceRunners:
+    def test_course_kernel_runner(self):
+        result, runtime = harness.run_course_kernel("SE", "avoidance")
+        assert result.validated
+        assert runtime.stats.checks > 0
+
+    def test_model_choice_shape(self):
+        data = harness.model_choice_comparison(
+            "detection", samples=1, kernels=("PS",)
+        )
+        assert set(data["PS"]) == {"Unchecked", "Auto", "SG", "WFG"}
+
+    def test_edge_count_table_shape(self):
+        data = harness.edge_count_table(samples=1, kernels=("PS",))
+        for sel in ("Auto", "SG", "WFG"):
+            row = data["PS"][sel]
+            assert row["edges"] >= 0
+            assert "avoidance_pct" in row and "detection_pct" in row
+
+    def test_ps_wfg_dwarfs_sg(self):
+        """The Table 3 headline at test scale: PS's WFG is at least an
+        order of magnitude larger than its SG."""
+        data = harness.edge_count_table(samples=1, kernels=("PS",))
+        assert data["PS"]["WFG"]["edges"] > 10 * max(
+            data["PS"]["SG"]["edges"], 1.0
+        )
+        # ... and Auto tracked the small model.
+        assert data["PS"]["Auto"]["edges"] <= 2 * max(
+            data["PS"]["SG"]["edges"], 1.0
+        )
+
+
+class TestAblations:
+    def test_representation_ablation(self):
+        stats = harness.representation_ablation(n_tasks=4, steps=10)
+        assert stats["membership_ops"] > stats["event_ops"]
+        assert stats["ratio"] > 1.0
+
+    def test_threshold_ablation_shape(self):
+        data = harness.threshold_ablation(
+            factors=(0.5, 4.0), kernels=("PS",), samples=1
+        )
+        assert set(data["PS"]) == {0.5, 4.0}
+        for row in data["PS"].values():
+            assert row["mean_s"] > 0

@@ -1,0 +1,53 @@
+"""ASCII chart renderer tests."""
+
+from __future__ import annotations
+
+from repro.bench.plots import BAR_WIDTH, bar_chart
+from repro.bench.stats import Measurement
+
+
+def m(label: str, value: float) -> Measurement:
+    return Measurement(label, [value, value])
+
+
+class TestBarChart:
+    def test_renders_all_series(self):
+        out = bar_chart(
+            {"PS": {"Auto": m("a", 0.1), "WFG": m("w", 0.2)}},
+            series_order=["Auto", "WFG"],
+        )
+        assert "PS" in out
+        assert "Auto" in out and "WFG" in out
+        assert "100.0ms" in out and "200.0ms" in out
+
+    def test_bars_scale_to_global_peak(self):
+        out = bar_chart(
+            {
+                "A": {"x": m("x", 0.5)},
+                "B": {"x": m("x", 1.0)},
+            },
+            series_order=["x"],
+        )
+        lines = [l for l in out.splitlines() if "#" in l]
+        short = lines[0].count("#")
+        long = lines[1].count("#")
+        assert long == BAR_WIDTH
+        assert abs(short - BAR_WIDTH / 2) <= 1
+
+    def test_missing_series_skipped(self):
+        out = bar_chart(
+            {"A": {"x": m("x", 1.0)}},
+            series_order=["x", "y"],
+        )
+        assert "y" not in out
+
+    def test_empty_data(self):
+        assert bar_chart({}, series_order=[]) == "(no data)"
+
+    def test_minimum_one_character_bar(self):
+        out = bar_chart(
+            {"A": {"tiny": m("t", 0.0001), "big": m("b", 10.0)}},
+            series_order=["tiny", "big"],
+        )
+        tiny_line = next(l for l in out.splitlines() if "tiny" in l)
+        assert "#" in tiny_line

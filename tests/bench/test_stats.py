@@ -1,0 +1,68 @@
+"""Measurement-methodology tests (Georges et al.)."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.bench.stats import Measurement, measure, relative_overhead
+
+
+class TestMeasurement:
+    def test_mean_and_std(self):
+        m = Measurement("x", [1.0, 2.0, 3.0])
+        assert m.mean == 2.0
+        assert math.isclose(m.std, 1.0)
+
+    def test_ci_is_z_based(self):
+        m = Measurement("x", [1.0, 2.0, 3.0])
+        expected = 1.959963984540054 * 1.0 / math.sqrt(3)
+        assert math.isclose(m.ci95, expected)
+
+    def test_degenerate_samples(self):
+        assert Measurement("x", []).mean == 0.0
+        assert Measurement("x", [5.0]).ci95 == 0.0
+
+    def test_overlap(self):
+        a = Measurement("a", [1.0, 1.1, 0.9])
+        b = Measurement("b", [1.05, 1.15, 0.95])
+        c = Measurement("c", [9.0, 9.1, 8.9])
+        assert a.overlaps(b)
+        assert b.overlaps(a)
+        assert not a.overlaps(c)
+
+    def test_str(self):
+        assert "ms" in str(Measurement("x", [0.01, 0.02]))
+
+
+class TestMeasure:
+    def test_collects_requested_samples(self):
+        calls = []
+        m = measure(lambda: calls.append(1), samples=5, discard_first=True)
+        assert len(m.samples) == 5
+        assert len(calls) == 6  # one discarded warm-up run
+
+    def test_no_discard(self):
+        calls = []
+        measure(lambda: calls.append(1), samples=3, discard_first=False)
+        assert len(calls) == 3
+
+    def test_timings_positive(self):
+        m = measure(lambda: sum(range(1000)), samples=3)
+        assert all(s > 0 for s in m.samples)
+
+
+class TestOverhead:
+    def test_relative_overhead(self):
+        base = Measurement("b", [1.0, 1.0])
+        checked = Measurement("c", [1.5, 1.5])
+        assert math.isclose(relative_overhead(base, checked), 50.0)
+
+    def test_negative_overhead_is_noise_not_error(self):
+        base = Measurement("b", [1.0])
+        faster = Measurement("c", [0.9])
+        assert relative_overhead(base, faster) < 0
+
+    def test_zero_base(self):
+        assert relative_overhead(Measurement("b", []), Measurement("c", [1])) == 0.0

@@ -1,0 +1,56 @@
+"""Shared fixtures: isolated runtimes with guaranteed teardown.
+
+Deadlock tests intentionally block threads; every runtime is created
+through the ``runtime_factory`` fixture so monitors are stopped and
+polling is fast regardless of test outcome.  Threads themselves are
+daemons and cannot outlive the process.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.selection import GraphModel
+from repro.runtime.verifier import ArmusRuntime, VerificationMode
+
+
+@pytest.fixture
+def runtime_factory():
+    """Create runtimes with fast polling; stop them all afterwards."""
+    created = []
+
+    def make(
+        mode: str = "off",
+        model: GraphModel = GraphModel.AUTO,
+        interval_s: float = 0.02,
+        **kwargs,
+    ) -> ArmusRuntime:
+        runtime = ArmusRuntime(
+            mode=VerificationMode(mode),
+            model=model,
+            interval_s=interval_s,
+            poll_s=0.002,
+            **kwargs,
+        )
+        runtime.start()
+        created.append(runtime)
+        return runtime
+
+    yield make
+    for runtime in created:
+        runtime.stop()
+
+
+@pytest.fixture
+def detection_runtime(runtime_factory):
+    return runtime_factory("detection")
+
+
+@pytest.fixture
+def avoidance_runtime(runtime_factory):
+    return runtime_factory("avoidance")
+
+
+@pytest.fixture
+def off_runtime(runtime_factory):
+    return runtime_factory("off")

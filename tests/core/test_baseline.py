@@ -1,0 +1,78 @@
+"""Membership-tracking baseline tests (ablation D1's comparator)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.baseline import MembershipTracker
+from repro.core.cycles import has_cycle
+
+
+class TestBookkeeping:
+    def test_every_mutation_counts(self):
+        tracker = MembershipTracker()
+        tracker.create("b")
+        tracker.register("b", "t1")
+        tracker.register("b", "t2")
+        tracker.block("t1", "b")
+        tracker.arrive("b", "t1")
+        assert tracker.ops == 5
+
+    def test_arrival_of_non_member_rejected(self):
+        tracker = MembershipTracker()
+        tracker.create("b")
+        with pytest.raises(ValueError):
+            tracker.arrive("b", "ghost")
+
+    def test_release_when_all_arrive(self):
+        tracker = MembershipTracker()
+        tracker.create("b")
+        for t in ("t1", "t2"):
+            tracker.register("b", t)
+        tracker.block("t1", "b")
+        tracker.arrive("b", "t1")
+        assert tracker.blocked_count() == 1
+        tracker.block("t2", "b")
+        tracker.arrive("b", "t2")
+        assert tracker.blocked_count() == 0  # barrier tripped
+
+    def test_deregistration_can_release(self):
+        """Dynamic membership: the last missing member leaving completes
+        the synchronisation — the case static-membership tools miss."""
+        tracker = MembershipTracker()
+        tracker.create("b")
+        for t in ("t1", "t2"):
+            tracker.register("b", t)
+        tracker.block("t1", "b")
+        tracker.arrive("b", "t1")
+        tracker.deregister("b", "t2")
+        assert tracker.blocked_count() == 0
+
+
+class TestWfgAgreement:
+    def test_blocked_waits_for_non_arrived(self):
+        tracker = MembershipTracker()
+        tracker.create("b")
+        for t in ("t1", "t2", "t3"):
+            tracker.register("b", t)
+        tracker.block("t1", "b")
+        tracker.arrive("b", "t1")
+        wfg = tracker.wfg()
+        assert wfg.has_edge("t1", "t2")
+        assert wfg.has_edge("t1", "t3")
+        assert not wfg.has_edge("t1", "t1")
+
+    def test_cross_barrier_cycle(self):
+        """The two-barrier crossed deadlock appears as a WFG cycle in the
+        baseline too — it is the bookkeeping cost, not the verdict, that
+        differs from the event-based representation."""
+        tracker = MembershipTracker()
+        for b in ("a", "b"):
+            tracker.create(b)
+            tracker.register(b, "t1")
+            tracker.register(b, "t2")
+        tracker.block("t1", "a")
+        tracker.arrive("a", "t1")
+        tracker.block("t2", "b")
+        tracker.arrive("b", "t2")
+        assert has_cycle(tracker.wfg())

@@ -1,0 +1,108 @@
+"""Stateful property test: the checker under arbitrary op interleavings.
+
+A hypothesis state machine drives ``set_blocked``/``clear``/``check``/
+``check_before_block`` in arbitrary orders and maintains a parallel
+oracle (a plain dict of statuses).  Invariants after every step:
+
+* the dependency store's content equals the oracle;
+* ``check()`` agrees with a from-scratch cycle search on the oracle;
+* all three graph models agree on the verdict;
+* an accepted ``check_before_block`` leaves a cycle-free state, and a
+  refused one leaves the store unchanged.
+"""
+
+from __future__ import annotations
+
+from hypothesis import settings
+from hypothesis import strategies as st
+from hypothesis.stateful import (
+    RuleBasedStateMachine,
+    invariant,
+    rule,
+)
+
+from repro.core.checker import DeadlockChecker
+from repro.core.cycles import has_cycle
+from repro.core.dependency import DependencySnapshot
+from repro.core.events import BlockedStatus, Event
+from repro.core.graphs import build_sg, build_wfg
+from repro.core.selection import GraphModel
+
+TASKS = [f"t{i}" for i in range(5)]
+PHASERS = [f"p{i}" for i in range(3)]
+
+statuses = st.builds(
+    BlockedStatus,
+    waits=st.sets(
+        st.builds(
+            Event,
+            phaser=st.sampled_from(PHASERS),
+            phase=st.integers(0, 3),
+        ),
+        min_size=1,
+        max_size=2,
+    ).map(frozenset),
+    registered=st.dictionaries(
+        st.sampled_from(PHASERS), st.integers(0, 3), max_size=3
+    ),
+)
+
+
+class CheckerMachine(RuleBasedStateMachine):
+    def __init__(self):
+        super().__init__()
+        self.checker = DeadlockChecker(model=GraphModel.AUTO)
+        self.oracle: dict = {}
+
+    # -- operations --------------------------------------------------------
+    @rule(task=st.sampled_from(TASKS), status=statuses)
+    def block(self, task, status):
+        stamped = self.checker.set_blocked(task, status)
+        self.oracle[task] = stamped
+
+    @rule(task=st.sampled_from(TASKS))
+    def unblock(self, task):
+        self.checker.clear(task)
+        self.oracle.pop(task, None)
+
+    @rule()
+    def detection_check(self):
+        report = self.checker.check()
+        assert (report is not None) == self._oracle_cyclic()
+
+    @rule(task=st.sampled_from(TASKS), status=statuses)
+    def avoidance_check(self, task, status):
+        before = dict(self.oracle)
+        report, stamped = self.checker.check_before_block(task, status)
+        if report is None:
+            # Accepted: published, and the resulting state is cycle-free.
+            assert stamped is not None
+            self.oracle[task] = stamped
+            assert not self._oracle_cyclic()
+        else:
+            # Refused: the store must be exactly as before.
+            assert report.avoided
+            snapshot = self.checker.dependency.snapshot()
+            assert set(snapshot.statuses) == set(before)
+
+    # -- invariants -----------------------------------------------------------
+    @invariant()
+    def store_matches_oracle(self):
+        snapshot = self.checker.dependency.snapshot()
+        assert snapshot.statuses == self.oracle
+
+    @invariant()
+    def models_agree(self):
+        snapshot = DependencySnapshot(statuses=dict(self.oracle))
+        assert has_cycle(build_wfg(snapshot)) == has_cycle(build_sg(snapshot))
+
+    # -- helpers -----------------------------------------------------------------
+    def _oracle_cyclic(self) -> bool:
+        snapshot = DependencySnapshot(statuses=dict(self.oracle))
+        return has_cycle(build_wfg(snapshot))
+
+
+CheckerMachine.TestCase.settings = settings(
+    max_examples=60, stateful_step_count=30, deadline=None
+)
+TestCheckerStateful = CheckerMachine.TestCase

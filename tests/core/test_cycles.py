@@ -1,0 +1,144 @@
+"""Cycle-detection tests, cross-checked against networkx."""
+
+from __future__ import annotations
+
+import random
+
+import networkx as nx
+import pytest
+
+from repro.core.cycles import (
+    cycle_reachable_from,
+    cycle_through,
+    find_cycle,
+    has_cycle,
+    is_cycle,
+    is_walk,
+    strongly_connected_components,
+)
+from repro.core.graphs import DiGraph
+
+
+def make_graph(edges) -> DiGraph:
+    g = DiGraph()
+    for u, v in edges:
+        g.add_edge(u, v)
+    return g
+
+
+class TestHasCycle:
+    def test_empty(self):
+        assert not has_cycle(DiGraph())
+
+    def test_dag(self):
+        g = make_graph([(1, 2), (2, 3), (1, 3)])
+        assert not has_cycle(g)
+
+    def test_self_loop(self):
+        g = make_graph([(1, 1)])
+        assert has_cycle(g)
+
+    def test_two_cycle(self):
+        g = make_graph([(1, 2), (2, 1)])
+        assert has_cycle(g)
+
+    def test_long_cycle_with_tail(self):
+        g = make_graph([(0, 1), (1, 2), (2, 3), (3, 1)])
+        assert has_cycle(g)
+
+    def test_deep_chain_no_recursion_limit(self):
+        """Iterative Tarjan must handle graphs deeper than Python's
+        recursion limit."""
+        n = 5000
+        g = make_graph([(i, i + 1) for i in range(n)])
+        assert not has_cycle(g)
+        g.add_edge(n, 0)
+        assert has_cycle(g)
+
+
+class TestFindCycle:
+    def test_none_on_acyclic(self):
+        assert find_cycle(make_graph([(1, 2), (2, 3)])) is None
+
+    def test_returned_walk_is_a_cycle(self):
+        g = make_graph([(1, 2), (2, 3), (3, 1), (3, 4)])
+        cycle = find_cycle(g)
+        assert cycle is not None
+        assert is_cycle(g, cycle)
+
+    def test_self_loop_cycle(self):
+        g = make_graph([(1, 1)])
+        assert find_cycle(g) == [1, 1]
+
+
+class TestCycleThrough:
+    def test_vertex_on_cycle(self):
+        g = make_graph([(1, 2), (2, 3), (3, 1)])
+        for v in (1, 2, 3):
+            cycle = cycle_through(g, v)
+            assert cycle is not None
+            assert v in cycle
+            assert is_cycle(g, cycle)
+
+    def test_vertex_off_cycle(self):
+        g = make_graph([(0, 1), (1, 2), (2, 1)])
+        assert cycle_through(g, 0) is None
+
+    def test_unknown_vertex(self):
+        assert cycle_through(make_graph([(1, 2)]), 99) is None
+
+    def test_nested_sub_cycles(self):
+        """The regression shape: an SCC whose greedy walk could close a
+        sub-cycle avoiding the requested vertex."""
+        g = make_graph(
+            [("a", "b"), ("b", "c"), ("c", "d"), ("d", "c"), ("d", "e"), ("e", "a")]
+        )
+        cycle = cycle_through(g, "a")
+        assert cycle is not None
+        assert "a" in cycle
+        assert is_cycle(g, cycle)
+
+    def test_reachable_but_not_through(self):
+        g = make_graph([(0, 1), (1, 2), (2, 1)])
+        assert cycle_through(g, 0) is None
+        reach = cycle_reachable_from(g, 0)
+        assert reach is not None
+        assert is_cycle(g, reach)
+
+
+class TestAgainstNetworkx:
+    @pytest.mark.parametrize("seed", range(20))
+    def test_random_graphs_agree(self, seed: int):
+        rng = random.Random(seed)
+        n = rng.randint(2, 30)
+        edges = set()
+        for _ in range(rng.randint(1, 4 * n)):
+            edges.add((rng.randrange(n), rng.randrange(n)))
+        g = make_graph(edges)
+        ref = nx.DiGraph(list(edges))
+        assert has_cycle(g) == (not nx.is_directed_acyclic_graph(ref))
+
+    @pytest.mark.parametrize("seed", range(10))
+    def test_scc_partition_agrees(self, seed: int):
+        rng = random.Random(seed + 100)
+        n = rng.randint(2, 25)
+        edges = {(rng.randrange(n), rng.randrange(n)) for _ in range(3 * n)}
+        g = make_graph(edges)
+        ref = nx.DiGraph(list(edges))
+        ref.add_nodes_from(g.vertices)
+        ours = {frozenset(c) for c in strongly_connected_components(g)}
+        theirs = {frozenset(c) for c in nx.strongly_connected_components(ref)}
+        assert ours == theirs
+
+
+class TestWalkPredicates:
+    def test_is_walk(self):
+        g = make_graph([(1, 2), (2, 3)])
+        assert is_walk(g, [1, 2, 3])
+        assert not is_walk(g, [1, 3])
+        assert not is_walk(g, [1])
+
+    def test_is_cycle(self):
+        g = make_graph([(1, 2), (2, 1)])
+        assert is_cycle(g, [1, 2, 1])
+        assert not is_cycle(g, [1, 2])

@@ -1,0 +1,104 @@
+"""Unit tests for the resource-dependency store and snapshots."""
+
+from __future__ import annotations
+
+import threading
+
+from repro.core.dependency import ResourceDependency
+from repro.core.events import Event, waiting_on
+
+
+def example_41() -> ResourceDependency:
+    """The paper's Example 4.1: three workers on pc@1, driver on pb@1."""
+    dep = ResourceDependency()
+    for i in (1, 2, 3):
+        dep.set_blocked(f"t{i}", waiting_on("pc", 1, pc=1, pb=0))
+    dep.set_blocked("t4", waiting_on("pb", 1, pc=0, pb=1))
+    return dep
+
+
+class TestStore:
+    def test_set_and_clear(self):
+        dep = ResourceDependency()
+        dep.set_blocked("t", waiting_on("p", 1, p=1))
+        assert dep.blocked_count() == 1
+        dep.clear("t")
+        assert dep.blocked_count() == 0
+
+    def test_clear_unknown_is_noop(self):
+        ResourceDependency().clear("ghost")
+
+    def test_snapshot_is_isolated(self):
+        dep = ResourceDependency()
+        dep.set_blocked("t", waiting_on("p", 1, p=1))
+        snap = dep.snapshot()
+        dep.clear("t")
+        assert "t" in snap.statuses  # the snapshot survived the clear
+
+    def test_generation_stamping(self):
+        dep = ResourceDependency()
+        s1 = dep.set_blocked("t", waiting_on("p", 1, p=1))
+        s2 = dep.set_blocked("t", waiting_on("p", 2, p=2))
+        assert s2.generation > s1.generation
+
+    def test_is_current_tracks_generations(self):
+        dep = ResourceDependency()
+        s1 = dep.set_blocked("t", waiting_on("p", 1, p=1))
+        assert dep.is_current("t", s1)
+        s2 = dep.set_blocked("t", waiting_on("p", 2, p=2))
+        assert not dep.is_current("t", s1)
+        assert dep.is_current("t", s2)
+        dep.clear("t")
+        assert not dep.is_current("t", s2)
+
+    def test_concurrent_updates_do_not_corrupt(self):
+        dep = ResourceDependency()
+
+        def hammer(tid: str):
+            for i in range(200):
+                dep.set_blocked(tid, waiting_on("p", i + 1, p=i + 1))
+                dep.clear(tid)
+
+        threads = [
+            threading.Thread(target=hammer, args=(f"t{i}",)) for i in range(8)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert dep.blocked_count() == 0
+
+
+class TestSnapshot:
+    def test_waits_map_matches_definition(self):
+        snap = example_41().snapshot()
+        assert snap.waits["t1"] == frozenset({Event("pc", 1)})
+        assert snap.waits["t4"] == frozenset({Event("pb", 1)})
+
+    def test_awaited_events(self):
+        snap = example_41().snapshot()
+        assert snap.awaited_events == frozenset({Event("pc", 1), Event("pb", 1)})
+
+    def test_impeders_match_example(self):
+        snap = example_41().snapshot()
+        assert snap.impeders_of(Event("pc", 1)) == frozenset({"t4"})
+        assert snap.impeders_of(Event("pb", 1)) == frozenset({"t1", "t2", "t3"})
+
+    def test_impeding_map_covers_all_awaited(self):
+        snap = example_41().snapshot()
+        imap = snap.impeding_map()
+        assert set(imap) == snap.awaited_events
+
+    def test_phaser_index(self):
+        snap = example_41().snapshot()
+        index = snap.phaser_index()
+        assert sorted(index) == ["pb", "pc"]
+        assert ("t4", 0) in index["pc"]
+        assert ("t1", 1) in index["pc"]
+
+    def test_len_iter_empty(self):
+        snap = example_41().snapshot()
+        assert len(snap) == 4
+        assert set(snap) == {"t1", "t2", "t3", "t4"}
+        assert not snap.is_empty()
+        assert ResourceDependency().snapshot().is_empty()

@@ -1,0 +1,69 @@
+"""Unit tests for synchronisation events and blocked statuses."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.events import BlockedStatus, Event, waiting_on
+
+
+class TestEvent:
+    def test_ordering_is_per_phaser_then_phase(self):
+        assert Event("p", 1) < Event("p", 2)
+        assert sorted([Event("p", 3), Event("p", 1)]) == [
+            Event("p", 1),
+            Event("p", 3),
+        ]
+
+    def test_negative_phase_rejected(self):
+        with pytest.raises(ValueError):
+            Event("p", -1)
+
+    def test_equality_and_hash(self):
+        assert Event("p", 1) == Event("p", 1)
+        assert hash(Event("p", 1)) == hash(Event("p", 1))
+        assert Event("p", 1) != Event("q", 1)
+
+    def test_repr_is_compact(self):
+        assert repr(Event("pc", 3)) == "pc@3"
+
+
+class TestBlockedStatus:
+    def test_requires_at_least_one_wait(self):
+        with pytest.raises(ValueError):
+            BlockedStatus(waits=frozenset())
+
+    def test_waits_coerced_to_frozenset(self):
+        s = BlockedStatus(waits={Event("p", 1)})
+        assert isinstance(s.waits, frozenset)
+
+    def test_registered_is_immutable(self):
+        s = waiting_on("p", 1, p=1, q=0)
+        with pytest.raises(TypeError):
+            s.registered["q"] = 5  # type: ignore[index]
+        with pytest.raises(TypeError):
+            s.registered.clear()  # type: ignore[attr-defined]
+
+    def test_impedes_strictly_below_phase(self):
+        s = waiting_on("p", 1, p=1, q=0)
+        assert s.impedes(Event("q", 1))
+        assert s.impedes(Event("q", 5))
+        assert not s.impedes(Event("q", 0))
+        assert not s.impedes(Event("p", 1))  # own phase reached
+        assert s.impedes(Event("p", 2))  # but not future phases
+
+    def test_impedes_only_registered_phasers(self):
+        s = waiting_on("p", 1, p=1)
+        assert not s.impedes(Event("other", 99))
+
+    def test_impeded_events_filters(self):
+        s = waiting_on("p", 2, p=2, q=0)
+        awaited = [Event("q", 1), Event("p", 1), Event("p", 3), Event("x", 1)]
+        assert s.impeded_events(awaited) == frozenset(
+            {Event("q", 1), Event("p", 3)}
+        )
+
+    def test_status_is_hashable(self):
+        s1 = waiting_on("p", 1, p=1)
+        s2 = waiting_on("p", 1, p=1)
+        assert len({s1, s2}) == 1

@@ -1,0 +1,158 @@
+"""Graph-construction tests, anchored on the paper's Figure 5."""
+
+from __future__ import annotations
+
+from repro.core.dependency import ResourceDependency
+from repro.core.events import BlockedStatus, Event, waiting_on
+from repro.core.graphs import (
+    DiGraph,
+    build_grg,
+    build_sg,
+    build_wfg,
+    sg_from_grg,
+    wfg_from_grg,
+)
+
+
+def example_41_snapshot():
+    dep = ResourceDependency()
+    for i in (1, 2, 3):
+        dep.set_blocked(f"t{i}", waiting_on("pc", 1, pc=1, pb=0))
+    dep.set_blocked("t4", waiting_on("pb", 1, pc=0, pb=1))
+    return dep.snapshot()
+
+
+R1 = Event("pc", 1)
+R2 = Event("pb", 1)
+
+
+class TestFigure5:
+    """The three graphs of Figure 5, edge for edge."""
+
+    def test_wfg_matches_figure_5a(self):
+        wfg = build_wfg(example_41_snapshot())
+        expected = {
+            ("t1", "t4"),
+            ("t2", "t4"),
+            ("t3", "t4"),
+            ("t4", "t1"),
+            ("t4", "t2"),
+            ("t4", "t3"),
+        }
+        assert set(wfg.edges()) == expected
+
+    def test_grg_matches_figure_5b(self):
+        grg = build_grg(example_41_snapshot())
+        expected = {
+            ("t1", R1),
+            ("t2", R1),
+            ("t3", R1),
+            ("t4", R2),
+            (R1, "t4"),
+            (R2, "t1"),
+            (R2, "t2"),
+            (R2, "t3"),
+        }
+        assert set(grg.edges()) == expected
+
+    def test_sg_matches_figure_5c(self):
+        sg = build_sg(example_41_snapshot())
+        assert set(sg.edges()) == {(R1, R2), (R2, R1)}
+
+    def test_contractions_recover_wfg_and_sg(self):
+        """Lemmas 4.5/4.6: contracting the GRG gives the WFG / SG."""
+        snap = example_41_snapshot()
+        grg = build_grg(snap)
+        assert set(wfg_from_grg(grg).edges()) == set(build_wfg(snap).edges())
+        assert set(sg_from_grg(grg).edges()) == set(build_sg(snap).edges())
+
+
+class TestBuilders:
+    def test_empty_snapshot_gives_empty_graphs(self):
+        snap = ResourceDependency().snapshot()
+        for build in (build_wfg, build_sg, build_grg):
+            g = build(snap)
+            assert g.vertex_count == 0
+            assert g.edge_count == 0
+
+    def test_blocked_task_with_no_impeders_has_no_out_edges(self):
+        dep = ResourceDependency()
+        dep.set_blocked("t", waiting_on("p", 1, p=1))
+        wfg = build_wfg(dep.snapshot())
+        assert wfg.out_degree("t") == 0
+
+    def test_self_impeding_is_impossible(self):
+        """A task never impedes its own waited event: after arriving its
+        local phase equals the event's phase."""
+        dep = ResourceDependency()
+        dep.set_blocked("t", waiting_on("p", 2, p=2))
+        wfg = build_wfg(dep.snapshot())
+        assert not wfg.has_edge("t", "t")
+
+    def test_future_phase_wait_impeded_by_lagging_member(self):
+        """HJ-style future-phase waits: a task waiting phase 5 is impeded
+        by anyone below 5."""
+        dep = ResourceDependency()
+        dep.set_blocked("ahead", waiting_on("p", 5, p=5))
+        dep.set_blocked("lagging", waiting_on("q", 1, q=1, p=1))
+        wfg = build_wfg(dep.snapshot())
+        assert wfg.has_edge("ahead", "lagging")
+        assert not wfg.has_edge("lagging", "ahead")
+
+    def test_multi_wait_tasks(self):
+        """A task waiting on two events contributes edges through both."""
+        dep = ResourceDependency()
+        dep.set_blocked(
+            "joiner",
+            BlockedStatus(
+                waits=frozenset({Event("f1", 1), Event("f2", 1)}),
+                registered={},
+            ),
+        )
+        dep.set_blocked("w1", waiting_on("x", 1, x=1, f1=0))
+        dep.set_blocked("w2", waiting_on("x", 1, x=1, f2=0))
+        wfg = build_wfg(dep.snapshot())
+        assert wfg.has_edge("joiner", "w1")
+        assert wfg.has_edge("joiner", "w2")
+
+
+class TestDiGraph:
+    def test_add_edge_creates_vertices(self):
+        g = DiGraph()
+        g.add_edge(1, 2)
+        assert set(g.vertices) == {1, 2}
+        assert g.has_edge(1, 2)
+        assert not g.has_edge(2, 1)
+
+    def test_degrees(self):
+        g = DiGraph()
+        g.add_edge("a", "b")
+        g.add_edge("a", "c")
+        g.add_edge("b", "c")
+        assert g.out_degree("a") == 2
+        assert g.in_degree("c") == 2
+        assert g.edge_count == 3
+        assert g.vertex_count == 3
+
+    def test_subgraph_reachable_from(self):
+        g = DiGraph()
+        g.add_edge("a", "b")
+        g.add_edge("b", "c")
+        g.add_edge("x", "y")  # unreachable island
+        sub = g.subgraph_reachable_from("a")
+        assert set(sub.vertices) == {"a", "b", "c"}
+        assert sub.has_edge("b", "c")
+        assert not sub.has_edge("x", "y")
+
+    def test_subgraph_of_missing_source_is_empty(self):
+        g = DiGraph()
+        assert g.subgraph_reachable_from("nope").vertex_count == 0
+
+    def test_is_subgraph_of(self):
+        small = DiGraph()
+        small.add_edge(1, 2)
+        big = DiGraph()
+        big.add_edge(1, 2)
+        big.add_edge(2, 3)
+        assert small.is_subgraph_of(big)
+        assert not big.is_subgraph_of(small)

@@ -1,0 +1,73 @@
+"""One-phase distributed detection: merging and global analysis."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.events import waiting_on
+from repro.core.selection import GraphModel
+from repro.distributed.detector import DistributedChecker, merge_payloads
+from repro.distributed.store import (
+    InMemoryStore,
+    StoreUnavailableError,
+    encode_statuses,
+)
+
+
+class TestMerge:
+    def test_disjoint_union(self):
+        payloads = {
+            "s0": encode_statuses({"t1": waiting_on("p", 1, p=1)}),
+            "s1": encode_statuses({"t2": waiting_on("q", 1, q=1)}),
+        }
+        snap = merge_payloads(payloads)
+        assert set(snap.tasks) == {"t1", "t2"}
+
+    def test_duplicate_task_rejected(self):
+        blob = encode_statuses({"t1": waiting_on("p", 1, p=1)})
+        with pytest.raises(ValueError):
+            merge_payloads({"s0": blob, "s1": blob})
+
+    def test_empty(self):
+        assert merge_payloads({}).is_empty()
+
+
+class TestGlobalCheck:
+    def test_cross_site_cycle_found(self):
+        """The deadlock spans two sites: neither site's local view has a
+        cycle, the merged view does — the whole point of Section 5.2."""
+        store = InMemoryStore()
+        store.put(
+            "s0", encode_statuses({"a": waiting_on("p", 1, p=1, q=0)})
+        )
+        store.put(
+            "s1", encode_statuses({"b": waiting_on("q", 1, q=1, p=0)})
+        )
+        checker = DistributedChecker(store)
+        report = checker.check_global()
+        assert report is not None
+        assert set(report.tasks) == {"a", "b"}
+
+    def test_no_cycle_no_report(self):
+        store = InMemoryStore()
+        store.put("s0", encode_statuses({"a": waiting_on("p", 1, p=1)}))
+        assert DistributedChecker(store).check_global() is None
+
+    def test_store_outage_propagates(self):
+        store = InMemoryStore()
+        store.set_available(False)
+        with pytest.raises(StoreUnavailableError):
+            DistributedChecker(store).check_global()
+
+    def test_model_configuration(self):
+        store = InMemoryStore()
+        store.put(
+            "s0", encode_statuses({"a": waiting_on("p", 1, p=1, q=0)})
+        )
+        store.put(
+            "s1", encode_statuses({"b": waiting_on("q", 1, q=1, p=0)})
+        )
+        for model in (GraphModel.WFG, GraphModel.SG, GraphModel.AUTO):
+            checker = DistributedChecker(store, model=model)
+            assert checker.check_global() is not None
+        assert checker.stats.checks == 1

@@ -1,0 +1,83 @@
+"""Cluster end-to-end tests: cross-place deadlocks, fault tolerance."""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from repro.core.report import DeadlockDetectedError
+from repro.runtime.clock import Clock
+from repro.runtime.phaser import Phaser
+from repro.distributed.places import Cluster
+
+
+def averaging_across_places(cluster: Cluster, fix: bool):
+    """The Section 2.1 deployment: the running example with one worker
+    per place, synchronised by a distributed clock."""
+    c = Clock(cluster[0].runtime)
+    b = Phaser(cluster[0].runtime, register_self=True, name="join")
+
+    def worker():
+        c.advance()
+        c.drop()
+        b.arrive_and_deregister()
+
+    tasks = []
+    for place in cluster.places:
+        tasks.append(place.spawn(worker, register=[c, b]))
+    if fix:
+        c.drop()
+    b.arrive_and_await_advance()
+    return tasks
+
+
+class TestCrossPlaceDeadlock:
+    def test_detected_and_cancelled(self):
+        with Cluster(2, check_interval_s=0.03, publish_interval_s=0.01) as cl:
+            with pytest.raises(DeadlockDetectedError):
+                averaging_across_places(cl, fix=False)
+            assert cl.all_reports()
+
+    def test_fixed_variant_clean(self):
+        with Cluster(2, check_interval_s=0.03, publish_interval_s=0.01) as cl:
+            tasks = averaging_across_places(cl, fix=True)
+            cl.join_all(tasks, timeout=10)
+            assert not cl.all_reports()
+
+    def test_detection_with_replicated_store(self):
+        with Cluster(
+            2, replicas=2, check_interval_s=0.03, publish_interval_s=0.01
+        ) as cl:
+            cl.store_replicas[0].set_available(False)  # lose the primary
+            with pytest.raises(DeadlockDetectedError):
+                averaging_across_places(cl, fix=False)
+
+    def test_detection_survives_site_death(self):
+        with Cluster(3, check_interval_s=0.03, publish_interval_s=0.01) as cl:
+            cl[2].kill()
+            with pytest.raises(DeadlockDetectedError):
+                averaging_across_places(cl, fix=False)
+
+
+class TestClusterApi:
+    def test_len_and_indexing(self):
+        cl = Cluster(3)
+        assert len(cl) == 3
+        assert cl[1].site_id == "place1"
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            Cluster(0)
+
+    def test_run_everywhere(self):
+        with Cluster(3, check_interval_s=0.05) as cl:
+            tasks = cl.run_everywhere(lambda site: site.site_id)
+            results = cl.join_all(tasks, timeout=10)
+            assert results == ["place0", "place1", "place2"]
+
+    def test_total_check_stats_merges(self):
+        with Cluster(2, check_interval_s=0.01, publish_interval_s=0.01) as cl:
+            time.sleep(0.1)
+        stats = cl.total_check_stats()
+        assert stats.checks > 0

@@ -1,0 +1,94 @@
+"""Site tests: publishing/checking loops, de-dup, failures."""
+
+from __future__ import annotations
+
+import time
+
+from repro.core.events import waiting_on
+from repro.distributed.site import Site
+from repro.distributed.store import InMemoryStore
+
+
+def load_local_deadlock(site: Site) -> None:
+    """Two tasks of this site in a crossed wait (via the checker API
+    directly; runtime-driven variants live in test_places)."""
+    dep = site.runtime.checker.dependency
+    dep.set_blocked("a", waiting_on("p", 1, p=1, q=0))
+    dep.set_blocked("b", waiting_on("q", 1, q=1, p=0))
+
+
+class TestSynchronousRounds:
+    def test_publish_then_check_detects(self):
+        store = InMemoryStore()
+        site = Site("s0", store, cancel_on_detect=False)
+        load_local_deadlock(site)
+        report = site.poll_detection()
+        assert report is not None
+        assert store.get("s0")  # the bucket was published
+
+    def test_duplicate_cycles_deduplicated(self):
+        site = Site("s0", InMemoryStore(), cancel_on_detect=False)
+        load_local_deadlock(site)
+        assert site.poll_detection() is not None
+        assert site.poll_detection() is None  # same cycle, not re-reported
+        assert len(site.reports) == 1
+
+    def test_callback(self):
+        seen = []
+        site = Site(
+            "s0",
+            InMemoryStore(),
+            cancel_on_detect=False,
+            on_deadlock=seen.append,
+        )
+        load_local_deadlock(site)
+        site.poll_detection()
+        assert len(seen) == 1
+
+
+class TestBackgroundLoops:
+    def test_detects_in_background(self):
+        store = InMemoryStore()
+        with Site(
+            "s0",
+            store,
+            check_interval_s=0.02,
+            publish_interval_s=0.01,
+            cancel_on_detect=False,
+        ) as site:
+            load_local_deadlock(site)
+            deadline = time.time() + 5.0
+            while not site.reports and time.time() < deadline:
+                time.sleep(0.01)
+        assert site.reports
+
+    def test_store_outage_counted_and_survived(self):
+        store = InMemoryStore()
+        with Site(
+            "s0", store, check_interval_s=0.01, publish_interval_s=0.01
+        ) as site:
+            store.set_available(False)
+            time.sleep(0.1)
+            assert site.publish_failures > 0 or site.check_failures > 0
+            store.set_available(True)
+            load_local_deadlock(site)
+            deadline = time.time() + 5.0
+            while not site.reports and time.time() < deadline:
+                time.sleep(0.01)
+            assert site.reports  # recovered after the outage
+
+    def test_kill_leaves_stale_bucket(self):
+        store = InMemoryStore()
+        site = Site("s0", store, publish_interval_s=0.01).start()
+        load_local_deadlock(site)
+        time.sleep(0.1)
+        site.kill()
+        assert not site.alive
+        assert store.get("s0") is not None  # the crash leaves it behind
+
+    def test_graceful_stop_withdraws_bucket(self):
+        store = InMemoryStore()
+        site = Site("s0", store, publish_interval_s=0.01).start()
+        time.sleep(0.05)
+        site.stop()
+        assert store.get("s0") is None

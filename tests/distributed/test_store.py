@@ -1,0 +1,127 @@
+"""Store tests: buckets, wire format, failure injection, replication."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.events import BlockedStatus, Event, waiting_on
+from repro.distributed.store import (
+    InMemoryStore,
+    ReplicatedStore,
+    StoreUnavailableError,
+    decode_statuses,
+    encode_statuses,
+)
+
+
+class TestWireFormat:
+    def test_roundtrip(self):
+        statuses = {
+            "t1": waiting_on("pc", 1, pc=1, pb=0),
+            "t2": BlockedStatus(
+                waits=frozenset({Event("a", 2), Event("b", 1)}),
+                registered={"a": 1},
+                generation=7,
+            ),
+        }
+        decoded = decode_statuses(encode_statuses(statuses))
+        assert decoded["t1"].waits == statuses["t1"].waits
+        assert dict(decoded["t1"].registered) == dict(statuses["t1"].registered)
+        assert decoded["t2"].waits == statuses["t2"].waits
+        assert decoded["t2"].generation == 7
+
+    def test_encoding_is_json_plain(self):
+        import json
+
+        blob = encode_statuses({"t": waiting_on("p", 1, p=1)})
+        json.dumps(blob)  # must not raise
+
+
+class TestInMemoryStore:
+    def test_put_get(self):
+        store = InMemoryStore()
+        store.put("site0", {"a": 1})
+        assert store.get("site0") == {"a": 1}
+        assert store.get("missing") is None
+
+    def test_put_replaces_bucket(self):
+        store = InMemoryStore()
+        store.put("s", {"a": 1})
+        store.put("s", {"b": 2})
+        assert store.get("s") == {"b": 2}
+
+    def test_get_all_snapshot(self):
+        store = InMemoryStore()
+        store.put("s1", {"x": 1})
+        store.put("s2", {"y": 2})
+        snap = store.get_all()
+        store.put("s3", {"z": 3})
+        assert set(snap) == {"s1", "s2"}
+
+    def test_delete(self):
+        store = InMemoryStore()
+        store.put("s", {})
+        store.delete("s")
+        assert store.get("s") is None
+
+    def test_outage_raises(self):
+        store = InMemoryStore()
+        store.set_available(False)
+        with pytest.raises(StoreUnavailableError):
+            store.put("s", {})
+        with pytest.raises(StoreUnavailableError):
+            store.get_all()
+
+    def test_recovery(self):
+        store = InMemoryStore()
+        store.put("s", {"a": 1})
+        store.set_available(False)
+        store.set_available(True)
+        assert store.get("s") == {"a": 1}
+
+    def test_traffic_counters(self):
+        store = InMemoryStore()
+        store.put("s", {})
+        store.get_all()
+        assert store.puts == 1
+        assert store.gets == 1
+
+
+class TestReplicatedStore:
+    def test_requires_replicas(self):
+        with pytest.raises(ValueError):
+            ReplicatedStore([])
+
+    def test_write_through(self):
+        replicas = [InMemoryStore(f"r{i}") for i in range(3)]
+        store = ReplicatedStore(replicas)
+        store.put("s", {"a": 1})
+        assert all(r.get("s") == {"a": 1} for r in replicas)
+
+    def test_survives_partial_outage(self):
+        replicas = [InMemoryStore(f"r{i}") for i in range(2)]
+        store = ReplicatedStore(replicas)
+        replicas[0].set_available(False)
+        store.put("s", {"a": 1})
+        assert store.get_all() == {"s": {"a": 1}}
+
+    def test_total_outage_raises(self):
+        replicas = [InMemoryStore(f"r{i}") for i in range(2)]
+        store = ReplicatedStore(replicas)
+        for r in replicas:
+            r.set_available(False)
+        with pytest.raises(StoreUnavailableError):
+            store.put("s", {})
+        with pytest.raises(StoreUnavailableError):
+            store.get_all()
+
+    def test_recovered_replica_resyncs_on_next_write(self):
+        replicas = [InMemoryStore(f"r{i}") for i in range(2)]
+        store = ReplicatedStore(replicas)
+        store.put("s", {"v": 1})
+        replicas[0].set_available(False)
+        store.put("s", {"v": 2})  # only r1 sees it
+        replicas[0].set_available(True)
+        assert replicas[0].get("s") == {"v": 1}  # stale...
+        store.put("s", {"v": 3})
+        assert replicas[0].get("s") == {"v": 3}  # ...healed by the write

@@ -1,0 +1,150 @@
+"""Ground-truth deadlock characterisation tests (Definitions 3.1/3.2)."""
+
+from __future__ import annotations
+
+from repro.core.events import Event
+from repro.pl.deadlock import (
+    awaiting_tasks,
+    blocked_tasks,
+    deadlocked_subset,
+    is_deadlocked,
+    is_totally_deadlocked,
+    to_snapshot,
+)
+from repro.pl.phaser import Phaser
+from repro.pl.state import State
+from repro.pl.syntax import Await, Skip, seq
+
+
+def example_41_state() -> State:
+    """The deadlocked state (M1, T1) of Example 4.1."""
+    return State(
+        phasers={
+            "pc": Phaser({"t1": 1, "t2": 1, "t3": 1, "t4": 0}),
+            "pb": Phaser({"t1": 0, "t2": 0, "t3": 0, "t4": 1}),
+        },
+        tasks={
+            "t1": seq(Await("pc"), Skip()),
+            "t2": seq(Await("pc"), Skip()),
+            "t3": seq(Await("pc"), Skip()),
+            "t4": seq(Await("pb"), Skip()),
+        },
+    )
+
+
+class TestTotallyDeadlocked:
+    def test_example_41_is_totally_deadlocked(self):
+        assert is_totally_deadlocked(example_41_state())
+
+    def test_empty_task_map_is_not(self):
+        assert not is_totally_deadlocked(State(phasers={}, tasks={}))
+
+    def test_running_task_disqualifies(self):
+        s = example_41_state().with_task("extra", seq(Skip()))
+        assert not is_totally_deadlocked(s)
+        # ... but the state is still *deadlocked* (Def. 3.2).
+        assert is_deadlocked(s)
+
+    def test_impeder_must_be_in_state(self):
+        """A task awaiting an event impeded only by a task *outside* the
+        map is not totally deadlocked."""
+        s = State(
+            phasers={"p": Phaser({"t": 1, "outsider": 0})},
+            tasks={"t": seq(Await("p"))},
+        )
+        assert not is_totally_deadlocked(s)
+
+
+class TestDeadlockedSubset:
+    def test_example_41_full_subset(self):
+        assert deadlocked_subset(example_41_state()) == {
+            "t1",
+            "t2",
+            "t3",
+            "t4",
+        }
+
+    def test_no_deadlock_empty_subset(self):
+        s = State(
+            phasers={"p": Phaser({"a": 1, "b": 0})},
+            tasks={"a": seq(Await("p")), "b": seq(Skip())},
+        )
+        assert deadlocked_subset(s) == frozenset()
+        assert not is_deadlocked(s)
+
+    def test_terminated_impeder_is_starvation_not_deadlock(self):
+        """The paper's Def 3.2 boundary: a terminated-but-registered
+        member starves waiters without forming a deadlock."""
+        s = State(
+            phasers={"p": Phaser({"a": 1, "dead": 0})},
+            tasks={"a": seq(Await("p")), "dead": ()},
+        )
+        assert blocked_tasks(s) == {"a"}  # blocked forever...
+        assert not is_deadlocked(s)  # ...but not a circular wait
+
+    def test_partial_subset(self):
+        """Two deadlocked tasks plus an independent runnable one."""
+        s = State(
+            phasers={
+                "x": Phaser({"a": 1, "b": 0}),
+                "y": Phaser({"a": 0, "b": 1}),
+            },
+            tasks={
+                "a": seq(Await("x")),
+                "b": seq(Await("y")),
+                "free": seq(Skip()),
+            },
+        )
+        assert deadlocked_subset(s) == {"a", "b"}
+        assert is_deadlocked(s)
+
+    def test_gfp_prunes_chained_waiters(self):
+        """A waiter hanging off a deadlocked core is pruned when its
+        impeder is outside the core... unless the impeder is in the
+        subset, in which case it stays."""
+        s = State(
+            phasers={
+                "x": Phaser({"a": 1, "b": 0}),
+                "y": Phaser({"a": 0, "b": 1}),
+                "z": Phaser({"c": 1, "a": 0}),
+            },
+            tasks={
+                "a": seq(Await("x")),
+                "b": seq(Await("y")),
+                "c": seq(Await("z")),  # impeded by a, which is in the core
+            },
+        )
+        assert deadlocked_subset(s) == {"a", "b", "c"}
+
+
+class TestBlockedAndAwaiting:
+    def test_awaiting_requires_membership(self):
+        s = State(
+            phasers={"p": Phaser({"other": 0})},
+            tasks={"t": seq(Await("p"))},
+        )
+        assert awaiting_tasks(s) == {}
+
+    def test_blocked_excludes_satisfied_awaits(self):
+        s = State(
+            phasers={"p": Phaser({"a": 1, "b": 1})},
+            tasks={"a": seq(Await("p")), "b": seq(Skip())},
+        )
+        assert blocked_tasks(s) == frozenset()
+
+
+class TestToSnapshot:
+    def test_example_41_roundtrip(self):
+        snap = to_snapshot(example_41_state())
+        assert set(snap.tasks) == {"t1", "t2", "t3", "t4"}
+        assert snap.statuses["t1"].waits == frozenset({Event("pc", 1)})
+        assert snap.statuses["t1"].registered == {"pc": 1, "pb": 0}
+        assert snap.statuses["t4"].registered == {"pc": 0, "pb": 1}
+
+    def test_only_blocked_filtering(self):
+        s = State(
+            phasers={"p": Phaser({"a": 1, "b": 1})},
+            tasks={"a": seq(Await("p")), "b": seq(Await("p"))},
+        )
+        assert to_snapshot(s, only_blocked=True).is_empty()
+        assert len(to_snapshot(s, only_blocked=False)) == 2

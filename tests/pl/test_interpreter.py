@@ -1,0 +1,85 @@
+"""Interpreter and exploration-engine tests."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.checker import DeadlockChecker
+from repro.pl.interpreter import Interpreter, explore
+from repro.pl.programs import initial, running_example, spmd_rounds
+from repro.pl.state import State
+from repro.pl.syntax import Loop, Skip, seq
+
+
+class TestDeterminism:
+    def test_same_seed_same_run(self):
+        program = initial(running_example(I=3, J=1))
+        r1 = Interpreter(seed=42).run(program)
+        r2 = Interpreter(seed=42).run(program)
+        assert r1.steps == r2.steps
+        assert r1.state.tasks == r2.state.tasks
+        assert r1.deadlocked == r2.deadlocked
+
+    def test_different_seeds_can_differ(self):
+        program = initial(spmd_rounds(n=3, rounds=2))
+        steps = {Interpreter(seed=s).run(program).steps for s in range(8)}
+        assert len(steps) >= 1  # all must terminate regardless
+
+
+class TestBudget:
+    def test_unbounded_loop_exhausts_budget(self):
+        program = State.initial(seq(Loop(body=seq(Skip()))))
+        result = Interpreter(seed=0, unfold_bias=1.0, max_steps=500).run(program)
+        assert result.exhausted
+        assert result.steps == 500
+
+    def test_low_bias_escapes_loops(self):
+        program = State.initial(seq(Loop(body=seq(Skip()))))
+        result = Interpreter(seed=0, unfold_bias=0.0, max_steps=500).run(program)
+        assert result.finished
+
+
+class TestCheckerIntegration:
+    def test_checker_reports_on_deadlock(self):
+        result = Interpreter(seed=7, checker=DeadlockChecker()).run(
+            initial(running_example(I=3, J=1))
+        )
+        assert result.is_deadlocked
+        assert result.reports
+        report = result.reports[0]
+        assert set(report.tasks) <= set(result.state.tasks)
+
+    def test_checker_silent_on_clean_run(self):
+        result = Interpreter(seed=7, checker=DeadlockChecker()).run(
+            initial(spmd_rounds(n=3, rounds=2))
+        )
+        assert result.finished
+        assert not result.reports
+
+    def test_check_every_reduces_checks(self):
+        checker_all = DeadlockChecker()
+        Interpreter(seed=3, checker=checker_all, check_every=1).run(
+            initial(spmd_rounds(n=2, rounds=1))
+        )
+        checker_sparse = DeadlockChecker()
+        Interpreter(seed=3, checker=checker_sparse, check_every=10).run(
+            initial(spmd_rounds(n=2, rounds=1))
+        )
+        assert checker_sparse.stats.checks < checker_all.stats.checks
+
+
+class TestExplore:
+    def test_visits_are_bounded(self):
+        out = explore(initial(spmd_rounds(n=3, rounds=2)), max_states=20)
+        assert out.truncated
+
+    def test_loop_unfold_bound(self):
+        program = State.initial(seq(Loop(body=seq(Skip()))))
+        out = explore(program, max_loop_unfolds=3)
+        assert not out.truncated
+        assert out.finished  # e-loop exits exist at every depth
+
+    def test_classification_is_exhaustive(self):
+        out = explore(initial(spmd_rounds(n=2, rounds=1)))
+        assert out.visited > 0
+        assert out.finished and not out.deadlocked and not out.faulted

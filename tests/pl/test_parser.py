@@ -1,0 +1,155 @@
+"""Parser tests: round-trips with pretty(), Figure 3, error positions."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.pl import programs
+from repro.pl.parser import PLSyntaxError, parse
+from repro.pl.syntax import (
+    Adv,
+    Await,
+    Dereg,
+    Fork,
+    Loop,
+    NewPhaser,
+    NewTid,
+    Reg,
+    Skip,
+    pretty,
+    seq,
+)
+
+
+class TestBasics:
+    def test_empty(self):
+        assert parse("") == ()
+        assert parse("   \n  // just a comment\n") == ()
+
+    def test_skip(self):
+        assert parse("skip;") == seq(Skip())
+
+    def test_binders(self):
+        assert parse("t = newTid();") == seq(NewTid("t"))
+        assert parse("p = newPhaser();") == seq(NewPhaser("p"))
+
+    def test_phaser_ops(self):
+        assert parse("adv(p); await(p); dereg(p);") == seq(
+            Adv("p"), Await("p"), Dereg("p")
+        )
+
+    def test_reg_is_phaser_first(self):
+        # Figure 3 prints reg(pc, t): phaser, then task.
+        assert parse("reg(pc, t);") == seq(Reg(task="t", phaser="pc"))
+
+    def test_fork(self):
+        out = parse("fork(t) skip; adv(p); end;")
+        assert out == seq(Fork(task="t", body=seq(Skip(), Adv("p"))))
+
+    def test_loop(self):
+        out = parse("loop skip; end;")
+        assert out == seq(Loop(body=seq(Skip())))
+
+    def test_nested_blocks(self):
+        out = parse("fork(t) loop skip; end; end;")
+        assert out == seq(
+            Fork(task="t", body=seq(Loop(body=seq(Skip()))))
+        )
+
+    def test_comments_and_whitespace(self):
+        out = parse(
+            """
+            // the running example, truncated
+            pc = newPhaser();   // cyclic barrier
+            adv(pc);
+            """
+        )
+        assert out == seq(NewPhaser("pc"), Adv("pc"))
+
+
+class TestFigure3:
+    def test_parses_the_paper_listing(self):
+        source = """
+        pc = newPhaser();
+        pb = newPhaser();
+        t = newTid();
+        reg(pc, t); reg(pb, t);
+        fork(t)
+          loop
+            skip;
+            adv(pc); await(pc);
+            skip;
+            adv(pc); await(pc);
+          end;
+          dereg(pc);
+          dereg(pb);
+        end;
+        adv(pb); await(pb);
+        skip;
+        """
+        program = parse(source)
+        assert isinstance(program[0], NewPhaser)
+        fork = program[5]
+        assert isinstance(fork, Fork)
+        assert isinstance(fork.body[0], Loop)
+        assert fork.body[-1] == Dereg("pb")
+
+
+class TestRoundTrip:
+    @pytest.mark.parametrize(
+        "program",
+        [
+            programs.running_example(I=2, J=1),
+            programs.running_example_fixed(I=3, J=2),
+            programs.two_barrier_cross(),
+            programs.two_barrier_aligned(),
+            programs.split_phase(),
+            programs.spmd_rounds(),
+            programs.fork_join(),
+            programs.missing_participant(),
+            programs.dynamic_membership(),
+            programs.nested_fork_join(),
+            programs.smallest_deadlock(),
+        ],
+        ids=lambda p: f"{len(p)}-instr",
+    )
+    def test_pretty_parse_roundtrip(self, program):
+        assert parse(pretty(program)) == program
+
+    def test_roundtrip_of_loops(self):
+        program = seq(Loop(body=seq(Skip(), Loop(body=seq(Adv("p"))))))
+        assert parse(pretty(program)) == program
+
+
+class TestErrors:
+    @pytest.mark.parametrize(
+        "source",
+        [
+            "skip",  # missing semicolon
+            "t = newQueue();",  # unknown constructor
+            "reg(p);",  # arity
+            "fork(t) skip;",  # unterminated block
+            "adv(p)",  # missing semicolon
+            "= newTid();",  # missing binder name
+            "adv(loop);",  # keyword where a name is expected
+            "!",  # bad character
+        ],
+    )
+    def test_rejected(self, source):
+        with pytest.raises(PLSyntaxError):
+            parse(source)
+
+    def test_error_carries_position(self):
+        with pytest.raises(PLSyntaxError) as err:
+            parse("skip;\nskip;\nadv(p)")
+        assert err.value.line >= 3
+
+
+class TestParsedProgramsRun:
+    def test_parsed_figure3_deadlocks(self):
+        from repro.pl.interpreter import Interpreter
+        from repro.pl.state import State
+
+        program = parse(pretty(programs.running_example(I=2, J=1)))
+        result = Interpreter(seed=5).run(State.initial(program))
+        assert result.is_deadlocked

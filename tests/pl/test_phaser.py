@@ -1,0 +1,83 @@
+"""Phaser data-structure tests (Figure 4's Phasers block)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.pl.phaser import Phaser, PhaserError, await_holds
+
+
+class TestOperations:
+    def test_reg_adds_member(self):
+        p = Phaser().reg("t", 0)
+        assert p["t"] == 0
+
+    def test_reg_premise_allows_equal_phase(self):
+        p = Phaser({"a": 2}).reg("b", 2)
+        assert p["b"] == 2
+
+    def test_reg_premise_allows_past_phase(self):
+        # exists t' with P(t') <= n: a at 1 <= 3.
+        p = Phaser({"a": 1}).reg("b", 3)
+        assert p["b"] == 3
+
+    def test_reg_premise_rejects_future_only(self):
+        """No member has phase <= n: the new member would wait for an
+        event that already happened."""
+        with pytest.raises(PhaserError):
+            Phaser({"a": 5}).reg("b", 3)
+
+    def test_reg_duplicate_rejected(self):
+        with pytest.raises(PhaserError):
+            Phaser({"t": 0}).reg("t", 0)
+
+    def test_dereg(self):
+        p = Phaser({"a": 1, "b": 2}).dereg("a")
+        assert "a" not in p
+        assert p["b"] == 2
+
+    def test_dereg_non_member_rejected(self):
+        with pytest.raises(PhaserError):
+            Phaser().dereg("ghost")
+
+    def test_adv_increments(self):
+        p = Phaser({"t": 3}).adv("t")
+        assert p["t"] == 4
+
+    def test_adv_non_member_rejected(self):
+        with pytest.raises(PhaserError):
+            Phaser().adv("t")
+
+    def test_operations_are_persistent(self):
+        original = Phaser({"t": 0})
+        advanced = original.adv("t")
+        assert original["t"] == 0
+        assert advanced["t"] == 1
+
+
+class TestAwaitPredicate:
+    def test_holds_when_all_at_or_above(self):
+        assert await_holds(Phaser({"a": 2, "b": 3}), 2)
+
+    def test_fails_when_any_below(self):
+        assert not await_holds(Phaser({"a": 1, "b": 3}), 2)
+
+    def test_vacuous_on_empty(self):
+        assert await_holds(Phaser(), 99)
+
+    def test_phase_zero_always_holds(self):
+        assert await_holds(Phaser({"a": 0}), 0)
+
+
+class TestMapping:
+    def test_mapping_protocol(self):
+        p = Phaser({"a": 1, "b": 2})
+        assert len(p) == 2
+        assert set(p) == {"a", "b"}
+        assert p.phase_of("a") == 1
+        assert p.phase_of("ghost") is None
+
+    def test_equality_and_hash(self):
+        assert Phaser({"a": 1}) == Phaser({"a": 1})
+        assert hash(Phaser({"a": 1})) == hash(Phaser({"a": 1}))
+        assert Phaser({"a": 1}) != Phaser({"a": 2})

@@ -1,0 +1,116 @@
+"""Program-library tests: expected outcome of every PL pattern.
+
+Small instances are *model-checked* (every interleaving explored) so the
+claims "deadlocks under some schedule" / "never deadlocks" are exact,
+not sampled.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.pl.interpreter import Interpreter, explore
+from repro.pl.programs import (
+    dynamic_membership,
+    fork_join,
+    initial,
+    missing_participant,
+    nested_fork_join,
+    running_example,
+    running_example_fixed,
+    smallest_deadlock,
+    split_phase,
+    spmd_rounds,
+    two_barrier_aligned,
+    two_barrier_cross,
+)
+
+
+class TestRunningExample:
+    def test_deadlocks_under_every_full_schedule(self):
+        result = Interpreter(seed=0).run(initial(running_example(I=2, J=1)))
+        assert result.is_deadlocked
+
+    @pytest.mark.parametrize("seed", range(10))
+    def test_deadlocks_for_many_seeds(self, seed: int):
+        result = Interpreter(seed=seed).run(initial(running_example(I=3, J=1)))
+        assert result.is_deadlocked
+        assert not result.finished
+
+    @pytest.mark.parametrize("seed", range(10))
+    def test_fixed_version_terminates(self, seed: int):
+        result = Interpreter(seed=seed).run(
+            initial(running_example_fixed(I=3, J=2))
+        )
+        assert result.finished
+        assert not result.is_deadlocked
+
+    def test_exploration_finds_no_escape(self):
+        """Model checking: *every* quiescent state of the buggy program
+        is deadlocked; none is finished."""
+        out = explore(initial(running_example(I=2, J=1)), max_loop_unfolds=0)
+        assert out.deadlocked
+        assert not out.finished
+        assert not out.faulted
+
+    def test_exploration_fixed_always_finishes(self):
+        out = explore(initial(running_example_fixed(I=2, J=1)), max_loop_unfolds=0)
+        assert out.finished
+        assert not out.deadlocked
+        assert not out.faulted
+
+
+class TestCrossedBarriers:
+    def test_cross_deadlocks(self):
+        out = explore(initial(two_barrier_cross()))
+        assert out.deadlocked
+        assert not out.finished
+
+    def test_aligned_never_deadlocks(self):
+        out = explore(initial(two_barrier_aligned()))
+        assert out.finished
+        assert not out.deadlocked
+
+    def test_smallest_deadlock(self):
+        out = explore(initial(smallest_deadlock()))
+        assert out.deadlocked
+        assert not out.finished
+
+
+class TestDeadlockFreePatterns:
+    @pytest.mark.parametrize(
+        "program",
+        [
+            split_phase(n=2, work_len=2),
+            spmd_rounds(n=2, rounds=2),
+            fork_join(n=3),
+            dynamic_membership(n=3),
+            nested_fork_join(width=2),
+        ],
+        ids=["split-phase", "spmd", "fork-join", "dyn-membership", "nested"],
+    )
+    def test_explored_deadlock_free(self, program):
+        out = explore(initial(program), max_states=200_000)
+        assert not out.deadlocked
+        assert not out.faulted
+        assert out.finished
+        assert not out.truncated
+
+    @pytest.mark.parametrize("seed", range(5))
+    def test_larger_instances_run_clean(self, seed: int):
+        for program in (
+            split_phase(n=4, work_len=3),
+            spmd_rounds(n=4, rounds=3),
+            fork_join(n=5),
+            dynamic_membership(n=4),
+            nested_fork_join(width=3),
+        ):
+            result = Interpreter(seed=seed).run(initial(program))
+            assert result.finished, program
+
+
+class TestStarvationBoundary:
+    def test_missing_participant_starves_but_no_deadlock(self):
+        result = Interpreter(seed=1).run(initial(missing_participant(3)))
+        assert not result.finished  # blocked forever
+        assert not result.is_deadlocked  # yet not a Def-3.2 deadlock

@@ -1,0 +1,192 @@
+"""Operational-semantics tests: every rule of Figure 4 individually."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.pl.phaser import Phaser, PhaserError
+from repro.pl.semantics import (
+    apply_step,
+    enabled_steps,
+    is_finished,
+    is_stuck,
+    step_task,
+    task_steps,
+)
+from repro.pl.state import State
+from repro.pl.syntax import (
+    Adv,
+    Await,
+    Dereg,
+    Fork,
+    Loop,
+    NewPhaser,
+    NewTid,
+    Reg,
+    Skip,
+    seq,
+)
+
+
+class TestSkipAndLoop:
+    def test_skip(self):
+        s = State.initial(seq(Skip(), Skip()))
+        s2 = step_task(s, "main")
+        assert s2.tasks["main"] == seq(Skip())
+
+    def test_loop_offers_both_rules(self):
+        s = State.initial(seq(Loop(body=seq(Skip()))))
+        rules = {step.rule for step in task_steps(s, "main")}
+        assert rules == {"i-loop", "e-loop"}
+
+    def test_i_loop_unfolds(self):
+        body = seq(Skip())
+        s = State.initial(seq(Loop(body=body), Adv("p")))
+        s2 = step_task(s, "main", rule="i-loop")
+        assert s2.tasks["main"] == seq(Skip(), Loop(body=body), Adv("p"))
+
+    def test_e_loop_exits(self):
+        s = State.initial(seq(Loop(body=seq(Skip())), Skip()))
+        s2 = step_task(s, "main", rule="e-loop")
+        assert s2.tasks["main"] == seq(Skip())
+
+
+class TestTaskRules:
+    def test_new_t_binds_fresh_name(self):
+        s = State.initial(seq(NewTid("x"), Fork(task="x", body=seq(Skip()))))
+        s2 = step_task(s, "main")
+        # A fresh idle task appeared...
+        fresh = [t for t in s2.tasks if t != "main"]
+        assert len(fresh) == 1
+        assert s2.tasks[fresh[0]] == ()
+        # ... and the continuation references it.
+        fork = s2.tasks["main"][0]
+        assert isinstance(fork, Fork)
+        assert fork.task == fresh[0]
+
+    def test_fork_requires_idle_target(self):
+        s = State(
+            phasers={},
+            tasks={"main": seq(Fork(task="w", body=seq(Skip()))), "w": seq(Skip())},
+        )
+        assert task_steps(s, "main") == []  # w is not `end`
+
+    def test_fork_starts_body(self):
+        s = State(
+            phasers={},
+            tasks={"main": seq(Fork(task="w", body=seq(Skip()))), "w": ()},
+        )
+        s2 = step_task(s, "main")
+        assert s2.tasks["w"] == seq(Skip())
+        assert s2.tasks["main"] == ()
+
+
+class TestPhaserRules:
+    def test_new_ph_registers_creator_at_zero(self):
+        s = State.initial(seq(NewPhaser("p"), Adv("p")))
+        s2 = step_task(s, "main")
+        (name,) = s2.phasers
+        assert s2.phasers[name]["main"] == 0
+        # The continuation references the fresh name.
+        assert s2.tasks["main"] == seq(Adv(name))
+
+    def test_reg_inherits_registrar_phase(self):
+        s = State(
+            phasers={"p": Phaser({"main": 2})},
+            tasks={"main": seq(Reg(task="w", phaser="p"))},
+        )
+        s2 = step_task(s, "main")
+        assert s2.phasers["p"]["w"] == 2
+
+    def test_reg_requires_registrar_membership(self):
+        s = State(
+            phasers={"p": Phaser({"other": 0})},
+            tasks={"main": seq(Reg(task="w", phaser="p"))},
+        )
+        assert task_steps(s, "main") == []
+
+    def test_reg_of_existing_member_disabled(self):
+        s = State(
+            phasers={"p": Phaser({"main": 0, "w": 0})},
+            tasks={"main": seq(Reg(task="w", phaser="p"))},
+        )
+        assert task_steps(s, "main") == []
+
+    def test_dereg(self):
+        s = State(
+            phasers={"p": Phaser({"main": 0, "w": 0})},
+            tasks={"main": seq(Dereg("p"))},
+        )
+        s2 = step_task(s, "main")
+        assert "main" not in s2.phasers["p"]
+
+    def test_adv(self):
+        s = State(
+            phasers={"p": Phaser({"main": 0})}, tasks={"main": seq(Adv("p"))}
+        )
+        s2 = step_task(s, "main")
+        assert s2.phasers["p"]["main"] == 1
+
+    def test_sync_enabled_iff_await_holds(self):
+        blocked = State(
+            phasers={"p": Phaser({"main": 1, "w": 0})},
+            tasks={"main": seq(Await("p"))},
+        )
+        assert task_steps(blocked, "main") == []
+        ready = State(
+            phasers={"p": Phaser({"main": 1, "w": 1})},
+            tasks={"main": seq(Await("p"))},
+        )
+        s2 = step_task(ready, "main")
+        assert s2.tasks["main"] == ()
+
+    def test_sync_unblocked_by_dereg(self):
+        """Dynamic membership: the lagging member leaving lets the await
+        fire — the scenario static-membership analyses cannot model."""
+        s = State(
+            phasers={"p": Phaser({"main": 1, "lagger": 0})},
+            tasks={"main": seq(Await("p")), "lagger": seq(Dereg("p"))},
+        )
+        assert task_steps(s, "main") == []
+        s2 = step_task(s, "lagger")
+        assert task_steps(s2, "main") != []
+
+
+class TestDrivers:
+    def test_enabled_steps_unions_tasks(self):
+        s = State(
+            phasers={},
+            tasks={"a": seq(Skip()), "b": seq(Skip()), "c": ()},
+        )
+        assert {step.task for step in enabled_steps(s)} == {"a", "b"}
+
+    def test_step_task_on_stuck_raises(self):
+        s = State(phasers={}, tasks={"main": ()})
+        with pytest.raises(PhaserError):
+            step_task(s, "main")
+
+    def test_step_task_ambiguous_requires_rule(self):
+        s = State.initial(seq(Loop(body=seq(Skip()))))
+        with pytest.raises(PhaserError):
+            step_task(s, "main")
+
+    def test_is_stuck_and_finished(self):
+        finished = State(phasers={}, tasks={"main": ()})
+        assert is_finished(finished)
+        assert not is_stuck(finished)
+        stuck = State(
+            phasers={"p": Phaser({"main": 1, "w": 0})},
+            tasks={"main": seq(Await("p")), "w": ()},
+        )
+        assert is_stuck(stuck)
+        assert not is_finished(stuck)
+
+    def test_apply_step_validates_sync_premise(self):
+        from repro.pl.semantics import Step
+
+        s = State(
+            phasers={"p": Phaser({"main": 1, "w": 0})},
+            tasks={"main": seq(Await("p"))},
+        )
+        with pytest.raises(PhaserError):
+            apply_step(s, Step("main", "sync"))

@@ -1,0 +1,97 @@
+"""PL syntax tests: sequence building, substitution, pretty-printing."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.pl.syntax import (
+    Adv,
+    Await,
+    Dereg,
+    Fork,
+    Loop,
+    NewPhaser,
+    NewTid,
+    Reg,
+    Skip,
+    pretty,
+    seq,
+    substitute_seq,
+)
+
+
+class TestSeqBuilder:
+    def test_flattens_nested_sequences(self):
+        inner = seq(Adv("p"), Await("p"))
+        outer = seq(Skip(), inner, Skip())
+        assert len(outer) == 4
+
+    def test_rejects_non_instructions(self):
+        with pytest.raises(TypeError):
+            seq("skip")  # type: ignore[arg-type]
+        with pytest.raises(TypeError):
+            seq((Skip(), "bad"))  # type: ignore[arg-type]
+
+    def test_empty(self):
+        assert seq() == ()
+
+
+class TestSubstitution:
+    def test_substitutes_phaser_references(self):
+        s = seq(Adv("p"), Await("p"), Dereg("p"))
+        out = substitute_seq(s, "p", "q0")
+        assert out == seq(Adv("q0"), Await("q0"), Dereg("q0"))
+
+    def test_substitutes_task_references(self):
+        s = seq(Reg(task="t", phaser="p"), Fork(task="t", body=seq(Skip())))
+        out = substitute_seq(s, "t", "t7")
+        assert out[0] == Reg(task="t7", phaser="p")
+        assert out[1] == Fork(task="t7", body=seq(Skip()))
+
+    def test_substitution_enters_fork_bodies(self):
+        s = seq(Fork(task="x", body=seq(Adv("p"))))
+        out = substitute_seq(s, "p", "q")
+        assert out[0].body == seq(Adv("q"))
+
+    def test_substitution_enters_loop_bodies(self):
+        s = seq(Loop(body=seq(Await("p"))))
+        out = substitute_seq(s, "p", "q")
+        assert out[0].body == seq(Await("q"))
+
+    def test_stops_at_rebinding(self):
+        """A newTid/newPhaser rebinding shadows the outer variable for
+        the remainder of the sequence."""
+        s = seq(Adv("p"), NewPhaser("p"), Adv("p"))
+        out = substitute_seq(s, "p", "q")
+        assert out[0] == Adv("q")  # before the binder: substituted
+        assert out[2] == Adv("p")  # after the binder: untouched
+
+    def test_task_var_shadowing(self):
+        s = seq(Reg(task="t", phaser="p"), NewTid("t"), Reg(task="t", phaser="p"))
+        out = substitute_seq(s, "t", "w")
+        assert out[0].task == "w"
+        assert out[2].task == "t"
+
+
+class TestPretty:
+    def test_renders_all_constructs(self):
+        program = seq(
+            NewPhaser("p"),
+            NewTid("t"),
+            Reg(task="t", phaser="p"),
+            Fork(task="t", body=seq(Loop(body=seq(Skip(), Adv("p"), Await("p"))))),
+            Dereg("p"),
+        )
+        text = pretty(program)
+        for fragment in (
+            "p = newPhaser()",
+            "t = newTid()",
+            "reg(p, t)",
+            "fork(t)",
+            "loop",
+            "skip;",
+            "adv(p);",
+            "await(p);",
+            "dereg(p);",
+        ):
+            assert fragment in text

@@ -1,0 +1,143 @@
+"""CyclicBarrier and CountDownLatch tests (the JArmus-supported classes)."""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from repro.runtime.barriers import (
+    BrokenBarrierError,
+    CountDownLatch,
+    CyclicBarrier,
+)
+from repro.runtime.phaser import PhaserMembershipError
+
+
+class TestCyclicBarrier:
+    def test_parties_must_be_positive(self, off_runtime):
+        with pytest.raises(ValueError):
+            CyclicBarrier(0, off_runtime)
+
+    def test_trips_when_all_arrive(self, off_runtime):
+        bar = CyclicBarrier(3, off_runtime)
+        generations = []
+
+        def worker():
+            generations.append(bar.await_barrier())
+
+        tasks = [off_runtime.spawn(worker, register=[bar]) for _ in range(3)]
+        for t in tasks:
+            t.join(5)
+        assert generations == [0, 0, 0]
+
+    def test_cyclic_across_generations(self, off_runtime):
+        bar = CyclicBarrier(2, off_runtime)
+        seen = []
+
+        def worker():
+            for _ in range(4):
+                seen.append(bar.await_barrier())
+
+        tasks = [off_runtime.spawn(worker, register=[bar]) for _ in range(2)]
+        for t in tasks:
+            t.join(5)
+        assert sorted(seen) == [0, 0, 1, 1, 2, 2, 3, 3]
+
+    def test_over_registration_rejected(self, off_runtime):
+        bar = CyclicBarrier(1, off_runtime)
+        bar.register()
+        with pytest.raises(BrokenBarrierError):
+            bar.register(off_runtime.spawn(time.sleep, 0.01))
+
+    def test_double_registration_rejected(self, off_runtime):
+        bar = CyclicBarrier(2, off_runtime)
+        bar.register()
+        with pytest.raises(PhaserMembershipError):
+            bar.register()
+
+    def test_early_arrival_waits_for_unspawned_parties(self, off_runtime):
+        """The spawn-registration race: the first worker reaches the
+        barrier before its peers are even registered, and must wait."""
+        bar = CyclicBarrier(3, off_runtime)
+        log = []
+
+        def worker(i: int):
+            bar.await_barrier()
+            log.append(i)
+
+        t0 = off_runtime.spawn(worker, 0, register=[bar])
+        time.sleep(0.05)
+        assert log == []  # blocked: 2 parties outstanding
+        t1 = off_runtime.spawn(worker, 1, register=[bar])
+        t2 = off_runtime.spawn(worker, 2, register=[bar])
+        for t in (t0, t1, t2):
+            t.join(5)
+        assert sorted(log) == [0, 1, 2]
+
+    def test_deregister_withdraws_annotation(self, off_runtime):
+        bar = CyclicBarrier(2, off_runtime)
+        bar.register()
+        assert bar.registered_parties == 1
+        bar.deregister()
+        assert bar.registered_parties == 0
+
+
+class TestCountDownLatch:
+    def test_negative_count_rejected(self, off_runtime):
+        with pytest.raises(ValueError):
+            CountDownLatch(-1, off_runtime)
+
+    def test_await_on_zero_returns_immediately(self, off_runtime):
+        CountDownLatch(0, off_runtime).await_latch()
+
+    def test_count_down_releases(self, off_runtime):
+        latch = CountDownLatch(2, off_runtime)
+        released = []
+
+        def waiter():
+            latch.await_latch()
+            released.append(True)
+
+        task = off_runtime.spawn(waiter)
+        latch.count_down()
+        time.sleep(0.05)
+        assert released == []
+        latch.count_down()
+        task.join(5)
+        assert released == [True]
+
+    def test_count_never_goes_negative(self, off_runtime):
+        latch = CountDownLatch(1, off_runtime)
+        latch.count_down()
+        latch.count_down()
+        assert latch.count == 0
+
+    def test_registration_tracks_obligation(self, off_runtime):
+        latch = CountDownLatch(1, off_runtime)
+        latch.register()
+        task = off_runtime.current_task()
+        assert latch._phase_of(task) == 0  # owes a count-down
+        latch.count_down()
+        assert latch._phase_of(task) == 1  # discharged
+
+    def test_double_registration_rejected(self, off_runtime):
+        latch = CountDownLatch(1, off_runtime)
+        latch.register()
+        with pytest.raises(PhaserMembershipError):
+            latch.register()
+
+    def test_many_waiters(self, off_runtime):
+        latch = CountDownLatch(1, off_runtime)
+        out = []
+
+        def waiter(i: int):
+            latch.await_latch()
+            out.append(i)
+
+        tasks = [off_runtime.spawn(waiter, i) for i in range(5)]
+        time.sleep(0.05)
+        latch.count_down()
+        for t in tasks:
+            t.join(5)
+        assert sorted(out) == [0, 1, 2, 3, 4]

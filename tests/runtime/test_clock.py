@@ -1,0 +1,101 @@
+"""X10-style clock tests: advance / resume / drop, clocked spawns."""
+
+from __future__ import annotations
+
+import time
+
+from repro.runtime.clock import Clock
+
+
+class TestClockBasics:
+    def test_creator_is_registered(self, off_runtime):
+        c = Clock(off_runtime)
+        assert c.is_registered()
+
+    def test_make_factory(self, off_runtime):
+        assert Clock.make(off_runtime).is_registered()
+
+    def test_advance_synchronises(self, off_runtime):
+        c = Clock(off_runtime)
+        log = []
+
+        def worker():
+            log.append("w1")
+            c.advance()
+            log.append("w2")
+
+        task = off_runtime.spawn(worker, register=[c])
+        time.sleep(0.05)
+        assert log == ["w1"]
+        c.advance()
+        task.join(5)
+        assert log == ["w1", "w2"]
+
+    def test_drop_releases_others(self, off_runtime):
+        c = Clock(off_runtime)
+
+        def worker():
+            c.advance()
+            c.drop()
+
+        task = off_runtime.spawn(worker, register=[c])
+        time.sleep(0.02)
+        c.drop()  # the creator leaves instead of advancing
+        task.join(5)
+
+
+class TestResume:
+    def test_resume_then_advance_single_arrival(self, off_runtime):
+        """resume initiates the split-phase; the following advance only
+        waits — one arrival total, not two."""
+        c = Clock(off_runtime)
+        phases = []
+
+        def worker():
+            c.resume()  # non-blocking arrival
+            phases.append(c.local_phase())
+            c.advance()  # completes the same phase
+            phases.append(c.local_phase())
+            c.drop()
+
+        task = off_runtime.spawn(worker, register=[c])
+        time.sleep(0.05)
+        c.advance()
+        c.drop()
+        task.join(5)
+        assert phases == [1, 1]  # no double arrival
+
+    def test_resume_overlaps_work(self, off_runtime):
+        c = Clock(off_runtime)
+        overlapped = []
+
+        def worker():
+            c.resume()
+            overlapped.append(True)  # runs while the clock is pending
+            c.advance()
+            c.drop()
+
+        task = off_runtime.spawn(worker, register=[c])
+        time.sleep(0.05)
+        assert overlapped == [True]
+        c.advance()
+        c.drop()
+        task.join(5)
+
+
+class TestClockedSpawn:
+    def test_spawn_registered_children(self, off_runtime):
+        c = Clock(off_runtime)
+        results = []
+
+        def worker(i: int):
+            c.advance()
+            results.append(i)
+            c.drop()
+
+        tasks = [off_runtime.spawn(worker, i, register=[c]) for i in range(4)]
+        c.advance()  # the creator participates in the first step
+        c.drop()
+        for t in tasks:
+            t.join(5)
+        assert sorted(results) == [0, 1, 2, 3]

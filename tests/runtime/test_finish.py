@@ -1,0 +1,113 @@
+"""Finish-block tests: join semantics, nesting, failure propagation."""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from repro.runtime.finish import Finish
+from repro.runtime.clock import Clock
+from repro.runtime.tasks import TaskFailedError
+
+
+class TestJoin:
+    def test_waits_for_all_children(self, off_runtime):
+        done = []
+        with Finish(off_runtime) as f:
+            for i in range(5):
+                f.spawn(lambda i=i: (time.sleep(0.01), done.append(i)))
+        assert sorted(done) == [0, 1, 2, 3, 4]
+
+    def test_empty_finish(self, off_runtime):
+        with Finish(off_runtime):
+            pass
+
+    def test_join_counts_grandchildren(self, off_runtime):
+        """Transitive join: asyncs spawned by children (without an inner
+        finish) are still awaited by the outer finish."""
+        done = []
+
+        def child():
+            off_runtime.spawn(
+                lambda: (time.sleep(0.03), done.append("grandchild"))
+            )
+            done.append("child")
+
+        with Finish(off_runtime) as f:
+            f.spawn(child)
+        assert sorted(done) == ["child", "grandchild"]
+
+    def test_nested_finish(self, off_runtime):
+        order = []
+
+        def middle(i: int):
+            with Finish(off_runtime) as inner:
+                for j in range(2):
+                    inner.spawn(lambda j=j: order.append((i, j)))
+            order.append(("middle-done", i))
+
+        with Finish(off_runtime) as outer:
+            for i in range(2):
+                outer.spawn(middle, i)
+        leaves = [e for e in order if isinstance(e[0], int)]
+        assert len(leaves) == 4
+        # Each middle's leaves complete before its own done marker.
+        for i in range(2):
+            done_idx = order.index(("middle-done", i))
+            for j in range(2):
+                assert order.index((i, j)) < done_idx
+
+
+class TestFailures:
+    def test_child_failure_reraised_after_join(self, off_runtime):
+        done = []
+
+        def bad():
+            raise RuntimeError("child failed")
+
+        with pytest.raises(TaskFailedError):
+            with Finish(off_runtime) as f:
+                f.spawn(bad)
+                f.spawn(lambda: (time.sleep(0.02), done.append("ok")))
+        assert done == ["ok"]  # the healthy sibling was still awaited
+
+    def test_body_failure_does_not_hang_children(self, off_runtime):
+        child_ran = []
+        with pytest.raises(ValueError):
+            with Finish(off_runtime) as f:
+                f.spawn(lambda: (time.sleep(0.02), child_ran.append(1)))
+                raise ValueError("body failed")
+        time.sleep(0.1)
+        assert child_ran == [1]
+
+    def test_spawn_outside_scope_rejected(self, off_runtime):
+        f = Finish(off_runtime)
+        with pytest.raises(RuntimeError):
+            f.spawn(lambda: None)
+
+
+class TestWithClocks:
+    def test_clocked_spawn_inside_finish(self, off_runtime):
+        """The Figure 1 shape: finish + clocked asyncs (the fixed
+        variant, with the driver dropping the clock)."""
+        c = Clock(off_runtime)
+        steps = []
+
+        def worker(i: int):
+            c.advance()
+            steps.append(i)
+            c.advance()
+            c.drop()
+
+        with Finish(off_runtime) as f:
+            for i in range(3):
+                f.spawn(worker, i, clocks=[c])
+            c.drop()  # the fix from Section 2.1
+        assert sorted(steps) == [0, 1, 2]
+
+    def test_pending_children_counts(self, off_runtime):
+        with Finish(off_runtime) as f:
+            t = f.spawn(time.sleep, 0.05)
+            assert f.pending_children >= 1
+            t.join(5)

@@ -1,0 +1,146 @@
+"""ArmusLock tests: mutual exclusion and lock deadlocks in the same
+event-based analysis as barriers (Section 5.3, ReentrantLock support)."""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from repro.core.report import DeadlockError
+from repro.runtime.clock import Clock
+from repro.runtime.locks import ArmusLock
+from repro.runtime.tasks import TaskFailedError
+
+
+def outcome(task):
+    """'ok' or 'deadlock' for a joined task."""
+    try:
+        task.join(10)
+        return "ok"
+    except DeadlockError:
+        return "deadlock"
+    except TaskFailedError as err:
+        if isinstance(err.cause, DeadlockError):
+            return "deadlock"
+        raise
+
+
+class TestMutualExclusion:
+    def test_critical_section_is_exclusive(self, off_runtime):
+        lock = ArmusLock(off_runtime)
+        counter = {"v": 0}
+
+        def bump():
+            for _ in range(200):
+                with lock:
+                    cur = counter["v"]
+                    counter["v"] = cur + 1
+
+        tasks = [off_runtime.spawn(bump) for _ in range(4)]
+        for t in tasks:
+            t.join(10)
+        assert counter["v"] == 800
+
+    def test_reentrancy(self, off_runtime):
+        lock = ArmusLock(off_runtime)
+        with lock:
+            with lock:
+                assert lock.locked()
+        assert not lock.locked()
+
+    def test_release_by_non_owner_rejected(self, off_runtime):
+        lock = ArmusLock(off_runtime)
+        errors = []
+
+        def thief():
+            try:
+                lock.release()
+            except RuntimeError as exc:
+                errors.append(exc)
+
+        with lock:
+            off_runtime.spawn(thief).join(5)
+        assert errors
+
+    def test_leaked_lock_released_on_termination(self, off_runtime):
+        lock = ArmusLock(off_runtime)
+
+        def leaker():
+            lock.acquire()  # never released
+
+        off_runtime.spawn(leaker).join(5)
+        assert not lock.locked()  # teardown released it
+        with lock:
+            pass  # and it is reusable
+
+
+class TestLockDeadlocks:
+    def test_lock_order_deadlock_avoided(self, avoidance_runtime):
+        l1 = ArmusLock(avoidance_runtime, name="L1")
+        l2 = ArmusLock(avoidance_runtime, name="L2")
+
+        def grab(a, b):
+            with a:
+                time.sleep(0.05)
+                with b:
+                    pass
+
+        ta = avoidance_runtime.spawn(grab, l1, l2)
+        tb = avoidance_runtime.spawn(grab, l2, l1)
+        results = sorted([outcome(ta), outcome(tb)])
+        assert results == ["deadlock", "ok"]
+
+    def test_lock_order_deadlock_detected(self, detection_runtime):
+        l1 = ArmusLock(detection_runtime, name="L1")
+        l2 = ArmusLock(detection_runtime, name="L2")
+
+        def grab(a, b):
+            with a:
+                time.sleep(0.05)
+                with b:
+                    pass
+
+        ta = detection_runtime.spawn(grab, l1, l2)
+        tb = detection_runtime.spawn(grab, l2, l1)
+        results = [outcome(ta), outcome(tb)]
+        assert "deadlock" in results
+        assert detection_runtime.reports
+
+    def test_mixed_lock_barrier_deadlock(self, avoidance_runtime):
+        """A lock held across a clock wait, needed by another member of
+        the clock: the cross-abstraction cycle JArmus catches because
+        locks and barriers share one analysis."""
+        rt = avoidance_runtime
+        clock = Clock(rt)
+        lock = ArmusLock(rt, name="L")
+
+        def holds_lock_at_clock():
+            with lock:
+                clock.advance()
+
+        def needs_lock_first():
+            time.sleep(0.05)
+            with lock:
+                pass
+            clock.advance()
+
+        t1 = rt.spawn(holds_lock_at_clock, register=[clock])
+        t2 = rt.spawn(needs_lock_first, register=[clock])
+        clock.drop()
+        results = [outcome(t1), outcome(t2)]
+        assert "deadlock" in results
+
+    def test_no_false_positive_on_ordered_locks(self, avoidance_runtime):
+        l1 = ArmusLock(avoidance_runtime)
+        l2 = ArmusLock(avoidance_runtime)
+
+        def grab():
+            for _ in range(50):
+                with l1:
+                    with l2:
+                        pass
+
+        tasks = [avoidance_runtime.spawn(grab) for _ in range(3)]
+        assert [outcome(t) for t in tasks] == ["ok", "ok", "ok"]
+        assert not avoidance_runtime.reports

@@ -1,0 +1,212 @@
+"""HJ registration-mode tests: SIG / WAIT / bounded producer-consumer.
+
+The paper's §8 names HJ's "bounded producer-consumer" as the pattern
+that would exercise Armus' expressiveness; these tests cover the mode
+semantics, the verification view (wait-only members impede nothing on
+the signal side), and deadlock detection through the bound.
+"""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from repro.core.report import DeadlockError
+from repro.runtime.locks import ArmusLock
+from repro.runtime.modes import RegistrationMode
+from repro.runtime.observer import registered_phases
+from repro.runtime.phaser import Phaser, PhaserMembershipError
+from repro.runtime.tasks import TaskFailedError
+
+
+def outcome(task):
+    try:
+        task.join(10)
+        return "ok"
+    except DeadlockError:
+        return "deadlock"
+    except TaskFailedError as err:
+        if isinstance(err.cause, DeadlockError):
+            return "deadlock"
+        raise
+
+
+class TestModeSemantics:
+    def test_sig_member_cannot_wait(self, off_runtime):
+        ph = Phaser(off_runtime, register_self=False)
+        ph.register(mode=RegistrationMode.SIG)
+        ph.arrive()
+        with pytest.raises(PhaserMembershipError):
+            ph.await_advance()
+
+    def test_wait_member_cannot_arrive(self, off_runtime):
+        ph = Phaser(off_runtime, register_self=False)
+        ph.register(mode=RegistrationMode.WAIT)
+        with pytest.raises(PhaserMembershipError):
+            ph.arrive()
+
+    def test_mode_of(self, off_runtime):
+        ph = Phaser(off_runtime, register_self=False)
+        ph.register(mode=RegistrationMode.SIG)
+        assert ph.mode_of() is RegistrationMode.SIG
+
+    def test_wait_member_does_not_gate_signals(self, off_runtime):
+        """A consumer that never 'arrives' must not block producers of an
+        unbounded phaser — that is the whole point of WAIT mode."""
+        ph = Phaser(off_runtime, register_self=False)
+
+        def producer():
+            ph.register(mode=RegistrationMode.SIG)
+            for _ in range(5):
+                ph.arrive()
+
+        def consumer(seen):
+            ph.register(mode=RegistrationMode.WAIT)
+            for _ in range(5):
+                ph.await_advance()
+                seen.append(ph.wait_phase())
+
+        seen: list = []
+        tc = off_runtime.spawn(consumer, seen)
+        time.sleep(0.02)
+        tp = off_runtime.spawn(producer)
+        tp.join(5)  # completes although the consumer is still catching up
+        tc.join(5)
+        assert seen == [1, 2, 3, 4, 5]
+
+    def test_each_wait_observes_next_event(self, off_runtime):
+        ph = Phaser(off_runtime, register_self=False)
+        ph.register(mode=RegistrationMode.SIG)
+
+        def consumer(log):
+            ph.register(mode=RegistrationMode.WAIT)
+            ph.await_advance()
+            log.append(ph.wait_phase())
+
+        log: list = []
+        task = off_runtime.spawn(consumer, log)
+        time.sleep(0.05)
+        assert log == []  # nothing signalled yet
+        ph.arrive()
+        task.join(5)
+        assert log == [1]
+
+
+class TestVerificationView:
+    def test_wait_member_impedes_nothing_on_signal_side(self, off_runtime):
+        ph = Phaser(off_runtime, register_self=False)
+        captured = {}
+
+        def consumer():
+            ph.register(mode=RegistrationMode.WAIT)
+            captured.update(registered_phases(off_runtime.current_task()))
+
+        off_runtime.spawn(consumer).join(5)
+        assert ph._rid not in captured  # no signal-side entry
+        assert captured.get(ph._rid_wait) == 0  # only the wait side
+
+    def test_sig_member_impedes_signal_side(self, off_runtime):
+        ph = Phaser(off_runtime, register_self=False)
+        ph.register(mode=RegistrationMode.SIG)
+        task = off_runtime.current_task()
+        phases = registered_phases(task)
+        assert phases[ph._rid] == 0
+        ph.deregister()
+
+
+class TestBoundedProducerConsumer:
+    def test_producer_blocks_at_bound(self, off_runtime):
+        ph = Phaser(off_runtime, register_self=False, bound=2)
+        progress = []
+
+        def producer():
+            ph.register(mode=RegistrationMode.SIG)
+            for i in range(5):
+                ph.arrive()
+                progress.append(i + 1)
+
+        ph.register(mode=RegistrationMode.WAIT)  # main = the consumer
+        task = off_runtime.spawn(producer)
+        time.sleep(0.1)
+        assert progress == [1, 2]  # ran 2 ahead, then blocked
+        ph.await_advance()  # consume one event
+        time.sleep(0.1)
+        assert progress == [1, 2, 3]
+        ph.await_advance()
+        ph.await_advance()
+        time.sleep(0.1)
+        assert progress == [1, 2, 3, 4, 5]
+        task.join(5)
+
+    def test_unbounded_without_wait_members(self, off_runtime):
+        ph = Phaser(off_runtime, register_self=False, bound=1)
+        ph.register(mode=RegistrationMode.SIG)
+        for _ in range(10):
+            ph.arrive()  # no consumers: the bound never engages
+        assert ph.local_phase() == 10
+        ph.deregister()
+
+    def test_negative_bound_rejected(self, off_runtime):
+        with pytest.raises(ValueError):
+            Phaser(off_runtime, bound=-1)
+
+    def test_items_flow_in_order(self, off_runtime):
+        """The actual producer-consumer pattern: a ring buffer sized by
+        the bound, data races excluded by the phase discipline."""
+        bound = 3
+        ph = Phaser(off_runtime, register_self=False, bound=bound)
+        buffer = [None] * (bound + 1)
+        received = []
+        n_items = 10
+
+        def producer():
+            for i in range(n_items):
+                buffer[i % len(buffer)] = i * i
+                ph.arrive()  # publish item i (blocks at the bound)
+
+        def consumer():
+            for i in range(n_items):
+                ph.await_advance()  # wait for item i
+                received.append(buffer[i % len(buffer)])
+
+        # The Figure-2 lesson transposed to producer-consumer: the parent
+        # holds a placeholder SIG registration while the pipeline is
+        # assembled, so neither the consumer's first await can fire
+        # vacuously nor the producer can outrun the bound.
+        ph.register(mode=RegistrationMode.SIG)
+        tc = off_runtime.spawn(
+            consumer, register=[ph.in_mode(RegistrationMode.WAIT)]
+        )
+        tp = off_runtime.spawn(
+            producer, register=[ph.in_mode(RegistrationMode.SIG)]
+        )
+        ph.deregister()  # both ends in place: the parent steps out
+        tp.join(10)
+        tc.join(10)
+        assert received == [i * i for i in range(n_items)]
+
+    def test_bound_deadlock_detected(self, detection_runtime):
+        """Producer blocked at the bound while holding a lock the
+        consumer needs: a producer-consumer deadlock, caught because the
+        bound wait is an observable event like any other."""
+        rt = detection_runtime
+        ph = Phaser(rt, register_self=False, bound=1)
+        lock = ArmusLock(rt, name="guard")
+
+        def producer():
+            with lock:  # holds the lock across the bounded arrive
+                for _ in range(5):
+                    ph.arrive()
+
+        def consumer():
+            time.sleep(0.05)
+            for _ in range(5):
+                with lock:  # needs the lock the blocked producer holds
+                    ph.await_advance()
+
+        tc = rt.spawn(consumer, register=[ph.in_mode(RegistrationMode.WAIT)])
+        tp = rt.spawn(producer, register=[ph.in_mode(RegistrationMode.SIG)])
+        results = sorted([outcome(tp), outcome(tc)])
+        assert "deadlock" in results
+        assert rt.reports

@@ -1,0 +1,186 @@
+"""Runtime Phaser tests: the Java-Phaser-style API of Section 2.2."""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from repro.runtime.phaser import Phaser, PhaserMembershipError
+
+
+class TestMembership:
+    def test_register_self_on_creation(self, off_runtime):
+        ph = Phaser(off_runtime, register_self=True)
+        assert ph.is_registered()
+        assert ph.registered_parties == 1
+
+    def test_register_self_off(self, off_runtime):
+        ph = Phaser(off_runtime, register_self=False)
+        assert not ph.is_registered()
+        assert ph.registered_parties == 0
+
+    def test_double_registration_rejected(self, off_runtime):
+        ph = Phaser(off_runtime, register_self=True)
+        with pytest.raises(PhaserMembershipError):
+            ph.register()
+
+    def test_deregister(self, off_runtime):
+        ph = Phaser(off_runtime, register_self=True)
+        ph.deregister()
+        assert not ph.is_registered()
+
+    def test_deregister_non_member_rejected(self, off_runtime):
+        ph = Phaser(off_runtime, register_self=False)
+        with pytest.raises(PhaserMembershipError):
+            ph.deregister()
+
+    def test_register_child_before_start_only(self, off_runtime):
+        ph = Phaser(off_runtime, register_self=True)
+        task = off_runtime.spawn(lambda: None)
+        task.join(5)
+        with pytest.raises(PhaserMembershipError):
+            ph.register_child(task)
+
+    def test_child_inherits_parent_phase(self, off_runtime):
+        ph = Phaser(off_runtime, register_self=True)
+        ph.arrive()
+        ph.arrive()  # parent at phase 2 (alone, so no waiting needed)
+        seen = []
+
+        def child():
+            seen.append(ph.local_phase())
+
+        off_runtime.spawn(child, register=[ph]).join(5)
+        assert seen == [2]
+
+
+class TestSynchronisation:
+    def test_arrive_returns_new_phase(self, off_runtime):
+        ph = Phaser(off_runtime, register_self=True)
+        assert ph.arrive() == 1
+        assert ph.arrive() == 2
+
+    def test_arrive_requires_membership(self, off_runtime):
+        ph = Phaser(off_runtime, register_self=False)
+        with pytest.raises(PhaserMembershipError):
+            ph.arrive()
+
+    def test_await_without_membership_needs_phase(self, off_runtime):
+        ph = Phaser(off_runtime, register_self=False)
+        with pytest.raises(PhaserMembershipError):
+            ph.await_advance()
+
+    def test_barrier_step_two_tasks(self, off_runtime):
+        ph = Phaser(off_runtime, register_self=True)
+        order = []
+
+        def other():
+            order.append("other-before")
+            ph.arrive_and_await_advance()
+            order.append("other-after")
+
+        task = off_runtime.spawn(other, register=[ph])
+        time.sleep(0.05)
+        assert order == ["other-before"]  # blocked on the main task
+        ph.arrive_and_await_advance()
+        task.join(5)
+        assert order == ["other-before", "other-after"]
+
+    def test_split_phase(self, off_runtime):
+        """arrive() then await_advance(phase): work overlaps the wait."""
+        ph = Phaser(off_runtime, register_self=True)
+        progress = []
+
+        def worker():
+            phase = ph.arrive()
+            progress.append("worked")  # overlapped work
+            ph.await_advance(phase)
+            progress.append("synced")
+
+        task = off_runtime.spawn(worker, register=[ph])
+        time.sleep(0.05)
+        assert "worked" in progress  # did not block at arrive
+        assert "synced" not in progress
+        ph.arrive()
+        task.join(5)
+        assert progress == ["worked", "synced"]
+
+    def test_arrive_and_deregister_releases(self, off_runtime):
+        ph = Phaser(off_runtime, register_self=True)
+
+        def leaver():
+            ph.arrive_and_deregister()
+
+        off_runtime.spawn(leaver, register=[ph]).join(5)
+        # Only the main task is left; its await trivially holds.
+        ph.arrive()
+        ph.await_advance()
+
+    def test_future_phase_await_by_observer(self, off_runtime):
+        """HJ-style: a non-member awaits an explicit (future) phase."""
+        ph = Phaser(off_runtime, register_self=False)
+        phases = []
+
+        def member():
+            ph.register()
+            for _ in range(3):
+                ph.arrive()
+            phases.append(ph.local_phase())
+
+        task = off_runtime.spawn(member)
+        ph.await_advance(3)  # observer waits for phase 3
+        task.join(5)
+        assert phases == [3]
+
+    def test_phase_is_min_of_members(self, off_runtime):
+        ph = Phaser(off_runtime, register_self=True)
+        assert ph.phase == 0
+        ph.arrive()
+        assert ph.phase == 1  # sole member
+        assert ph.local_phase() == 1
+
+
+class TestManyTasks:
+    def test_spmd_rounds_with_parent_registration(self, off_runtime):
+        """The Figure 2 idiom: the parent stays registered (the Java
+        ``new Phaser(1)``) until every worker is registered, *then*
+        arrives-and-deregisters — this is what makes the rounds
+        lockstep."""
+        ph = Phaser(off_runtime, register_self=True)
+        counters = []
+
+        def worker(rank: int):
+            for step in range(5):
+                counters.append((step, rank))
+                ph.arrive_and_await_advance()
+
+        tasks = [off_runtime.spawn(worker, i, register=[ph]) for i in range(6)]
+        ph.arrive_and_deregister()  # all registered: the parent steps out
+        for t in tasks:
+            t.join(10)
+        # Lockstep: every step-k entry precedes every step-(k+1) entry.
+        positions = {}
+        for idx, (step, _rank) in enumerate(counters):
+            positions.setdefault(step, []).append(idx)
+        for step in range(4):
+            assert max(positions[step]) < min(positions[step + 1])
+
+    def test_unregistered_parent_race(self, off_runtime):
+        """Section 2.2's warning, reproduced: with *no* parent
+        registration, synchronisations "proceed non-deterministically
+        between already running threads and those that have yet to be
+        started" — the program completes, but lockstep is not
+        guaranteed.  (This is why new Phaser(0) is not a fix.)"""
+        ph = Phaser(off_runtime, register_self=False)
+        counters = []
+
+        def worker(rank: int):
+            for step in range(5):
+                counters.append((step, rank))
+                ph.arrive_and_await_advance()
+
+        tasks = [off_runtime.spawn(worker, i, register=[ph]) for i in range(6)]
+        for t in tasks:
+            t.join(10)
+        assert len(counters) == 30  # completes; ordering unspecified

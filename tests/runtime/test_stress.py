@@ -1,0 +1,115 @@
+"""Randomized concurrency stress: the instrumentation must be race-free.
+
+Many tasks hammer shared synchronizers through deadlock-free protocols
+(global resource ordering, matched barrier rounds) under *avoidance*
+mode — the strictest setting, where every block runs a synchronous
+check.  Any false positive (a report on a deadlock-free run), lost
+wake-up (timeout), or bookkeeping corruption fails the test.
+
+These are the races that matter in a verification tool: a tool that
+sometimes cries wolf is as unusable as one that hangs.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.runtime.barriers import CountDownLatch, CyclicBarrier
+from repro.runtime.clock import Clock
+from repro.runtime.locks import ArmusLock
+from repro.runtime.phaser import Phaser
+
+
+@pytest.mark.parametrize("seed", range(3))
+def test_mixed_barrier_rounds(avoidance_runtime, seed):
+    """Tasks alternate between two phasers in a fixed global order with
+    per-round jitter in arrival timing."""
+    rt = avoidance_runtime
+    rng = random.Random(seed)
+    n, rounds = 6, 8
+    a = Phaser(rt, register_self=True, name="a")
+    b = Phaser(rt, register_self=True, name="b")
+    jitter = [[rng.randint(0, 200) for _ in range(rounds)] for _ in range(n)]
+
+    def worker(i: int):
+        for r in range(rounds):
+            for _ in range(jitter[i][r]):
+                pass  # busy jitter to scramble arrival order
+            a.arrive_and_await_advance()
+            b.arrive_and_await_advance()
+        a.deregister()
+        b.deregister()
+
+    tasks = [rt.spawn(worker, i, register=[a, b]) for i in range(n)]
+    a.arrive_and_deregister()
+    b.arrive_and_deregister()
+    for t in tasks:
+        t.join(30)
+    assert not rt.reports, [r.describe() for r in rt.reports]
+
+
+@pytest.mark.parametrize("seed", range(3))
+def test_dynamic_membership_churn(avoidance_runtime, seed):
+    """Tasks join, synchronise a random number of rounds, and leave —
+    the membership churn that breaks static-membership tools."""
+    rt = avoidance_runtime
+    rng = random.Random(100 + seed)
+    clock = Clock(rt)
+    n = 8
+    rounds = [rng.randint(1, 5) for _ in range(n)]
+
+    def worker(i: int):
+        for _ in range(rounds[i]):
+            clock.advance()
+        clock.drop()
+
+    tasks = [rt.spawn(worker, i, register=[clock]) for i in range(n)]
+    clock.drop()
+    for t in tasks:
+        t.join(30)
+    assert not rt.reports
+
+
+def test_barrier_latch_lock_cocktail(avoidance_runtime):
+    """All synchronizer kinds interleaved in one deadlock-free protocol."""
+    rt = avoidance_runtime
+    n = 5
+    bar = CyclicBarrier(n, rt)
+    latch = CountDownLatch(n, rt)
+    lock = ArmusLock(rt)
+    counter = {"v": 0}
+
+    def worker(i: int):
+        bar.await_barrier()
+        with lock:
+            counter["v"] += 1
+        latch.count_down()
+        latch.await_latch()  # everyone sees the full count
+        bar.await_barrier()
+
+    tasks = [
+        rt.spawn(worker, i, register=[bar, latch]) for i in range(n)
+    ]
+    for t in tasks:
+        t.join(30)
+    assert counter["v"] == n
+    assert not rt.reports
+
+
+def test_rapid_block_unblock_cycles(detection_runtime):
+    """Fast block/unblock churn against the periodic detector: the
+    monitor must never report on transient (already-released) waits."""
+    rt = detection_runtime
+    n, rounds = 4, 40
+    bar = CyclicBarrier(n, rt)
+
+    def worker(i: int):
+        for _ in range(rounds):
+            bar.await_barrier()
+
+    tasks = [rt.spawn(worker, i, register=[bar]) for i in range(n)]
+    for t in tasks:
+        t.join(30)
+    assert not rt.reports

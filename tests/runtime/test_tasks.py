@@ -1,0 +1,141 @@
+"""Task lifecycle tests: spawn/join, cancellation, adoption, teardown."""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from repro.core.report import DeadlockDetectedError, DeadlockReport
+from repro.core.selection import GraphModel
+from repro.runtime.phaser import Phaser
+from repro.runtime.tasks import TaskFailedError, lookup_task
+
+
+def make_report(*tasks) -> DeadlockReport:
+    return DeadlockReport(
+        tasks=tasks,
+        events=(),
+        cycle=tasks + (tasks[0],),
+        model_used=GraphModel.WFG,
+        edge_count=0,
+    )
+
+
+class TestLifecycle:
+    def test_spawn_and_join_returns_result(self, off_runtime):
+        task = off_runtime.spawn(lambda x: x * 2, 21)
+        assert task.join(5) == 42
+        assert task.done()
+
+    def test_join_wraps_failures(self, off_runtime):
+        def boom():
+            raise ValueError("nope")
+
+        task = off_runtime.spawn(boom)
+        with pytest.raises(TaskFailedError) as err:
+            task.join(5)
+        assert isinstance(err.value.cause, ValueError)
+
+    def test_join_timeout(self, off_runtime):
+        task = off_runtime.spawn(time.sleep, 1.0)
+        with pytest.raises(TimeoutError):
+            task.join(0.01)
+        task.join(5)
+
+    def test_task_ids_unique_and_looked_up(self, off_runtime):
+        t1 = off_runtime.spawn(lambda: None)
+        t2 = off_runtime.spawn(lambda: None)
+        assert t1.task_id != t2.task_id
+        assert lookup_task(t1.task_id) is t1
+        t1.join(5)
+        t2.join(5)
+
+    def test_double_start_rejected(self, off_runtime):
+        task = off_runtime.spawn(lambda: None)
+        task.join(5)
+        with pytest.raises(RuntimeError):
+            task.start()
+
+
+class TestCancellation:
+    def test_cancel_is_one_shot(self, off_runtime):
+        task = off_runtime.current_task()
+        task.cancel(make_report(task.task_id))
+        with pytest.raises(DeadlockDetectedError):
+            task.check_cancelled()
+        task.check_cancelled()  # second call: flag already consumed
+
+    def test_cancelled_blocking_op_raises(self, off_runtime):
+        ph = Phaser(off_runtime, register_self=True)
+
+        def wait_forever():
+            ph.register()
+            ph.arrive()
+            ph.await_advance()  # blocked: the main task never arrives
+
+        task = off_runtime.spawn(wait_forever)
+        time.sleep(0.05)
+        task.cancel(make_report(task.task_id))
+        with pytest.raises(DeadlockDetectedError):
+            task.join(5)
+
+
+class TestAdoption:
+    def test_current_task_is_stable(self, off_runtime):
+        assert off_runtime.current_task() is off_runtime.current_task()
+
+    def test_adopted_task_rehomes_to_new_runtime(
+        self, off_runtime, runtime_factory
+    ):
+        task = off_runtime.current_task()
+        assert task.runtime is off_runtime
+        other = runtime_factory("off")
+        assert other.current_task() is task
+        assert task.runtime is other  # re-homed
+
+    def test_spawned_tasks_do_not_rehome(self, off_runtime, runtime_factory):
+        other = runtime_factory("off")
+        captured = []
+
+        def body():
+            captured.append(other.current_task())
+
+        task = off_runtime.spawn(body)
+        task.join(5)
+        assert captured[0] is task
+        assert task.runtime is off_runtime  # spawned: pinned to spawner
+
+
+class TestTeardown:
+    def test_termination_deregisters_from_phasers(self, off_runtime):
+        ph = Phaser(off_runtime, register_self=False)
+
+        def body():
+            ph.register()
+            # terminate while registered (no deregistration)
+
+        task = off_runtime.spawn(body)
+        task.join(5)
+        assert ph.registered_parties == 0  # X10/HJ auto-deregistration
+
+    def test_termination_releases_waiters(self, off_runtime):
+        """A member dying while others wait must not starve them (the
+        X10/HJ mitigation the paper describes in Section 7)."""
+        ph = Phaser(off_runtime, register_self=False)
+
+        def sloppy():
+            ph.register()
+            time.sleep(0.05)
+            # dies without arriving
+
+        def waiter():
+            ph.register()
+            ph.arrive()
+            ph.await_advance()
+
+        t1 = off_runtime.spawn(sloppy)
+        time.sleep(0.01)
+        t2 = off_runtime.spawn(waiter)
+        t1.join(5)
+        t2.join(5)  # released when the sloppy member was torn down

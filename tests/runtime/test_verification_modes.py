@@ -1,0 +1,151 @@
+"""End-to-end verification tests: the paper's running example (Figures
+1-2) under detection, avoidance, and both fixes; the JArmus registration
+idiom; graph-model configurations."""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from repro.core.report import (
+    DeadlockAvoidedError,
+    DeadlockDetectedError,
+    DeadlockError,
+)
+from repro.core.selection import GraphModel
+from repro.runtime.clock import Clock
+from repro.runtime.phaser import Phaser
+from repro.runtime import registry
+from repro.runtime.tasks import TaskFailedError
+
+
+def averaging(runtime, I=3, J=2, fix=False):
+    """Figures 1-2: parallel 1-D iterative averaging.
+
+    ``fix=False`` reproduces the bug (the driver stays registered with
+    the cyclic barrier it never advances); ``fix=True`` applies the
+    Section 2.1 fix (drop before joining).
+    """
+    a = [float(i) for i in range(I + 2)]
+    c = Clock(runtime)
+    b = Phaser(runtime, register_self=True, name="join")
+
+    def worker(i: int) -> None:
+        for _ in range(J):
+            left, right = a[i - 1], a[i + 1]
+            c.advance()
+            a[i] = (left + right) / 2
+            c.advance()
+        c.drop()
+        b.arrive_and_deregister()
+
+    tasks = [
+        runtime.spawn(worker, i + 1, register=[c, b], name=f"w{i + 1}")
+        for i in range(I)
+    ]
+    if fix:
+        c.drop()
+    b.arrive_and_await_advance()
+    return a, tasks
+
+
+class TestRunningExample:
+    def test_detection_catches_the_bug(self, detection_runtime):
+        with pytest.raises(DeadlockDetectedError) as err:
+            averaging(detection_runtime, fix=False)
+        report = err.value.report
+        assert len(report.tasks) >= 2
+        assert detection_runtime.reports
+
+    def test_avoidance_raises_before_blocking(self, avoidance_runtime):
+        with pytest.raises(DeadlockAvoidedError) as err:
+            averaging(avoidance_runtime, fix=False)
+        assert err.value.report.avoided
+
+    def test_fixed_version_runs_everywhere(self, runtime_factory):
+        for mode in ("off", "detection", "avoidance"):
+            rt = runtime_factory(mode)
+            a, tasks = averaging(rt, I=4, J=3, fix=True)
+            for t in tasks:
+                t.join(10)
+            # The averaging of a linear ramp is the ramp itself.
+            assert a == [float(i) for i in range(6)]
+            assert not rt.reports
+
+    def test_avoidance_makes_program_resilient(self, avoidance_runtime):
+        """The paper: "The programmer can treat the exceptional situation
+        to develop applications resilient to deadlocks."  Catch the
+        avoidance error, apply the fix, finish the job."""
+        rt = avoidance_runtime
+        try:
+            averaging(rt, fix=False)
+        except DeadlockAvoidedError:
+            pass  # the doomed join was refused and we were deregistered
+        a, tasks = averaging(rt, I=3, J=2, fix=True)
+        for t in tasks:
+            # Workers of the first attempt may have died of avoidance
+            # errors; the second attempt's workers must all succeed.
+            t.join(10)
+        assert a == [float(i) for i in range(5)]
+
+
+class TestModesAndModels:
+    @pytest.mark.parametrize(
+        "model", (GraphModel.AUTO, GraphModel.WFG, GraphModel.SG)
+    )
+    def test_every_model_catches_the_bug(self, runtime_factory, model):
+        rt = runtime_factory("avoidance", model=model)
+        with pytest.raises(DeadlockAvoidedError):
+            averaging(rt, fix=False)
+
+    def test_off_mode_would_hang_so_we_only_check_no_reports(
+        self, runtime_factory
+    ):
+        """OFF mode performs no verification: run only the fixed variant
+        and confirm zero verification traffic."""
+        rt = runtime_factory("off")
+        _a, tasks = averaging(rt, fix=True)
+        for t in tasks:
+            t.join(10)
+        assert rt.stats.checks == 0
+        assert not rt.reports
+
+    def test_detection_stats_accumulate(self, detection_runtime):
+        with pytest.raises(DeadlockError):
+            averaging(detection_runtime, fix=False)
+        time.sleep(0.05)
+        assert detection_runtime.stats.checks > 0
+
+
+class TestJArmusIdiom:
+    def test_register_annotation(self, avoidance_runtime):
+        """Figure 2's JArmus.register(c, b): a task announcing its
+        barriers from inside its own body."""
+        rt = avoidance_runtime
+        c = Phaser(rt, register_self=True, name="c")
+        b = Phaser(rt, register_self=True, name="b")
+        done = []
+
+        def worker():
+            registry.register(c, b)  # the annotation
+            c.arrive_and_await_advance()
+            c.arrive_and_deregister()
+            b.arrive_and_deregister()
+            done.append(True)
+
+        task = rt.spawn(worker)
+        time.sleep(0.05)
+        c.arrive_and_deregister()  # parent leaves the cyclic barrier
+        b.arrive_and_await_advance()
+        task.join(10)
+        assert done == [True]
+
+    def test_register_rejects_non_synchronizers(self, off_runtime):
+        with pytest.raises(TypeError):
+            registry.register(object())
+
+    def test_deregister_helper(self, off_runtime):
+        c = Clock(off_runtime)
+        registry.deregister(c)
+        assert not c.is_registered()

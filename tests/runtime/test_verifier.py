@@ -1,0 +1,139 @@
+"""Direct unit tests for the runtime verifier and observer hooks."""
+
+from __future__ import annotations
+
+import threading
+
+import pytest
+
+from repro.core.events import Event, waiting_on
+from repro.core.selection import GraphModel
+from repro.runtime.observer import blocked_status, registered_phases
+from repro.runtime.phaser import Phaser
+from repro.runtime.verifier import (
+    ArmusRuntime,
+    VerificationMode,
+    get_default_runtime,
+    set_default_runtime,
+)
+
+
+class TestBlockEntryExit:
+    def test_off_mode_is_a_noop(self, off_runtime):
+        task = off_runtime.current_task()
+        status = waiting_on("p", 1, p=1)
+        assert off_runtime.block_entry(task, status) is None
+        assert off_runtime.checker.dependency.blocked_count() == 0
+        off_runtime.block_exit(task)  # harmless
+
+    def test_detection_mode_publishes(self, detection_runtime):
+        task = detection_runtime.current_task()
+        status = waiting_on("p", 1, p=1)
+        assert detection_runtime.block_entry(task, status) is None
+        assert detection_runtime.checker.dependency.blocked_count() == 1
+        detection_runtime.block_exit(task)
+        assert detection_runtime.checker.dependency.blocked_count() == 0
+
+    def test_avoidance_mode_vetoes_cycles(self, avoidance_runtime):
+        rt = avoidance_runtime
+        other = rt.spawn(lambda: None)
+        other.join(5)
+        rt.checker.set_blocked(other.task_id, waiting_on("p", 1, p=1, q=0))
+        task = rt.current_task()
+        report = rt.block_entry(task, waiting_on("q", 1, q=1, p=0))
+        assert report is not None
+        assert report.avoided
+        assert rt.reports  # recorded on the runtime too
+
+    def test_avoidance_mode_allows_safe_blocks(self, avoidance_runtime):
+        task = avoidance_runtime.current_task()
+        report = avoidance_runtime.block_entry(task, waiting_on("p", 1, p=1))
+        assert report is None
+        avoidance_runtime.block_exit(task)
+
+
+class TestResourceIds:
+    def test_unique_across_runtimes(self, runtime_factory):
+        a = runtime_factory("off")
+        b = runtime_factory("off")
+        ids = {a.new_resource_id("x"), b.new_resource_id("x")}
+        assert len(ids) == 2
+
+    def test_label_embedded(self, off_runtime):
+        assert off_runtime.new_resource_id("clock").startswith("clock#")
+
+
+class TestObserverHelpers:
+    def test_registered_phases_spans_synchronizers(self, off_runtime):
+        p1 = Phaser(off_runtime, register_self=True, name="a")
+        p2 = Phaser(off_runtime, register_self=True, name="b")
+        p1.arrive()
+        task = off_runtime.current_task()
+        phases = registered_phases(task)
+        assert phases[p1._rid] == 1
+        assert phases[p2._rid] == 0
+        p1.deregister()
+        p2.deregister()
+
+    def test_blocked_status_assembly(self, off_runtime):
+        ph = Phaser(off_runtime, register_self=True, name="c")
+        task = off_runtime.current_task()
+        status = blocked_status(task, Event(ph._rid, 1))
+        assert status.waits == frozenset({Event(ph._rid, 1)})
+        assert status.registered[ph._rid] == 0
+        ph.deregister()
+
+
+class TestDefaultRuntime:
+    def test_default_runtime_is_singleton(self):
+        a = get_default_runtime()
+        b = get_default_runtime()
+        assert a is b
+
+    def test_set_default_runtime(self):
+        original = get_default_runtime()
+        try:
+            fresh = ArmusRuntime()
+            set_default_runtime(fresh)
+            assert get_default_runtime() is fresh
+        finally:
+            set_default_runtime(original)
+
+    def test_synchronizer_uses_default(self):
+        original = get_default_runtime()
+        try:
+            fresh = ArmusRuntime()
+            set_default_runtime(fresh)
+            ph = Phaser(register_self=False)
+            assert ph.runtime is fresh
+        finally:
+            set_default_runtime(original)
+
+
+class TestLifecycle:
+    def test_context_manager(self):
+        with ArmusRuntime(mode=VerificationMode.DETECTION) as rt:
+            assert rt.monitor._thread is not None
+        # stopped on exit
+        assert rt.monitor._thread is None
+
+    def test_off_mode_does_not_start_monitor(self):
+        rt = ArmusRuntime(mode=VerificationMode.OFF).start()
+        assert rt.monitor._thread is None
+        rt.stop()
+
+    def test_model_configuration_reaches_checker(self):
+        rt = ArmusRuntime(model=GraphModel.WFG)
+        assert rt.checker.model is GraphModel.WFG
+
+    def test_cancel_on_detect_disabled(self, runtime_factory):
+        rt = runtime_factory("detection", cancel_on_detect=False)
+        t1 = rt.spawn(lambda: None)
+        t1.join(5)
+        rt.checker.set_blocked(t1.task_id, waiting_on("p", 1, p=1, q=0))
+        t2 = rt.spawn(lambda: None)
+        t2.join(5)
+        rt.checker.set_blocked(t2.task_id, waiting_on("q", 1, q=1, p=0))
+        report = rt.monitor.poll_once()
+        assert report is not None
+        assert not t1.cancelled and not t2.cancelled

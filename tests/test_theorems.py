@@ -1,0 +1,187 @@
+"""Property-based tests of the paper's theorems (Section 4).
+
+* **Theorem 4.8 (equivalence)** — the WFG of a resource-dependency
+  state has a cycle iff its SG has one (and iff the GRG has one);
+* **Theorem 4.10 (soundness)** — a WFG cycle of ``phi(S)`` identifies a
+  task set on which ``S`` is deadlocked (Definition 3.2);
+* **Theorem 4.15 (completeness)** — a deadlocked state's WFG has a
+  cycle reachable from every deadlocked task;
+* **Proposition 4.2 / Lemmas 4.5-4.6** — structural facts used by the
+  proofs (contractions, out-degrees).
+
+Hypothesis drives both arbitrary resource-dependency states (the
+theorems' native domain) and random PL programs run to quiescence
+through the full interpreter+checker pipeline.
+"""
+
+from __future__ import annotations
+
+import random
+
+from hypothesis import given, settings, strategies as st
+
+from repro.core.checker import DeadlockChecker
+from repro.core.cycles import (
+    cycle_reachable_from,
+    find_cycle,
+    has_cycle,
+    is_cycle,
+)
+from repro.core.dependency import DependencySnapshot, ResourceDependency
+from repro.core.events import BlockedStatus, Event
+from repro.core.graphs import (
+    build_grg,
+    build_sg,
+    build_wfg,
+    sg_from_grg,
+    wfg_from_grg,
+)
+from repro.core.selection import GraphModel, build_graph
+from repro.pl.deadlock import deadlocked_subset, to_snapshot
+from repro.pl.generator import random_seeded_program, random_seeded_state
+from repro.pl.interpreter import Interpreter
+from repro.pl.state import State
+
+# ---------------------------------------------------------------------------
+# strategies
+# ---------------------------------------------------------------------------
+@st.composite
+def snapshots(draw) -> DependencySnapshot:
+    """Arbitrary well-formed resource-dependency snapshots."""
+    n_tasks = draw(st.integers(1, 8))
+    n_phasers = draw(st.integers(1, 5))
+    max_phase = 3
+    dep = ResourceDependency()
+    for i in range(n_tasks):
+        # Each task registers a random subset of phasers at random phases
+        registered = {}
+        for p in range(n_phasers):
+            if draw(st.booleans()):
+                registered[f"p{p}"] = draw(st.integers(0, max_phase))
+        if not registered:
+            registered[f"p{draw(st.integers(0, n_phasers - 1))}"] = draw(
+                st.integers(0, max_phase)
+            )
+        # ... and waits on 1-2 events of arbitrary phasers/phases.
+        n_waits = draw(st.integers(1, 2))
+        waits = frozenset(
+            Event(
+                f"p{draw(st.integers(0, n_phasers - 1))}",
+                draw(st.integers(0, max_phase + 1)),
+            )
+            for _ in range(n_waits)
+        )
+        dep.set_blocked(f"t{i}", BlockedStatus(waits=waits, registered=registered))
+    return dep.snapshot()
+
+
+pl_state_seeds = st.integers(0, 10_000)
+pl_program_seeds = st.integers(0, 2_000)
+
+
+# ---------------------------------------------------------------------------
+# Theorem 4.8: WFG cycle <=> SG cycle (via arbitrary snapshots)
+# ---------------------------------------------------------------------------
+@given(snapshots())
+@settings(max_examples=300, deadline=None)
+def test_equivalence_wfg_sg(snapshot):
+    assert has_cycle(build_wfg(snapshot)) == has_cycle(build_sg(snapshot))
+
+
+@given(snapshots())
+@settings(max_examples=300, deadline=None)
+def test_equivalence_extends_to_grg(snapshot):
+    wfg_cyclic = has_cycle(build_wfg(snapshot))
+    assert wfg_cyclic == has_cycle(build_grg(snapshot))
+
+
+@given(snapshots())
+@settings(max_examples=200, deadline=None)
+def test_contraction_lemmas(snapshot):
+    """Lemmas 4.5/4.6: the WFG and SG are edge contractions of the GRG."""
+    grg = build_grg(snapshot)
+    assert set(wfg_from_grg(grg).edges()) == set(build_wfg(snapshot).edges())
+    assert set(sg_from_grg(grg).edges()) == set(build_sg(snapshot).edges())
+
+
+@given(snapshots())
+@settings(max_examples=200, deadline=None)
+def test_adaptive_selection_agrees_with_fixed(snapshot):
+    """The adaptive mode must never change the verification answer."""
+    answers = {
+        model: has_cycle(build_graph(snapshot, model).graph)
+        for model in (GraphModel.WFG, GraphModel.SG, GraphModel.AUTO)
+    }
+    assert len(set(answers.values())) == 1
+
+
+# ---------------------------------------------------------------------------
+# Theorems 4.10 / 4.15 on arbitrary PL states
+# ---------------------------------------------------------------------------
+@given(pl_state_seeds)
+@settings(max_examples=400, deadline=None)
+def test_soundness_on_random_states(seed: int):
+    """A cycle in wfg(phi(S)) implies S is deadlocked, and the cycle's
+    tasks form (part of) a totally deadlocked subset."""
+    state = random_seeded_state(seed)
+    snapshot = to_snapshot(state)
+    cycle = find_cycle(build_wfg(snapshot))
+    if cycle is None:
+        return
+    subset = deadlocked_subset(state)
+    assert subset, f"cycle {cycle} in a non-deadlocked state"
+    assert set(cycle) <= subset
+
+
+@given(pl_state_seeds)
+@settings(max_examples=400, deadline=None)
+def test_completeness_on_random_states(seed: int):
+    """A deadlocked state's WFG has a cycle reachable from every
+    deadlocked task (Theorem 4.15's exact shape)."""
+    state = random_seeded_state(seed)
+    subset = deadlocked_subset(state)
+    if not subset:
+        return
+    wfg = build_wfg(to_snapshot(state))
+    for task in subset:
+        cycle = cycle_reachable_from(wfg, task)
+        assert cycle is not None, f"no cycle reachable from {task}"
+        assert is_cycle(wfg, cycle)
+
+
+@given(pl_state_seeds)
+@settings(max_examples=300, deadline=None)
+def test_verification_verdict_matches_ground_truth(seed: int):
+    """End to end on states: checker verdict == Definition 3.2 verdict."""
+    state = random_seeded_state(seed)
+    snapshot = to_snapshot(state)
+    report = DeadlockChecker().check(snapshot=snapshot)
+    assert (report is not None) == bool(deadlocked_subset(state))
+
+
+# ---------------------------------------------------------------------------
+# The full pipeline on random programs
+# ---------------------------------------------------------------------------
+@given(pl_program_seeds)
+@settings(max_examples=60, deadline=None)
+def test_random_programs_pipeline(seed: int):
+    """Run a random program to quiescence with the checker attached:
+
+    * a report during the run implies the final state is deadlocked
+      (deadlocks are stable: a totally deadlocked subset never thaws);
+    * a deadlocked final state implies the checker reported (run-end
+      check = completeness);
+    * no report and no deadlock implies quiescence is either proper
+      termination or starvation (blocked tasks, no cycle).
+    """
+    program = random_seeded_program(random.Random(seed).randint(0, 1 << 30))
+    checker = DeadlockChecker()
+    result = Interpreter(seed=seed, checker=checker, max_steps=20_000).run(
+        State.initial(program)
+    )
+    if result.exhausted:
+        return  # budget ran out; no verdict to check
+    if result.reports:
+        assert result.is_deadlocked
+    if result.is_deadlocked:
+        assert result.reports

@@ -1,0 +1,116 @@
+"""SPMD scaffolding tests: slabs, reductions, pools."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.workloads.common import (
+    Reducer,
+    SpmdPool,
+    ValidationError,
+    WorkloadResult,
+    slab,
+)
+from repro.runtime.barriers import CyclicBarrier
+
+
+class TestSlab:
+    def test_partitions_cover_range(self):
+        n, size = 17, 5
+        covered = []
+        for rank in range(size):
+            s = slab(n, rank, size)
+            covered.extend(range(s.start, s.stop))
+        assert covered == list(range(n))
+
+    def test_balanced_within_one(self):
+        sizes = [slab(17, r, 5) for r in range(5)]
+        lengths = [s.stop - s.start for s in sizes]
+        assert max(lengths) - min(lengths) <= 1
+
+    def test_more_ranks_than_items(self):
+        lengths = [
+            slab(3, r, 8).stop - slab(3, r, 8).start for r in range(8)
+        ]
+        assert sum(lengths) == 3
+        assert all(l >= 0 for l in lengths)
+
+    def test_single_rank_takes_all(self):
+        assert slab(10, 0, 1) == slice(0, 10)
+
+
+class TestWorkloadResult:
+    def test_require_valid_passes(self):
+        r = WorkloadResult("X", 1, 0.0, validated=True)
+        assert r.require_valid() is r
+
+    def test_require_valid_raises(self):
+        r = WorkloadResult("X", 1, 0.0, validated=False, details={"err": 1})
+        with pytest.raises(ValidationError):
+            r.require_valid()
+
+
+class TestReducer:
+    def test_all_reduce_sums(self, off_runtime):
+        n = 4
+        bar = CyclicBarrier(n, off_runtime)
+        red = Reducer(n, bar)
+        outs = []
+
+        def body(rank: int):
+            outs.append(red.all_reduce(rank, float(rank + 1)))
+
+        tasks = [off_runtime.spawn(body, i, register=[bar]) for i in range(n)]
+        for t in tasks:
+            t.join(10)
+        assert outs == [10.0, 10.0, 10.0, 10.0]
+
+    def test_consecutive_reductions_do_not_bleed(self, off_runtime):
+        n = 3
+        bar = CyclicBarrier(n, off_runtime)
+        red = Reducer(n, bar)
+        outs = {0: [], 1: []}
+
+        def body(rank: int):
+            outs[0].append(red.all_reduce(rank, 1.0))
+            outs[1].append(red.all_reduce(rank, 10.0))
+
+        tasks = [off_runtime.spawn(body, i, register=[bar]) for i in range(n)]
+        for t in tasks:
+            t.join(10)
+        assert set(outs[0]) == {3.0}
+        assert set(outs[1]) == {30.0}
+
+
+class TestSpmdPool:
+    def test_runs_all_ranks(self, off_runtime):
+        pool = SpmdPool(off_runtime, 4)
+        seen = []
+        pool.run(lambda rank, p: seen.append(rank))
+        assert sorted(seen) == [0, 1, 2, 3]
+
+    def test_rank_failure_propagates(self, off_runtime):
+        pool = SpmdPool(off_runtime, 2)
+
+        def body(rank, p):
+            if rank == 1:
+                raise ValueError("rank 1 boom")
+
+        from repro.runtime.tasks import TaskFailedError
+
+        with pytest.raises(TaskFailedError):
+            pool.run(body)
+        assert pool._errors and isinstance(pool._errors[0], ValueError)
+
+    def test_extra_barriers(self, off_runtime):
+        pool = SpmdPool(off_runtime, 3, extra_barriers=2)
+        trace = []
+
+        def body(rank, p):
+            p.barrier_step(which=0)
+            trace.append(("b0", rank))
+            p.barrier_step(which=1)
+            trace.append(("b1", rank))
+
+        pool.run(body)
+        assert len(trace) == 6

@@ -1,0 +1,154 @@
+"""Course-program tests (Section 6.3), including deadlock mutations.
+
+Besides validating every program, two *mutation* tests check that the
+disciplines the docstrings claim are load-bearing really are: violating
+them deadlocks, and Armus reports it.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.report import DeadlockError
+from repro.runtime.clocked_var import ClockedVar
+from repro.runtime.tasks import TaskFailedError
+from repro.workloads.course import run_bfs, run_fi, run_fr, run_ps, run_se
+from repro.workloads.course.bfs import random_graph, serial_bfs
+from repro.workloads.course.se import array_sieve
+
+
+class TestSubstrates:
+    def test_random_graph_connected(self):
+        adj = random_graph(30, 3.0, seed=5)
+        assert len(serial_bfs(adj, 0)) == 30  # the ring guarantees it
+
+    def test_random_graph_symmetric(self):
+        adj = random_graph(20, 3.0, seed=6)
+        for v, neighbours in enumerate(adj):
+            for u in neighbours:
+                assert v in adj[u]
+
+    def test_array_sieve(self):
+        assert array_sieve(30) == [2, 3, 5, 7, 11, 13, 17, 19, 23, 29]
+
+
+class TestPrograms:
+    @pytest.mark.parametrize("n", (4, 16, 33))
+    def test_ps(self, off_runtime, n: int):
+        assert run_ps(off_runtime, n_tasks=n).details["err"] == 0.0
+
+    @pytest.mark.parametrize("nodes", (12, 48))
+    def test_bfs(self, off_runtime, nodes: int):
+        r = run_bfs(off_runtime, n_nodes=nodes)
+        assert r.details["visited"] == nodes
+
+    @pytest.mark.parametrize("n", (3, 10, 16))
+    def test_fi(self, off_runtime, n: int):
+        r = run_fi(off_runtime, n=n)
+        assert r.validated
+
+    @pytest.mark.parametrize("n", (0, 1, 5, 9))
+    def test_fr(self, off_runtime, n: int):
+        r = run_fr(off_runtime, n=n)
+        assert r.validated
+
+    @pytest.mark.parametrize("limit", (10, 50))
+    def test_se(self, off_runtime, limit: int):
+        r = run_se(off_runtime, limit=limit)
+        assert not r.details["leaked"]
+
+    def test_all_under_avoidance(self, avoidance_runtime):
+        rt = avoidance_runtime
+        for result in (
+            run_ps(rt, n_tasks=8),
+            run_bfs(rt, n_nodes=16),
+            run_fi(rt, n=8),
+            run_fr(rt, n=6),
+            run_se(rt, limit=20),
+        ):
+            assert result.validated
+        assert not rt.reports  # all five are deadlock-free
+
+    def test_all_under_detection(self, detection_runtime):
+        rt = detection_runtime
+        for result in (
+            run_ps(rt, n_tasks=8),
+            run_bfs(rt, n_nodes=16),
+            run_fi(rt, n=8),
+            run_se(rt, limit=20),
+        ):
+            assert result.validated
+        assert not rt.reports
+
+
+class TestDeadlockMutations:
+    def test_fi_descending_order_deadlocks(self, avoidance_runtime):
+        """FI's ascending-clock-order discipline is load-bearing: two
+        neighbour tasks touching their shared clocked variables in
+        *opposite* orders produce a circular wait that Armus reports."""
+        rt = avoidance_runtime
+        cv0 = ClockedVar(0, runtime=rt)
+        cv1 = ClockedVar(0, runtime=rt)
+
+        def forward():  # touches cv0 then cv1 (ascending)
+            cv0.next()
+            cv1.next()
+            cv0.drop()
+            cv1.drop()
+
+        def backward():  # touches cv1 then cv0 (descending!)
+            cv1.next()
+            cv0.next()
+            cv0.drop()
+            cv1.drop()
+
+        t1 = rt.spawn(forward, register=[cv0, cv1])
+        t2 = rt.spawn(backward, register=[cv0, cv1])
+        cv0.drop()
+        cv1.drop()
+        outcomes = []
+        for t in (t1, t2):
+            try:
+                t.join(10)
+                outcomes.append("ok")
+            except DeadlockError:
+                outcomes.append("deadlock")
+            except TaskFailedError as err:
+                outcomes.append(
+                    "deadlock" if isinstance(err.cause, DeadlockError) else "?"
+                )
+        assert "deadlock" in outcomes
+        assert rt.reports
+
+    def test_ps_blocked_element_forms_reported_cycle(self, detection_runtime):
+        """A PS element blocked on a side phaser that only its barrier
+        peer can advance: t1 waits at the barrier for t2, t2 waits at the
+        phaser for t1 — a cross-abstraction cycle the detector reports
+        (and cancels both ways)."""
+        rt = detection_runtime
+        from repro.runtime.barriers import CyclicBarrier
+        from repro.runtime.phaser import Phaser
+
+        bar = CyclicBarrier(2, rt)
+        side = Phaser(rt, register_self=False, name="side")
+
+        def good():  # arrives at the barrier, then (too late) the phaser
+            bar.await_barrier()
+            side.arrive()
+
+        def stuck():  # needs good's phaser arrival before the barrier
+            side.arrive()
+            side.await_advance()
+            bar.await_barrier()
+
+        t1 = rt.spawn(good, register=[bar, side])
+        t2 = rt.spawn(stuck, register=[bar, side])
+        outcomes = []
+        for t in (t1, t2):
+            try:
+                t.join(10)
+                outcomes.append("ok")
+            except DeadlockError:
+                outcomes.append("deadlock")
+        assert outcomes.count("deadlock") == 2
+        assert rt.reports

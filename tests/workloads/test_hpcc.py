@@ -1,0 +1,84 @@
+"""HPCC distributed workload tests."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.distributed.places import Cluster
+from repro.workloads.hpcc import (
+    run_dist_ft,
+    run_jacobi,
+    run_kmeans,
+    run_ssca2,
+    run_stream,
+)
+from repro.workloads.hpcc.ssca2 import bfs_stats, rmat_graph
+
+
+@pytest.fixture
+def cluster():
+    with Cluster(3, check_interval_s=0.05, publish_interval_s=0.02) as cl:
+        yield cl
+
+
+class TestGraphSubstrate:
+    def test_rmat_deterministic(self):
+        a1, w1 = rmat_graph(5, 4, seed=9)
+        a2, w2 = rmat_graph(5, 4, seed=9)
+        assert a1 == a2
+        np.testing.assert_array_equal(w1, w2)
+
+    def test_rmat_no_self_loops(self):
+        adj, weights = rmat_graph(5, 4, seed=9)
+        for v, neighbours in enumerate(adj):
+            assert v not in neighbours
+        assert np.all(np.diag(weights) == 0)
+
+    def test_rmat_power_law_ish(self):
+        """R-MAT's skew: the max out-degree well above the mean."""
+        adj, _ = rmat_graph(7, 6, seed=9)
+        degrees = np.array([len(n) for n in adj])
+        assert degrees.max() > 3 * max(degrees.mean(), 1)
+
+    def test_bfs_stats_match_networkx(self):
+        import networkx as nx
+
+        adj, _ = rmat_graph(5, 4, seed=11)
+        g = nx.DiGraph(
+            [(u, v) for u, ns in enumerate(adj) for v in ns]
+        )
+        g.add_nodes_from(range(len(adj)))
+        for root in (0, 3, 17):
+            reached, total_depth, max_depth = bfs_stats(adj, root)
+            lengths = nx.single_source_shortest_path_length(g, root)
+            assert reached == len(lengths)
+            assert total_depth == sum(lengths.values())
+            assert max_depth == max(lengths.values())
+
+
+class TestKernels:
+    def test_stream(self, cluster):
+        assert run_stream(cluster, size=4096, reps=3).details["err"] == 0.0
+
+    def test_dist_ft(self, cluster):
+        r = run_dist_ft(cluster, size=16, steps=2)
+        assert r.details["field_err"] < 1e-10
+
+    def test_kmeans_matches_serial(self, cluster):
+        r = run_kmeans(cluster, n_points=600, k=5, iterations=4)
+        assert r.details["centroid_err"] < 1e-9
+        assert r.details["inertia_monotone"]
+
+    def test_jacobi_bit_identical(self, cluster):
+        r = run_jacobi(cluster, size=24, iterations=20)
+        assert r.details["grid_err"] == 0.0
+
+    def test_ssca2(self, cluster):
+        r = run_ssca2(cluster, scale=5, avg_degree=4, n_roots=6)
+        assert r.details["stats_err"] == 0
+        assert r.details["closure_err"] == 0
+
+    def test_single_place_cluster(self):
+        with Cluster(1, check_interval_s=0.05) as cl:
+            assert run_stream(cl, size=1024, reps=2).validated

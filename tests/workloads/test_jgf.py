@@ -1,0 +1,60 @@
+"""JGF workload tests: the ray tracer and the SYNC microbenchmark."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.workloads.jgf import run_rt, run_sync
+from repro.workloads.jgf.rt import SPHERES, render
+
+
+class TestRender:
+    def test_deterministic(self):
+        a = render(16, 12, range(12))
+        b = render(16, 12, range(12))
+        np.testing.assert_array_equal(a, b)
+
+    def test_scene_has_spheres_and_background(self):
+        img = render(32, 24, range(24))
+        assert img.max() > 0.5  # lit sphere pixels
+        assert (img == 0.0).any()  # background
+
+    def test_shadows_darken(self):
+        """With the light high to the right, some sphere pixels must be
+        in shadow (only ambient light)."""
+        img = render(48, 32, range(32))
+        lit = img[img.sum(axis=2) > 0.3]
+        dark = img[(img.sum(axis=2) > 0.0) & (img.sum(axis=2) < 0.15)]
+        assert len(lit) > 0 and len(dark) > 0
+
+    def test_rows_independent(self):
+        whole = render(16, 12, range(12))
+        one = render(16, 12, [5])
+        np.testing.assert_array_equal(whole[5], one[0])
+
+    def test_scene_shape(self):
+        assert len(SPHERES) == 4  # three spheres + the ground
+
+
+class TestRtKernel:
+    @pytest.mark.parametrize("n_tasks", (1, 3, 4))
+    def test_validates(self, off_runtime, n_tasks: int):
+        r = run_rt(off_runtime, n_tasks=n_tasks, width=24, height=16, frames=1)
+        assert r.details["image_err"] == 0.0
+
+    def test_more_tasks_than_scanlines(self, off_runtime):
+        r = run_rt(off_runtime, n_tasks=8, width=16, height=4, frames=1)
+        assert r.validated
+
+
+class TestSync:
+    @pytest.mark.parametrize("n_tasks", (2, 4, 8))
+    def test_lockstep(self, off_runtime, n_tasks: int):
+        r = run_sync(off_runtime, n_tasks=n_tasks, steps=20)
+        assert r.details["max_spread"] <= 1
+
+    def test_under_avoidance(self, avoidance_runtime):
+        r = run_sync(avoidance_runtime, n_tasks=4, steps=20)
+        assert r.validated
+        assert avoidance_runtime.stats.checks > 0

@@ -1,0 +1,122 @@
+"""NPB kernel tests: numerical validation plus the line-solver units."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+import scipy.linalg
+
+from repro.workloads.npb import run_bt, run_cg, run_ft, run_mg, run_sp
+from repro.workloads.npb.cg import laplacian_2d
+from repro.workloads.npb.solvers import (
+    bands_to_dense,
+    block_thomas,
+    penta_bands,
+    penta_solve,
+)
+
+
+class TestSolvers:
+    @pytest.mark.parametrize("m", (4, 9, 16))
+    def test_penta_solve_matches_scipy(self, m: int):
+        bands = penta_bands(m, 0.35)
+        rng = np.random.default_rng(1)
+        rhs = rng.standard_normal((5, m))
+        ours = penta_solve(bands, rhs)
+        ref = scipy.linalg.solve_banded((2, 2), bands, rhs.T).T
+        np.testing.assert_allclose(ours, ref, atol=1e-10)
+
+    @pytest.mark.parametrize("m", (4, 9, 16))
+    def test_penta_solve_matches_dense(self, m: int):
+        bands = penta_bands(m, 0.2)
+        a = bands_to_dense(bands)
+        rng = np.random.default_rng(2)
+        rhs = rng.standard_normal((3, m))
+        ours = penta_solve(bands, rhs)
+        ref = np.linalg.solve(a, rhs.T).T
+        np.testing.assert_allclose(ours, ref, atol=1e-10)
+
+    def test_penta_operator_is_spd(self):
+        a = bands_to_dense(penta_bands(12, 0.4))
+        np.testing.assert_allclose(a, a.T)
+        assert np.all(np.linalg.eigvalsh(a) > 0.99)
+
+    def test_penta_rejects_tiny_lines(self):
+        with pytest.raises(ValueError):
+            penta_bands(3, 0.1)
+
+    @pytest.mark.parametrize("m", (3, 8, 15))
+    def test_block_thomas_matches_dense(self, m: int):
+        from repro.workloads.npb.bt import _bt_blocks, _dense_line_matrix
+
+        lower, diag, upper = _bt_blocks(m, 0.4, 0.05)
+        a = _dense_line_matrix(m, 0.4, 0.05)
+        rng = np.random.default_rng(3)
+        rhs = rng.standard_normal((4, m, 2))
+        ours = block_thomas(lower, diag, upper, rhs)
+        ref = np.linalg.solve(a, rhs.reshape(4, 2 * m).T).T.reshape(4, m, 2)
+        np.testing.assert_allclose(ours, ref, atol=1e-10)
+
+    def test_bt_line_matrix_is_spd(self):
+        from repro.workloads.npb.bt import _dense_line_matrix
+
+        a = _dense_line_matrix(10, 0.4, 0.05)
+        np.testing.assert_allclose(a, a.T)
+        assert np.all(np.linalg.eigvalsh(a) >= 1.0 - 1e-12)
+
+    def test_laplacian_2d_is_spd(self):
+        a = laplacian_2d(4)
+        np.testing.assert_allclose(a, a.T)
+        assert np.all(np.linalg.eigvalsh(a) > 0)
+
+
+class TestKernelsValidate:
+    @pytest.mark.parametrize("n_tasks", (1, 3, 4))
+    def test_cg(self, off_runtime, n_tasks: int):
+        r = run_cg(off_runtime, n_tasks=n_tasks, side=8, iterations=50)
+        assert r.validated
+        assert r.details["residual"] < 1e-6
+
+    @pytest.mark.parametrize("n_tasks", (2, 4))
+    def test_mg(self, off_runtime, n_tasks: int):
+        r = run_mg(off_runtime, n_tasks=n_tasks, levels=4, cycles=3)
+        assert r.details["contraction"] < 0.05
+
+    @pytest.mark.parametrize("n_tasks", (2, 5))
+    def test_ft(self, off_runtime, n_tasks: int):
+        r = run_ft(off_runtime, n_tasks=n_tasks, size=16, steps=3)
+        assert r.details["field_err"] < 1e-10
+
+    @pytest.mark.parametrize("n_tasks", (2, 4))
+    def test_bt(self, off_runtime, n_tasks: int):
+        r = run_bt(off_runtime, n_tasks=n_tasks, size=12, steps=4)
+        assert r.details["dissipative"]
+
+    @pytest.mark.parametrize("n_tasks", (2, 4))
+    def test_sp(self, off_runtime, n_tasks: int):
+        r = run_sp(off_runtime, n_tasks=n_tasks, size=12, steps=4)
+        assert r.details["smoothing"]
+
+    def test_more_ranks_than_rows(self, off_runtime):
+        """Empty slabs must be harmless (the 64-task sweep on class-T
+        sizes leaves some ranks idle)."""
+        r = run_ft(off_runtime, n_tasks=12, size=8, steps=2)
+        assert r.validated
+
+
+class TestKernelsUnderVerification:
+    """Verification must not perturb results (same seeds => same sums)."""
+
+    def test_cg_checksum_stable_across_modes(self, runtime_factory):
+        sums = set()
+        for mode in ("off", "detection", "avoidance"):
+            rt = runtime_factory(mode)
+            sums.add(run_cg(rt, n_tasks=3, side=8, iterations=40).checksum)
+        assert len(sums) == 1
+
+    def test_bt_checksum_stable_across_modes(self, runtime_factory):
+        sums = set()
+        for mode in ("off", "detection", "avoidance"):
+            rt = runtime_factory(mode)
+            sums.add(run_bt(rt, n_tasks=3, size=12, steps=3).checksum)
+        assert len(sums) == 1

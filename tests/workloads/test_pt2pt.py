@@ -1,0 +1,42 @@
+"""Point-to-point phaser workload tests (the Shirako-et-al. pattern)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.workloads.course.pt2pt import run_pt2pt
+
+
+class TestPt2pt:
+    @pytest.mark.parametrize("n", (2, 8, 16))
+    def test_matches_serial_reference(self, off_runtime, n: int):
+        r = run_pt2pt(off_runtime, n_tasks=n, iterations=5)
+        assert r.details["err"] == 0.0
+        assert r.details["pairs"] == n - 1
+
+    def test_rejects_single_task(self, off_runtime):
+        with pytest.raises(ValueError):
+            run_pt2pt(off_runtime, n_tasks=1)
+
+    def test_under_avoidance_no_reports(self, avoidance_runtime):
+        r = run_pt2pt(avoidance_runtime, n_tasks=10, iterations=4)
+        assert r.validated
+        assert not avoidance_runtime.reports
+
+    def test_under_detection_no_reports(self, detection_runtime):
+        r = run_pt2pt(detection_runtime, n_tasks=10, iterations=4)
+        assert r.validated
+        assert not detection_runtime.reports
+
+    def test_edge_counts_favour_wfg_shape(self, runtime_factory):
+        """Many two-party phasers: neither graph model explodes, and the
+        WFG stays within the same magnitude as the SG (the cited
+        point-to-point expectation, in contrast to PS/BFS)."""
+        from repro.core.selection import GraphModel
+
+        edges = {}
+        for model in (GraphModel.WFG, GraphModel.SG):
+            rt = runtime_factory("avoidance", model=model)
+            run_pt2pt(rt, n_tasks=16, iterations=5)
+            edges[model] = rt.stats.mean_edges
+        assert edges[GraphModel.WFG] <= 4 * max(edges[GraphModel.SG], 1.0)
