@@ -1,0 +1,68 @@
+"""Trace-replay throughput: events/sec for both codecs (DESIGN.md's
+trace-subsystem benchmark; no counterpart in the paper, which had no
+offline mode).
+
+A ~10k-event corpus trace is generated once (cycle 4 × fan-out 4 ×
+160 warm-up rounds), persisted under each codec, and each benchmark
+round decodes the file and replays it in detection mode.  ``decode``
+benchmarks isolate the codec cost; ``replay`` benchmarks measure the
+full pipeline (decode + checker).  ``extra_info`` records the
+events/sec figures the acceptance criteria ask for.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.trace.codec import load_trace, save_trace
+from repro.trace.corpus import ScenarioSpec, scenario_trace
+from repro.trace.replay import replay
+
+CODEC_EXT = {"jsonl": ".jsonl", "binary": ".trace"}
+
+#: ~10k events: 16 tasks x 160 rounds x 3 records + context + knot.
+SPEC = ScenarioSpec(cycle_len=4, fan_out=4, sites=1, rounds=160)
+
+
+@pytest.fixture(scope="module")
+def corpus_files(tmp_path_factory):
+    """The corpus trace written once per codec."""
+    tmp = tmp_path_factory.mktemp("trace-corpus")
+    trace = scenario_trace(SPEC)
+    return {
+        codec: (save_trace(trace, tmp / f"corpus{ext}", codec=codec), len(trace))
+        for codec, ext in CODEC_EXT.items()
+    }
+
+
+@pytest.mark.parametrize("codec", sorted(CODEC_EXT))
+def test_decode_throughput(bench, benchmark, corpus_files, codec):
+    path, n_events = corpus_files[codec]
+
+    def decode():
+        return load_trace(path)
+
+    trace = bench(decode)
+    assert len(trace) == n_events
+    elapsed = benchmark.stats.stats.mean
+    benchmark.extra_info["codec"] = codec
+    benchmark.extra_info["events"] = n_events
+    benchmark.extra_info["decode_events_per_sec"] = round(n_events / elapsed)
+
+
+@pytest.mark.parametrize("codec", sorted(CODEC_EXT))
+def test_replay_throughput(bench, benchmark, corpus_files, codec):
+    """Decode + detection replay (check cadence 16 keeps the checker and
+    codec costs comparable)."""
+    path, n_events = corpus_files[codec]
+
+    def run():
+        return replay(load_trace(path), mode="detection", check_every=16)
+
+    result = bench(run)
+    assert result.deadlocked  # the corpus's ground truth holds
+    assert result.records_processed == n_events
+    elapsed = benchmark.stats.stats.mean
+    benchmark.extra_info["codec"] = codec
+    benchmark.extra_info["events"] = n_events
+    benchmark.extra_info["replay_events_per_sec"] = round(n_events / elapsed)

@@ -3,7 +3,8 @@
 Dynamic deadlock verification for general barrier synchronisation:
 event-based concurrency constraints, WFG/SG/adaptive graph analysis,
 detection and avoidance modes, distributed one-phase detection, the PL
-formal model, and the paper's benchmark suites.
+formal model, the paper's benchmark suites, and an event-trace
+subsystem for offline record/replay verification.
 
 Typical entry points::
 
@@ -11,6 +12,7 @@ Typical entry points::
     from repro.core import DeadlockChecker, GraphModel
     from repro.distributed import Cluster
     from repro.pl import programs, Interpreter
+    from repro.trace import TraceRecorder, replay
 
 See README.md for a tour and DESIGN.md for the system inventory.
 """

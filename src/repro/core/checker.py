@@ -22,7 +22,7 @@ from __future__ import annotations
 import threading
 import time
 from dataclasses import dataclass, field
-from typing import List, Optional, Tuple
+from typing import Dict, Optional, Tuple
 
 from repro.core.cycles import cycle_through, find_cycle
 from repro.core.dependency import DependencySnapshot, ResourceDependency
@@ -38,36 +38,57 @@ from repro.core.selection import (
 
 @dataclass
 class CheckStats:
-    """Accounting across checks — the source of Table 3's edge counts."""
+    """Accounting across checks — the source of Table 3's edge counts.
+
+    All aggregates are *streaming* (count / sum / max plus a per-model
+    histogram): memory stays O(1) no matter how long the run, which is
+    what lets a detection monitor — or a million-event trace replay —
+    run indefinitely without the stats object growing.
+    """
 
     checks: int = 0
     cycles_found: int = 0
-    edge_counts: List[int] = field(default_factory=list)
-    models_used: List[GraphModel] = field(default_factory=list)
+    edges_total: int = 0
+    edges_max: int = 0
+    model_counts: Dict[GraphModel, int] = field(default_factory=dict)
     total_time_s: float = 0.0
+
+    def record(self, model_used: GraphModel, edge_count: int, dt_s: float,
+               found_cycle: bool) -> None:
+        """Fold one check into the aggregates."""
+        self.checks += 1
+        self.total_time_s += dt_s
+        self.edges_total += edge_count
+        if edge_count > self.edges_max:
+            self.edges_max = edge_count
+        self.model_counts[model_used] = self.model_counts.get(model_used, 0) + 1
+        if found_cycle:
+            self.cycles_found += 1
 
     @property
     def mean_edges(self) -> float:
         """Average number of edges per check (Table 3's "Edges" row)."""
-        if not self.edge_counts:
+        if not self.checks:
             return 0.0
-        return sum(self.edge_counts) / len(self.edge_counts)
+        return self.edges_total / self.checks
 
     @property
     def max_edges(self) -> int:
-        return max(self.edge_counts, default=0)
+        """Largest analysis graph seen across all checks."""
+        return self.edges_max
 
     def model_histogram(self) -> dict:
-        hist: dict = {}
-        for m in self.models_used:
-            hist[m] = hist.get(m, 0) + 1
-        return hist
+        """How often each concrete graph model was analysed."""
+        return dict(self.model_counts)
 
     def merge(self, other: "CheckStats") -> None:
+        """Fold ``other``'s aggregates into this one (cluster totals)."""
         self.checks += other.checks
         self.cycles_found += other.cycles_found
-        self.edge_counts.extend(other.edge_counts)
-        self.models_used.extend(other.models_used)
+        self.edges_total += other.edges_total
+        self.edges_max = max(self.edges_max, other.edges_max)
+        for model, count in other.model_counts.items():
+            self.model_counts[model] = self.model_counts.get(model, 0) + count
         self.total_time_s += other.total_time_s
 
 
@@ -252,12 +273,7 @@ class DeadlockChecker:
     ) -> None:
         dt = time.perf_counter() - t0
         with self._stats_lock:
-            self.stats.checks += 1
-            self.stats.total_time_s += dt
-            self.stats.edge_counts.append(edge_count)
-            self.stats.models_used.append(model_used)
-            if report is not None:
-                self.stats.cycles_found += 1
+            self.stats.record(model_used, edge_count, dt, report is not None)
 
     def reset_stats(self) -> CheckStats:
         """Swap in a fresh stats object; return the old one."""

@@ -32,12 +32,20 @@ class Cluster:
         check_interval_s: float = 0.2,
         publish_interval_s: float = 0.05,
         cancel_on_detect: bool = True,
+        recorder=None,
     ) -> None:
         if n_places < 1:
             raise ValueError("need at least one place")
         stores = [InMemoryStore(name=f"replica{i}") for i in range(max(1, replicas))]
         self.store_replicas = stores
-        self.store = stores[0] if len(stores) == 1 else ReplicatedStore(stores)
+        # One recorder covers the whole cluster: every place's
+        # block/unblock stream plus the store's publish stream land in a
+        # single totally-ordered trace.
+        if len(stores) == 1:
+            stores[0].recorder = recorder
+            self.store = stores[0]
+        else:
+            self.store = ReplicatedStore(stores, recorder=recorder)
         self.places: List[Site] = [
             Site(
                 f"place{i}",
@@ -46,6 +54,7 @@ class Cluster:
                 check_interval_s=check_interval_s,
                 publish_interval_s=publish_interval_s,
                 cancel_on_detect=cancel_on_detect,
+                recorder=recorder,
             )
             for i in range(n_places)
         ]

@@ -49,6 +49,11 @@ class Site:
         Cadences of the two loops.
     cancel_on_detect:
         Cancel local tasks involved in a detected cycle.
+    recorder:
+        Optional :class:`~repro.trace.recorder.TraceRecorder` wired into
+        this site's runtime, capturing its tasks' block/unblock stream
+        (attach the same recorder to the store to also capture
+        publishes).
     """
 
     def __init__(
@@ -60,6 +65,7 @@ class Site:
         publish_interval_s: float = DEFAULT_PUBLISH_INTERVAL_S,
         cancel_on_detect: bool = True,
         on_deadlock: Optional[Callable[[DeadlockReport], None]] = None,
+        recorder=None,
     ) -> None:
         self.site_id = site_id
         self.store = store
@@ -67,7 +73,10 @@ class Site:
         # into the local dependency; the monitor stays off — the site's
         # own checking loop replaces it.
         self.runtime = ArmusRuntime(
-            mode=VerificationMode.DETECTION, model=model, cancel_on_detect=False
+            mode=VerificationMode.DETECTION,
+            model=model,
+            cancel_on_detect=False,
+            recorder=recorder,
         )
         self.checker = DistributedChecker(store, model=model)
         self.check_interval_s = check_interval_s

@@ -56,10 +56,16 @@ def decode_statuses(payload: Mapping) -> Dict[str, BlockedStatus]:
 # stores
 # ---------------------------------------------------------------------------
 class InMemoryStore:
-    """A thread-safe bucket-per-site KV store with injectable outages."""
+    """A thread-safe bucket-per-site KV store with injectable outages.
 
-    def __init__(self, name: str = "store") -> None:
+    ``recorder`` (an optional :class:`~repro.trace.recorder.TraceRecorder`)
+    captures every successful ``put`` as a trace ``publish`` record — the
+    site-publish observation point of the trace subsystem.
+    """
+
+    def __init__(self, name: str = "store", recorder=None) -> None:
         self.name = name
+        self.recorder = recorder
         self._lock = threading.Lock()
         self._buckets: Dict[str, dict] = {}
         self._available = True
@@ -88,6 +94,10 @@ class InMemoryStore:
             self._check_up()
             self.puts += 1
             self._buckets[site_id] = payload
+            # Recorded under the lock so the trace's publish order is
+            # the bucket-write order (the recorder's lock is a leaf).
+            if self.recorder is not None:
+                self.recorder.record_publish(site_id, payload)
 
     def get(self, site_id: str) -> Optional[dict]:
         with self._lock:
@@ -123,21 +133,30 @@ class ReplicatedStore:
     tolerates by design).
     """
 
-    def __init__(self, replicas: Sequence[InMemoryStore]) -> None:
+    def __init__(self, replicas: Sequence[InMemoryStore], recorder=None) -> None:
         if not replicas:
             raise ValueError("need at least one replica")
         self.replicas: List[InMemoryStore] = list(replicas)
+        # One publish record per *logical* write, however many replicas
+        # acknowledged it (leave the replicas' own recorders unset).
+        self.recorder = recorder
+        # Serialises write-through so replica contents and the recorded
+        # publish order cannot interleave across concurrent writers.
+        self._put_lock = threading.Lock()
 
     def put(self, site_id: str, payload: dict) -> None:
-        wrote = False
-        for replica in self.replicas:
-            try:
-                replica.put(site_id, payload)
-                wrote = True
-            except StoreUnavailableError:
-                continue
-        if not wrote:
-            raise StoreUnavailableError("all replicas down")
+        with self._put_lock:
+            wrote = False
+            for replica in self.replicas:
+                try:
+                    replica.put(site_id, payload)
+                    wrote = True
+                except StoreUnavailableError:
+                    continue
+            if not wrote:
+                raise StoreUnavailableError("all replicas down")
+            if self.recorder is not None:
+                self.recorder.record_publish(site_id, payload)
 
     def get(self, site_id: str) -> Optional[dict]:
         for replica in self.replicas:

@@ -70,6 +70,12 @@ class Interpreter:
     check_every:
         Check cadence in steps when a checker is attached (the detection
         "period" translated from wall-clock to reduction counts).
+    recorder:
+        Optional :class:`~repro.trace.recorder.TraceRecorder`; the
+        blocked-set *diffs* of each ``phi(S)`` publication are recorded
+        as block/unblock records, so PL runs replay exactly like runtime
+        runs.  Requires an attached ``checker`` (recording piggybacks on
+        its publication points).
     """
 
     def __init__(
@@ -79,15 +85,21 @@ class Interpreter:
         max_steps: int = 100_000,
         checker: Optional[DeadlockChecker] = None,
         check_every: int = 1,
+        recorder=None,
     ) -> None:
         self.rng = random.Random(seed)
         self.unfold_bias = unfold_bias
         self.max_steps = max_steps
         self.checker = checker
         self.check_every = max(1, check_every)
+        self.recorder = recorder
+        self._published: Dict[Name, object] = {}
 
     def run(self, start: State) -> RunResult:
         """Reduce ``start`` until no step is enabled or the budget ends."""
+        # Each run records a fresh blocked-set stream; stale diff state
+        # from a previous run() would suppress or fabricate records.
+        self._published = {}
         state = start
         steps = 0
         reports: List[DeadlockReport] = []
@@ -145,10 +157,24 @@ class Interpreter:
         """Publish phi(state) into the checker and run one check."""
         assert self.checker is not None
         snapshot = to_snapshot(state)
+        if self.recorder is not None:
+            self._record_diff(snapshot.statuses)
         self.checker.dependency.clear_all()
         for task, status in snapshot.statuses.items():
             self.checker.dependency.set_blocked(task, status)
         return self.checker.check()
+
+    def _record_diff(self, statuses) -> None:
+        """Record the blocked-set delta of this publication: tasks that
+        left the blocked set unblock; new or changed statuses block."""
+        for task in list(self._published):
+            if task not in statuses:
+                self.recorder.record_unblock(task)
+                del self._published[task]
+        for task, status in statuses.items():
+            if self._published.get(task) != status:
+                self.recorder.record_block(task, status)
+                self._published[task] = status
 
 
 @dataclass

@@ -145,6 +145,9 @@ class Phaser:
         if mode is RegistrationMode.WAIT:
             self._wait_members[task] = phase
         task._add_registration(self)
+        # Trace context: membership changes are recorded through the
+        # task's runtime (a shared phaser spans runtimes/sites).
+        task.runtime.notify_register(task, self._rid, phase)
 
     def in_mode(self, mode: RegistrationMode) -> "_ModalRegistrar":
         """A spawn-time registration handle carrying a mode.
@@ -221,7 +224,8 @@ class Phaser:
             if task in self._members:  # may have been evicted meanwhile
                 self._members[task] = target
             self._cond.notify_all()
-            return target
+        task.runtime.notify_advance(task, self._rid, target)
+        return target
 
     def _respect_bound(self, task: Task, target: int) -> None:
         """Block until signalling ``target`` respects the bound."""

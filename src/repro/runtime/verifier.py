@@ -23,7 +23,7 @@ from __future__ import annotations
 
 import enum
 import threading
-from typing import Any, Callable, Dict, Iterable, List, Optional
+from typing import Any, Callable, Dict, Iterable, List, Optional, TYPE_CHECKING
 
 from repro.core.checker import DeadlockChecker
 from repro.core.dependency import ResourceDependency
@@ -32,6 +32,9 @@ from repro.core.monitor import DetectionMonitor
 from repro.core.report import DeadlockReport
 from repro.core.selection import DEFAULT_THRESHOLD_FACTOR, GraphModel
 from repro.runtime.tasks import Task
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.trace.recorder import TraceRecorder
 
 
 class VerificationMode(enum.Enum):
@@ -68,6 +71,11 @@ class ArmusRuntime:
     dependency:
         Optional shared blocked-status store (distributed sites share one
         global store through this hook).
+    recorder:
+        Optional :class:`~repro.trace.recorder.TraceRecorder`; when set,
+        every block/unblock (and the synchronizers' register/advance
+        context) is appended to it — recording works in *any* mode,
+        including OFF (record cheaply now, replay offline later).
     """
 
     def __init__(
@@ -79,10 +87,12 @@ class ArmusRuntime:
         cancel_on_detect: bool = True,
         threshold_factor: float = DEFAULT_THRESHOLD_FACTOR,
         dependency: Optional[ResourceDependency] = None,
+        recorder: Optional["TraceRecorder"] = None,
     ) -> None:
         self.mode = mode
         self.poll_s = poll_s
         self.cancel_on_detect = cancel_on_detect
+        self.recorder = recorder
         self.checker = DeadlockChecker(
             model=model, threshold_factor=threshold_factor, dependency=dependency
         )
@@ -191,6 +201,8 @@ class ArmusRuntime:
         raise :class:`DeadlockAvoidedError` after any cleanup
         (deregistration) it performs.
         """
+        if self.recorder is not None:
+            self.recorder.record_block(task.task_id, status)
         if self.mode is VerificationMode.OFF:
             return None
         if self.mode is VerificationMode.DETECTION:
@@ -204,9 +216,25 @@ class ArmusRuntime:
 
     def block_exit(self, task: Task) -> None:
         """Notify that ``task`` stopped waiting (success, error or abort)."""
+        if self.recorder is not None:
+            self.recorder.record_unblock(task.task_id)
         if self.mode is VerificationMode.OFF:
             return
         self.checker.clear(task.task_id)
+
+    # ------------------------------------------------------------------
+    # trace-context hooks (no verification effect; recording only)
+    # ------------------------------------------------------------------
+    def notify_register(self, task: Task, resource_id: str, phase: int) -> None:
+        """Record that ``task`` joined ``resource_id`` at ``phase``."""
+        if self.recorder is not None:
+            self.recorder.record_register(task.task_id, resource_id, phase)
+
+    def notify_advance(self, task: Task, resource_id: str, phase: int) -> None:
+        """Record that ``task`` arrived at ``resource_id``, reaching
+        ``phase``."""
+        if self.recorder is not None:
+            self.recorder.record_advance(task.task_id, resource_id, phase)
 
     # ------------------------------------------------------------------
     # detection callback

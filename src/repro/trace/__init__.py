@@ -1,0 +1,72 @@
+"""repro.trace — event-trace capture, offline replay, scenario corpora.
+
+The trace subsystem makes the verification layer's input durable: a
+*trace* is the recorded stream of blocked-status events (Section 4.1's
+event-based representation) that any live run — runtime workloads,
+PL interpreter programs, distributed sites — produces through its
+observation hooks.  Once on disk, a trace can be replayed through the
+:class:`~repro.core.checker.DeadlockChecker` deterministically, under
+any graph model, at batch throughput; and the corpus generator writes
+parameterised scenario traces (cycle length × fan-out × site count
+grids) without running a single thread.
+
+Typical use::
+
+    from repro.trace import TraceRecorder, replay, load_trace
+    rec = TraceRecorder()
+    runtime = ArmusRuntime(mode=VerificationMode.DETECTION, recorder=rec)
+    ...                         # run the program
+    rec.save("run.trace")       # persist (binary codec by extension)
+    result = replay("run.trace")  # offline, deterministic
+    assert result.reports == runtime.reports
+
+Command line: ``python -m repro.trace {record,replay,gen,stats}``.
+"""
+
+from repro.trace.events import (
+    Trace,
+    TraceFormatError,
+    TraceHeader,
+    TraceRecord,
+    RecordKind,
+    TRACE_VERSION,
+)
+from repro.trace.codec import (
+    BinaryCodec,
+    JsonlCodec,
+    load_trace,
+    save_trace,
+)
+from repro.trace.recorder import TraceRecorder
+from repro.trace.replay import ReplayEngine, ReplayResult, replay
+from repro.trace.corpus import (
+    ScenarioSpec,
+    generate_corpus,
+    grid_specs,
+    scenario_trace,
+    verify_corpus,
+    write_corpus,
+)
+
+__all__ = [
+    "Trace",
+    "TraceHeader",
+    "TraceRecord",
+    "TraceFormatError",
+    "RecordKind",
+    "TRACE_VERSION",
+    "JsonlCodec",
+    "BinaryCodec",
+    "load_trace",
+    "save_trace",
+    "TraceRecorder",
+    "ReplayEngine",
+    "ReplayResult",
+    "replay",
+    "ScenarioSpec",
+    "scenario_trace",
+    "grid_specs",
+    "generate_corpus",
+    "write_corpus",
+    "verify_corpus",
+]

@@ -1,0 +1,338 @@
+"""The ``python -m repro.trace`` command line.
+
+Four subcommands cover the record → persist → analyse loop:
+
+* ``record`` — run a built-in scenario under a recording runtime and
+  save the trace (``--scenario crossed|averaging|barrier``);
+* ``replay`` — stream a trace file through the checker and print the
+  reports plus the events/sec throughput;
+* ``gen`` — write a scenario corpus over a parameter grid
+  (``--smoke`` generates a small grid in memory and verifies every
+  trace replays to its expected verdict — the CI sanity job);
+* ``stats`` — summarise a trace file (header, record-kind counts,
+  population).
+
+Examples::
+
+    python -m repro.trace record --scenario crossed --out crossed.trace
+    python -m repro.trace replay crossed.trace --mode detection
+    python -m repro.trace gen --out corpus/ --cycle-lens 2,3,4
+    python -m repro.trace gen --smoke
+    python -m repro.trace stats corpus/cycle-L3-F2-S1-R2-dl.jsonl
+"""
+
+from __future__ import annotations
+
+import argparse
+import pathlib
+import sys
+from typing import List, Optional, Sequence
+
+from repro.core.selection import GraphModel
+from repro.trace.codec import load_trace
+from repro.trace.corpus import (
+    DEFAULT_GRID,
+    SMOKE_GRID,
+    grid_specs,
+    verify_corpus,
+    write_corpus,
+)
+from repro.trace.recorder import TraceRecorder
+from repro.trace.replay import replay as run_replay
+
+
+def _ints(text: str) -> List[int]:
+    return [int(part) for part in text.split(",") if part]
+
+
+# ---------------------------------------------------------------------------
+# record: built-in recordable scenarios
+# ---------------------------------------------------------------------------
+def _record_crossed(runtime) -> None:
+    """Two tasks in a crossed two-phaser deadlock, blocked in sequence."""
+    import threading
+
+    from repro.core.report import DeadlockError
+    from repro.runtime.phaser import Phaser
+
+    ph1 = Phaser(runtime, register_self=False, name="p")
+    ph2 = Phaser(runtime, register_self=False, name="q")
+    # Workers hold at the gate until everyone is registered — without
+    # it the first task can sail through before the second exists.
+    gate = threading.Event()
+
+    def first() -> None:
+        gate.wait(10)
+        ph1.arrive_and_await_advance()
+
+    def second() -> None:
+        gate.wait(10)
+        # Serialise the two blocks: t2 enters its wait only after t1 is
+        # published, so the recorded order is deterministic.
+        _await_blocked(runtime, 1)
+        ph2.arrive_and_await_advance()
+
+    t1 = runtime.spawn(first, register=[ph1, ph2], name="t1")
+    t2 = runtime.spawn(second, register=[ph1, ph2], name="t2")
+    gate.set()
+    _await_blocked(runtime, 2)
+    if not runtime.reports:
+        runtime.monitor.poll_once()
+    for task in (t1, t2):
+        try:
+            task.join(10)
+        except DeadlockError:
+            pass
+        except Exception:
+            pass
+
+
+def _record_averaging(runtime) -> None:
+    """The paper's running example (Figures 1-2), bug included."""
+    from repro.core.report import DeadlockError
+    from repro.runtime.clock import Clock
+    from repro.runtime.phaser import Phaser
+
+    c = Clock(runtime)
+    b = Phaser(runtime, register_self=True, name="join")
+
+    def worker() -> None:
+        c.advance()
+        c.drop()
+        b.arrive_and_deregister()
+
+    for i in range(3):
+        runtime.spawn(worker, register=[c, b], name=f"w{i}")
+    try:
+        b.arrive_and_await_advance()
+    except DeadlockError:
+        pass
+
+
+def _record_barrier(runtime, n_tasks: int = 4, rounds: int = 3) -> None:
+    """A deadlock-free SPMD barrier loop (records a clean trace)."""
+    import threading
+
+    from repro.runtime.phaser import Phaser
+
+    ph = Phaser(runtime, register_self=False, name="bar")
+    gate = threading.Event()
+
+    def worker() -> None:
+        gate.wait(10)
+        for _ in range(rounds):
+            ph.arrive_and_await_advance()
+
+    tasks = [
+        runtime.spawn(worker, register=[ph], name=f"w{i}") for i in range(n_tasks)
+    ]
+    gate.set()
+    for task in tasks:
+        task.join(30)
+
+
+def _await_blocked(runtime, count: int, timeout_s: float = 10.0) -> None:
+    """Poll until ``count`` tasks are blocked — or a report already
+    resolved the deadlock (detection can win the race)."""
+    import time
+
+    deadline = time.monotonic() + timeout_s
+    while runtime.checker.dependency.blocked_count() < count:
+        if runtime.reports:
+            return
+        if time.monotonic() > deadline:
+            raise TimeoutError(f"never saw {count} blocked task(s)")
+        time.sleep(0.002)
+
+
+SCENARIOS = {
+    "crossed": _record_crossed,
+    "averaging": _record_averaging,
+    "barrier": _record_barrier,
+}
+
+
+def cmd_record(args: argparse.Namespace) -> int:
+    """Run ``--scenario`` under a recording runtime; save ``--out``."""
+    from repro.runtime.verifier import ArmusRuntime, VerificationMode
+
+    if args.scenario != "barrier" and args.mode == "off":
+        print("record: deadlocking scenarios need --mode detection|avoidance",
+              file=sys.stderr)
+        return 2
+    recorder = TraceRecorder(meta={"scenario": args.scenario, "mode": args.mode})
+    runtime = ArmusRuntime(
+        mode=VerificationMode(args.mode),
+        interval_s=0.02,
+        poll_s=0.002,
+        recorder=recorder,
+    ).start()
+    try:
+        SCENARIOS[args.scenario](runtime)
+    finally:
+        runtime.stop()
+    path = recorder.save(args.out)
+    print(f"recorded {len(recorder)} event(s) from '{args.scenario}' "
+          f"({args.mode}) -> {path}")
+    for report in runtime.reports:
+        print(report.describe())
+    return 0
+
+
+# ---------------------------------------------------------------------------
+# replay
+# ---------------------------------------------------------------------------
+def cmd_replay(args: argparse.Namespace) -> int:
+    """Replay a trace file; print reports and throughput."""
+    trace = load_trace(args.trace)
+    result = run_replay(
+        trace,
+        mode=args.mode,
+        model=GraphModel(args.model),
+        check_every=args.check_every,
+    )
+    meta = dict(trace.header.meta)
+    print(f"trace: {args.trace} ({len(trace)} records, meta={meta})")
+    print(
+        f"replayed {result.records_processed} record(s), "
+        f"{result.checks_run} check(s) in {result.duration_s * 1e3:.1f} ms "
+        f"({result.events_per_sec:,.0f} events/sec, mode={result.mode})"
+    )
+    if not result.reports:
+        print("no deadlock found")
+    for report in result.reports:
+        print(report.describe())
+    expected = meta.get("expect_deadlock")
+    if expected is not None and bool(result.reports) != bool(expected):
+        print(f"VERDICT MISMATCH: trace expects deadlock={expected}",
+              file=sys.stderr)
+        return 1
+    return 0
+
+
+# ---------------------------------------------------------------------------
+# gen
+# ---------------------------------------------------------------------------
+def cmd_gen(args: argparse.Namespace) -> int:
+    """Generate a corpus (or run the --smoke verification grid)."""
+    if args.smoke:
+        specs = grid_specs(
+            SMOKE_GRID["cycle_lens"],
+            SMOKE_GRID["fan_outs"],
+            SMOKE_GRID["site_counts"],
+            SMOKE_GRID["rounds"],
+            SMOKE_GRID["verdicts"],
+        )
+        results = verify_corpus(specs)
+        bad = [spec for spec, ok in results if not ok]
+        for spec, ok in results:
+            print(f"{'ok  ' if ok else 'FAIL'} {spec.name}")
+        print(f"smoke: {len(results) - len(bad)}/{len(results)} scenarios verified")
+        return 1 if bad else 0
+    if args.out is None:
+        print("gen: --out DIR is required (or use --smoke)", file=sys.stderr)
+        return 2
+    specs = grid_specs(
+        args.cycle_lens or DEFAULT_GRID["cycle_lens"],
+        args.fan_outs or DEFAULT_GRID["fan_outs"],
+        args.sites or DEFAULT_GRID["site_counts"],
+        args.rounds or DEFAULT_GRID["rounds"],
+        (True, False),
+    )
+    codecs = ("jsonl", "binary") if args.codec == "both" else (args.codec,)
+    paths = write_corpus(args.out, specs, codecs=codecs)
+    total = sum(p.stat().st_size for p in paths)
+    print(
+        f"wrote {len(paths)} trace file(s) for {len(specs)} scenario(s) "
+        f"to {args.out} ({total / 1024:.1f} KiB)"
+    )
+    return 0
+
+
+# ---------------------------------------------------------------------------
+# stats
+# ---------------------------------------------------------------------------
+def cmd_stats(args: argparse.Namespace) -> int:
+    """Summarise one trace file."""
+    path = pathlib.Path(args.trace)
+    trace = load_trace(path)
+    tasks = {r.task for r in trace if r.task is not None}
+    phasers = {r.phaser for r in trace if r.phaser is not None}
+    sites = {r.site for r in trace if r.site is not None}
+    for rec in trace:
+        if rec.status is not None:
+            phasers.update(str(e.phaser) for e in rec.status.waits)
+    print(f"file: {path} ({path.stat().st_size} bytes)")
+    print(f"version: {trace.header.version}")
+    print(f"meta: {dict(trace.header.meta)}")
+    print(f"records: {len(trace)}")
+    for kind, count in sorted(trace.kind_counts().items()):
+        print(f"  {kind}: {count}")
+    print(f"tasks: {len(tasks)}, phasers: {len(phasers)}, sites: {len(sites)}")
+    return 0
+
+
+# ---------------------------------------------------------------------------
+# entry point
+# ---------------------------------------------------------------------------
+def build_parser() -> argparse.ArgumentParser:
+    """The argparse tree (exposed for the CLI tests)."""
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.trace",
+        description="Record, replay, generate and inspect Armus event traces.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_record = sub.add_parser("record", help="record a built-in scenario")
+    p_record.add_argument("--scenario", choices=sorted(SCENARIOS), default="crossed")
+    p_record.add_argument("--mode", choices=("off", "detection", "avoidance"),
+                          default="detection")
+    p_record.add_argument("--out", required=True, help="output trace path")
+    p_record.set_defaults(fn=cmd_record)
+
+    p_replay = sub.add_parser("replay", help="replay a trace file")
+    p_replay.add_argument("trace", help="trace file (.jsonl or .trace)")
+    p_replay.add_argument("--mode", choices=("detection", "avoidance"),
+                          default="detection")
+    p_replay.add_argument("--model", choices=("auto", "wfg", "sg"), default="auto")
+    p_replay.add_argument("--check-every", type=int, default=1)
+    p_replay.set_defaults(fn=cmd_replay)
+
+    p_gen = sub.add_parser("gen", help="generate a scenario corpus")
+    p_gen.add_argument("--out", default=None, help="output directory")
+    p_gen.add_argument("--cycle-lens", type=_ints, default=None)
+    p_gen.add_argument("--fan-outs", type=_ints, default=None)
+    p_gen.add_argument("--sites", type=_ints, default=None)
+    p_gen.add_argument("--rounds", type=_ints, default=None)
+    p_gen.add_argument("--codec", choices=("jsonl", "binary", "both"),
+                       default="both")
+    p_gen.add_argument("--smoke", action="store_true",
+                       help="verify a small grid in memory; write nothing")
+    p_gen.set_defaults(fn=cmd_gen)
+
+    p_stats = sub.add_parser("stats", help="summarise a trace file")
+    p_stats.add_argument("trace")
+    p_stats.set_defaults(fn=cmd_stats)
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """CLI entry point; returns the process exit code.
+
+    Expected operational errors (malformed traces, missing files, bad
+    grid parameters) become one-line messages, not tracebacks.
+    """
+    from repro.trace.events import TraceFormatError
+
+    args = build_parser().parse_args(argv)
+    try:
+        return args.fn(args)
+    except TraceFormatError as exc:
+        print(f"error: malformed trace: {exc}", file=sys.stderr)
+        return 1
+    except FileNotFoundError as exc:
+        print(f"error: {exc.filename}: no such file", file=sys.stderr)
+        return 1
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1

@@ -1,0 +1,393 @@
+"""Two interchangeable trace codecs: JSONL (debuggable) and framed
+binary (fast and compact).
+
+**JSONL** writes one JSON object per line: the header first (carrying the
+magic and version), then one object per record.  It is grep-able,
+diff-able and editable — the format of choice while developing a
+scenario or inspecting a failure.
+
+**Framed binary** writes a fixed magic + version prefix followed by
+length-prefixed frames, one per record.  Integers use LEB128 varints,
+strings are varint-length-prefixed UTF-8, and each frame opens with a
+one-byte kind tag — a record can be decoded without touching the rest of
+the file, and truncation or corruption is detected at the frame
+boundary.  Binary files come out roughly a quarter the size of their
+JSONL twins (``benchmarks/bench_trace_replay.py`` tracks the decode and
+replay throughput of both).
+
+:func:`save_trace` / :func:`load_trace` pick the codec from the file
+extension (``.jsonl`` vs ``.bin``/``.trace``) or from the leading magic
+bytes, so callers rarely name a codec explicitly.
+"""
+
+from __future__ import annotations
+
+import io
+import json
+import pathlib
+import struct
+from typing import BinaryIO, Iterable, Iterator, List, Optional, Tuple, Union
+
+from repro.trace.events import (
+    Trace,
+    TraceFormatError,
+    TraceHeader,
+    TraceRecord,
+    RecordKind,
+    TRACE_MAGIC,
+    TRACE_VERSION,
+    status_from_obj,
+    status_to_obj,
+)
+
+PathLike = Union[str, pathlib.Path]
+
+#: 8-byte magic prefix of a binary trace file.
+BINARY_MAGIC = b"ARMUSTRC"
+
+_KIND_TAGS = {
+    RecordKind.BLOCK: 1,
+    RecordKind.UNBLOCK: 2,
+    RecordKind.REGISTER: 3,
+    RecordKind.ADVANCE: 4,
+    RecordKind.PUBLISH: 5,
+}
+_TAG_KINDS = {tag: kind for kind, tag in _KIND_TAGS.items()}
+
+
+# ---------------------------------------------------------------------------
+# JSONL codec
+# ---------------------------------------------------------------------------
+def _record_to_obj(rec: TraceRecord) -> dict:
+    obj: dict = {"seq": rec.seq, "kind": rec.kind.value}
+    if rec.task is not None:
+        obj["task"] = rec.task
+    if rec.status is not None:
+        obj["status"] = status_to_obj(rec.status)
+    if rec.phaser is not None:
+        obj["phaser"] = rec.phaser
+    if rec.phase is not None:
+        obj["phase"] = rec.phase
+    if rec.site is not None:
+        obj["site"] = rec.site
+    if rec.payload is not None:
+        obj["payload"] = rec.payload
+    return obj
+
+
+def _record_from_obj(obj: dict) -> TraceRecord:
+    try:
+        kind = RecordKind(obj["kind"])
+        seq = int(obj["seq"])
+    except (KeyError, ValueError, TypeError) as exc:
+        raise TraceFormatError(f"malformed record object: {obj!r}") from exc
+    status = None
+    if "status" in obj:
+        status = status_from_obj(obj["status"])
+    payload = obj.get("payload")
+    if kind is RecordKind.PUBLISH and payload is not None:
+        # Validate every bucket entry up front: a malformed blob must be
+        # a TraceFormatError at load time, not a KeyError mid-replay.
+        if not isinstance(payload, dict):
+            raise TraceFormatError(f"publish payload is not an object: {payload!r}")
+        for blob in payload.values():
+            status_from_obj(blob)
+    try:
+        return TraceRecord(
+            seq=seq,
+            kind=kind,
+            task=obj.get("task"),
+            status=status,
+            phaser=obj.get("phaser"),
+            phase=obj.get("phase"),
+            site=obj.get("site"),
+            payload=payload,
+        )
+    except TraceFormatError:
+        raise
+    except (TypeError, ValueError) as exc:
+        raise TraceFormatError(f"malformed record object: {obj!r}") from exc
+
+
+class JsonlCodec:
+    """One JSON object per line; human-readable reference codec."""
+
+    name = "jsonl"
+    extensions = (".jsonl", ".json")
+
+    def dump(self, trace: Trace, fp: BinaryIO) -> None:
+        """Write ``trace`` to the binary file object ``fp``."""
+        header = {
+            "magic": TRACE_MAGIC,
+            "version": trace.header.version,
+            "meta": dict(trace.header.meta),
+        }
+        lines = [json.dumps(header, separators=(",", ":"), sort_keys=True)]
+        for rec in trace.records:
+            lines.append(
+                json.dumps(_record_to_obj(rec), separators=(",", ":"), sort_keys=True)
+            )
+        fp.write(("\n".join(lines) + "\n").encode("utf-8"))
+
+    def load(self, fp: BinaryIO) -> Trace:
+        """Read a trace from ``fp``; reject anything malformed."""
+        try:
+            text = fp.read().decode("utf-8")
+        except UnicodeDecodeError as exc:
+            raise TraceFormatError("not a UTF-8 JSONL trace") from exc
+        lines = [line for line in text.splitlines() if line.strip()]
+        if not lines:
+            raise TraceFormatError("empty trace file")
+        try:
+            header_obj = json.loads(lines[0])
+        except json.JSONDecodeError as exc:
+            raise TraceFormatError(f"unparseable header line: {lines[0][:80]!r}") from exc
+        if not isinstance(header_obj, dict) or header_obj.get("magic") != TRACE_MAGIC:
+            raise TraceFormatError("not an armus trace (bad magic)")
+        header = TraceHeader(
+            version=int(header_obj.get("version", -1)),
+            meta=header_obj.get("meta", {}),
+        )
+        records: List[TraceRecord] = []
+        for line in lines[1:]:
+            try:
+                obj = json.loads(line)
+            except json.JSONDecodeError as exc:
+                raise TraceFormatError(f"unparseable record line: {line[:80]!r}") from exc
+            records.append(_record_from_obj(obj))
+        return Trace(header=header, records=tuple(records))
+
+
+# ---------------------------------------------------------------------------
+# framed binary codec
+# ---------------------------------------------------------------------------
+def _write_varint(out: bytearray, value: int) -> None:
+    """LEB128 unsigned varint."""
+    if value < 0:
+        raise TraceFormatError(f"cannot encode negative int: {value}")
+    while True:
+        byte = value & 0x7F
+        value >>= 7
+        if value:
+            out.append(byte | 0x80)
+        else:
+            out.append(byte)
+            return
+
+
+def _read_varint(buf: memoryview, pos: int) -> Tuple[int, int]:
+    result = 0
+    shift = 0
+    while True:
+        if pos >= len(buf):
+            raise TraceFormatError("truncated varint")
+        byte = buf[pos]
+        pos += 1
+        result |= (byte & 0x7F) << shift
+        if not byte & 0x80:
+            return result, pos
+        shift += 7
+        if shift > 63:
+            raise TraceFormatError("varint too long")
+
+
+def _write_str(out: bytearray, value: str) -> None:
+    data = value.encode("utf-8")
+    _write_varint(out, len(data))
+    out.extend(data)
+
+
+def _read_str(buf: memoryview, pos: int) -> Tuple[str, int]:
+    length, pos = _read_varint(buf, pos)
+    if pos + length > len(buf):
+        raise TraceFormatError("truncated string")
+    value = bytes(buf[pos : pos + length]).decode("utf-8")
+    return value, pos + length
+
+
+def _write_status(out: bytearray, obj: dict) -> None:
+    """Encode one status wire dict (see ``status_to_obj``)."""
+    _write_varint(out, int(obj.get("generation", 0)))
+    waits = obj["waits"]
+    _write_varint(out, len(waits))
+    for phaser, phase in waits:
+        _write_str(out, str(phaser))
+        _write_varint(out, int(phase))
+    registered = obj["registered"]
+    _write_varint(out, len(registered))
+    for phaser, phase in registered.items():
+        _write_str(out, str(phaser))
+        _write_varint(out, int(phase))
+
+
+def _read_status(buf: memoryview, pos: int) -> Tuple[dict, int]:
+    generation, pos = _read_varint(buf, pos)
+    n_waits, pos = _read_varint(buf, pos)
+    waits = []
+    for _ in range(n_waits):
+        phaser, pos = _read_str(buf, pos)
+        phase, pos = _read_varint(buf, pos)
+        waits.append([phaser, phase])
+    n_reg, pos = _read_varint(buf, pos)
+    registered = {}
+    for _ in range(n_reg):
+        phaser, pos = _read_str(buf, pos)
+        phase, pos = _read_varint(buf, pos)
+        registered[phaser] = phase
+    return {"waits": waits, "registered": registered, "generation": generation}, pos
+
+
+class BinaryCodec:
+    """Length-prefixed frames with varint fields; the fast codec."""
+
+    name = "binary"
+    extensions = (".bin", ".trace")
+
+    def dump(self, trace: Trace, fp: BinaryIO) -> None:
+        """Write ``trace`` to the binary file object ``fp``."""
+        fp.write(BINARY_MAGIC)
+        fp.write(struct.pack("<B", trace.header.version))
+        meta = json.dumps(dict(trace.header.meta), separators=(",", ":"), sort_keys=True)
+        head = bytearray()
+        _write_str(head, meta)
+        fp.write(bytes(head))
+        for rec in trace.records:
+            body = bytearray()
+            body.append(_KIND_TAGS[rec.kind])
+            _write_varint(body, rec.seq)
+            kind = rec.kind
+            if kind is RecordKind.BLOCK:
+                _write_str(body, rec.task)
+                _write_status(body, status_to_obj(rec.status))
+            elif kind is RecordKind.UNBLOCK:
+                _write_str(body, rec.task)
+            elif kind in (RecordKind.REGISTER, RecordKind.ADVANCE):
+                _write_str(body, rec.task)
+                _write_str(body, rec.phaser)
+                _write_varint(body, rec.phase)
+            else:  # PUBLISH
+                _write_str(body, rec.site)
+                _write_varint(body, len(rec.payload))
+                for task, blob in rec.payload.items():
+                    _write_str(body, str(task))
+                    _write_status(body, blob)
+            frame = bytearray()
+            _write_varint(frame, len(body))
+            fp.write(bytes(frame))
+            fp.write(bytes(body))
+
+    def load(self, fp: BinaryIO) -> Trace:
+        """Read a trace from ``fp``; reject anything malformed."""
+        data = fp.read()
+        if not data.startswith(BINARY_MAGIC):
+            raise TraceFormatError("not a binary armus trace (bad magic)")
+        if len(data) < len(BINARY_MAGIC) + 1:
+            raise TraceFormatError("truncated binary header")
+        version = data[len(BINARY_MAGIC)]
+        buf = memoryview(data)
+        pos = len(BINARY_MAGIC) + 1
+        meta_json, pos = _read_str(buf, pos)
+        try:
+            meta = json.loads(meta_json)
+        except json.JSONDecodeError as exc:
+            raise TraceFormatError("unparseable binary header meta") from exc
+        header = TraceHeader(version=version, meta=meta)
+        records: List[TraceRecord] = []
+        while pos < len(buf):
+            length, pos = _read_varint(buf, pos)
+            if pos + length > len(buf):
+                raise TraceFormatError("truncated frame")
+            records.append(self._decode_frame(buf[pos : pos + length]))
+            pos += length
+        return Trace(header=header, records=tuple(records))
+
+    def _decode_frame(self, body: memoryview) -> TraceRecord:
+        if len(body) == 0:
+            raise TraceFormatError("empty frame")
+        kind = _TAG_KINDS.get(body[0])
+        if kind is None:
+            raise TraceFormatError(f"unknown record tag {body[0]}")
+        pos = 1
+        seq, pos = _read_varint(body, pos)
+        if kind is RecordKind.BLOCK:
+            task, pos = _read_str(body, pos)
+            status_obj, pos = _read_status(body, pos)
+            rec = TraceRecord(
+                seq=seq, kind=kind, task=task, status=status_from_obj(status_obj)
+            )
+        elif kind is RecordKind.UNBLOCK:
+            task, pos = _read_str(body, pos)
+            rec = TraceRecord(seq=seq, kind=kind, task=task)
+        elif kind in (RecordKind.REGISTER, RecordKind.ADVANCE):
+            task, pos = _read_str(body, pos)
+            phaser, pos = _read_str(body, pos)
+            phase, pos = _read_varint(body, pos)
+            rec = TraceRecord(seq=seq, kind=kind, task=task, phaser=phaser, phase=phase)
+        else:  # PUBLISH
+            site, pos = _read_str(body, pos)
+            n_tasks, pos = _read_varint(body, pos)
+            payload = {}
+            for _ in range(n_tasks):
+                task, pos = _read_str(body, pos)
+                blob, pos = _read_status(body, pos)
+                payload[task] = blob
+            rec = TraceRecord(seq=seq, kind=kind, site=site, payload=payload)
+        if pos != len(body):
+            raise TraceFormatError(f"{len(body) - pos} trailing bytes in frame")
+        return rec
+
+
+# ---------------------------------------------------------------------------
+# codec selection
+# ---------------------------------------------------------------------------
+CODECS = {c.name: c for c in (JsonlCodec(), BinaryCodec())}
+
+
+def codec_for(path: PathLike, codec: Optional[str] = None):
+    """Resolve a codec by explicit name or by ``path``'s extension."""
+    if codec is not None:
+        try:
+            return CODECS[codec]
+        except KeyError:
+            raise TraceFormatError(
+                f"unknown codec {codec!r} (have: {sorted(CODECS)})"
+            ) from None
+    suffix = pathlib.Path(path).suffix.lower()
+    for c in CODECS.values():
+        if suffix in c.extensions:
+            return c
+    return CODECS["jsonl"]
+
+
+def save_trace(trace: Trace, path: PathLike, codec: Optional[str] = None) -> pathlib.Path:
+    """Write ``trace`` to ``path`` under the chosen (or inferred) codec."""
+    path = pathlib.Path(path)
+    chosen = codec_for(path, codec)
+    with open(path, "wb") as fp:
+        chosen.dump(trace, fp)
+    return path
+
+
+def load_trace(path: PathLike) -> Trace:
+    """Read a trace from ``path``, sniffing the codec from its magic."""
+    path = pathlib.Path(path)
+    with open(path, "rb") as fp:
+        prefix = fp.read(len(BINARY_MAGIC))
+        fp.seek(0)
+        if prefix == BINARY_MAGIC:
+            return CODECS["binary"].load(fp)
+        return CODECS["jsonl"].load(fp)
+
+
+def dumps(trace: Trace, codec: str = "jsonl") -> bytes:
+    """Serialise ``trace`` to bytes (tests and in-memory round-trips)."""
+    buf = io.BytesIO()
+    CODECS[codec].dump(trace, buf)
+    return buf.getvalue()
+
+
+def loads(data: bytes) -> Trace:
+    """Deserialise bytes produced by :func:`dumps` (codec sniffed)."""
+    if data.startswith(BINARY_MAGIC):
+        return CODECS["binary"].load(io.BytesIO(data))
+    return CODECS["jsonl"].load(io.BytesIO(data))

@@ -1,0 +1,279 @@
+"""Scenario corpus generator: parameterised traces without threads.
+
+Live runs are bounded by thread scheduling — a few dozen tasks, wall
+clock pacing, nondeterministic interleavings.  The corpus generator
+side-steps all of it: it writes the trace a run *would have produced*
+directly, from closed-form schedules, so scenario scale is limited by
+disk, not by the GIL.  Every ROADMAP direction that needs "many diverse
+synchronisation scenarios" (regression corpora, sharded checking,
+throughput work) replays against these files.
+
+A :class:`ScenarioSpec` spans the grid the ISSUE calls for — cycle
+length × task count (phaser fan-out) × site count — with two phases:
+
+1. **warm-up rounds**: ``rounds`` deadlock-free SPMD barrier steps over
+   all tasks (advance + block + unblock on a shared phaser), providing
+   bulk events that must *not* trigger reports at any prefix;
+2. **the knot**: ``cycle_len`` phasers ``c0..c{L-1}`` with ``fan_out``
+   tasks per edge group; group ``i`` blocks on ``ci@1`` while still at
+   phase 0 on ``c{i-1}`` — the classic crossed-barrier cycle,
+   generalised.  With ``deadlock=False`` the back edge is broken (group
+   0 has already arrived at ``c{L-1}``), leaving an acyclic chain.
+
+With ``sites > 1`` the blocked statuses flow through ``publish``
+records (tasks round-robined over sites, each publish replacing that
+site's whole bucket) — the distributed one-phase detection replayed
+from a file.
+
+The schedules are arranged so that in a ``check_every=1`` detection
+replay a report appears exactly at the record that first closes the
+knot — the closing group's first block (its fan-out siblings repeat the
+same cycle edge) — and never before: generated traces are prefix-safe
+ground truth.
+"""
+
+from __future__ import annotations
+
+import itertools
+import pathlib
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.core.events import BlockedStatus, Event
+from repro.trace import events as ev
+from repro.trace.codec import save_trace
+from repro.trace.events import Trace, TraceHeader, status_to_obj
+
+
+@dataclass(frozen=True)
+class ScenarioSpec:
+    """One point of the scenario grid.
+
+    ``fan_out`` is the number of tasks per cycle-edge group (the phaser
+    fan-out); total task count is ``cycle_len * fan_out``.
+    """
+
+    cycle_len: int = 2
+    fan_out: int = 1
+    sites: int = 1
+    rounds: int = 0
+    deadlock: bool = True
+
+    def __post_init__(self) -> None:
+        if self.cycle_len < 2:
+            raise ValueError("cycle_len must be at least 2")
+        if self.fan_out < 1 or self.sites < 1 or self.rounds < 0:
+            raise ValueError("fan_out/sites must be >= 1, rounds >= 0")
+
+    @property
+    def n_tasks(self) -> int:
+        return self.cycle_len * self.fan_out
+
+    @property
+    def name(self) -> str:
+        verdict = "dl" if self.deadlock else "ok"
+        return (
+            f"cycle-L{self.cycle_len}-F{self.fan_out}"
+            f"-S{self.sites}-R{self.rounds}-{verdict}"
+        )
+
+
+class _Emitter:
+    """Builds the record stream, routing blocked-status changes either
+    to local ``block``/``unblock`` records (one site) or to cumulative
+    per-site ``publish`` records (several sites)."""
+
+    def __init__(self, spec: ScenarioSpec) -> None:
+        self.spec = spec
+        self.records: List[ev.TraceRecord] = []
+        self._seq = 0
+        self._buckets: Dict[str, Dict[str, dict]] = {
+            self._site_name(i): {} for i in range(spec.sites)
+        }
+
+    def _site_name(self, index: int) -> str:
+        return f"site{index}"
+
+    def _site_of(self, task_index: int) -> str:
+        return self._site_name(task_index % self.spec.sites)
+
+    def _next(self) -> int:
+        seq = self._seq
+        self._seq += 1
+        return seq
+
+    def register(self, task: str, phaser: str, phase: int) -> None:
+        self.records.append(ev.register(self._next(), task, phaser, phase))
+
+    def advance(self, task: str, phaser: str, phase: int) -> None:
+        self.records.append(ev.advance(self._next(), task, phaser, phase))
+
+    def block(self, task_index: int, task: str, status: BlockedStatus) -> None:
+        if self.spec.sites == 1:
+            self.records.append(ev.block(self._next(), task, status))
+            return
+        site = self._site_of(task_index)
+        self._buckets[site][task] = status_to_obj(status)
+        self.records.append(ev.publish(self._next(), site, dict(self._buckets[site])))
+
+    def unblock(self, task_index: int, task: str) -> None:
+        if self.spec.sites == 1:
+            self.records.append(ev.unblock(self._next(), task))
+            return
+        site = self._site_of(task_index)
+        self._buckets[site].pop(task, None)
+        self.records.append(ev.publish(self._next(), site, dict(self._buckets[site])))
+
+
+def scenario_trace(spec: ScenarioSpec) -> Trace:
+    """Generate the full trace for ``spec`` (see the module docstring)."""
+    emit = _Emitter(spec)
+    tasks = [
+        (g, j, f"g{g}t{j}")
+        for g in range(spec.cycle_len)
+        for j in range(spec.fan_out)
+    ]
+    barrier = "bar"
+
+    # Membership context: every task joins the warm-up barrier and its
+    # group's two cycle phasers at phase 0.
+    for g, j, name in tasks:
+        if spec.rounds:
+            emit.register(name, barrier, 0)
+        emit.register(name, f"c{g}", 0)
+        emit.register(name, f"c{(g - 1) % spec.cycle_len}", 0)
+
+    # Phase 1: deadlock-free SPMD warm-up rounds on the shared barrier.
+    for r in range(1, spec.rounds + 1):
+        for idx, (g, j, name) in enumerate(tasks):
+            emit.advance(name, barrier, r)
+            emit.block(
+                idx,
+                name,
+                BlockedStatus(
+                    waits=frozenset({Event(barrier, r)}),
+                    registered={barrier: r},
+                ),
+            )
+        for idx, (g, j, name) in enumerate(tasks):
+            emit.unblock(idx, name)
+
+    # Phase 2: the knot.  Group i arrives at c{i} (phase 1) and blocks on
+    # it while still at phase 0 on c{i-1} — unless the back edge is
+    # broken (deadlock=False: group 0 has already arrived at c{L-1}).
+    for idx, (g, j, name) in enumerate(tasks):
+        prev = f"c{(g - 1) % spec.cycle_len}"
+        emit.advance(name, f"c{g}", 1)
+        registered = {f"c{g}": 1, prev: 0}
+        if not spec.deadlock and g == 0:
+            emit.advance(name, prev, 1)
+            registered[prev] = 1
+        if spec.rounds:
+            registered[barrier] = spec.rounds
+        emit.block(
+            idx,
+            name,
+            BlockedStatus(
+                waits=frozenset({Event(f"c{g}", 1)}), registered=registered
+            ),
+        )
+
+    if not spec.deadlock:
+        # The chain unwinds from its free end; keep the trace tidy.
+        for idx, (g, j, name) in reversed(list(enumerate(tasks))):
+            emit.unblock(idx, name)
+
+    header = TraceHeader(
+        meta={
+            "scenario": spec.name,
+            "cycle_len": spec.cycle_len,
+            "fan_out": spec.fan_out,
+            "sites": spec.sites,
+            "rounds": spec.rounds,
+            "tasks": spec.n_tasks,
+            "expect_deadlock": spec.deadlock,
+            "generator": "repro.trace.corpus",
+        }
+    )
+    return Trace(header=header, records=tuple(emit.records))
+
+
+# ---------------------------------------------------------------------------
+# grids
+# ---------------------------------------------------------------------------
+#: The default generation grid (kept modest; the CLI overrides all axes).
+DEFAULT_GRID = dict(
+    cycle_lens=(2, 3, 4),
+    fan_outs=(1, 2),
+    site_counts=(1, 2),
+    rounds=(2,),
+    verdicts=(True, False),
+)
+
+#: The --smoke grid: small, fast, still covering every record kind.
+SMOKE_GRID = dict(
+    cycle_lens=(2, 3),
+    fan_outs=(1, 2),
+    site_counts=(1, 2),
+    rounds=(1,),
+    verdicts=(True, False),
+)
+
+
+def grid_specs(
+    cycle_lens: Sequence[int],
+    fan_outs: Sequence[int],
+    site_counts: Sequence[int],
+    rounds: Sequence[int] = (0,),
+    verdicts: Sequence[bool] = (True, False),
+) -> List[ScenarioSpec]:
+    """The cross product of the grid axes as scenario specs."""
+    return [
+        ScenarioSpec(
+            cycle_len=length, fan_out=fan, sites=sites, rounds=r, deadlock=verdict
+        )
+        for length, fan, sites, r, verdict in itertools.product(
+            cycle_lens, fan_outs, site_counts, rounds, verdicts
+        )
+    ]
+
+
+def generate_corpus(specs: Iterable[ScenarioSpec]) -> List[Trace]:
+    """Generate every spec's trace, in grid order (fully deterministic)."""
+    return [scenario_trace(spec) for spec in specs]
+
+
+def write_corpus(
+    out_dir,
+    specs: Iterable[ScenarioSpec],
+    codecs: Sequence[str] = ("jsonl", "binary"),
+) -> List[pathlib.Path]:
+    """Generate and persist the corpus; returns the written paths.
+
+    Each scenario is written once per requested codec, as
+    ``<name>.jsonl`` and/or ``<name>.trace``.
+    """
+    out_dir = pathlib.Path(out_dir)
+    out_dir.mkdir(parents=True, exist_ok=True)
+    ext = {"jsonl": ".jsonl", "binary": ".trace"}
+    paths: List[pathlib.Path] = []
+    for spec in specs:
+        trace = scenario_trace(spec)
+        for codec in codecs:
+            path = out_dir / f"{spec.name}{ext[codec]}"
+            save_trace(trace, path, codec=codec)
+            paths.append(path)
+    return paths
+
+
+def verify_corpus(specs: Iterable[ScenarioSpec]) -> List[Tuple[ScenarioSpec, bool]]:
+    """Replay every spec in detection mode and compare the verdict with
+    the spec's ground truth.  Returns ``(spec, ok)`` pairs — the smoke
+    job fails if any ``ok`` is False."""
+    from repro.trace.replay import replay
+
+    results: List[Tuple[ScenarioSpec, bool]] = []
+    for spec in specs:
+        outcome = replay(scenario_trace(spec), mode="detection")
+        results.append((spec, outcome.deadlocked == spec.deadlock))
+    return results

@@ -1,0 +1,210 @@
+"""The trace format: versioned records of a verified execution.
+
+A *trace* is the event-based representation of Section 4.1 made
+persistent: the totally-ordered stream of blocked-status changes (and
+their synchronisation context) that the verification layer observed
+during one run.  Replaying the stream through a fresh
+:class:`~repro.core.checker.DeadlockChecker` reproduces the analysis of
+the live run — deterministically, offline, and at batch throughput.
+
+Five record kinds cover every observation point of the tool
+architecture (Section 5.3's task observer plus Section 5.2's publishes):
+
+* ``block`` — a task is about to block, with its full
+  :class:`~repro.core.events.BlockedStatus` (waited events + local
+  phases);
+* ``unblock`` — the task stopped waiting (success, error or abort);
+* ``register`` / ``advance`` — synchroniser context: membership and
+  local-phase changes.  Replay does not need them (the blocked status is
+  self-contained), but they make traces debuggable and let future
+  analyses reconstruct phaser membership over time;
+* ``publish`` — a distributed site wrote its encoded status bucket to
+  the global store (the paper's Redis ``put``).
+
+Records carry a monotonically increasing ``seq`` stamped by the
+producer; the stream order *is* the semantics, so codecs must preserve
+it.  The format is versioned through :data:`TRACE_VERSION` in the trace
+header; readers reject versions they do not understand.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Mapping, Optional, Tuple
+
+from repro.core.events import BlockedStatus, Event
+
+#: Current trace-format version, written into every header.
+TRACE_VERSION = 1
+
+#: Magic string identifying a trace (JSONL header field / binary magic).
+TRACE_MAGIC = "armus-trace"
+
+
+class TraceFormatError(ValueError):
+    """A trace file (or stream) violates the format."""
+
+
+class RecordKind(enum.Enum):
+    """The kind of one trace record."""
+
+    BLOCK = "block"
+    UNBLOCK = "unblock"
+    REGISTER = "register"
+    ADVANCE = "advance"
+    PUBLISH = "publish"
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.value
+
+
+# ---------------------------------------------------------------------------
+# status (de)serialisation — the per-status wire form shared by BLOCK
+# records and PUBLISH payloads (mirrors repro.distributed.store's format)
+# ---------------------------------------------------------------------------
+def status_to_obj(status: BlockedStatus) -> dict:
+    """Serialise one blocked status to a plain JSON-able dict."""
+    return {
+        "waits": sorted([str(e.phaser), e.phase] for e in status.waits),
+        "registered": {str(p): n for p, n in sorted(status.registered.items(), key=lambda kv: str(kv[0]))},
+        "generation": status.generation,
+    }
+
+
+def status_from_obj(obj: Mapping) -> BlockedStatus:
+    """Inverse of :func:`status_to_obj`; raises :class:`TraceFormatError`
+    on malformed input."""
+    try:
+        waits = frozenset(Event(p, n) for p, n in obj["waits"])
+        registered = {str(p): int(n) for p, n in obj["registered"].items()}
+        generation = int(obj.get("generation", 0))
+    except (KeyError, TypeError, ValueError) as exc:
+        raise TraceFormatError(f"malformed blocked status: {obj!r}") from exc
+    return BlockedStatus(waits=waits, registered=registered, generation=generation)
+
+
+# ---------------------------------------------------------------------------
+# records
+# ---------------------------------------------------------------------------
+@dataclass(frozen=True)
+class TraceRecord:
+    """One observation in a trace.
+
+    Which fields are populated depends on :attr:`kind`:
+
+    ========  =======================================================
+    kind      fields
+    ========  =======================================================
+    BLOCK     ``task``, ``status``
+    UNBLOCK   ``task``
+    REGISTER  ``task``, ``phaser``, ``phase``
+    ADVANCE   ``task``, ``phaser``, ``phase``
+    PUBLISH   ``site``, ``payload`` (task -> encoded status)
+    ========  =======================================================
+    """
+
+    seq: int
+    kind: RecordKind
+    task: Optional[str] = None
+    status: Optional[BlockedStatus] = None
+    phaser: Optional[str] = None
+    phase: Optional[int] = None
+    site: Optional[str] = None
+    payload: Optional[Mapping[str, Mapping]] = None
+
+    def __post_init__(self) -> None:
+        if self.seq < 0:
+            raise TraceFormatError(f"negative seq: {self.seq}")
+        k = self.kind
+        if k in (RecordKind.BLOCK, RecordKind.UNBLOCK, RecordKind.REGISTER, RecordKind.ADVANCE):
+            if self.task is None:
+                raise TraceFormatError(f"{k.value} record without a task")
+        if k is RecordKind.BLOCK and self.status is None:
+            raise TraceFormatError("block record without a status")
+        if k in (RecordKind.REGISTER, RecordKind.ADVANCE):
+            if self.phaser is None or self.phase is None:
+                raise TraceFormatError(f"{k.value} record needs phaser and phase")
+            if self.phase < 0:
+                raise TraceFormatError(f"negative phase: {self.phase}")
+        if k is RecordKind.PUBLISH:
+            if self.site is None or self.payload is None:
+                raise TraceFormatError("publish record needs site and payload")
+
+
+def block(seq: int, task: str, status: BlockedStatus) -> TraceRecord:
+    """A ``block`` record: ``task`` is about to wait with ``status``."""
+    return TraceRecord(seq=seq, kind=RecordKind.BLOCK, task=task, status=status)
+
+
+def unblock(seq: int, task: str) -> TraceRecord:
+    """An ``unblock`` record: ``task`` stopped waiting."""
+    return TraceRecord(seq=seq, kind=RecordKind.UNBLOCK, task=task)
+
+
+def register(seq: int, task: str, phaser: str, phase: int) -> TraceRecord:
+    """A ``register`` record: ``task`` joined ``phaser`` at ``phase``."""
+    return TraceRecord(
+        seq=seq, kind=RecordKind.REGISTER, task=task, phaser=phaser, phase=phase
+    )
+
+
+def advance(seq: int, task: str, phaser: str, phase: int) -> TraceRecord:
+    """An ``advance`` record: ``task`` arrived at ``phaser``, reaching
+    local phase ``phase``."""
+    return TraceRecord(
+        seq=seq, kind=RecordKind.ADVANCE, task=task, phaser=phaser, phase=phase
+    )
+
+
+def publish(seq: int, site: str, payload: Mapping[str, Mapping]) -> TraceRecord:
+    """A ``publish`` record: ``site`` replaced its store bucket with
+    ``payload`` (task id -> encoded status, the store wire format)."""
+    return TraceRecord(seq=seq, kind=RecordKind.PUBLISH, site=site, payload=dict(payload))
+
+
+# ---------------------------------------------------------------------------
+# the trace container
+# ---------------------------------------------------------------------------
+@dataclass(frozen=True)
+class TraceHeader:
+    """Metadata written before the records.
+
+    ``meta`` is free-form (scenario parameters, recording mode, expected
+    verdicts); generators use it to make corpora self-describing.
+    """
+
+    version: int = TRACE_VERSION
+    meta: Mapping[str, object] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.version != TRACE_VERSION:
+            raise TraceFormatError(
+                f"unsupported trace version {self.version} "
+                f"(this reader understands {TRACE_VERSION})"
+            )
+
+
+@dataclass(frozen=True)
+class Trace:
+    """A complete trace: header plus the ordered record stream."""
+
+    header: TraceHeader
+    records: Tuple[TraceRecord, ...]
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.records, tuple):
+            object.__setattr__(self, "records", tuple(self.records))
+
+    def __len__(self) -> int:
+        return len(self.records)
+
+    def __iter__(self):
+        return iter(self.records)
+
+    def kind_counts(self) -> dict:
+        """Record counts per kind (the ``stats`` subcommand's summary)."""
+        counts: dict = {}
+        for rec in self.records:
+            counts[rec.kind.value] = counts.get(rec.kind.value, 0) + 1
+        return counts

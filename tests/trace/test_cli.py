@@ -1,0 +1,93 @@
+"""CLI tests: the four ``python -m repro.trace`` subcommands."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.trace.cli import main
+from repro.trace.codec import load_trace
+
+
+class TestGen:
+    def test_smoke_grid_passes(self, capsys):
+        assert main(["gen", "--smoke"]) == 0
+        out = capsys.readouterr().out
+        assert "scenarios verified" in out
+        assert "FAIL" not in out
+
+    def test_writes_corpus_files(self, tmp_path, capsys):
+        rc = main([
+            "gen", "--out", str(tmp_path),
+            "--cycle-lens", "2,3", "--fan-outs", "1", "--sites", "1",
+            "--rounds", "1", "--codec", "both",
+        ])
+        assert rc == 0
+        files = sorted(tmp_path.iterdir())
+        # 2 cycle-lens x 1 x 1 x 1 x 2 verdicts x 2 codecs
+        assert len(files) == 8
+        assert load_trace(files[0]).records
+
+    def test_gen_without_out_or_smoke_fails(self, capsys):
+        assert main(["gen"]) == 2
+
+
+class TestReplayAndStats:
+    @pytest.fixture()
+    def corpus_file(self, tmp_path):
+        main(["gen", "--out", str(tmp_path), "--cycle-lens", "2",
+              "--fan-outs", "1", "--sites", "1", "--rounds", "1",
+              "--codec", "jsonl"])
+        return next(p for p in tmp_path.iterdir() if p.name.endswith("-dl.jsonl"))
+
+    def test_replay_prints_report_and_throughput(self, corpus_file, capsys):
+        assert main(["replay", str(corpus_file)]) == 0
+        out = capsys.readouterr().out
+        assert "events/sec" in out
+        assert "barrier deadlock detected" in out
+
+    def test_replay_flags(self, corpus_file, capsys):
+        assert main(["replay", str(corpus_file), "--model", "wfg",
+                     "--check-every", "4"]) == 0
+        assert "deadlock" in capsys.readouterr().out
+
+    def test_stats_summarises(self, corpus_file, capsys):
+        assert main(["stats", str(corpus_file)]) == 0
+        out = capsys.readouterr().out
+        assert "records:" in out and "block" in out
+
+    def test_verdict_mismatch_fails(self, tmp_path, capsys):
+        """A trace whose meta promises a deadlock must produce one."""
+        from repro.trace.codec import save_trace
+        from repro.trace.corpus import ScenarioSpec, scenario_trace
+        from repro.trace.events import Trace, TraceHeader
+
+        honest = scenario_trace(
+            ScenarioSpec(cycle_len=2, fan_out=1, deadlock=False)
+        )
+        lying = Trace(
+            header=TraceHeader(meta={"expect_deadlock": True}),
+            records=honest.records,
+        )
+        path = save_trace(lying, tmp_path / "lying.jsonl")
+        assert main(["replay", str(path)]) == 1
+        assert "MISMATCH" in capsys.readouterr().err
+
+
+class TestRecord:
+    def test_record_barrier_off_then_replay(self, tmp_path, capsys):
+        out = tmp_path / "bar.jsonl"
+        assert main(["record", "--scenario", "barrier", "--mode", "off",
+                     "--out", str(out)]) == 0
+        assert main(["replay", str(out)]) == 0
+        assert "no deadlock found" in capsys.readouterr().out
+
+    def test_record_crossed_detection_then_replay(self, tmp_path, capsys):
+        out = tmp_path / "crossed.trace"
+        assert main(["record", "--scenario", "crossed", "--out", str(out)]) == 0
+        assert main(["replay", str(out)]) == 0
+        assert "barrier deadlock detected" in capsys.readouterr().out
+
+    def test_deadlocking_scenario_needs_verification(self, tmp_path, capsys):
+        rc = main(["record", "--scenario", "crossed", "--mode", "off",
+                   "--out", str(tmp_path / "x.jsonl")])
+        assert rc == 2

@@ -1,0 +1,129 @@
+"""Replay tests: determinism against live runs, modes, models, cadence."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.selection import GraphModel
+from repro.trace.corpus import ScenarioSpec, scenario_trace
+from repro.trace.recorder import TraceRecorder
+from repro.trace.replay import AVOIDANCE, DETECTION, ReplayEngine, replay
+
+from test_recorder import join_quietly, run_crossed_deadlock
+
+
+class TestDeterminism:
+    def test_replay_equals_live_detection_report(self, runtime_factory):
+        """The satellite requirement: replaying a recorded deadlocking
+        run reproduces the live DeadlockReport bit-for-bit."""
+        recorder = TraceRecorder()
+        rt = runtime_factory("detection", recorder=recorder)
+        rt.monitor.stop()  # manual poll: the live check point is exact
+        t1, t2 = run_crossed_deadlock(rt)
+        join_quietly(t1, t2)
+        assert len(rt.reports) == 1
+        outcome = replay(recorder.trace(), mode=DETECTION)
+        assert outcome.reports == rt.reports
+
+    def test_replay_equals_live_avoidance_report(self, runtime_factory):
+        recorder = TraceRecorder()
+        rt = runtime_factory("avoidance", recorder=recorder)
+        t1, t2 = run_crossed_deadlock(rt, poll=False)
+        join_quietly(t1, t2)
+        assert len(rt.reports) == 1 and rt.reports[0].avoided
+        outcome = replay(recorder.trace(), mode=AVOIDANCE)
+        assert outcome.reports == rt.reports
+
+    def test_replay_is_self_deterministic(self):
+        trace = scenario_trace(
+            ScenarioSpec(cycle_len=4, fan_out=2, sites=1, rounds=3)
+        )
+        first = replay(trace, mode=DETECTION)
+        second = replay(trace, mode=DETECTION)
+        assert first.reports == second.reports
+        assert first.checks_run == second.checks_run
+
+
+class TestModes:
+    def test_avoidance_refuses_the_closing_block(self):
+        trace = scenario_trace(ScenarioSpec(cycle_len=2, fan_out=1, sites=1))
+        outcome = replay(trace, mode=AVOIDANCE)
+        assert len(outcome.reports) == 1
+        assert outcome.reports[0].avoided
+
+    def test_detection_reports_once_for_persisting_cycle(self):
+        trace = scenario_trace(ScenarioSpec(cycle_len=3, fan_out=2, sites=1))
+        outcome = replay(trace, mode=DETECTION)
+        assert len(outcome.reports) == 1
+        assert not outcome.reports[0].avoided
+
+    def test_unknown_mode_rejected(self):
+        with pytest.raises(ValueError):
+            ReplayEngine(mode="wrong")
+
+    def test_avoidance_rejects_publish_records(self):
+        """Distributed traces carry whole buckets; avoidance replay must
+        fail loudly rather than report a silent 'no deadlock'."""
+        trace = scenario_trace(ScenarioSpec(cycle_len=2, fan_out=1, sites=2))
+        with pytest.raises(ValueError, match="publish"):
+            replay(trace, mode=AVOIDANCE)
+
+
+class TestDistributedReplay:
+    def test_publish_records_drive_global_view(self):
+        """sites>1 corpora carry only publish records; the replay merges
+        buckets exactly like the one-phase distributed algorithm."""
+        trace = scenario_trace(ScenarioSpec(cycle_len=3, fan_out=1, sites=3))
+        from repro.trace.events import RecordKind
+
+        kinds = {r.kind for r in trace}
+        assert RecordKind.PUBLISH in kinds and RecordKind.BLOCK not in kinds
+        outcome = replay(trace, mode=DETECTION)
+        assert outcome.deadlocked
+        # The cycle spans statuses from every site's bucket.
+        assert len(outcome.reports[0].tasks) == 3
+
+    def test_deadlock_free_distributed_trace(self):
+        trace = scenario_trace(
+            ScenarioSpec(cycle_len=3, fan_out=1, sites=2, deadlock=False)
+        )
+        assert not replay(trace, mode=DETECTION).deadlocked
+
+
+class TestModelsAndCadence:
+    @pytest.mark.parametrize("model", [GraphModel.WFG, GraphModel.SG, GraphModel.AUTO])
+    def test_any_graph_model_finds_the_cycle(self, model):
+        trace = scenario_trace(ScenarioSpec(cycle_len=3, fan_out=2, sites=1))
+        outcome = replay(trace, model=model, mode=DETECTION)
+        assert outcome.deadlocked
+        if model is not GraphModel.AUTO:
+            assert outcome.reports[0].model_used is model
+
+    def test_check_every_trades_checks_for_throughput(self):
+        trace = scenario_trace(
+            ScenarioSpec(cycle_len=3, fan_out=2, sites=1, rounds=5)
+        )
+        dense = replay(trace, mode=DETECTION, check_every=1)
+        sparse = replay(trace, mode=DETECTION, check_every=8)
+        assert sparse.checks_run < dense.checks_run
+        # The drain still analyses the final state: no lost verdicts.
+        assert sparse.deadlocked and dense.deadlocked
+
+    def test_throughput_and_stats_populated(self):
+        trace = scenario_trace(
+            ScenarioSpec(cycle_len=2, fan_out=2, sites=1, rounds=4)
+        )
+        outcome = replay(trace, mode=DETECTION)
+        assert outcome.records_processed == len(trace)
+        assert outcome.events_per_sec > 0
+        assert outcome.stats.checks == outcome.checks_run
+        assert outcome.stats.mean_edges >= 0
+
+
+class TestReplayFromPath:
+    def test_replay_accepts_a_path(self, tmp_path):
+        from repro.trace.codec import save_trace
+
+        trace = scenario_trace(ScenarioSpec(cycle_len=2, fan_out=1, sites=1))
+        path = save_trace(trace, tmp_path / "t.trace")
+        assert replay(path, mode=DETECTION).deadlocked
