@@ -8,20 +8,35 @@ round decodes the file and replays it in detection mode.  ``decode``
 benchmarks isolate the codec cost; ``replay`` benchmarks measure the
 full pipeline (decode + checker).  ``extra_info`` records the
 events/sec figures the acceptance criteria ask for.
+
+The streaming/parallel subsystem adds three more families:
+``stream_decode``/``stream_replay`` (iterator-based I/O — same events,
+O(frame) memory), ``corpus_replay`` at 1/2/4 processes (the fan-out
+speedup), and a memory profile demonstrating that streaming a
+≥100k-event framed trace peaks far below eager load.  CI writes the
+whole suite to ``BENCH_trace_replay.json``
+(``--benchmark-json=BENCH_trace_replay.json``).
 """
 
 from __future__ import annotations
 
+import tracemalloc
+
 import pytest
 
 from repro.trace.codec import load_trace, save_trace
-from repro.trace.corpus import ScenarioSpec, scenario_trace
+from repro.trace.corpus import ScenarioSpec, grid_specs, scenario_trace, write_corpus
+from repro.trace.parallel import replay_corpus
 from repro.trace.replay import replay
+from repro.trace.stream import iter_load
 
 CODEC_EXT = {"jsonl": ".jsonl", "binary": ".trace"}
 
 #: ~10k events: 16 tasks x 160 rounds x 3 records + context + knot.
 SPEC = ScenarioSpec(cycle_len=4, fan_out=4, sites=1, rounds=160)
+
+#: ≥100k events for the streaming-memory acceptance criterion.
+BIG_SPEC = ScenarioSpec(cycle_len=4, fan_out=4, sites=1, rounds=2100)
 
 
 @pytest.fixture(scope="module")
@@ -33,6 +48,16 @@ def corpus_files(tmp_path_factory):
         codec: (save_trace(trace, tmp / f"corpus{ext}", codec=codec), len(trace))
         for codec, ext in CODEC_EXT.items()
     }
+
+
+@pytest.fixture(scope="module")
+def corpus_dir(tmp_path_factory):
+    """A multi-file corpus for the fan-out benchmarks."""
+    tmp = tmp_path_factory.mktemp("trace-corpus-dir")
+    specs = grid_specs((2, 3, 4), (2, 4), (1,), (40,), (True, False))
+    paths = write_corpus(tmp, specs, codecs=("binary",))
+    events = sum(len(load_trace(p)) for p in paths)
+    return tmp, len(paths), events
 
 
 @pytest.mark.parametrize("codec", sorted(CODEC_EXT))
@@ -66,3 +91,90 @@ def test_replay_throughput(bench, benchmark, corpus_files, codec):
     benchmark.extra_info["codec"] = codec
     benchmark.extra_info["events"] = n_events
     benchmark.extra_info["replay_events_per_sec"] = round(n_events / elapsed)
+
+
+@pytest.mark.parametrize("codec", sorted(CODEC_EXT))
+def test_stream_decode_throughput(bench, benchmark, corpus_files, codec):
+    """Iterator-based decode: same events, one frame in memory."""
+    path, n_events = corpus_files[codec]
+
+    def decode():
+        return sum(1 for _ in iter_load(path))
+
+    count = bench(decode)
+    assert count == n_events
+    elapsed = benchmark.stats.stats.mean
+    benchmark.extra_info["codec"] = codec
+    benchmark.extra_info["events"] = n_events
+    benchmark.extra_info["stream_decode_events_per_sec"] = round(n_events / elapsed)
+
+
+@pytest.mark.parametrize("codec", sorted(CODEC_EXT))
+def test_stream_replay_throughput(bench, benchmark, corpus_files, codec):
+    path, n_events = corpus_files[codec]
+
+    def run():
+        return replay(path, mode="detection", check_every=16, stream=True)
+
+    result = bench(run)
+    assert result.deadlocked
+    assert result.records_processed == n_events
+    elapsed = benchmark.stats.stats.mean
+    benchmark.extra_info["codec"] = codec
+    benchmark.extra_info["events"] = n_events
+    benchmark.extra_info["stream_replay_events_per_sec"] = round(n_events / elapsed)
+
+
+@pytest.mark.parametrize("processes", [1, 2, 4])
+def test_corpus_replay_fanout(bench, benchmark, corpus_dir, processes):
+    """Multi-process corpus replay; extra_info carries the speedup data
+    (serial events/sec at processes=1 is the baseline)."""
+    path, n_files, n_events = corpus_dir
+
+    def run():
+        return replay_corpus(path, check_every=16, processes=processes)
+
+    result = bench(run)
+    assert len(result.entries) == n_files
+    assert result.records_processed == n_events
+    assert not result.mismatches
+    elapsed = benchmark.stats.stats.mean
+    benchmark.extra_info["processes"] = processes
+    benchmark.extra_info["files"] = n_files
+    benchmark.extra_info["events"] = n_events
+    benchmark.extra_info["corpus_events_per_sec"] = round(n_events / elapsed)
+
+
+def test_streaming_memory_profile(benchmark, tmp_path_factory):
+    """The acceptance criterion: streaming a ≥100k-event framed trace
+    peaks well below eager load.  One timed round (the measurement is
+    tracemalloc's, not the clock's); peaks land in extra_info."""
+    tmp = tmp_path_factory.mktemp("big-trace")
+    trace = scenario_trace(BIG_SPEC)
+    n_events = len(trace)
+    assert n_events >= 100_000
+    path = save_trace(trace, tmp / "big.trace", codec="binary")
+    del trace
+
+    def profile():
+        tracemalloc.start()
+        eager = load_trace(path)
+        _, eager_peak = tracemalloc.get_traced_memory()
+        tracemalloc.stop()
+        del eager
+        tracemalloc.start()
+        count = sum(1 for _ in iter_load(path))
+        _, stream_peak = tracemalloc.get_traced_memory()
+        tracemalloc.stop()
+        assert count == n_events
+        return eager_peak, stream_peak
+
+    eager_peak, stream_peak = benchmark.pedantic(
+        profile, rounds=1, warmup_rounds=0, iterations=1
+    )
+    assert stream_peak * 10 < eager_peak
+    benchmark.extra_info["events"] = n_events
+    benchmark.extra_info["file_bytes"] = path.stat().st_size
+    benchmark.extra_info["eager_peak_bytes"] = eager_peak
+    benchmark.extra_info["stream_peak_bytes"] = stream_peak
+    benchmark.extra_info["peak_ratio"] = round(eager_peak / max(1, stream_peak), 1)

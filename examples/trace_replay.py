@@ -22,7 +22,14 @@ import time
 from repro.runtime import Phaser
 from repro.runtime.verifier import ArmusRuntime, VerificationMode
 from repro.core.selection import GraphModel
-from repro.trace import TraceRecorder, load_trace, replay
+from repro.trace import (
+    TraceRecorder,
+    grid_specs,
+    load_trace,
+    replay,
+    replay_corpus,
+    write_corpus,
+)
 
 
 def crossed_deadlock(runtime: ArmusRuntime) -> None:
@@ -85,6 +92,22 @@ def main() -> None:
         wfg = replay(load_trace(jsonl), mode="detection", model=GraphModel.WFG)
         print("\n--- same run, re-analysed as a wait-for graph ---")
         print(wfg.reports[0].describe())
+
+        # 5. The same file again, streamed: one frame in memory at a
+        # time — how a million-event recording replays in flat RAM.
+        streamed = replay(binary, stream=True)
+        print("\nstreamed replay == eager replay:",
+              streamed.reports == outcome.reports)
+
+        # 6. Scale out: a generated corpus fanned over worker
+        # processes, reports merged deterministically.
+        write_corpus(f"{tmp}/corpus", grid_specs((2, 3), (1, 2), (1,)))
+        result = replay_corpus(f"{tmp}/corpus", processes=2)
+        print(f"corpus: {len(result.entries)} file(s) over "
+              f"{result.processes} processes, "
+              f"{result.records_processed} records, "
+              f"{len(result.reports)} report(s), "
+              f"{len(result.mismatches)} verdict mismatch(es)")
 
 
 if __name__ == "__main__":

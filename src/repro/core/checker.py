@@ -22,7 +22,7 @@ from __future__ import annotations
 import threading
 import time
 from dataclasses import dataclass, field
-from typing import Dict, Optional, Tuple
+from typing import Dict, List, Optional, Tuple
 
 from repro.core.cycles import cycle_through, find_cycle
 from repro.core.dependency import DependencySnapshot, ResourceDependency
@@ -90,6 +90,55 @@ class CheckStats:
         for model, count in other.model_counts.items():
             self.model_counts[model] = self.model_counts.get(model, 0) + count
         self.total_time_s += other.total_time_s
+
+
+def snapshot_components(snapshot: DependencySnapshot) -> List[DependencySnapshot]:
+    """Partition ``snapshot`` into independently checkable shards.
+
+    Two tasks land in the same shard when they touch a common phaser
+    (one waits on or is registered with a phaser the other touches).
+    Any WFG edge ``t1 -> t2`` needs ``t2`` registered on the phaser of
+    an event ``t1`` waits on, and any SG edge ``e1 -> e2`` needs one
+    task touching both phasers — so every cycle, under either graph
+    model, lies entirely inside one shard.  The partition is therefore
+    a *sound* decomposition: checking shards independently finds every
+    deadlock the whole-snapshot check finds.
+
+    Shards are ordered by their minimal task id (string order) and each
+    shard preserves the snapshot's task insertion order, so shard output
+    is deterministic across processes.
+    """
+    parent: Dict[TaskId, TaskId] = {}
+
+    def find(x: TaskId) -> TaskId:
+        root = x
+        while parent[root] != root:
+            root = parent[root]
+        while parent[x] != root:  # path compression
+            parent[x], x = root, parent[x]
+        return root
+
+    def union(a: TaskId, b: TaskId) -> None:
+        ra, rb = find(a), find(b)
+        if ra != rb:
+            parent[rb] = ra
+
+    anchor: Dict[str, TaskId] = {}
+    for task, status in snapshot.statuses.items():
+        parent[task] = task
+        phasers = {str(e.phaser) for e in status.waits}
+        phasers.update(str(p) for p in status.registered)
+        for phaser in phasers:
+            if phaser in anchor:
+                union(anchor[phaser], task)
+            else:
+                anchor[phaser] = task
+
+    groups: Dict[TaskId, Dict[TaskId, BlockedStatus]] = {}
+    for task, status in snapshot.statuses.items():
+        groups.setdefault(find(task), {})[task] = status
+    ordered = sorted(groups.values(), key=lambda g: min(str(t) for t in g))
+    return [DependencySnapshot(statuses=g) for g in ordered]
 
 
 class DeadlockChecker:
@@ -164,6 +213,31 @@ class DeadlockChecker:
         self._record(t0, report, built.model_used, built.edge_count)
         return report
 
+    def check_sharded(
+        self,
+        snapshot: Optional[DependencySnapshot] = None,
+        revalidate: bool = False,
+    ) -> List[DeadlockReport]:
+        """Detection over connected components, one check per shard.
+
+        The snapshot is split with :func:`snapshot_components` and each
+        shard is analysed independently — smaller graphs per check, an
+        obvious parallelisation unit, and (unlike :meth:`check`, which
+        stops at the first cycle) one report *per* deadlocked component.
+        Reports come back in shard order, which is deterministic.
+        """
+        if snapshot is None:
+            snapshot = self.dependency.snapshot()
+        if snapshot.is_empty():
+            self.check(snapshot=snapshot)
+            return []
+        reports: List[DeadlockReport] = []
+        for shard in snapshot_components(snapshot):
+            report = self.check(snapshot=shard, revalidate=revalidate)
+            if report is not None:
+                reports.append(report)
+        return reports
+
     def check_before_block(
         self, task: TaskId, status: BlockedStatus
     ) -> Tuple[Optional[DeadlockReport], Optional[BlockedStatus]]:
@@ -214,8 +288,11 @@ class DeadlockChecker:
         if built.model_used is GraphModel.WFG:
             cycle = cycle_through(built.graph, task)
         else:
+            # Canonical order, not frozenset order: which waited event
+            # anchors the cycle must not depend on the hash seed, or
+            # parallel avoidance replay diverges from serial.
             cycle = None
-            for event in status.waits:
+            for event in sorted(status.waits, key=lambda e: (str(e.phaser), e.phase)):
                 cycle = cycle_through(built.graph, event)
                 if cycle is not None:
                     break

@@ -9,6 +9,15 @@ concrete cycle from any non-trivial SCC for reporting.
 All algorithms are iterative (explicit stacks): verification runs inside
 user programs whose graphs can be deep, and CPython's recursion limit must
 not constrain them.
+
+Cycle *extraction* is canonical: among all cyclic SCCs the one holding
+the globally minimal vertex (by string key) is chosen, the witness cycle
+is grown by BFS over string-sorted successors, and the closed walk is
+rotated to start at its minimal vertex.  The SCC partition itself is
+order-independent, so two processes — regardless of hash seed, set
+iteration order or Python version — extract the *same* cycle from the
+same graph.  That is what lets sharded and multi-process replay merge
+reports byte-identically (see ``repro.trace.parallel``).
 """
 
 from __future__ import annotations
@@ -90,14 +99,48 @@ def has_cycle(graph: DiGraph) -> bool:
     return False
 
 
+def _vertex_key(v: Vertex) -> str:
+    """The canonical vertex sort key (``str`` is stable across processes
+    for both task-id and ``Event`` vertices, unlike ``hash``)."""
+    return str(v)
+
+
+def canonical_rotation(cycle: List[Vertex]) -> List[Vertex]:
+    """Rotate the closed walk ``[v1, ..., vk, v1]`` to start (and close)
+    at its minimal vertex by :func:`_vertex_key`.
+
+    Rotation preserves the walk's edges and direction, so the result is
+    the same cycle — just in the one representative form every process
+    agrees on.
+    """
+    if len(cycle) < 2:
+        return list(cycle)
+    body = cycle[:-1]
+    pivot = min(range(len(body)), key=lambda i: _vertex_key(body[i]))
+    rotated = body[pivot:] + body[:pivot]
+    rotated.append(rotated[0])
+    return rotated
+
+
 def find_cycle(graph: DiGraph) -> Optional[List[Vertex]]:
-    """A concrete cycle ``[v1, ..., vk, v1]`` if one exists, else ``None``."""
+    """A concrete cycle ``[v1, ..., vk, v1]`` if one exists, else ``None``.
+
+    Canonical: the cyclic SCC containing the globally minimal vertex is
+    selected (the SCC partition is unique, so this choice is independent
+    of traversal order), and the returned walk starts at that vertex.
+    """
+    entry: Optional[Vertex] = None
+    members: Optional[Set[Vertex]] = None
     for component in strongly_connected_components(graph):
-        v = component[0]
+        v = min(component, key=_vertex_key)
         if len(component) == 1 and not graph.has_edge(v, v):
             continue
-        return _cycle_containing(graph, set(component), v)
-    return None
+        if entry is None or _vertex_key(v) < _vertex_key(entry):
+            entry = v
+            members = set(component)
+    if entry is None or members is None:
+        return None
+    return canonical_rotation(_cycle_containing(graph, members, entry))
 
 
 def cycle_through(graph: DiGraph, vertex: Vertex) -> Optional[List[Vertex]]:
@@ -114,7 +157,7 @@ def cycle_through(graph: DiGraph, vertex: Vertex) -> Optional[List[Vertex]]:
             continue
         if len(component) == 1 and not graph.has_edge(vertex, vertex):
             return None
-        return _cycle_containing(graph, set(component), vertex)
+        return canonical_rotation(_cycle_containing(graph, set(component), vertex))
     return None
 
 
@@ -138,19 +181,22 @@ def _cycle_containing(
     """A cycle through ``v`` inside the cyclic SCC ``members``.
 
     BFS from the successors of ``v`` (restricted to the SCC) back to ``v``;
-    strong connectivity guarantees the search succeeds.
+    strong connectivity guarantees the search succeeds.  Successors are
+    visited in canonical (string-key) order so the breadth-first parent
+    tree — hence the extracted cycle — does not depend on set iteration
+    order.
     """
     if graph.has_edge(v, v):
         return [v, v]
     parent: Dict[Vertex, Vertex] = {}
     queue: deque[Vertex] = deque()
-    for w in graph.successors(v):
+    for w in sorted(graph.successors(v), key=_vertex_key):
         if w in members and w not in parent:
             parent[w] = v
             queue.append(w)
     while queue:
         u = queue.popleft()
-        for w in graph.successors(u):
+        for w in sorted(graph.successors(u), key=_vertex_key):
             if w == v:
                 # Reconstruct v ... u, then close the cycle at v.
                 path = [u]

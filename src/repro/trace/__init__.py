@@ -20,6 +20,12 @@ Typical use::
     result = replay("run.trace")  # offline, deterministic
     assert result.reports == runtime.reports
 
+For scale, the subsystem streams and shards: :func:`iter_load` replays
+files of any length in O(frame) memory, :class:`StreamingRecorder`
+spills records to disk as they happen, and :func:`replay_corpus` fans a
+trace corpus out over worker processes with deterministic, byte-stable
+merged output (see ``repro.trace.stream`` / ``repro.trace.parallel``).
+
 Command line: ``python -m repro.trace {record,replay,gen,stats}``.
 """
 
@@ -39,8 +45,19 @@ from repro.trace.codec import (
 )
 from repro.trace.recorder import TraceRecorder
 from repro.trace.replay import ReplayEngine, ReplayResult, replay
+from repro.trace.stream import StreamedTrace, StreamingRecorder, iter_load
+from repro.trace.parallel import (
+    CorpusEntry,
+    CorpusReplayResult,
+    discover_traces,
+    replay_corpus,
+)
 from repro.trace.corpus import (
+    ChurnSpec,
     ScenarioSpec,
+    build_trace,
+    churn_grid_specs,
+    churn_trace,
     generate_corpus,
     grid_specs,
     scenario_trace,
@@ -60,12 +77,23 @@ __all__ = [
     "load_trace",
     "save_trace",
     "TraceRecorder",
+    "StreamingRecorder",
+    "StreamedTrace",
+    "iter_load",
     "ReplayEngine",
     "ReplayResult",
     "replay",
+    "replay_corpus",
+    "CorpusEntry",
+    "CorpusReplayResult",
+    "discover_traces",
     "ScenarioSpec",
+    "ChurnSpec",
     "scenario_trace",
+    "churn_trace",
+    "build_trace",
     "grid_specs",
+    "churn_grid_specs",
     "generate_corpus",
     "write_corpus",
     "verify_corpus",

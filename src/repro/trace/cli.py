@@ -3,12 +3,20 @@
 Four subcommands cover the record → persist → analyse loop:
 
 * ``record`` — run a built-in scenario under a recording runtime and
-  save the trace (``--scenario crossed|averaging|barrier``);
-* ``replay`` — stream a trace file through the checker and print the
-  reports plus the events/sec throughput;
-* ``gen`` — write a scenario corpus over a parameter grid
-  (``--smoke`` generates a small grid in memory and verifies every
-  trace replays to its expected verdict — the CI sanity job);
+  save the trace (``--scenario crossed|averaging|barrier``;
+  ``--stream`` spills records to disk as they happen instead of
+  buffering the run);
+* ``replay`` — replay one trace file, several, or whole corpus
+  directories through the checker.  ``--parallel N`` fans a corpus out
+  over N worker processes; ``--stream`` reads each file in O(frame)
+  memory; ``--shard-components`` checks connected components
+  independently.  Corpus output on stdout is byte-identical for any
+  ``--parallel`` value (timing goes to stderr) — CI diffs serial
+  against parallel output to pin it;
+* ``gen`` — write a scenario corpus over parameter grids
+  (``--families cycle,churn``); ``--smoke`` verifies a small grid in
+  memory (``--parallel N`` fans the verification out) — the CI sanity
+  job;
 * ``stats`` — summarise a trace file (header, record-kind counts,
   population).
 
@@ -16,8 +24,9 @@ Examples::
 
     python -m repro.trace record --scenario crossed --out crossed.trace
     python -m repro.trace replay crossed.trace --mode detection
+    python -m repro.trace replay corpus/ --parallel 4 --stream
     python -m repro.trace gen --out corpus/ --cycle-lens 2,3,4
-    python -m repro.trace gen --smoke
+    python -m repro.trace gen --smoke --parallel 2
     python -m repro.trace stats corpus/cycle-L3-F2-S1-R2-dl.jsonl
 """
 
@@ -31,14 +40,20 @@ from typing import List, Optional, Sequence
 from repro.core.selection import GraphModel
 from repro.trace.codec import load_trace
 from repro.trace.corpus import (
+    DEFAULT_CHURN_GRID,
     DEFAULT_GRID,
+    SMOKE_CHURN_GRID,
     SMOKE_GRID,
+    churn_grid_specs,
     grid_specs,
     verify_corpus,
     write_corpus,
 )
 from repro.trace.recorder import TraceRecorder
 from repro.trace.replay import replay as run_replay
+
+#: Scenario families ``gen`` knows how to write.
+FAMILIES = ("cycle", "churn")
 
 
 def _ints(text: str) -> List[int]:
@@ -160,7 +175,13 @@ def cmd_record(args: argparse.Namespace) -> int:
         print("record: deadlocking scenarios need --mode detection|avoidance",
               file=sys.stderr)
         return 2
-    recorder = TraceRecorder(meta={"scenario": args.scenario, "mode": args.mode})
+    meta = {"scenario": args.scenario, "mode": args.mode}
+    if args.stream:
+        from repro.trace.stream import StreamingRecorder
+
+        recorder = StreamingRecorder(args.out, meta=meta)
+    else:
+        recorder = TraceRecorder(meta=meta)
     runtime = ArmusRuntime(
         mode=VerificationMode(args.mode),
         interval_s=0.02,
@@ -183,16 +204,44 @@ def cmd_record(args: argparse.Namespace) -> int:
 # replay
 # ---------------------------------------------------------------------------
 def cmd_replay(args: argparse.Namespace) -> int:
-    """Replay a trace file; print reports and throughput."""
-    trace = load_trace(args.trace)
+    """Replay trace file(s)/director(ies); print reports and throughput."""
+    from repro.trace.parallel import discover_traces
+
+    paths = discover_traces(args.trace)
+    if not paths:
+        print(f"replay: no trace files under {args.trace}", file=sys.stderr)
+        return 2
+    # Corpus mode is a property of the *input* (a directory or several
+    # files), never of --parallel: the same invocation must print the
+    # same stdout whatever the worker count, even for a one-file corpus.
+    corpus_input = len(paths) > 1 or any(
+        pathlib.Path(src).is_dir() for src in args.trace
+    )
+    if not corpus_input:
+        return _replay_single(pathlib.Path(paths[0]), args)
+    return _replay_corpus(paths, args)
+
+
+def _replay_single(path: pathlib.Path, args: argparse.Namespace) -> int:
+    """One file, in process — the PR-1 output format, plus --stream."""
+    if args.stream:
+        from repro.trace.stream import iter_load
+
+        source = iter_load(path)
+        meta = dict(source.header.meta)
+        described = f"streamed, meta={meta}"
+    else:
+        source = load_trace(path)
+        meta = dict(source.header.meta)
+        described = f"{len(source)} records, meta={meta}"
     result = run_replay(
-        trace,
+        source,
         mode=args.mode,
         model=GraphModel(args.model),
         check_every=args.check_every,
+        shard_components=args.shard_components,
     )
-    meta = dict(trace.header.meta)
-    print(f"trace: {args.trace} ({len(trace)} records, meta={meta})")
+    print(f"trace: {path} ({described})")
     print(
         f"replayed {result.records_processed} record(s), "
         f"{result.checks_run} check(s) in {result.duration_s * 1e3:.1f} ms "
@@ -210,20 +259,87 @@ def cmd_replay(args: argparse.Namespace) -> int:
     return 0
 
 
+def _replay_corpus(paths, args: argparse.Namespace) -> int:
+    """Corpus mode: deterministic stdout (diffable across --parallel
+    values), timing on stderr where nondeterminism belongs."""
+    from repro.trace.parallel import replay_corpus
+
+    result = replay_corpus(
+        paths,
+        mode=args.mode,
+        model=GraphModel(args.model),
+        check_every=args.check_every,
+        shard_components=args.shard_components,
+        stream=args.stream,
+        processes=args.parallel,
+    )
+    print(f"corpus: {len(result.entries)} trace(s), mode={result.mode}")
+    for entry in result.entries:
+        print(
+            f"--- {entry.path.name}: {entry.result.records_processed} record(s), "
+            f"{entry.result.checks_run} check(s), "
+            f"{len(entry.result.reports)} report(s)"
+        )
+        for report in entry.result.reports:
+            print(report.describe())
+        if not entry.verdict_ok:
+            print(
+                f"VERDICT MISMATCH: {entry.path.name} expects "
+                f"deadlock={entry.expected}",
+                file=sys.stderr,
+            )
+    deadlocked = sum(1 for e in result.entries if e.result.deadlocked)
+    print(
+        f"verdicts: {deadlocked}/{len(result.entries)} deadlocked, "
+        f"{len(result.mismatches)} mismatch(es)"
+    )
+    print(
+        f"replayed {result.records_processed} record(s), "
+        f"{result.checks_run} check(s) in {result.duration_s * 1e3:.1f} ms "
+        f"({result.events_per_sec:,.0f} events/sec, "
+        f"processes={result.processes})",
+        file=sys.stderr,
+    )
+    return 1 if result.mismatches else 0
+
+
 # ---------------------------------------------------------------------------
 # gen
 # ---------------------------------------------------------------------------
+def _parse_families(text: str) -> List[str]:
+    families = [part.strip() for part in text.split(",") if part.strip()]
+    for family in families:
+        if family not in FAMILIES:
+            raise ValueError(f"unknown family {family!r} (have: {FAMILIES})")
+    return families
+
+
 def cmd_gen(args: argparse.Namespace) -> int:
     """Generate a corpus (or run the --smoke verification grid)."""
+    families = _parse_families(args.families)
     if args.smoke:
-        specs = grid_specs(
-            SMOKE_GRID["cycle_lens"],
-            SMOKE_GRID["fan_outs"],
-            SMOKE_GRID["site_counts"],
-            SMOKE_GRID["rounds"],
-            SMOKE_GRID["verdicts"],
-        )
-        results = verify_corpus(specs)
+        specs: List = []
+        if "cycle" in families:
+            specs.extend(
+                grid_specs(
+                    SMOKE_GRID["cycle_lens"],
+                    SMOKE_GRID["fan_outs"],
+                    SMOKE_GRID["site_counts"],
+                    SMOKE_GRID["rounds"],
+                    SMOKE_GRID["verdicts"],
+                )
+            )
+        if "churn" in families:
+            specs.extend(
+                churn_grid_specs(
+                    SMOKE_CHURN_GRID["pools"],
+                    SMOKE_CHURN_GRID["windows"],
+                    SMOKE_CHURN_GRID["rounds"],
+                    SMOKE_CHURN_GRID["site_counts"],
+                    SMOKE_CHURN_GRID["verdicts"],
+                )
+            )
+        results = verify_corpus(specs, processes=args.parallel)
         bad = [spec for spec, ok in results if not ok]
         for spec, ok in results:
             print(f"{'ok  ' if ok else 'FAIL'} {spec.name}")
@@ -232,13 +348,27 @@ def cmd_gen(args: argparse.Namespace) -> int:
     if args.out is None:
         print("gen: --out DIR is required (or use --smoke)", file=sys.stderr)
         return 2
-    specs = grid_specs(
-        args.cycle_lens or DEFAULT_GRID["cycle_lens"],
-        args.fan_outs or DEFAULT_GRID["fan_outs"],
-        args.sites or DEFAULT_GRID["site_counts"],
-        args.rounds or DEFAULT_GRID["rounds"],
-        (True, False),
-    )
+    specs = []
+    if "cycle" in families:
+        specs.extend(
+            grid_specs(
+                args.cycle_lens or DEFAULT_GRID["cycle_lens"],
+                args.fan_outs or DEFAULT_GRID["fan_outs"],
+                args.sites or DEFAULT_GRID["site_counts"],
+                args.rounds or DEFAULT_GRID["rounds"],
+                (True, False),
+            )
+        )
+    if "churn" in families:
+        specs.extend(
+            churn_grid_specs(
+                DEFAULT_CHURN_GRID["pools"],
+                DEFAULT_CHURN_GRID["windows"],
+                DEFAULT_CHURN_GRID["rounds"],
+                args.sites or DEFAULT_CHURN_GRID["site_counts"],
+                DEFAULT_CHURN_GRID["verdicts"],
+            )
+        )
     codecs = ("jsonl", "binary") if args.codec == "both" else (args.codec,)
     paths = write_corpus(args.out, specs, codecs=codecs)
     total = sum(p.stat().st_size for p in paths)
@@ -288,18 +418,35 @@ def build_parser() -> argparse.ArgumentParser:
     p_record.add_argument("--mode", choices=("off", "detection", "avoidance"),
                           default="detection")
     p_record.add_argument("--out", required=True, help="output trace path")
+    p_record.add_argument("--stream", action="store_true",
+                          help="spill records to disk as they arrive "
+                               "instead of buffering the run")
     p_record.set_defaults(fn=cmd_record)
 
-    p_replay = sub.add_parser("replay", help="replay a trace file")
-    p_replay.add_argument("trace", help="trace file (.jsonl or .trace)")
+    p_replay = sub.add_parser("replay", help="replay trace file(s)")
+    p_replay.add_argument("trace", nargs="+",
+                          help="trace file(s) (.jsonl or .trace) and/or "
+                               "corpus directories")
     p_replay.add_argument("--mode", choices=("detection", "avoidance"),
                           default="detection")
     p_replay.add_argument("--model", choices=("auto", "wfg", "sg"), default="auto")
     p_replay.add_argument("--check-every", type=int, default=1)
+    p_replay.add_argument("--parallel", type=int, default=1, metavar="N",
+                          help="replay a corpus over N worker processes "
+                               "(stdout stays byte-identical to serial)")
+    p_replay.add_argument("--stream", action="store_true",
+                          help="read each trace incrementally in O(frame) "
+                               "memory instead of loading it whole")
+    p_replay.add_argument("--shard-components", action="store_true",
+                          help="check connected components of the wait-for "
+                               "graph independently (detection only)")
     p_replay.set_defaults(fn=cmd_replay)
 
     p_gen = sub.add_parser("gen", help="generate a scenario corpus")
     p_gen.add_argument("--out", default=None, help="output directory")
+    p_gen.add_argument("--families", default="cycle,churn",
+                       help="comma-separated scenario families "
+                            f"(from: {', '.join(FAMILIES)})")
     p_gen.add_argument("--cycle-lens", type=_ints, default=None)
     p_gen.add_argument("--fan-outs", type=_ints, default=None)
     p_gen.add_argument("--sites", type=_ints, default=None)
@@ -308,6 +455,8 @@ def build_parser() -> argparse.ArgumentParser:
                        default="both")
     p_gen.add_argument("--smoke", action="store_true",
                        help="verify a small grid in memory; write nothing")
+    p_gen.add_argument("--parallel", type=int, default=1, metavar="N",
+                       help="fan --smoke verification out over N processes")
     p_gen.set_defaults(fn=cmd_gen)
 
     p_stats = sub.add_parser("stats", help="summarise a trace file")

@@ -18,6 +18,15 @@ replay throughput of both).
 :func:`save_trace` / :func:`load_trace` pick the codec from the file
 extension (``.jsonl`` vs ``.bin``/``.trace``) or from the leading magic
 bytes, so callers rarely name a codec explicitly.
+
+Both codecs expose a *per-record* surface on top of which the eager
+``dump``/``load`` methods are built: ``encode_header``/``encode_record``
+produce the bytes for one header or record (what the spill-to-disk
+:class:`~repro.trace.stream.StreamingRecorder` appends as events
+arrive), and ``decode_record_*`` turn one frame or line back into a
+:class:`~repro.trace.events.TraceRecord` (what the incremental readers
+in :mod:`repro.trace.stream` call per frame).  Whole-file and streaming
+I/O therefore cannot drift apart — they share the same record coders.
 """
 
 from __future__ import annotations
@@ -115,19 +124,51 @@ class JsonlCodec:
     name = "jsonl"
     extensions = (".jsonl", ".json")
 
+    # -- per-record surface (shared by eager and streaming I/O) --------
+    def encode_header(self, header: TraceHeader) -> bytes:
+        """The header line (including the trailing newline)."""
+        obj = {
+            "magic": TRACE_MAGIC,
+            "version": header.version,
+            "meta": dict(header.meta),
+        }
+        return (json.dumps(obj, separators=(",", ":"), sort_keys=True) + "\n").encode(
+            "utf-8"
+        )
+
+    def encode_record(self, rec: TraceRecord) -> bytes:
+        """One record line (including the trailing newline)."""
+        return (
+            json.dumps(_record_to_obj(rec), separators=(",", ":"), sort_keys=True) + "\n"
+        ).encode("utf-8")
+
+    def decode_header_line(self, line: str) -> TraceHeader:
+        """Parse the header line; reject bad magic or versions."""
+        try:
+            header_obj = json.loads(line)
+        except json.JSONDecodeError as exc:
+            raise TraceFormatError(f"unparseable header line: {line[:80]!r}") from exc
+        if not isinstance(header_obj, dict) or header_obj.get("magic") != TRACE_MAGIC:
+            raise TraceFormatError("not an armus trace (bad magic)")
+        return TraceHeader(
+            version=int(header_obj.get("version", -1)),
+            meta=header_obj.get("meta", {}),
+        )
+
+    def decode_record_line(self, line: str) -> TraceRecord:
+        """Parse one record line back into a :class:`TraceRecord`."""
+        try:
+            obj = json.loads(line)
+        except json.JSONDecodeError as exc:
+            raise TraceFormatError(f"unparseable record line: {line[:80]!r}") from exc
+        return _record_from_obj(obj)
+
+    # -- whole-file methods --------------------------------------------
     def dump(self, trace: Trace, fp: BinaryIO) -> None:
         """Write ``trace`` to the binary file object ``fp``."""
-        header = {
-            "magic": TRACE_MAGIC,
-            "version": trace.header.version,
-            "meta": dict(trace.header.meta),
-        }
-        lines = [json.dumps(header, separators=(",", ":"), sort_keys=True)]
+        fp.write(self.encode_header(trace.header))
         for rec in trace.records:
-            lines.append(
-                json.dumps(_record_to_obj(rec), separators=(",", ":"), sort_keys=True)
-            )
-        fp.write(("\n".join(lines) + "\n").encode("utf-8"))
+            fp.write(self.encode_record(rec))
 
     def load(self, fp: BinaryIO) -> Trace:
         """Read a trace from ``fp``; reject anything malformed."""
@@ -138,23 +179,10 @@ class JsonlCodec:
         lines = [line for line in text.splitlines() if line.strip()]
         if not lines:
             raise TraceFormatError("empty trace file")
-        try:
-            header_obj = json.loads(lines[0])
-        except json.JSONDecodeError as exc:
-            raise TraceFormatError(f"unparseable header line: {lines[0][:80]!r}") from exc
-        if not isinstance(header_obj, dict) or header_obj.get("magic") != TRACE_MAGIC:
-            raise TraceFormatError("not an armus trace (bad magic)")
-        header = TraceHeader(
-            version=int(header_obj.get("version", -1)),
-            meta=header_obj.get("meta", {}),
-        )
+        header = self.decode_header_line(lines[0])
         records: List[TraceRecord] = []
         for line in lines[1:]:
-            try:
-                obj = json.loads(line)
-            except json.JSONDecodeError as exc:
-                raise TraceFormatError(f"unparseable record line: {line[:80]!r}") from exc
-            records.append(_record_from_obj(obj))
+            records.append(self.decode_record_line(line))
         return Trace(header=header, records=tuple(records))
 
 
@@ -243,38 +271,54 @@ class BinaryCodec:
     name = "binary"
     extensions = (".bin", ".trace")
 
+    # -- per-record surface (shared by eager and streaming I/O) --------
+    def encode_header(self, header: TraceHeader) -> bytes:
+        """Magic + version byte + varint-length-prefixed meta JSON."""
+        meta = json.dumps(dict(header.meta), separators=(",", ":"), sort_keys=True)
+        out = bytearray(BINARY_MAGIC)
+        out.extend(struct.pack("<B", header.version))
+        _write_str(out, meta)
+        return bytes(out)
+
+    def encode_record(self, rec: TraceRecord) -> bytes:
+        """One complete frame: varint length prefix + tagged body."""
+        body = bytearray()
+        body.append(_KIND_TAGS[rec.kind])
+        _write_varint(body, rec.seq)
+        kind = rec.kind
+        if kind is RecordKind.BLOCK:
+            _write_str(body, rec.task)
+            _write_status(body, status_to_obj(rec.status))
+        elif kind is RecordKind.UNBLOCK:
+            _write_str(body, rec.task)
+        elif kind in (RecordKind.REGISTER, RecordKind.ADVANCE):
+            _write_str(body, rec.task)
+            _write_str(body, rec.phaser)
+            _write_varint(body, rec.phase)
+        else:  # PUBLISH
+            _write_str(body, rec.site)
+            _write_varint(body, len(rec.payload))
+            for task, blob in rec.payload.items():
+                _write_str(body, str(task))
+                _write_status(body, blob)
+        frame = bytearray()
+        _write_varint(frame, len(body))
+        frame.extend(body)
+        return bytes(frame)
+
+    def decode_meta(self, meta_json: str) -> dict:
+        """Parse the header's meta JSON; wrap errors as format errors."""
+        try:
+            return json.loads(meta_json)
+        except json.JSONDecodeError as exc:
+            raise TraceFormatError("unparseable binary header meta") from exc
+
+    # -- whole-file methods --------------------------------------------
     def dump(self, trace: Trace, fp: BinaryIO) -> None:
         """Write ``trace`` to the binary file object ``fp``."""
-        fp.write(BINARY_MAGIC)
-        fp.write(struct.pack("<B", trace.header.version))
-        meta = json.dumps(dict(trace.header.meta), separators=(",", ":"), sort_keys=True)
-        head = bytearray()
-        _write_str(head, meta)
-        fp.write(bytes(head))
+        fp.write(self.encode_header(trace.header))
         for rec in trace.records:
-            body = bytearray()
-            body.append(_KIND_TAGS[rec.kind])
-            _write_varint(body, rec.seq)
-            kind = rec.kind
-            if kind is RecordKind.BLOCK:
-                _write_str(body, rec.task)
-                _write_status(body, status_to_obj(rec.status))
-            elif kind is RecordKind.UNBLOCK:
-                _write_str(body, rec.task)
-            elif kind in (RecordKind.REGISTER, RecordKind.ADVANCE):
-                _write_str(body, rec.task)
-                _write_str(body, rec.phaser)
-                _write_varint(body, rec.phase)
-            else:  # PUBLISH
-                _write_str(body, rec.site)
-                _write_varint(body, len(rec.payload))
-                for task, blob in rec.payload.items():
-                    _write_str(body, str(task))
-                    _write_status(body, blob)
-            frame = bytearray()
-            _write_varint(frame, len(body))
-            fp.write(bytes(frame))
-            fp.write(bytes(body))
+            fp.write(self.encode_record(rec))
 
     def load(self, fp: BinaryIO) -> Trace:
         """Read a trace from ``fp``; reject anything malformed."""
@@ -287,21 +331,17 @@ class BinaryCodec:
         buf = memoryview(data)
         pos = len(BINARY_MAGIC) + 1
         meta_json, pos = _read_str(buf, pos)
-        try:
-            meta = json.loads(meta_json)
-        except json.JSONDecodeError as exc:
-            raise TraceFormatError("unparseable binary header meta") from exc
-        header = TraceHeader(version=version, meta=meta)
+        header = TraceHeader(version=version, meta=self.decode_meta(meta_json))
         records: List[TraceRecord] = []
         while pos < len(buf):
             length, pos = _read_varint(buf, pos)
             if pos + length > len(buf):
                 raise TraceFormatError("truncated frame")
-            records.append(self._decode_frame(buf[pos : pos + length]))
+            records.append(self.decode_record_frame(buf[pos : pos + length]))
             pos += length
         return Trace(header=header, records=tuple(records))
 
-    def _decode_frame(self, body: memoryview) -> TraceRecord:
+    def decode_record_frame(self, body: memoryview) -> TraceRecord:
         if len(body) == 0:
             raise TraceFormatError("empty frame")
         kind = _TAG_KINDS.get(body[0])

@@ -83,19 +83,19 @@ class _Emitter:
     to local ``block``/``unblock`` records (one site) or to cumulative
     per-site ``publish`` records (several sites)."""
 
-    def __init__(self, spec: ScenarioSpec) -> None:
-        self.spec = spec
+    def __init__(self, sites: int) -> None:
+        self.sites = sites
         self.records: List[ev.TraceRecord] = []
         self._seq = 0
         self._buckets: Dict[str, Dict[str, dict]] = {
-            self._site_name(i): {} for i in range(spec.sites)
+            self._site_name(i): {} for i in range(sites)
         }
 
     def _site_name(self, index: int) -> str:
         return f"site{index}"
 
     def _site_of(self, task_index: int) -> str:
-        return self._site_name(task_index % self.spec.sites)
+        return self._site_name(task_index % self.sites)
 
     def _next(self) -> int:
         seq = self._seq
@@ -109,7 +109,7 @@ class _Emitter:
         self.records.append(ev.advance(self._next(), task, phaser, phase))
 
     def block(self, task_index: int, task: str, status: BlockedStatus) -> None:
-        if self.spec.sites == 1:
+        if self.sites == 1:
             self.records.append(ev.block(self._next(), task, status))
             return
         site = self._site_of(task_index)
@@ -117,7 +117,7 @@ class _Emitter:
         self.records.append(ev.publish(self._next(), site, dict(self._buckets[site])))
 
     def unblock(self, task_index: int, task: str) -> None:
-        if self.spec.sites == 1:
+        if self.sites == 1:
             self.records.append(ev.unblock(self._next(), task))
             return
         site = self._site_of(task_index)
@@ -127,7 +127,7 @@ class _Emitter:
 
 def scenario_trace(spec: ScenarioSpec) -> Trace:
     """Generate the full trace for ``spec`` (see the module docstring)."""
-    emit = _Emitter(spec)
+    emit = _Emitter(spec.sites)
     tasks = [
         (g, j, f"g{g}t{j}")
         for g in range(spec.cycle_len)
@@ -199,6 +199,152 @@ def scenario_trace(spec: ScenarioSpec) -> Trace:
 
 
 # ---------------------------------------------------------------------------
+# dynamic-membership churn family
+# ---------------------------------------------------------------------------
+@dataclass(frozen=True)
+class ChurnSpec:
+    """A scenario whose participant set changes over time.
+
+    A pool of ``pool`` tasks shares one barrier, but only a sliding
+    window of ``window`` tasks is registered at any round: each round
+    the window advances by one — the oldest member deregisters (it
+    simply stops participating; its statuses vanish from the stream)
+    and a fresh pool task registers mid-phase.  This is the
+    dynamic-membership pattern (phaser ``register``/``drop``) that
+    fixed-membership barriers cannot express, and it produces exactly
+    the traces the streaming reader must handle: no prefix of the file
+    determines the final participant set.
+
+    After the churn rounds, the two newest members tie a crossed
+    two-phaser knot (``deadlock=True``) or the same shape with the back
+    edge already satisfied (``deadlock=False``).  As with the cycle
+    family, a ``check_every=1`` detection replay reports exactly at the
+    knot-closing block and never before.
+    """
+
+    pool: int = 6
+    window: int = 3
+    rounds: int = 4
+    sites: int = 1
+    deadlock: bool = True
+
+    def __post_init__(self) -> None:
+        if self.window < 2:
+            raise ValueError("window must be at least 2 (the knot needs 2 tasks)")
+        if self.pool < self.window:
+            raise ValueError("pool must be at least the window size")
+        if self.rounds < 1 or self.sites < 1:
+            raise ValueError("rounds/sites must be >= 1")
+
+    @property
+    def n_tasks(self) -> int:
+        return self.pool
+
+    @property
+    def name(self) -> str:
+        verdict = "dl" if self.deadlock else "ok"
+        return (
+            f"churn-N{self.pool}-W{self.window}"
+            f"-R{self.rounds}-S{self.sites}-{verdict}"
+        )
+
+
+def churn_trace(spec: ChurnSpec) -> Trace:
+    """Generate the full trace for a :class:`ChurnSpec`."""
+    emit = _Emitter(spec.sites)
+    names = [f"m{i}" for i in range(spec.pool)]
+    barrier = "bar"
+
+    def window_at(round_no: int) -> List[int]:
+        start = round_no - 1
+        return [(start + k) % spec.pool for k in range(spec.window)]
+
+    prev_active: set = set()
+    for r in range(1, spec.rounds + 1):
+        active = window_at(r)
+        # Mid-phase membership change: tasks joining this round register
+        # at the barrier's current phase (including *re*-joins after an
+        # absence, once the window wraps the pool); leavers just stop
+        # appearing.
+        for idx in active:
+            if idx not in prev_active:
+                emit.register(names[idx], barrier, r - 1)
+        prev_active = set(active)
+        for idx in active:
+            emit.advance(names[idx], barrier, r)
+            emit.block(
+                idx,
+                names[idx],
+                BlockedStatus(
+                    waits=frozenset({Event(barrier, r)}),
+                    registered={barrier: r},
+                ),
+            )
+        for idx in active:
+            emit.unblock(idx, names[idx])
+
+    # The knot between the two newest members of the final window.
+    a_idx, b_idx = window_at(spec.rounds)[-2:]
+    a, b = names[a_idx], names[b_idx]
+    for task in (a, b):
+        emit.register(task, "p", 0)
+        emit.register(task, "q", 0)
+    emit.advance(a, "p", 1)
+    emit.block(
+        a_idx,
+        a,
+        BlockedStatus(waits=frozenset({Event("p", 1)}), registered={"p": 1, "q": 0}),
+    )
+    if spec.deadlock:
+        emit.advance(b, "q", 1)
+        emit.block(
+            b_idx,
+            b,
+            BlockedStatus(
+                waits=frozenset({Event("q", 1)}), registered={"p": 0, "q": 1}
+            ),
+        )
+    else:
+        # b arrives at p before waiting on q: the back edge is satisfied,
+        # so a's wait has no impeder and the knot never closes.
+        emit.advance(b, "p", 1)
+        emit.advance(b, "q", 1)
+        emit.block(
+            b_idx,
+            b,
+            BlockedStatus(
+                waits=frozenset({Event("q", 1)}), registered={"p": 1, "q": 1}
+            ),
+        )
+        emit.unblock(a_idx, a)
+        emit.unblock(b_idx, b)
+
+    header = TraceHeader(
+        meta={
+            "scenario": spec.name,
+            "family": "churn",
+            "pool": spec.pool,
+            "window": spec.window,
+            "sites": spec.sites,
+            "rounds": spec.rounds,
+            "tasks": spec.n_tasks,
+            "expect_deadlock": spec.deadlock,
+            "generator": "repro.trace.corpus",
+        }
+    )
+    return Trace(header=header, records=tuple(emit.records))
+
+
+def build_trace(spec) -> Trace:
+    """Generate the trace for any scenario-spec family."""
+    if isinstance(spec, ScenarioSpec):
+        return scenario_trace(spec)
+    if isinstance(spec, ChurnSpec):
+        return churn_trace(spec)
+    raise TypeError(f"not a scenario spec: {spec!r}")
+
+
+# ---------------------------------------------------------------------------
 # grids
 # ---------------------------------------------------------------------------
 #: The default generation grid (kept modest; the CLI overrides all axes).
@@ -219,6 +365,42 @@ SMOKE_GRID = dict(
     verdicts=(True, False),
 )
 
+#: Default churn-family grid (pool, window, rounds axes).
+DEFAULT_CHURN_GRID = dict(
+    pools=(4, 8),
+    windows=(2, 3),
+    rounds=(4,),
+    site_counts=(1, 2),
+    verdicts=(True, False),
+)
+
+#: Churn specs for --smoke: one churny point per verdict and site count.
+SMOKE_CHURN_GRID = dict(
+    pools=(5,),
+    windows=(3,),
+    rounds=(3,),
+    site_counts=(1, 2),
+    verdicts=(True, False),
+)
+
+
+def churn_grid_specs(
+    pools: Sequence[int],
+    windows: Sequence[int],
+    rounds: Sequence[int] = (4,),
+    site_counts: Sequence[int] = (1,),
+    verdicts: Sequence[bool] = (True, False),
+) -> List[ChurnSpec]:
+    """The cross product of the churn grid axes (invalid pool/window
+    combinations — window larger than pool — are skipped)."""
+    return [
+        ChurnSpec(pool=pool, window=window, rounds=r, sites=sites, deadlock=verdict)
+        for pool, window, r, sites, verdict in itertools.product(
+            pools, windows, rounds, site_counts, verdicts
+        )
+        if window <= pool
+    ]
+
 
 def grid_specs(
     cycle_lens: Sequence[int],
@@ -238,27 +420,27 @@ def grid_specs(
     ]
 
 
-def generate_corpus(specs: Iterable[ScenarioSpec]) -> List[Trace]:
+def generate_corpus(specs: Iterable) -> List[Trace]:
     """Generate every spec's trace, in grid order (fully deterministic)."""
-    return [scenario_trace(spec) for spec in specs]
+    return [build_trace(spec) for spec in specs]
 
 
 def write_corpus(
     out_dir,
-    specs: Iterable[ScenarioSpec],
+    specs: Iterable,
     codecs: Sequence[str] = ("jsonl", "binary"),
 ) -> List[pathlib.Path]:
     """Generate and persist the corpus; returns the written paths.
 
-    Each scenario is written once per requested codec, as
-    ``<name>.jsonl`` and/or ``<name>.trace``.
+    Each scenario (any spec family) is written once per requested
+    codec, as ``<name>.jsonl`` and/or ``<name>.trace``.
     """
     out_dir = pathlib.Path(out_dir)
     out_dir.mkdir(parents=True, exist_ok=True)
     ext = {"jsonl": ".jsonl", "binary": ".trace"}
     paths: List[pathlib.Path] = []
     for spec in specs:
-        trace = scenario_trace(spec)
+        trace = build_trace(spec)
         for codec in codecs:
             path = out_dir / f"{spec.name}{ext[codec]}"
             save_trace(trace, path, codec=codec)
@@ -266,14 +448,31 @@ def write_corpus(
     return paths
 
 
-def verify_corpus(specs: Iterable[ScenarioSpec]) -> List[Tuple[ScenarioSpec, bool]]:
-    """Replay every spec in detection mode and compare the verdict with
-    the spec's ground truth.  Returns ``(spec, ok)`` pairs — the smoke
-    job fails if any ``ok`` is False."""
+def _verify_one(spec) -> bool:
+    """Worker body for corpus verification (module-level, picklable)."""
     from repro.trace.replay import replay
 
-    results: List[Tuple[ScenarioSpec, bool]] = []
-    for spec in specs:
-        outcome = replay(scenario_trace(spec), mode="detection")
-        results.append((spec, outcome.deadlocked == spec.deadlock))
-    return results
+    outcome = replay(build_trace(spec), mode="detection")
+    return outcome.deadlocked == spec.deadlock
+
+
+def verify_corpus(
+    specs: Iterable, processes: int = 1
+) -> List[Tuple[object, bool]]:
+    """Replay every spec in detection mode and compare the verdict with
+    the spec's ground truth.  Returns ``(spec, ok)`` pairs — the smoke
+    job fails if any ``ok`` is False.
+
+    ``processes > 1`` fans the specs out over worker processes (specs
+    are generated *inside* the workers, so nothing but the tiny frozen
+    dataclasses crosses the pipe); results keep spec order either way.
+    """
+    specs = list(specs)
+    if processes > 1 and len(specs) > 1:
+        from concurrent.futures import ProcessPoolExecutor
+
+        with ProcessPoolExecutor(max_workers=min(processes, len(specs))) as pool:
+            oks = list(pool.map(_verify_one, specs))
+    else:
+        oks = [_verify_one(spec) for spec in specs]
+    return list(zip(specs, oks))

@@ -1,0 +1,205 @@
+"""Multi-process corpus replay with deterministic result merging.
+
+A trace corpus is an embarrassingly parallel work-list: files share no
+state, so replaying N of them is N independent checker runs.  This
+module fans a corpus out over a :class:`~concurrent.futures.ProcessPoolExecutor`
+(one worker replays one file at a time — real parallelism, since each
+worker is its own interpreter) and merges the outcomes into a single
+:class:`CorpusReplayResult`.
+
+Determinism is the design constraint, not an afterthought:
+
+* the work-list is discovered in sorted path order and results are
+  merged in *submission* order (``executor.map`` preserves it), so the
+  merged output is independent of worker scheduling;
+* per-file reports are themselves deterministic because cycle
+  extraction is canonical (see :mod:`repro.core.cycles`) — two
+  processes with different hash seeds extract the same cycle;
+* aggregate accounting uses :meth:`~repro.core.checker.CheckStats.merge`,
+  which is order-insensitive for every field it folds (sums, max,
+  histogram).
+
+Net effect: ``replay_corpus(dir, processes=4)`` produces reports
+byte-identical to ``replay_corpus(dir, processes=1)`` — pinned by CI,
+which diffs the CLI's stdout between the two.  Timing fields
+(``duration_s``, per-file throughput) are the only nondeterministic
+outputs, and the CLI keeps them off stdout for exactly that reason.
+"""
+
+from __future__ import annotations
+
+import pathlib
+import time
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass, field
+from typing import Iterable, List, Optional, Sequence, Tuple, Union
+
+from repro.core.checker import CheckStats
+from repro.core.report import DeadlockReport
+from repro.core.selection import DEFAULT_THRESHOLD_FACTOR, GraphModel
+from repro.trace.codec import PathLike, load_trace
+from repro.trace.replay import DETECTION, ReplayResult, ReplayEngine
+
+#: File suffixes recognised as trace files when expanding directories.
+TRACE_SUFFIXES = (".jsonl", ".json", ".trace", ".bin")
+
+
+def discover_traces(
+    sources: Union[PathLike, Sequence[PathLike]]
+) -> List[pathlib.Path]:
+    """Expand files and directories into a deterministic work-list.
+
+    Directories contribute their trace files (by suffix) in sorted name
+    order; explicit files are kept as given.  Duplicates are dropped,
+    first occurrence wins — the resulting order *is* the merge order.
+    """
+    if isinstance(sources, (str, pathlib.Path)) or hasattr(sources, "__fspath__"):
+        sources = [sources]
+    paths: List[pathlib.Path] = []
+    for src in sources:
+        path = pathlib.Path(src)
+        if path.is_dir():
+            paths.extend(
+                sorted(
+                    p
+                    for p in path.iterdir()
+                    if p.is_file() and p.suffix.lower() in TRACE_SUFFIXES
+                )
+            )
+        else:
+            paths.append(path)
+    unique: List[pathlib.Path] = []
+    seen = set()
+    for path in paths:
+        if path not in seen:
+            seen.add(path)
+            unique.append(path)
+    return unique
+
+
+@dataclass
+class CorpusEntry:
+    """One file's replay outcome inside a corpus run."""
+
+    path: pathlib.Path
+    meta: dict
+    result: ReplayResult
+
+    @property
+    def expected(self) -> Optional[bool]:
+        """The trace's self-declared verdict, if it carries one."""
+        value = self.meta.get("expect_deadlock")
+        return None if value is None else bool(value)
+
+    @property
+    def verdict_ok(self) -> bool:
+        """Whether the replay matched the expected verdict (vacuously
+        true for traces without one)."""
+        expected = self.expected
+        return expected is None or self.result.deadlocked == expected
+
+
+@dataclass
+class CorpusReplayResult:
+    """The merged outcome of a corpus replay.
+
+    ``entries`` preserves work-list order; ``stats`` is the
+    :meth:`CheckStats.merge` fold over every file's checker accounting
+    — the corpus-wide Table 3 quantities.
+    """
+
+    mode: str
+    processes: int
+    entries: List[CorpusEntry] = field(default_factory=list)
+    stats: CheckStats = field(default_factory=CheckStats)
+    duration_s: float = 0.0
+
+    @property
+    def records_processed(self) -> int:
+        return sum(e.result.records_processed for e in self.entries)
+
+    @property
+    def checks_run(self) -> int:
+        return sum(e.result.checks_run for e in self.entries)
+
+    @property
+    def reports(self) -> List[DeadlockReport]:
+        """All reports, in work-list order then per-file discovery order."""
+        out: List[DeadlockReport] = []
+        for entry in self.entries:
+            out.extend(entry.result.reports)
+        return out
+
+    @property
+    def mismatches(self) -> List[CorpusEntry]:
+        """Entries whose replay verdict contradicts their metadata."""
+        return [e for e in self.entries if not e.verdict_ok]
+
+    @property
+    def events_per_sec(self) -> float:
+        """Wall-clock corpus throughput (the fan-out speedup metric)."""
+        if self.duration_s <= 0:
+            return 0.0
+        return self.records_processed / self.duration_s
+
+
+def _replay_one(
+    args: Tuple[str, str, GraphModel, float, int, bool, bool]
+) -> Tuple[dict, ReplayResult]:
+    """Worker body: replay one file; must stay module-level picklable."""
+    path, mode, model, threshold_factor, check_every, shard, stream = args
+    engine = ReplayEngine(
+        mode=mode,
+        model=model,
+        threshold_factor=threshold_factor,
+        check_every=check_every,
+        shard_components=shard,
+    )
+    if stream:
+        from repro.trace.stream import iter_load
+
+        source = iter_load(path)
+        meta = dict(source.header.meta)
+    else:
+        trace = load_trace(path)
+        meta = dict(trace.header.meta)
+        source = trace
+    return meta, engine.run(source)
+
+
+def replay_corpus(
+    sources: Union[PathLike, Sequence[PathLike]],
+    mode: str = DETECTION,
+    model: GraphModel = GraphModel.AUTO,
+    threshold_factor: float = DEFAULT_THRESHOLD_FACTOR,
+    check_every: int = 1,
+    shard_components: bool = False,
+    stream: bool = False,
+    processes: int = 1,
+) -> CorpusReplayResult:
+    """Replay every trace under ``sources``, fanning out over processes.
+
+    ``processes <= 1`` runs in-process (the serial reference);
+    ``processes = N`` uses a pool of N workers.  Either way the merged
+    result is identical — only ``duration_s`` changes.
+    """
+    paths = discover_traces(sources)
+    if not paths:
+        raise ValueError(f"no trace files found under {sources!r}")
+    work = [
+        (str(p), mode, model, threshold_factor, check_every, shard_components, stream)
+        for p in paths
+    ]
+    t0 = time.perf_counter()
+    if processes <= 1 or len(paths) == 1:
+        outcomes: Iterable[Tuple[dict, ReplayResult]] = map(_replay_one, work)
+        outcomes = list(outcomes)
+    else:
+        with ProcessPoolExecutor(max_workers=min(processes, len(paths))) as pool:
+            outcomes = list(pool.map(_replay_one, work))
+    merged = CorpusReplayResult(mode=mode, processes=max(1, processes))
+    for path, (meta, result) in zip(paths, outcomes):
+        merged.entries.append(CorpusEntry(path=path, meta=meta, result=result))
+        merged.stats.merge(result.stats)
+    merged.duration_s = time.perf_counter() - t0
+    return merged

@@ -20,6 +20,11 @@ dataclass construction and a list append — small enough to record runs
 whose verification is OFF (record now, verify offline later), which is
 the trace subsystem's whole point.
 
+For runs too long to buffer, :class:`~repro.trace.stream.StreamingRecorder`
+swaps the list for the output file: it overrides :meth:`TraceRecorder._append`
+— the single sink every ``record_*`` method funnels through — to encode
+and write each record as it arrives, keeping memory O(1).
+
 Task, phaser and site identifiers are coerced to ``str`` at record time
 so that in-memory traces equal their decoded round-trips.
 """
@@ -54,6 +59,8 @@ class TraceRecorder:
     # observation points
     # ------------------------------------------------------------------
     def _append(self, make) -> ev.TraceRecord:
+        # The one overridable sink: subclasses that stream records
+        # elsewhere replace this method and inherit every record_* hook.
         with self._lock:
             rec = make(self._seq)
             self._seq += 1

@@ -27,6 +27,24 @@ local dependency — the one-phase algorithm of Section 5.2, replayed.
 
 ``register``/``advance`` records are context only (a blocked status is
 self-contained) and are skipped, but counted towards throughput.
+
+The engine consumes its input *incrementally*: records are never
+materialised into a list, so feeding it a
+:class:`~repro.trace.stream.StreamedTrace` (``replay(path, stream=True)``)
+replays a file of any length in O(frame) memory.  With
+``shard_components=True`` each detection pass splits the snapshot into
+connected components of the wait-for graph
+(:func:`~repro.core.checker.snapshot_components`) and checks them
+independently — smaller graphs per check, and one report per deadlocked
+component instead of first-cycle-wins.
+
+Note the flip side of canonical cycle extraction: a plain (unsharded)
+detection check always surfaces the *same* cycle — the one through the
+globally minimal vertex — so when two independent deadlocks persist
+simultaneously, plain replay deterministically reports only the
+canonical one.  That is the checker's first-cycle-wins contract made
+reproducible, not a new loss; ``shard_components=True`` is the mode
+that reports every concurrent deadlock.
 """
 
 from __future__ import annotations
@@ -91,6 +109,10 @@ class ReplayEngine:
         Detection-mode check cadence in state-changing records
         (default 1: check after every change, the strongest — and
         deterministic — setting).
+    shard_components:
+        Detection only: run every check per connected component of the
+        snapshot instead of on the whole graph (see the module
+        docstring).
     """
 
     def __init__(
@@ -99,6 +121,7 @@ class ReplayEngine:
         model: GraphModel = GraphModel.AUTO,
         threshold_factor: float = DEFAULT_THRESHOLD_FACTOR,
         check_every: int = 1,
+        shard_components: bool = False,
     ) -> None:
         if mode not in (DETECTION, AVOIDANCE):
             raise ValueError(f"unknown replay mode {mode!r}")
@@ -106,10 +129,13 @@ class ReplayEngine:
         self.model = model
         self.threshold_factor = threshold_factor
         self.check_every = max(1, check_every)
+        self.shard_components = shard_components
 
     def run(self, trace: Union[Trace, Iterable[TraceRecord]]) -> ReplayResult:
-        """Replay ``trace`` (a :class:`Trace` or bare record iterable)."""
-        records = trace.records if isinstance(trace, Trace) else tuple(trace)
+        """Replay ``trace`` (a :class:`Trace` or any record iterable —
+        including a lazy :class:`~repro.trace.stream.StreamedTrace`);
+        records are consumed one at a time, never materialised."""
+        records = trace.records if isinstance(trace, Trace) else trace
         checker = DeadlockChecker(
             model=self.model, threshold_factor=self.threshold_factor
         )
@@ -165,18 +191,21 @@ class ReplayEngine:
         result: ReplayResult,
     ) -> None:
         snapshot = merge_payloads(buckets) if buckets else None
-        report = checker.check(snapshot=snapshot)
+        if self.shard_components:
+            reports = checker.check_sharded(snapshot=snapshot)
+        else:
+            report = checker.check(snapshot=snapshot)
+            reports = [] if report is None else [report]
         result.checks_run += 1
-        if report is None:
-            return
-        # De-duplicate on the cycle's vertex set: as more tasks pile onto
-        # a persisting deadlock the involved *task* set grows, but the
-        # cycle itself is stable — one deadlock, one report.
-        key = frozenset(report.cycle)
-        if key in seen:
-            return
-        seen.add(key)
-        result.reports.append(report)
+        for report in reports:
+            # De-duplicate on the cycle's vertex set: as more tasks pile
+            # onto a persisting deadlock the involved *task* set grows,
+            # but the cycle itself is stable — one deadlock, one report.
+            key = frozenset(report.cycle)
+            if key in seen:
+                continue
+            seen.add(key)
+            result.reports.append(report)
 
 
 def replay(
@@ -185,14 +214,27 @@ def replay(
     model: GraphModel = GraphModel.AUTO,
     threshold_factor: float = DEFAULT_THRESHOLD_FACTOR,
     check_every: int = 1,
+    shard_components: bool = False,
+    stream: bool = False,
 ) -> ReplayResult:
-    """Convenience front door: replay a trace, record iterable or path."""
+    """Convenience front door: replay a trace, record iterable or path.
+
+    ``stream=True`` (paths only) opens the file with
+    :func:`~repro.trace.stream.iter_load` instead of loading it whole —
+    same result, O(frame) memory.
+    """
     if isinstance(source, (str,)) or hasattr(source, "__fspath__"):
-        source = load_trace(source)
+        if stream:
+            from repro.trace.stream import iter_load
+
+            source = iter_load(source)
+        else:
+            source = load_trace(source)
     engine = ReplayEngine(
         mode=mode,
         model=model,
         threshold_factor=threshold_factor,
         check_every=check_every,
+        shard_components=shard_components,
     )
     return engine.run(source)

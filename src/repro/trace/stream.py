@@ -1,0 +1,327 @@
+"""Streaming trace I/O: O(frame) reads and spill-to-disk recording.
+
+PR 1's codecs load whole traces into memory before the first record is
+seen; this module is the incremental counterpart on both sides of the
+file:
+
+* :func:`iter_load` returns a :class:`StreamedTrace` — the header read
+  eagerly (it is the first thing in the file under both codecs) and the
+  records exposed as a re-iterable lazy stream.  The framed binary
+  format was designed for this (every frame is self-delimiting), and
+  JSONL gets a line-at-a-time path.  Peak memory is one frame, so a
+  million-event trace replays in constant space.
+* :class:`StreamingRecorder` is a drop-in :class:`TraceRecorder` that
+  writes each record to disk the moment it is observed instead of
+  buffering the run — recording is then bounded by disk, not RAM, and a
+  crash mid-run loses at most the unflushed tail of the file.
+
+Truncation tolerance closes the loop between the two: a run that died
+mid-write leaves a trailing partial frame (or partial JSON line), and
+``iter_load(path, on_truncation="ignore")`` replays every complete
+record before it instead of failing.  Anything malformed *before* the
+tail is still a hard :class:`~repro.trace.events.TraceFormatError` —
+tolerance is for crashes, not for corruption.
+
+Both paths reuse the per-record coders on the codec classes
+(``encode_record`` / ``decode_record_frame`` / ``decode_record_line``),
+so streaming and eager I/O decode byte-for-byte identically — the
+equivalence is pinned by ``tests/trace/test_stream.py``.
+"""
+
+from __future__ import annotations
+
+import pathlib
+from typing import BinaryIO, Iterator, Optional
+
+from repro.trace import events as ev
+from repro.trace.codec import (
+    BINARY_MAGIC,
+    CODECS,
+    PathLike,
+    codec_for,
+    load_trace,
+    save_trace,
+)
+from repro.trace.events import TraceFormatError, TraceHeader, TraceRecord
+from repro.trace.recorder import TraceRecorder
+
+#: Accepted ``on_truncation`` policies.
+TRUNCATION_POLICIES = ("error", "ignore")
+
+
+class _TruncatedTail(TraceFormatError):
+    """Internal: the stream ended mid-frame (recoverable in ignore mode)."""
+
+
+def _read_varint_stream(fp: BinaryIO) -> Optional[int]:
+    """Read one LEB128 varint byte-at-a-time.
+
+    Returns ``None`` on clean EOF at a frame boundary; raises
+    :class:`_TruncatedTail` when the stream ends mid-varint.
+    """
+    result = 0
+    shift = 0
+    first = True
+    while True:
+        byte = fp.read(1)
+        if not byte:
+            if first:
+                return None
+            raise _TruncatedTail("stream ended mid-varint")
+        value = byte[0]
+        first = False
+        result |= (value & 0x7F) << shift
+        if not value & 0x80:
+            return result
+        shift += 7
+        if shift > 63:
+            raise TraceFormatError("varint too long")
+
+
+def _read_binary_header(fp: BinaryIO) -> TraceHeader:
+    """Read magic + version + meta from the front of a binary stream.
+
+    Header truncation is always fatal — a file that died before its
+    header holds no replayable records under any policy.
+    """
+    magic = fp.read(len(BINARY_MAGIC))
+    if magic != BINARY_MAGIC:
+        raise TraceFormatError("not a binary armus trace (bad magic)")
+    version_byte = fp.read(1)
+    if not version_byte:
+        raise TraceFormatError("truncated binary header")
+    try:
+        length = _read_varint_stream(fp)
+    except _TruncatedTail:
+        raise TraceFormatError("truncated binary header") from None
+    if length is None:
+        raise TraceFormatError("truncated binary header")
+    meta_bytes = fp.read(length)
+    if len(meta_bytes) < length:
+        raise TraceFormatError("truncated binary header")
+    try:
+        meta_json = meta_bytes.decode("utf-8")
+    except UnicodeDecodeError as exc:
+        raise TraceFormatError("unparseable binary header meta") from exc
+    return TraceHeader(
+        version=version_byte[0], meta=CODECS["binary"].decode_meta(meta_json)
+    )
+
+
+class StreamedTrace:
+    """A trace opened for incremental reading.
+
+    The header is read eagerly (callers always need the meta before
+    deciding how to replay); iterating yields records one frame at a
+    time, re-reading the file from the top on every fresh iteration, so
+    the object can be replayed repeatedly like an in-memory
+    :class:`~repro.trace.events.Trace` — just without its footprint.
+    """
+
+    def __init__(self, path: PathLike, on_truncation: str = "error") -> None:
+        if on_truncation not in TRUNCATION_POLICIES:
+            raise ValueError(
+                f"on_truncation must be one of {TRUNCATION_POLICIES}, "
+                f"got {on_truncation!r}"
+            )
+        self.path = pathlib.Path(path)
+        self.on_truncation = on_truncation
+        with open(self.path, "rb") as fp:
+            prefix = fp.read(len(BINARY_MAGIC))
+        self.is_binary = prefix == BINARY_MAGIC
+        with open(self.path, "rb") as fp:
+            if self.is_binary:
+                self.header = _read_binary_header(fp)
+            else:
+                self.header = self._read_jsonl_header(fp)
+
+    # -- header ---------------------------------------------------------
+    def _read_jsonl_header(self, fp: BinaryIO) -> TraceHeader:
+        for raw in fp:
+            if not raw.strip():
+                continue
+            try:
+                line = raw.decode("utf-8")
+            except UnicodeDecodeError as exc:
+                raise TraceFormatError("not a UTF-8 JSONL trace") from exc
+            return CODECS["jsonl"].decode_header_line(line)
+        raise TraceFormatError("empty trace file")
+
+    # -- records --------------------------------------------------------
+    def __iter__(self) -> Iterator[TraceRecord]:
+        if self.is_binary:
+            return self._iter_binary()
+        return self._iter_jsonl()
+
+    def _iter_binary(self) -> Iterator[TraceRecord]:
+        codec = CODECS["binary"]
+        with open(self.path, "rb") as fp:
+            _read_binary_header(fp)
+            while True:
+                try:
+                    length = _read_varint_stream(fp)
+                except _TruncatedTail:
+                    if self.on_truncation == "ignore":
+                        return
+                    raise TraceFormatError(
+                        "truncated frame at end of stream"
+                    ) from None
+                if length is None:
+                    return
+                body = fp.read(length)
+                if len(body) < length:
+                    if self.on_truncation == "ignore":
+                        return
+                    raise TraceFormatError("truncated frame at end of stream")
+                yield codec.decode_record_frame(memoryview(body))
+
+    def _iter_jsonl(self) -> Iterator[TraceRecord]:
+        codec = CODECS["jsonl"]
+        with open(self.path, "rb") as fp:
+            header_seen = False
+            bad_line: Optional[TraceFormatError] = None
+            for raw in fp:
+                if not raw.strip():
+                    continue
+                if bad_line is not None:
+                    # The failure was *followed* by more records, so it
+                    # was corruption, not a crash tail: always fatal.
+                    raise bad_line
+                try:
+                    line = raw.decode("utf-8")
+                except UnicodeDecodeError as exc:
+                    bad_line = TraceFormatError("undecodable record line")
+                    bad_line.__cause__ = exc
+                    continue
+                if not header_seen:
+                    header_seen = True
+                    continue
+                try:
+                    yield codec.decode_record_line(line)
+                except TraceFormatError as exc:
+                    bad_line = exc
+            if bad_line is not None and self.on_truncation == "error":
+                raise bad_line
+
+
+def iter_load(path: PathLike, on_truncation: str = "error") -> StreamedTrace:
+    """Open ``path`` for streaming replay (codec sniffed from magic).
+
+    The counterpart of :func:`~repro.trace.codec.load_trace` that never
+    materialises the record list: feed the result straight to
+    :func:`repro.trace.replay.replay` (or iterate it yourself) and peak
+    memory stays at one frame.  ``on_truncation="ignore"`` makes a
+    trailing partial frame (a crashed :class:`StreamingRecorder` run)
+    end the stream instead of raising.
+    """
+    return StreamedTrace(path, on_truncation=on_truncation)
+
+
+class StreamingRecorder(TraceRecorder):
+    """A :class:`TraceRecorder` that spills every record to disk.
+
+    Drop-in at every observation point (runtime, stores, sites, PL
+    interpreter): the constructor writes the header, each ``record_*``
+    call appends one encoded record to the file under the recorder
+    lock, and memory stays O(1) no matter how long the run.  The header
+    meta is therefore fixed at construction time.
+
+    Parameters
+    ----------
+    path:
+        Output file; the codec is inferred from the extension unless
+        ``codec`` names one explicitly.
+    flush_every:
+        Flush the OS-level buffer every N records (0 — the default —
+        leaves flushing to the ``io`` buffering; the tail of an
+        unflushed run is lost on a crash, which ``iter_load``'s
+        ``on_truncation="ignore"`` is built to tolerate).
+    """
+
+    def __init__(
+        self,
+        path: PathLike,
+        meta=None,
+        codec: Optional[str] = None,
+        flush_every: int = 0,
+    ) -> None:
+        super().__init__(meta=meta)
+        self.path = pathlib.Path(path)
+        self._codec = codec_for(self.path, codec)
+        self._flush_every = max(0, int(flush_every))
+        self._written = 0
+        self._closed = False
+        self._fp = open(self.path, "wb")
+        header = ev.TraceHeader(version=ev.TRACE_VERSION, meta=dict(self.meta))
+        self._header_size = self._fp.write(self._codec.encode_header(header))
+
+    # -- the overridden sink -------------------------------------------
+    def _append(self, make) -> ev.TraceRecord:
+        with self._lock:
+            if self._closed:
+                raise RuntimeError("StreamingRecorder is closed")
+            rec = make(self._seq)
+            self._seq += 1
+            self._fp.write(self._codec.encode_record(rec))
+            self._written += 1
+            if self._flush_every and self._written % self._flush_every == 0:
+                self._fp.flush()
+            return rec
+
+    # -- lifecycle ------------------------------------------------------
+    def flush(self) -> None:
+        """Push buffered records to the OS."""
+        with self._lock:
+            if not self._closed:
+                self._fp.flush()
+
+    def close(self) -> pathlib.Path:
+        """Flush and close the file; further records are an error."""
+        with self._lock:
+            if not self._closed:
+                self._fp.flush()
+                self._fp.close()
+                self._closed = True
+        return self.path
+
+    def __enter__(self) -> "StreamingRecorder":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    # -- TraceRecorder API, re-routed through the file ------------------
+    def trace(self) -> ev.Trace:
+        """Eagerly load back everything written so far.
+
+        Convenient for tests and small runs; for large traces iterate
+        :func:`iter_load` instead — loading back defeats the point.
+        The lock is held across flush *and* read: a concurrent
+        ``record_*`` must not land a half-flushed frame between them.
+        """
+        with self._lock:
+            if not self._closed:
+                self._fp.flush()
+            return load_trace(self.path)
+
+    def save(self, path=None, codec: Optional[str] = None):
+        """Close the stream; re-encode only when a *different* target is
+        named (the records are already on disk at :attr:`path`)."""
+        self.close()
+        if path is None or pathlib.Path(path) == self.path:
+            return self.path
+        return save_trace(load_trace(self.path), path, codec=codec)
+
+    def clear(self) -> None:
+        """Truncate back to the header (the seq counter keeps going)."""
+        with self._lock:
+            if self._closed:
+                raise RuntimeError("StreamingRecorder is closed")
+            self._fp.flush()
+            self._fp.seek(self._header_size)
+            self._fp.truncate()
+            self._written = 0
+
+    def __len__(self) -> int:
+        with self._lock:
+            return self._written

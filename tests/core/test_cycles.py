@@ -142,3 +142,74 @@ class TestWalkPredicates:
         g = make_graph([(1, 2), (2, 1)])
         assert is_cycle(g, [1, 2, 1])
         assert not is_cycle(g, [1, 2])
+
+
+class TestCanonicalExtraction:
+    """Cycle extraction must be bit-identical across processes: the
+    prerequisite for deterministic parallel-replay merging."""
+
+    def test_rotation_starts_at_minimal_vertex(self):
+        from repro.core.cycles import canonical_rotation
+
+        assert canonical_rotation(["c", "a", "b", "c"]) == ["a", "b", "c", "a"]
+        assert canonical_rotation(["a", "b", "a"]) == ["a", "b", "a"]
+        assert canonical_rotation(["z", "z"]) == ["z", "z"]
+
+    def test_rotation_preserves_edges(self):
+        g = make_graph([("c", "a"), ("a", "b"), ("b", "c")])
+        cycle = find_cycle(g)
+        assert cycle[0] == cycle[-1] == "a"
+        assert is_cycle(g, cycle)
+
+    def test_find_cycle_ignores_insertion_order(self):
+        """The same edge set, inserted in different orders, yields the
+        same extracted cycle."""
+        edges = [("t3", "t1"), ("t1", "t2"), ("t2", "t3"), ("t0", "t1")]
+        baseline = find_cycle(make_graph(edges))
+        for _ in range(20):
+            random.shuffle(edges)
+            assert find_cycle(make_graph(edges)) == baseline
+
+    def test_picks_component_with_minimal_vertex(self):
+        """Two disjoint cycles: the one holding the globally minimal
+        vertex wins, regardless of traversal order."""
+        g = make_graph([("x", "y"), ("y", "x"), ("a", "b"), ("b", "a")])
+        assert find_cycle(g) == ["a", "b", "a"]
+
+    def test_cycle_through_is_rotated_and_contains_vertex(self):
+        g = make_graph([("c", "a"), ("a", "b"), ("b", "c")])
+        cycle = cycle_through(g, "b")
+        assert cycle[0] == cycle[-1] == "a"
+        assert "b" in cycle
+        assert is_cycle(g, cycle)
+
+    def test_cross_process_stability(self):
+        """The extracted cycle is identical under a different hash seed
+        (set iteration order is the historic nondeterminism source)."""
+        import os
+        import pathlib
+        import subprocess
+        import sys
+
+        src = str(pathlib.Path(__file__).resolve().parents[2] / "src")
+        prog = (
+            "from repro.core.cycles import find_cycle\n"
+            "from repro.core.graphs import DiGraph\n"
+            "import json\n"
+            "g = DiGraph()\n"
+            "for u, v in [('t%d' % i, 't%d' % ((i + 1) % 7)) for i in range(7)]:\n"
+            "    g.add_edge(u, v)\n"
+            "g.add_edge('t2', 't5'); g.add_edge('t5', 't2')\n"
+            "print(json.dumps(find_cycle(g)))\n"
+        )
+        outs = set()
+        for seed in ("0", "1", "random"):
+            proc = subprocess.run(
+                [sys.executable, "-c", prog],
+                capture_output=True,
+                text=True,
+                env={**os.environ, "PYTHONHASHSEED": seed, "PYTHONPATH": src},
+                check=True,
+            )
+            outs.add(proc.stdout.strip())
+        assert len(outs) == 1, outs

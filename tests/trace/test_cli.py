@@ -17,7 +17,7 @@ class TestGen:
 
     def test_writes_corpus_files(self, tmp_path, capsys):
         rc = main([
-            "gen", "--out", str(tmp_path),
+            "gen", "--out", str(tmp_path), "--families", "cycle",
             "--cycle-lens", "2,3", "--fan-outs", "1", "--sites", "1",
             "--rounds", "1", "--codec", "both",
         ])
@@ -26,6 +26,19 @@ class TestGen:
         # 2 cycle-lens x 1 x 1 x 1 x 2 verdicts x 2 codecs
         assert len(files) == 8
         assert load_trace(files[0]).records
+
+    def test_writes_churn_family(self, tmp_path, capsys):
+        rc = main([
+            "gen", "--out", str(tmp_path), "--families", "churn",
+            "--sites", "1", "--codec", "jsonl",
+        ])
+        assert rc == 0
+        files = sorted(tmp_path.iterdir())
+        assert files and all(f.name.startswith("churn-") for f in files)
+        assert load_trace(files[0]).records
+
+    def test_rejects_unknown_family(self, capsys):
+        assert main(["gen", "--smoke", "--families", "nope"]) == 1
 
     def test_gen_without_out_or_smoke_fails(self, capsys):
         assert main(["gen"]) == 2

@@ -1,0 +1,220 @@
+"""Parallel corpus replay and sharded checking: determinism above all."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.checker import DeadlockChecker, snapshot_components
+from repro.core.dependency import DependencySnapshot
+from repro.core.events import BlockedStatus, Event
+from repro.trace.corpus import (
+    ChurnSpec,
+    ScenarioSpec,
+    churn_grid_specs,
+    grid_specs,
+    verify_corpus,
+    write_corpus,
+)
+from repro.trace.parallel import discover_traces, replay_corpus
+from repro.trace.replay import replay
+
+
+@pytest.fixture(scope="module")
+def corpus_dir(tmp_path_factory):
+    """A small mixed corpus (both families, both codecs, both verdicts)."""
+    out = tmp_path_factory.mktemp("corpus")
+    specs = grid_specs((2, 3), (1, 2), (1, 2), (1,), (True, False))
+    specs += churn_grid_specs((5,), (3,), (3,), (1, 2), (True, False))
+    write_corpus(out, specs)
+    return out
+
+
+class TestDiscovery:
+    def test_directory_expansion_is_sorted(self, corpus_dir):
+        paths = discover_traces(corpus_dir)
+        assert paths == sorted(paths)
+        assert all(p.suffix in (".jsonl", ".trace") for p in paths)
+
+    def test_files_kept_and_deduplicated(self, corpus_dir):
+        one = discover_traces(corpus_dir)[0]
+        assert discover_traces([one, one, corpus_dir])[0] == one
+        assert len(discover_traces([one, corpus_dir])) == len(
+            discover_traces(corpus_dir)
+        )
+
+    def test_empty_corpus_rejected(self, tmp_path):
+        with pytest.raises(ValueError):
+            replay_corpus(tmp_path)
+
+
+class TestParallelEqualsSerial:
+    def test_reports_and_stats_identical(self, corpus_dir):
+        """The acceptance criterion: fan-out changes wall-clock only."""
+        serial = replay_corpus(corpus_dir, processes=1)
+        parallel = replay_corpus(corpus_dir, processes=4)
+        assert [e.path for e in serial.entries] == [e.path for e in parallel.entries]
+        assert [e.result.reports for e in serial.entries] == [
+            e.result.reports for e in parallel.entries
+        ]
+        assert serial.records_processed == parallel.records_processed
+        assert serial.checks_run == parallel.checks_run
+        assert serial.stats.checks == parallel.stats.checks
+        assert serial.stats.edges_total == parallel.stats.edges_total
+        assert serial.stats.edges_max == parallel.stats.edges_max
+        assert serial.stats.model_counts == parallel.stats.model_counts
+        assert not serial.mismatches and not parallel.mismatches
+
+    def test_streamed_parallel_agrees_too(self, corpus_dir):
+        eager = replay_corpus(corpus_dir, processes=2)
+        streamed = replay_corpus(corpus_dir, processes=2, stream=True)
+        assert [e.result.reports for e in eager.entries] == [
+            e.result.reports for e in streamed.entries
+        ]
+
+    def test_merged_stats_equal_sum_of_parts(self, corpus_dir):
+        merged = replay_corpus(corpus_dir, processes=2)
+        assert merged.stats.checks == sum(
+            e.result.stats.checks for e in merged.entries
+        )
+        assert merged.stats.edges_total == sum(
+            e.result.stats.edges_total for e in merged.entries
+        )
+        assert merged.stats.edges_max == max(
+            e.result.stats.edges_max for e in merged.entries
+        )
+
+    def test_verdicts_match_ground_truth(self, corpus_dir):
+        result = replay_corpus(corpus_dir, processes=2)
+        for entry in result.entries:
+            assert entry.expected is not None
+            assert entry.result.deadlocked == entry.expected, entry.path.name
+
+    def test_one_file_corpus_dir_stable_across_parallel(self, corpus_dir, tmp_path, capsys):
+        """Corpus mode is a property of the input: a directory holding a
+        single trace prints the same (corpus-format) stdout whatever
+        --parallel says."""
+        import shutil
+
+        from repro.trace.cli import main
+
+        solo = tmp_path / "solo"
+        solo.mkdir()
+        shutil.copy(discover_traces(corpus_dir)[0], solo)
+        assert main(["replay", str(solo)]) == 0
+        serial = capsys.readouterr().out
+        assert main(["replay", str(solo), "--parallel", "4"]) == 0
+        assert capsys.readouterr().out == serial
+        assert serial.startswith("corpus: 1 trace(s)")
+
+    def test_cli_stdout_byte_identical(self, corpus_dir, capsys):
+        """End to end through the CLI: serial and parallel stdout diff
+        empty (the CI regression-corpus job in miniature)."""
+        from repro.trace.cli import main
+
+        assert main(["replay", str(corpus_dir)]) == 0
+        serial_out = capsys.readouterr().out
+        assert main(["replay", str(corpus_dir), "--parallel", "2"]) == 0
+        parallel_out = capsys.readouterr().out
+        assert serial_out == parallel_out
+        assert "corpus:" in serial_out
+
+
+class TestParallelVerify:
+    def test_verify_corpus_parallel_equals_serial(self):
+        specs = grid_specs((2,), (1, 2), (1,), (1,), (True, False))
+        specs += churn_grid_specs((4,), (2,), (2,), (1,), (True, False))
+        serial = verify_corpus(specs, processes=1)
+        parallel = verify_corpus(specs, processes=2)
+        assert serial == parallel
+        assert all(ok for _, ok in parallel)
+
+
+def status(waits, registered):
+    return BlockedStatus(
+        waits=frozenset(Event(p, n) for p, n in waits), registered=registered
+    )
+
+
+class TestShardedChecker:
+    def make_snapshot(self):
+        """Two disjoint crossed knots plus one innocuously blocked task."""
+        return DependencySnapshot(
+            statuses={
+                "a1": status([("p", 1)], {"p": 1, "q": 0}),
+                "a2": status([("q", 1)], {"p": 0, "q": 1}),
+                "b1": status([("r", 1)], {"r": 1, "s": 0}),
+                "b2": status([("s", 1)], {"r": 0, "s": 1}),
+                "idle": status([("z", 1)], {"z": 1}),
+            }
+        )
+
+    def test_components_partition_by_shared_phasers(self):
+        shards = snapshot_components(self.make_snapshot())
+        assert [sorted(s.statuses) for s in shards] == [
+            ["a1", "a2"],
+            ["b1", "b2"],
+            ["idle"],
+        ]
+
+    def test_components_cover_snapshot_exactly(self):
+        snapshot = self.make_snapshot()
+        shards = snapshot_components(snapshot)
+        union = {}
+        for shard in shards:
+            assert not (union.keys() & shard.statuses.keys())
+            union.update(shard.statuses)
+        assert union == dict(snapshot.statuses)
+
+    def test_sharded_check_finds_every_component_deadlock(self):
+        checker = DeadlockChecker()
+        reports = checker.check_sharded(snapshot=self.make_snapshot())
+        cycles = [r.cycle for r in reports]
+        assert len(reports) == 2
+        assert all(set(str(v) for v in c) for c in cycles)
+        involved = sorted(t for r in reports for t in r.tasks)
+        assert involved == ["a1", "a2", "b1", "b2"]
+
+    def test_unsharded_check_agrees_on_single_component(self):
+        snapshot = DependencySnapshot(
+            statuses={
+                "a1": status([("p", 1)], {"p": 1, "q": 0}),
+                "a2": status([("q", 1)], {"p": 0, "q": 1}),
+            }
+        )
+        whole = DeadlockChecker().check(snapshot=snapshot)
+        sharded = DeadlockChecker().check_sharded(snapshot=snapshot)
+        assert sharded == [whole]
+
+    def test_empty_snapshot_yields_no_reports(self):
+        checker = DeadlockChecker()
+        assert checker.check_sharded(snapshot=DependencySnapshot(statuses={})) == []
+
+    def test_sharded_replay_equals_plain_on_corpus(self, corpus_dir):
+        """On single-deadlock corpora sharding must not change reports."""
+        plain = replay_corpus(corpus_dir, processes=1)
+        sharded = replay_corpus(corpus_dir, processes=1, shard_components=True)
+        assert [e.result.reports for e in plain.entries] == [
+            e.result.reports for e in sharded.entries
+        ]
+
+    def test_sharded_replay_reports_concurrent_deadlocks(self):
+        """Two knots tied in one trace: plain detection reports the
+        first cycle it meets; sharded detection reports both."""
+        from repro.trace import events as ev
+
+        records = []
+        seq = 0
+        for tasks, (x, y) in (( ("a1", "a2"), ("p", "q")),
+                              (("b1", "b2"), ("r", "s"))):
+            t1, t2 = tasks
+            records.append(ev.block(seq, t1, status([(x, 1)], {x: 1, y: 0})))
+            seq += 1
+            records.append(ev.block(seq, t2, status([(y, 1)], {x: 0, y: 1})))
+            seq += 1
+        plain = replay(records, mode="detection")
+        sharded = replay(records, mode="detection", shard_components=True)
+        assert len(plain.reports) == 1
+        assert len(sharded.reports) == 2
+        assert {t for r in sharded.reports for t in r.tasks} == {
+            "a1", "a2", "b1", "b2",
+        }

@@ -1,0 +1,99 @@
+"""The checked-in regression corpus: pin the checker's exact reports.
+
+``tests/trace/corpus/`` holds a small set of trace files — generated
+scenarios (both families, both codecs) plus *recorded* live runs — and
+``expected_replay.txt``, the byte-exact CLI corpus-replay output.  The
+tests replay the files serially, in parallel and streamed, and compare
+against the golden bytes: any refactor that changes a report (cycle
+rotation, task ordering, check cadence, codec framing) fails loudly
+here instead of drifting silently.
+
+Regenerating the golden file after an *intentional* change::
+
+    PYTHONPATH=src python -m repro.trace replay tests/trace/corpus \
+        > tests/trace/corpus/expected_replay.txt 2>/dev/null
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+import pytest
+
+from repro.trace.cli import main
+from repro.trace.codec import dumps, load_trace
+from repro.trace.corpus import ChurnSpec, ScenarioSpec, build_trace
+from repro.trace.parallel import discover_traces
+from repro.trace.replay import replay
+
+CORPUS = pathlib.Path(__file__).parent / "corpus"
+GOLDEN = CORPUS / "expected_replay.txt"
+
+#: The generated members of the corpus (the recorded-* files are
+#: one-off captures and are pinned by bytes alone).
+GENERATED_SPECS = (
+    ScenarioSpec(cycle_len=2, fan_out=1, sites=1, rounds=1, deadlock=True),
+    ScenarioSpec(cycle_len=3, fan_out=2, sites=1, rounds=2, deadlock=False),
+    ScenarioSpec(cycle_len=2, fan_out=2, sites=2, rounds=1, deadlock=True),
+    ChurnSpec(pool=5, window=3, rounds=3, sites=1, deadlock=True),
+    ChurnSpec(pool=4, window=2, rounds=2, sites=2, deadlock=False),
+)
+
+CODEC_EXT = {"jsonl": ".jsonl", "binary": ".trace"}
+
+
+def corpus_files():
+    return discover_traces(CORPUS)
+
+
+def expected_verdict(path: pathlib.Path) -> bool:
+    if path.stem.endswith("-dl") or "crossed" in path.stem:
+        return True
+    assert path.stem.endswith("-ok") or "barrier" in path.stem
+    return False
+
+
+class TestCorpusContents:
+    def test_corpus_is_checked_in_and_nonempty(self):
+        files = corpus_files()
+        assert len(files) == 12
+        assert any(p.name.startswith("recorded-") for p in files)
+        assert any(p.name.startswith("churn-") for p in files)
+
+    @pytest.mark.parametrize("path", corpus_files(), ids=lambda p: p.name)
+    def test_replays_to_expected_verdict(self, path):
+        outcome = replay(path)
+        assert outcome.deadlocked == expected_verdict(path), path.name
+
+    @pytest.mark.parametrize("path", corpus_files(), ids=lambda p: p.name)
+    def test_streamed_replay_agrees(self, path):
+        assert replay(path, stream=True).reports == replay(path).reports
+
+    @pytest.mark.parametrize("spec", GENERATED_SPECS, ids=lambda s: s.name)
+    @pytest.mark.parametrize("codec", sorted(CODEC_EXT))
+    def test_generator_output_is_byte_pinned(self, spec, codec):
+        """Regenerating a corpus member reproduces the checked-in bytes:
+        generator schedules and codec framing are both frozen."""
+        checked_in = CORPUS / f"{spec.name}{CODEC_EXT[codec]}"
+        assert dumps(build_trace(spec), codec) == checked_in.read_bytes()
+
+
+class TestGoldenReplayOutput:
+    def run_cli(self, capsys, *extra) -> str:
+        assert main(["replay", str(CORPUS), *extra]) == 0
+        return capsys.readouterr().out
+
+    def test_serial_output_matches_golden(self, capsys):
+        assert self.run_cli(capsys) == GOLDEN.read_text()
+
+    def test_parallel_output_matches_golden(self, capsys):
+        """The CI assertion, in-process: --parallel 2 is byte-identical."""
+        assert self.run_cli(capsys, "--parallel", "2") == GOLDEN.read_text()
+
+    def test_streamed_output_matches_golden(self, capsys):
+        assert self.run_cli(capsys, "--stream") == GOLDEN.read_text()
+
+    def test_sharded_output_matches_golden(self, capsys):
+        """Single-deadlock corpora: per-component checking must not
+        change what gets reported."""
+        assert self.run_cli(capsys, "--shard-components") == GOLDEN.read_text()
