@@ -1,0 +1,97 @@
+"""Asyncio-backend throughput vs the thread backend (``BENCH_aio.json``).
+
+The workload is deadlock-free SPMD barrier rounds on one shared phaser:
+``tasks × rounds`` verified synchronisations, every one of them running
+the full observer protocol (fast path or block entry/exit, status
+construction, cancellation polling).  The same shape runs on both
+backends at matched task counts — the apples-to-apples comparison — and
+then at task counts only the event loop can reach (the thread backend
+stops at hundreds of OS threads; ``aio`` runs thousands of tasks in one
+process, the workload class this backend opens).
+
+``extra_info`` carries ``syncs_per_sec`` (tasks × rounds / mean wall
+time) per backend/size point; CI uploads the whole suite as
+``BENCH_aio.json`` next to the trace-replay benchmark artifact.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import threading
+
+import pytest
+
+from repro.aio.scenarios import barrier_rounds
+from repro.runtime.phaser import Phaser
+from repro.runtime.verifier import ArmusRuntime, VerificationMode
+
+#: (backend, tasks, rounds) grid.  Matched sizes first, then the
+#: aio-only scale points (≥1000 tasks: the ISSUE's floor).
+POINTS = [
+    ("thread", 32, 20),
+    ("aio", 32, 20),
+    ("thread", 128, 10),
+    ("aio", 128, 10),
+    ("aio", 1024, 4),
+    ("aio", 2048, 2),
+]
+
+
+def run_thread_backend(n_tasks: int, rounds: int) -> int:
+    runtime = ArmusRuntime(
+        mode=VerificationMode.DETECTION, interval_s=0.1, poll_s=0.005
+    ).start()
+    try:
+        ph = Phaser(runtime, register_self=False, name="bar")
+        gate = threading.Event()
+
+        def body() -> None:
+            gate.wait(30)
+            for _ in range(rounds):
+                ph.arrive_and_await_advance()
+
+        tasks = [
+            runtime.spawn(body, register=[ph], name=f"w{i}")
+            for i in range(n_tasks)
+        ]
+        gate.set()
+        for task in tasks:
+            task.join(120)
+    finally:
+        runtime.stop()
+    assert not runtime.reports
+    return n_tasks * rounds
+
+
+def run_aio_backend(n_tasks: int, rounds: int) -> int:
+    runtime = ArmusRuntime(
+        mode=VerificationMode.DETECTION, interval_s=0.1, poll_s=0.005
+    ).start()
+
+    async def main() -> None:
+        tasks = barrier_rounds(runtime, n_tasks, rounds)
+        for task in tasks:
+            await task.wait(120)
+
+    try:
+        asyncio.run(main())
+    finally:
+        runtime.stop()
+    assert not runtime.reports
+    return n_tasks * rounds
+
+
+RUNNERS = {"thread": run_thread_backend, "aio": run_aio_backend}
+
+
+@pytest.mark.parametrize(
+    "backend,n_tasks,rounds", POINTS, ids=[f"{b}-N{n}xR{r}" for b, n, r in POINTS]
+)
+def test_barrier_rounds_throughput(bench, benchmark, backend, n_tasks, rounds):
+    syncs = bench(RUNNERS[backend], n_tasks, rounds)
+    assert syncs == n_tasks * rounds
+    elapsed = benchmark.stats.stats.mean
+    benchmark.extra_info["backend"] = backend
+    benchmark.extra_info["tasks"] = n_tasks
+    benchmark.extra_info["rounds"] = rounds
+    benchmark.extra_info["syncs_per_sec"] = round(syncs / elapsed)

@@ -1,0 +1,51 @@
+"""``repro.aio`` — the asyncio verification backend.
+
+The task-observer protocol (:mod:`repro.runtime.observer`) is
+runtime-agnostic: a synchronizer describes its wait as a
+:class:`~repro.runtime.observer.WaitSpec`, and a driver supplies the
+blocking.  This package is the event-loop driver: :func:`aio_spawn`
+creates verified :class:`AioTask`\\ s (coroutines with full runtime
+identity), the adapters in :mod:`repro.aio.sync` re-drive the existing
+synchronizers with ``await``, and :func:`averified_wait` parks
+coroutines where :func:`~repro.runtime.observer.verified_wait` parks
+threads.
+
+Everything above the driver is shared — the
+:class:`~repro.runtime.verifier.ArmusRuntime` (modes, monitor,
+reports), the checker, and trace recording — so an asyncio run is
+verified, cancelled and recorded exactly like a threaded one, at task
+counts (thousands per process) the thread backend cannot reach.
+
+Quick start::
+
+    runtime = ArmusRuntime(mode=VerificationMode.DETECTION).start()
+
+    async def main():
+        ph = AioPhaser(runtime, register_self=False, name="bar")
+        tasks = [
+            aio_spawn(worker, runtime=runtime, register=[ph.phaser])
+            for _ in range(2000)
+        ]
+        for t in tasks:
+            await t.wait()
+
+    asyncio.run(main())
+"""
+
+from repro.aio.notify import LoopNotifier, notifier_for, wake_running_loop
+from repro.aio.observer import averified_wait
+from repro.aio.sync import AioBarrier, AioLatch, AioLock, AioPhaser
+from repro.aio.tasks import AioTask, aio_spawn
+
+__all__ = [
+    "AioBarrier",
+    "AioLatch",
+    "AioLock",
+    "AioPhaser",
+    "AioTask",
+    "LoopNotifier",
+    "aio_spawn",
+    "averified_wait",
+    "notifier_for",
+    "wake_running_loop",
+]

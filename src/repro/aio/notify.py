@@ -1,0 +1,115 @@
+"""Per-event-loop wakeups for parked verified waits.
+
+The thread driver wakes waiters through ``Condition.notify_all``; an
+asyncio task cannot sleep on a :class:`threading.Condition` without
+stalling its whole loop.  Instead, every async verified wait *parks* on
+its loop's :class:`LoopNotifier` and re-checks its predicate when woken.
+
+Wake sources:
+
+* async synchronizer adapters, after any state change that could
+  satisfy a wait (an arrival that advances the observed phase, a
+  barrier trip, a release, a deregistration);
+* :meth:`repro.aio.tasks.AioTask.cancel` — the detection monitor's
+  thread condemns a task, and the wake makes it observe the report at
+  once instead of at the next poll;
+* task teardown (termination deregisters the task everywhere, which can
+  complete events its peers wait on).
+
+Thread-side mutations of a synchronizer *shared* between backends do
+not reach the notifier; parked waits therefore carry a timeout (the
+poll fallback, a few multiples of the runtime's ``poll_s``), making
+mixed-backend progress a bounded-latency affair rather than a hang.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import weakref
+from typing import Optional, Set
+
+#: Parked waits never sleep longer than this without re-checking; keeps
+#: the timer load of thousands of parked tasks negligible while bounding
+#: mixed-backend wake latency.
+MIN_PARK_S = 0.02
+
+_notifiers: "weakref.WeakKeyDictionary" = weakref.WeakKeyDictionary()
+
+
+class LoopNotifier:
+    """Wakes every parked verified wait of one event loop."""
+
+    def __init__(self, loop: asyncio.AbstractEventLoop) -> None:
+        self._loop = loop
+        self._parked: Set[asyncio.Future] = set()
+
+    # -- waking (any thread) -------------------------------------------
+    def wake(self) -> None:
+        """Wake all parked waits; safe from any thread.
+
+        A closed loop has nothing parked worth waking — the RuntimeError
+        of scheduling onto it is swallowed.
+        """
+        try:
+            self._loop.call_soon_threadsafe(self.wake_local)
+        except RuntimeError:
+            pass
+
+    def wake_local(self) -> None:
+        """Wake all parked waits; loop thread only."""
+        parked, self._parked = self._parked, set()
+        for fut in parked:
+            if not fut.done():
+                fut.set_result(True)
+
+    # -- parking (loop thread) -----------------------------------------
+    async def park(self, timeout: float) -> bool:
+        """Sleep until the next wake (or ``timeout``); returns whether a
+        wake (rather than the timeout) ended the sleep.
+
+        A wake landing between the caller's predicate check and the park
+        is only missed for one timeout period — the fallback poll is the
+        correctness backstop, the wake the latency optimisation.
+
+        Implemented with a bare future + ``call_later`` rather than
+        ``asyncio.wait_for``: a thousand-task unwind re-parks O(n²)
+        times, and ``wait_for``'s wrapping is the difference between
+        milliseconds and seconds there.
+        """
+        fut = self._loop.create_future()
+        self._parked.add(fut)
+        handle = self._loop.call_later(timeout, self._expire, fut)
+        try:
+            return await fut
+        finally:
+            handle.cancel()
+            self._parked.discard(fut)
+
+    @staticmethod
+    def _expire(fut: asyncio.Future) -> None:
+        if not fut.done():
+            fut.set_result(False)
+
+
+def notifier_for(loop: Optional[asyncio.AbstractEventLoop] = None) -> LoopNotifier:
+    """The (lazily created) notifier of ``loop`` (default: the running
+    loop — raises :class:`RuntimeError` outside one)."""
+    if loop is None:
+        loop = asyncio.get_running_loop()
+    notifier = _notifiers.get(loop)
+    if notifier is None:
+        notifier = LoopNotifier(loop)
+        _notifiers[loop] = notifier
+    return notifier
+
+
+def wake_running_loop() -> None:
+    """Wake the running loop's parked waits, if any; no-op outside a
+    loop (a thread-backend caller touching a shared synchronizer)."""
+    try:
+        loop = asyncio.get_running_loop()
+    except RuntimeError:
+        return
+    notifier = _notifiers.get(loop)
+    if notifier is not None:
+        notifier.wake_local()

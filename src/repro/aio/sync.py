@@ -1,0 +1,259 @@
+"""Async adapters for the verified synchronizers.
+
+Each adapter wraps a *plain* runtime synchronizer — the very same
+object threads use — and swaps only the blocking driver: waits go
+through :func:`~repro.aio.observer.averified_wait` (parking the
+coroutine) instead of :func:`~repro.runtime.observer.verified_wait`
+(parking the thread).  Membership, phase bookkeeping, verification
+hooks and trace records are the wrapped object's own; a phaser can even
+be shared between the two backends, with threads on
+``ph.await_advance()`` and coroutines on ``await AioPhaser(phaser=ph).wait()``.
+
+After any mutation that can satisfy a parked wait, the adapter wakes
+the loop's notifier.  Wakes are filtered to actual progress — an
+arrival that does not advance the observed phase wakes nobody — so a
+thousand tasks blocking one by one into a deadlock costs zero spurious
+wakeups.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.aio.notify import wake_running_loop
+from repro.aio.observer import averified_wait
+from repro.runtime.barriers import CountDownLatch, CyclicBarrier
+from repro.runtime.locks import ArmusLock
+from repro.runtime.modes import RegistrationMode
+from repro.runtime.phaser import Phaser
+from repro.runtime.tasks import Task
+from repro.runtime.verifier import ArmusRuntime
+
+
+class AioPhaser:
+    """Async driver for a :class:`~repro.runtime.phaser.Phaser`.
+
+    Construct fresh (same parameters as ``Phaser``) or wrap an existing
+    one with ``AioPhaser(phaser=ph)``.
+    """
+
+    def __init__(
+        self,
+        runtime: Optional[ArmusRuntime] = None,
+        register_self: bool = True,
+        name: Optional[str] = None,
+        bound: Optional[int] = None,
+        *,
+        phaser: Optional[Phaser] = None,
+    ) -> None:
+        if phaser is not None:
+            self.phaser = phaser
+        else:
+            self.phaser = Phaser(
+                runtime, register_self=register_self, name=name, bound=bound
+            )
+
+    # -- membership (non-blocking: plain delegation + wake) ------------
+    def register(
+        self,
+        task: Optional[Task] = None,
+        mode: RegistrationMode = RegistrationMode.SIG_WAIT,
+    ) -> int:
+        return self.phaser.register(task, mode)
+
+    def register_child(
+        self,
+        child: Task,
+        parent: Optional[Task] = None,
+        mode: RegistrationMode = RegistrationMode.SIG_WAIT,
+    ) -> int:
+        return self.phaser.register_child(child, parent, mode)
+
+    def in_mode(self, mode: RegistrationMode):
+        return self.phaser.in_mode(mode)
+
+    def deregister(self, task: Optional[Task] = None) -> None:
+        self.phaser.deregister(task)
+        wake_running_loop()  # leaving can complete a pending event
+
+    def arrive_and_deregister(self) -> None:
+        self.phaser.arrive_and_deregister()
+        wake_running_loop()
+
+    # -- synchronisation -----------------------------------------------
+    async def arrive(self) -> int:
+        """Async ``Phaser.arrive``; on a bounded phaser the producer
+        parks (observably) instead of blocking its thread."""
+        phaser = self.phaser
+        task, target, bound_spec = phaser._arrive_begin()
+        if bound_spec is not None:
+            await averified_wait(bound_spec)
+        before = phaser.phase
+        result = phaser._arrive_commit(task, target)
+        if phaser.phase != before or phaser.bound is not None:
+            wake_running_loop()
+        return result
+
+    async def wait(self, phase: Optional[int] = None) -> None:
+        """Async ``Phaser.await_advance`` — the ``await p.wait()`` of the
+        asyncio backend."""
+        phaser = self.phaser
+        spec = phaser._await_spec(phase)
+        await averified_wait(spec)
+        phaser._await_finish(spec)
+        if phaser.bound is not None:
+            wake_running_loop()  # consumer progress frees bounded producers
+
+    async def arrive_and_wait(self) -> int:
+        """Async ``arrive_and_await_advance`` (the barrier step)."""
+        phase = await self.arrive()
+        await self.wait(phase)
+        return phase
+
+    # -- observation ---------------------------------------------------
+    @property
+    def phase(self) -> int:
+        return self.phaser.phase
+
+    @property
+    def registered_parties(self) -> int:
+        return self.phaser.registered_parties
+
+    def local_phase(self, task: Optional[Task] = None) -> Optional[int]:
+        return self.phaser.local_phase(task)
+
+    def is_registered(self, task: Optional[Task] = None) -> bool:
+        return self.phaser.is_registered(task)
+
+    def __repr__(self) -> str:
+        return f"<AioPhaser {self.phaser!r}>"
+
+
+class AioBarrier:
+    """Async driver for a :class:`~repro.runtime.barriers.CyclicBarrier`."""
+
+    def __init__(
+        self,
+        parties: Optional[int] = None,
+        runtime: Optional[ArmusRuntime] = None,
+        name: Optional[str] = None,
+        *,
+        barrier: Optional[CyclicBarrier] = None,
+    ) -> None:
+        if barrier is not None:
+            self.barrier = barrier
+        else:
+            if parties is None:
+                raise ValueError("parties is required without a barrier")
+            self.barrier = CyclicBarrier(parties, runtime, name=name)
+
+    def register(self, task: Optional[Task] = None) -> None:
+        self.barrier.register(task)
+
+    def register_child(self, child: Task, parent: Optional[Task] = None) -> None:
+        self.barrier.register_child(child, parent)
+
+    def deregister(self, task: Optional[Task] = None) -> None:
+        self.barrier.deregister(task)
+
+    async def wait(self) -> int:
+        """Async ``await_barrier``: park until the generation trips."""
+        generation, spec = self.barrier._arrive_begin()
+        if spec is None:
+            wake_running_loop()  # we tripped it: release parked siblings
+            return generation
+        await averified_wait(spec)
+        return generation
+
+    @property
+    def parties(self) -> int:
+        return self.barrier.parties
+
+    @property
+    def registered_parties(self) -> int:
+        return self.barrier.registered_parties
+
+    def __repr__(self) -> str:
+        return f"<AioBarrier {self.barrier!r}>"
+
+
+class AioLatch:
+    """Async driver for a :class:`~repro.runtime.barriers.CountDownLatch`."""
+
+    def __init__(
+        self,
+        count: Optional[int] = None,
+        runtime: Optional[ArmusRuntime] = None,
+        name: Optional[str] = None,
+        *,
+        latch: Optional[CountDownLatch] = None,
+    ) -> None:
+        if latch is not None:
+            self.latch = latch
+        else:
+            if count is None:
+                raise ValueError("count is required without a latch")
+            self.latch = CountDownLatch(count, runtime, name=name)
+
+    def register(self, task: Optional[Task] = None) -> None:
+        self.latch.register(task)
+
+    def register_child(self, child: Task, parent: Optional[Task] = None) -> None:
+        self.latch.register_child(child, parent)
+
+    def count_down(self) -> None:
+        self.latch.count_down()
+        if self.latch.count == 0:
+            wake_running_loop()
+
+    async def wait(self) -> None:
+        """Async ``await_latch``: park until the count reaches zero."""
+        await averified_wait(self.latch._await_spec())
+
+    @property
+    def count(self) -> int:
+        return self.latch.count
+
+    def __repr__(self) -> str:
+        return f"<AioLatch {self.latch!r}>"
+
+
+class AioLock:
+    """Async driver for an :class:`~repro.runtime.locks.ArmusLock`;
+    an async context manager (``async with lock:``)."""
+
+    def __init__(
+        self,
+        runtime: Optional[ArmusRuntime] = None,
+        name: Optional[str] = None,
+        *,
+        lock: Optional[ArmusLock] = None,
+    ) -> None:
+        self.lock = lock if lock is not None else ArmusLock(runtime, name=name)
+
+    async def acquire(self) -> None:
+        """Park (with verification) until the lock is taken.  Reentrant
+        for the owner; the retry loop mirrors the thread driver (another
+        task may win the wake-up race)."""
+        while True:
+            spec = self.lock._acquire_attempt()
+            if spec is None:
+                return
+            await averified_wait(spec)
+
+    def release(self) -> None:
+        self.lock.release()
+        wake_running_loop()
+
+    async def __aenter__(self) -> "AioLock":
+        await self.acquire()
+        return self
+
+    async def __aexit__(self, *exc) -> None:
+        self.release()
+
+    def locked(self) -> bool:
+        return self.lock.locked()
+
+    def __repr__(self) -> str:
+        return f"<AioLock {self.lock!r}>"

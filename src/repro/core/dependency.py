@@ -77,6 +77,19 @@ class DependencySnapshot:
                 index.setdefault(p, []).append((t, n))
         return index
 
+    def awaited_index(self) -> Dict[PhaserId, list[Event]]:
+        """Index ``phaser -> [awaited events on it]``.
+
+        The SG builders use it to find the events a task impedes from
+        its registrations alone — O(registrations) per task instead of
+        a scan over every awaited event, which turns per-check SG
+        construction from O(tasks × events) into O(registrations).
+        """
+        index: Dict[PhaserId, list[Event]] = {}
+        for e in self.awaited_events:
+            index.setdefault(e.phaser, []).append(e)
+        return index
+
     def __len__(self) -> int:
         return len(self.statuses)
 

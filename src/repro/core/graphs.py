@@ -123,6 +123,24 @@ def build_wfg(snapshot: DependencySnapshot) -> DiGraph:
     return g
 
 
+def iter_sg_edges(status, awaited_index) -> Iterator[Tuple[Event, Event]]:
+    """One blocked task's SG edge group: ``{impeded e1} x {waited e2}``.
+
+    ``awaited_index`` is :meth:`DependencySnapshot.awaited_index`; the
+    candidate events per registration are looked up there instead of
+    scanning every awaited event, and the impedes test
+    (:meth:`~repro.core.events.BlockedStatus.impedes`) keeps
+    Definition 4.1's ``I`` map in one place.  Shared by
+    :func:`build_sg` and the adaptive builder's incremental attempt
+    (:func:`repro.core.selection._try_build_sg`).
+    """
+    for phaser in status.registered:
+        for e1 in awaited_index.get(phaser, ()):
+            if status.impedes(e1):
+                for e2 in status.waits:
+                    yield e1, e2
+
+
 def build_sg(snapshot: DependencySnapshot) -> DiGraph:
     """State Graph (Definition 4.3): ``(e1, e2)`` iff some task ``t``
     impedes ``e1`` and waits on ``e2``.
@@ -131,16 +149,13 @@ def build_sg(snapshot: DependencySnapshot) -> DiGraph:
     ``{impeded e1} x {waited e2}``.
     """
     g = DiGraph()
-    awaited = snapshot.awaited_events
-    for e in awaited:
-        g.add_vertex(e)
+    awaited = snapshot.awaited_index()
+    for events in awaited.values():
+        for e in events:
+            g.add_vertex(e)
     for status in snapshot.statuses.values():
-        impeded = status.impeded_events(awaited)
-        if not impeded:
-            continue
-        for e1 in impeded:
-            for e2 in status.waits:
-                g.add_edge(e1, e2)
+        for e1, e2 in iter_sg_edges(status, awaited):
+            g.add_edge(e1, e2)
     return g
 
 

@@ -16,7 +16,7 @@ import threading
 from typing import Dict, Optional
 
 from repro.core.events import Event
-from repro.runtime.observer import blocked_status, verified_wait
+from repro.runtime.observer import WaitSpec, blocked_status, verified_wait
 from repro.runtime.phaser import PhaserMembershipError
 from repro.runtime.tasks import Task
 from repro.runtime.verifier import ArmusRuntime, get_default_runtime
@@ -105,6 +105,15 @@ class CyclicBarrier:
         Returns the generation tripped.  The last arriver trips the
         barrier and releases everyone; the barrier then resets (cyclic).
         """
+        my_generation, spec = self._arrive_begin()
+        if spec is not None:
+            verified_wait(spec)
+        return my_generation
+
+    def _arrive_begin(self):
+        """Count the arrival; returns ``(generation, spec)`` where
+        ``spec`` is the wait for the trip (``None`` when this arrival
+        tripped the barrier itself)."""
         task = self.runtime.current_task()
         with self._cond:
             my_generation = self._generation
@@ -115,7 +124,7 @@ class CyclicBarrier:
                 self._arrived = 0
                 self._generation += 1
                 self._cond.notify_all()
-                return my_generation
+                return my_generation, None
 
         def ready() -> bool:
             return self._generation > my_generation
@@ -123,8 +132,7 @@ class CyclicBarrier:
         def status():
             return blocked_status(task, Event(self._rid, my_generation + 1))
 
-        verified_wait(self.runtime, self._cond, ready, task, status)
-        return my_generation
+        return my_generation, WaitSpec(self._cond, ready, task, status)
 
     # -- observer protocol ------------------------------------------------------
     def _phase_of(self, task: Task) -> Optional[int]:
@@ -212,6 +220,9 @@ class CountDownLatch:
 
     def await_latch(self) -> None:
         """Block until the count reaches zero (Java ``await()``)."""
+        verified_wait(self._await_spec())
+
+    def _await_spec(self) -> WaitSpec:
         task = self.runtime.current_task()
 
         def ready() -> bool:
@@ -220,7 +231,7 @@ class CountDownLatch:
         def status():
             return blocked_status(task, Event(self._rid, 1))
 
-        verified_wait(self.runtime, self._cond, ready, task, status)
+        return WaitSpec(self._cond, ready, task, status)
 
     # -- observer protocol ----------------------------------------------------
     def _phase_of(self, task: Task) -> Optional[int]:

@@ -20,7 +20,7 @@ import threading
 from typing import Optional
 
 from repro.core.events import Event
-from repro.runtime.observer import blocked_status, verified_wait
+from repro.runtime.observer import WaitSpec, blocked_status, verified_wait
 from repro.runtime.tasks import Task
 from repro.runtime.verifier import ArmusRuntime, get_default_runtime
 
@@ -44,28 +44,36 @@ class ArmusLock:
     def acquire(self) -> None:
         """Take the lock, blocking (with verification) while held by
         another task.  Reentrant for the owner."""
-        task = self.runtime.current_task()
+        while True:
+            spec = self._acquire_attempt()
+            if spec is None:
+                return
+            # Nothing to deregister on avoidance: the waiter holds no new
+            # resource yet.  Another task may win the wake-up race, hence
+            # the retry loop.
+            verified_wait(spec)
+
+    def _acquire_attempt(self, task: Optional[Task] = None) -> Optional[WaitSpec]:
+        """Try to take the lock; returns ``None`` on success or the wait
+        for the current holder's release event."""
+        if task is None:
+            task = self.runtime.current_task()
+        with self._cond:
+            if self._owner is task:
+                self._depth += 1
+                return None
+            if self._owner is None:
+                self._take(task)
+                return None
+            wait_event = Event(self._rid, self._epoch + 1)
 
         def ready() -> bool:
             return self._owner is None or self._owner is task
 
-        while True:
-            with self._cond:
-                if self._owner is task:
-                    self._depth += 1
-                    return
-                if self._owner is None:
-                    self._take(task)
-                    return
-                wait_event = Event(self._rid, self._epoch + 1)
+        def status(event=wait_event):
+            return blocked_status(task, event)
 
-            def status(event=wait_event):
-                return blocked_status(task, event)
-
-            # Nothing to deregister on avoidance: the waiter holds no new
-            # resource yet.  Another task may win the wake-up race, hence
-            # the retry loop.
-            verified_wait(self.runtime, self._cond, ready, task, status)
+        return WaitSpec(self._cond, ready, task, status)
 
     def _take(self, task: Task) -> None:
         self._owner = task

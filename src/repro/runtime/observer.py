@@ -2,14 +2,26 @@
 
 This module is the one place where "a task blocks" meets "the verifier
 learns about it" (the *task observer* component of JArmus/Armus-X10,
-Section 5.3).  Synchronizers express their wait as a condition +
-predicate and a blocked-status factory; :func:`verified_wait` weaves in:
+Section 5.3).  The design is deliberately transport-neutral: a
+synchronizer expresses its wait as a :class:`WaitSpec` — a condition, a
+predicate, the waiting task, a blocked-status factory and an optional
+avoidance cleanup — and a *driver* weaves the verification in:
 
 1. a fast path (no verification traffic when the wait would not block);
-2. the avoidance check before blocking (raising instead of deadlocking);
+2. the avoidance check before blocking (raising instead of
+   deadlocking) — :func:`begin_blocked`;
 3. status publication for the detection monitor while blocked;
 4. cancellation polling, so detected deadlocks abort the wait;
-5. guaranteed status withdrawal on every exit path.
+5. guaranteed status withdrawal on every exit path —
+   :func:`end_blocked`.
+
+Two drivers consume the same spec: :func:`verified_wait` here blocks a
+*thread* on the spec's :class:`threading.Condition`, and
+:func:`repro.aio.observer.averified_wait` parks an *asyncio task* on an
+event-loop notifier.  Because both route through
+:func:`begin_blocked`/:func:`end_blocked`, the verifier (and any
+attached :class:`~repro.trace.recorder.TraceRecorder`) observes an
+identical protocol whichever backend ran the task.
 
 The blocked status is built *once*, at block entry: a blocked task cannot
 arrive at, register with, or leave any synchronizer, so its local view is
@@ -20,6 +32,7 @@ consistency purely local (Section 2.1).
 from __future__ import annotations
 
 import threading
+from dataclasses import dataclass
 from typing import Callable, Dict, Optional, TYPE_CHECKING
 
 from repro.core.events import BlockedStatus, Event
@@ -27,7 +40,6 @@ from repro.core.report import DeadlockAvoidedError, DeadlockReport
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.runtime.tasks import Task
-    from repro.runtime.verifier import ArmusRuntime
 
 
 def registered_phases(task: "Task") -> Dict[str, int]:
@@ -61,46 +73,75 @@ def blocked_status(task: "Task", *events: Event) -> BlockedStatus:
     )
 
 
-def verified_wait(
-    runtime: "ArmusRuntime",
-    cond: threading.Condition,
-    predicate: Callable[[], bool],
+@dataclass
+class WaitSpec:
+    """One instrumented wait, described transport-neutrally.
+
+    Synchronizers build specs (their ``_*_spec`` methods); drivers
+    consume them.  ``predicate`` must be cheap and is always evaluated
+    with ``cond``'s lock held; ``status_factory`` runs once, at block
+    entry.  ``on_avoided`` is the pre-raise cleanup of avoidance mode
+    (synchronizers deregister the doomed task there, following the
+    paper: "an exception is raised ... and the tasks become
+    deregistered").  ``target`` carries the operation-specific result
+    (e.g. the awaited phase) to the post-wait bookkeeping step.
+    """
+
+    cond: threading.Condition
+    predicate: Callable[[], bool]
+    task: "Task"
+    status_factory: Callable[[], BlockedStatus]
+    on_avoided: Optional[Callable[[DeadlockReport], None]] = None
+    target: Optional[int] = None
+
+
+def begin_blocked(
     task: "Task",
     status_factory: Callable[[], BlockedStatus],
     on_avoided: Optional[Callable[[DeadlockReport], None]] = None,
 ) -> None:
-    """Block on ``cond`` until ``predicate()`` holds, with verification.
+    """Publish the about-to-block status through the **task's** runtime.
 
-    ``on_avoided`` runs before raising :class:`DeadlockAvoidedError`
-    (synchronizers deregister the task there, following the paper: "an
-    exception is raised ... and the tasks become deregistered").
-    ``cond`` must *not* be held by the caller.
-
-    Verification traffic goes through the **task's** runtime, not the
+    Verification traffic goes through the task's runtime, not the
     synchronizer's: a distributed clock is shared across sites, and each
-    site monitors its own tasks (Section 5.2's locality).
+    site monitors its own tasks (Section 5.2's locality).  Raises
+    :class:`DeadlockAvoidedError` when blocking would complete a
+    deadlock (avoidance mode), after running ``on_avoided``.
     """
-    runtime = task.runtime
+    status = status_factory()
+    report = task.runtime.block_entry(task, status)
+    if report is not None:
+        if on_avoided is not None:
+            on_avoided(report)
+        raise DeadlockAvoidedError(report)
+
+
+def end_blocked(task: "Task") -> None:
+    """Withdraw the published status (success, error or abort alike)."""
+    task.runtime.block_exit(task)
+
+
+def verified_wait(spec: WaitSpec) -> None:
+    """The thread driver: block on ``spec.cond`` until the predicate
+    holds, with verification.  ``spec.cond`` must *not* be held by the
+    caller.
+    """
+    task = spec.task
     # A task condemned by the detection monitor raises at its next
     # synchronisation point, even if the operation could proceed — this
     # keeps the outcome of a detected deadlock deterministic (all tasks
     # of the cycle observe the report, not just the unlucky ones).
     task.check_cancelled()
-    with cond:
-        if predicate():
+    with spec.cond:
+        if spec.predicate():
             return
-    status = status_factory()
-    report = runtime.block_entry(task, status)
-    if report is not None:
-        if on_avoided is not None:
-            on_avoided(report)
-        raise DeadlockAvoidedError(report)
+    begin_blocked(task, spec.status_factory, spec.on_avoided)
     try:
-        with cond:
+        with spec.cond:
             while True:
                 task.check_cancelled()
-                if predicate():
+                if spec.predicate():
                     return
-                cond.wait(runtime.poll_s)
+                spec.cond.wait(task.runtime.poll_s)
     finally:
-        runtime.block_exit(task)
+        end_blocked(task)

@@ -34,7 +34,7 @@ from typing import Dict, Optional
 from repro.core.events import Event
 from repro.core.report import DeadlockReport
 from repro.runtime.modes import RegistrationMode
-from repro.runtime.observer import blocked_status, verified_wait
+from repro.runtime.observer import WaitSpec, blocked_status, verified_wait
 from repro.runtime.tasks import Task
 from repro.runtime.verifier import ArmusRuntime, get_default_runtime
 
@@ -209,6 +209,15 @@ class Phaser:
         first blocks (observably) until the producer is within ``bound``
         phases of the slowest consumer.
         """
+        task, target, bound_spec = self._arrive_begin()
+        if bound_spec is not None:
+            verified_wait(bound_spec)
+        return self._arrive_commit(task, target)
+
+    def _arrive_begin(self):
+        """Validate membership and resolve the arrival target; returns
+        ``(task, target, bound_spec)`` where ``bound_spec`` is the wait
+        a bounded producer must perform first (or ``None``)."""
         task = self.runtime.current_task()
         with self._cond:
             mode = self._modes.get(task)
@@ -218,31 +227,34 @@ class Phaser:
                     f"{'wait-only member' if mode else 'not registered'}"
                 )
             target = self._members[task] + 1
-        if self.bound is not None:
-            self._respect_bound(task, target)
-        with self._cond:
-            if task in self._members:  # may have been evicted meanwhile
-                self._members[task] = target
-            self._cond.notify_all()
-        task.runtime.notify_advance(task, self._rid, target)
-        return target
+        return task, target, self._bound_spec(task, target)
 
-    def _respect_bound(self, task: Task, target: int) -> None:
-        """Block until signalling ``target`` respects the bound."""
+    def _bound_spec(self, task: Task, target: int) -> Optional[WaitSpec]:
+        """The wait that makes signalling ``target`` respect the bound."""
+        if self.bound is None:
+            return None
         threshold = target - self.bound  # consumers must have reached this
+        if threshold <= 0:
+            return None
 
         def ready() -> bool:
             if not self._wait_members:
                 return True
             return min(self._wait_members.values()) >= threshold
 
-        if threshold <= 0:
-            return
-
         def status():
             return blocked_status(task, Event(self._rid_wait, threshold))
 
-        verified_wait(self.runtime, self._cond, ready, task, status)
+        return WaitSpec(self._cond, ready, task, status)
+
+    def _arrive_commit(self, task: Task, target: int) -> int:
+        """Publish the arrival and notify waiters."""
+        with self._cond:
+            if task in self._members:  # may have been evicted meanwhile
+                self._members[task] = target
+            self._cond.notify_all()
+        task.runtime.notify_advance(task, self._rid, target)
+        return target
 
     def await_advance(self, phase: Optional[int] = None) -> None:
         """Block until every signalling member's local phase is at least
@@ -254,6 +266,12 @@ class Phaser:
         (HJ-style observers and future-phase waits).  Signal-only
         members cannot wait.
         """
+        spec = self._await_spec(phase)
+        verified_wait(spec)
+        self._await_finish(spec)
+
+    def _await_spec(self, phase: Optional[int] = None) -> WaitSpec:
+        """Resolve the awaited phase and describe the wait."""
         task = self.runtime.current_task()
         with self._cond:
             mode = self._modes.get(task)
@@ -287,9 +305,13 @@ class Phaser:
                     self._evict(task)
                     self._cond.notify_all()
 
-        verified_wait(
-            self.runtime, self._cond, ready, task, status, on_avoided
+        return WaitSpec(
+            self._cond, ready, task, status, on_avoided, target=target
         )
+
+    def _await_finish(self, spec: WaitSpec) -> None:
+        """Post-wait bookkeeping: a ``WAIT`` member observed the event."""
+        task, target = spec.task, spec.target
         with self._cond:
             if self._modes.get(task) is RegistrationMode.WAIT:
                 current = self._wait_members.get(task, 0)

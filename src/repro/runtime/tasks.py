@@ -41,6 +41,24 @@ _registry_lock = threading.Lock()
 _by_ident: Dict[int, "Task"] = {}
 _by_task_id: Dict[str, "Task"] = {}
 
+# Context resolvers consulted by current_task() *before* the
+# thread-ident map.  A backend whose unit of concurrency is finer than
+# a thread (repro.aio binds tasks to asyncio coroutines, all sharing
+# the event-loop thread) installs one; with none installed, resolution
+# is purely thread-based, as before.
+_task_resolvers: list = []
+
+
+def register_task_resolver(resolver: Callable[[], Optional["Task"]]) -> None:
+    """Install a calling-context resolver (idempotent).
+
+    ``resolver()`` must be cheap, must never raise, and returns the
+    :class:`Task` of the calling context or ``None`` to fall through to
+    thread-ident lookup.
+    """
+    if resolver not in _task_resolvers:
+        _task_resolvers.append(resolver)
+
 
 def _bind(ident: int, task: "Task") -> None:
     with _registry_lock:
@@ -200,6 +218,10 @@ class Task:
         """
         if not self._done.wait(timeout):
             raise TimeoutError(f"task {self.name} still running")
+        return self._resolve_join()
+
+    def _resolve_join(self) -> Any:
+        """The join outcome of a finished task (shared with async joins)."""
         if self.exception is not None:
             if isinstance(self.exception, DeadlockError):
                 raise self.exception
@@ -221,6 +243,10 @@ def current_task(adopting_runtime: Optional["ArmusRuntime"] = None) -> Task:
     first use — into ``adopting_runtime`` when given, else the default
     runtime — mirroring how JArmus treats the JVM main thread.
     """
+    for resolver in _task_resolvers:
+        task = resolver()
+        if task is not None:
+            return task
     ident = threading.get_ident()
     task = _lookup_ident(ident)
     if task is not None:

@@ -145,10 +145,20 @@ class ArmusRuntime:
         registered.
         """
         task = Task(self, fn, args, kwargs, name=name)
-        parent = self.current_task()
-        # X10 nested-finish semantics: children inherit the spawning
-        # task's enclosing finish scopes and register with each of their
-        # join barriers (Section 2.2).
+        self.adopt_spawn_context(task, self.current_task(), register)
+        task.start()
+        return task
+
+    def adopt_spawn_context(
+        self, task: Task, parent: Task, register: Iterable[object] = ()
+    ) -> None:
+        """Inherit ``parent``'s spawn context into a not-yet-started task.
+
+        X10 nested-finish semantics: children inherit the spawning
+        task's enclosing finish scopes and register with each of their
+        join barriers (Section 2.2); spawn-time registrations follow.
+        Shared by thread spawns and :func:`repro.aio.aio_spawn`.
+        """
         enclosing = tuple(getattr(parent, "_finish_scopes", ()))
         for scope in enclosing:
             scope._adopt_spawn(task, parent)
@@ -156,8 +166,6 @@ class ArmusRuntime:
         for sync in register:
             register_child = getattr(sync, "register_child")
             register_child(task, parent)
-        task.start()
-        return task
 
     def current_task(self) -> Task:
         """The calling thread's task, adopting foreign threads on demand."""

@@ -53,8 +53,11 @@ from repro.trace.parallel import (
     replay_corpus,
 )
 from repro.trace.corpus import (
+    AioSpec,
     ChurnSpec,
     ScenarioSpec,
+    aio_grid_specs,
+    aio_trace,
     build_trace,
     churn_grid_specs,
     churn_trace,
@@ -64,6 +67,7 @@ from repro.trace.corpus import (
     verify_corpus,
     write_corpus,
 )
+from repro.trace.normalize import canonical_trace
 
 __all__ = [
     "Trace",
@@ -89,12 +93,16 @@ __all__ = [
     "discover_traces",
     "ScenarioSpec",
     "ChurnSpec",
+    "AioSpec",
     "scenario_trace",
     "churn_trace",
+    "aio_trace",
     "build_trace",
     "grid_specs",
     "churn_grid_specs",
+    "aio_grid_specs",
     "generate_corpus",
     "write_corpus",
     "verify_corpus",
+    "canonical_trace",
 ]

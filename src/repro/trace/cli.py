@@ -14,9 +14,10 @@ Four subcommands cover the record → persist → analyse loop:
   ``--parallel`` value (timing goes to stderr) — CI diffs serial
   against parallel output to pin it;
 * ``gen`` — write a scenario corpus over parameter grids
-  (``--families cycle,churn``); ``--smoke`` verifies a small grid in
-  memory (``--parallel N`` fans the verification out) — the CI sanity
-  job;
+  (``--families cycle,churn,aio``; the aio family generates the
+  asyncio backend's thousand-task shapes, ``--task-counts`` scales
+  them); ``--smoke`` verifies a small grid in memory (``--parallel N``
+  fans the verification out) — the CI sanity job;
 * ``stats`` — summarise a trace file (header, record-kind counts,
   population).
 
@@ -40,10 +41,13 @@ from typing import List, Optional, Sequence
 from repro.core.selection import GraphModel
 from repro.trace.codec import load_trace
 from repro.trace.corpus import (
+    DEFAULT_AIO_GRID,
     DEFAULT_CHURN_GRID,
     DEFAULT_GRID,
+    SMOKE_AIO_GRID,
     SMOKE_CHURN_GRID,
     SMOKE_GRID,
+    aio_grid_specs,
     churn_grid_specs,
     grid_specs,
     verify_corpus,
@@ -53,7 +57,7 @@ from repro.trace.recorder import TraceRecorder
 from repro.trace.replay import replay as run_replay
 
 #: Scenario families ``gen`` knows how to write.
-FAMILIES = ("cycle", "churn")
+FAMILIES = ("cycle", "churn", "aio")
 
 
 def _ints(text: str) -> List[int]:
@@ -339,6 +343,14 @@ def cmd_gen(args: argparse.Namespace) -> int:
                     SMOKE_CHURN_GRID["verdicts"],
                 )
             )
+        if "aio" in families:
+            specs.extend(
+                aio_grid_specs(
+                    SMOKE_AIO_GRID["task_counts"],
+                    SMOKE_AIO_GRID["shapes"],
+                    SMOKE_AIO_GRID["verdicts"],
+                )
+            )
         results = verify_corpus(specs, processes=args.parallel)
         bad = [spec for spec, ok in results if not ok]
         for spec, ok in results:
@@ -367,6 +379,14 @@ def cmd_gen(args: argparse.Namespace) -> int:
                 DEFAULT_CHURN_GRID["rounds"],
                 args.sites or DEFAULT_CHURN_GRID["site_counts"],
                 DEFAULT_CHURN_GRID["verdicts"],
+            )
+        )
+    if "aio" in families:
+        specs.extend(
+            aio_grid_specs(
+                args.task_counts or DEFAULT_AIO_GRID["task_counts"],
+                DEFAULT_AIO_GRID["shapes"],
+                DEFAULT_AIO_GRID["verdicts"],
             )
         )
     codecs = ("jsonl", "binary") if args.codec == "both" else (args.codec,)
@@ -444,13 +464,15 @@ def build_parser() -> argparse.ArgumentParser:
 
     p_gen = sub.add_parser("gen", help="generate a scenario corpus")
     p_gen.add_argument("--out", default=None, help="output directory")
-    p_gen.add_argument("--families", default="cycle,churn",
+    p_gen.add_argument("--families", default="cycle,churn,aio",
                        help="comma-separated scenario families "
                             f"(from: {', '.join(FAMILIES)})")
     p_gen.add_argument("--cycle-lens", type=_ints, default=None)
     p_gen.add_argument("--fan-outs", type=_ints, default=None)
     p_gen.add_argument("--sites", type=_ints, default=None)
     p_gen.add_argument("--rounds", type=_ints, default=None)
+    p_gen.add_argument("--task-counts", type=_ints, default=None,
+                       help="aio-family task counts (default: 1000)")
     p_gen.add_argument("--codec", choices=("jsonl", "binary", "both"),
                        default="both")
     p_gen.add_argument("--smoke", action="store_true",

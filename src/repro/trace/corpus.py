@@ -25,6 +25,11 @@ records (tasks round-robined over sites, each publish replacing that
 site's whole bucket) — the distributed one-phase detection replayed
 from a file.
 
+Three spec families share :func:`build_trace`: :class:`ScenarioSpec`
+(the cycle grid), :class:`ChurnSpec` (dynamic membership) and
+:class:`AioSpec` (the asyncio backend's high-task-count shapes —
+thousand-task rings and whole-pool churn).
+
 The schedules are arranged so that in a ``check_every=1`` detection
 replay a report appears exactly at the record that first closes the
 knot — the closing group's first block (its fan-out siblings repeat the
@@ -335,12 +340,100 @@ def churn_trace(spec: ChurnSpec) -> Trace:
     return Trace(header=header, records=tuple(emit.records))
 
 
+# ---------------------------------------------------------------------------
+# high-task-count (asyncio-backend) family
+# ---------------------------------------------------------------------------
+#: Shapes the aio family generates.
+AIO_SHAPES = ("cycle", "churn")
+
+#: Churn-shape window: small and fixed, so replay checks stay O(window)
+#: while the task count scales to the thousands.
+AIO_CHURN_WINDOW = 8
+
+
+@dataclass(frozen=True)
+class AioSpec:
+    """A high-task-count scenario, the shape of an asyncio-backend run.
+
+    The thread-backend families top out at dozens of tasks per live
+    run; this family models what ``repro.aio`` makes reachable —
+    *thousands* of tasks in one process — in two shapes:
+
+    * ``cycle``: an ``n``-task phaser ring (cycle length = task count,
+      fan-out 1), the :func:`repro.aio.scenarios.phaser_ring` trace;
+    * ``churn``: a fixed window of :data:`AIO_CHURN_WINDOW` members
+      sliding over the whole ``n``-task pool (``rounds = n``), so every
+      task registers, synchronises and leaves — maximal membership
+      churn at scale.
+
+    Record streams delegate to the cycle/churn emitters; the header
+    marks the family (``family="aio"``, ``backend="asyncio"``).
+    """
+
+    tasks: int = 1000
+    shape: str = "cycle"
+    deadlock: bool = True
+
+    def __post_init__(self) -> None:
+        if self.shape not in AIO_SHAPES:
+            raise ValueError(f"shape must be one of {AIO_SHAPES}, got {self.shape!r}")
+        if self.tasks < 2:
+            raise ValueError("tasks must be at least 2")
+
+    @property
+    def n_tasks(self) -> int:
+        return self.tasks
+
+    @property
+    def name(self) -> str:
+        verdict = "dl" if self.deadlock else "ok"
+        return f"aio-{self.shape}-N{self.tasks}-{verdict}"
+
+
+def aio_trace(spec: AioSpec) -> Trace:
+    """Generate the full trace for an :class:`AioSpec`."""
+    if spec.shape == "cycle":
+        inner = scenario_trace(
+            ScenarioSpec(
+                cycle_len=spec.tasks,
+                fan_out=1,
+                sites=1,
+                rounds=0,
+                deadlock=spec.deadlock,
+            )
+        )
+    else:
+        inner = churn_trace(
+            ChurnSpec(
+                pool=spec.tasks,
+                window=min(AIO_CHURN_WINDOW, spec.tasks),
+                rounds=spec.tasks,
+                sites=1,
+                deadlock=spec.deadlock,
+            )
+        )
+    header = TraceHeader(
+        meta={
+            "scenario": spec.name,
+            "family": "aio",
+            "backend": "asyncio",
+            "shape": spec.shape,
+            "tasks": spec.tasks,
+            "expect_deadlock": spec.deadlock,
+            "generator": "repro.trace.corpus",
+        }
+    )
+    return Trace(header=header, records=inner.records)
+
+
 def build_trace(spec) -> Trace:
     """Generate the trace for any scenario-spec family."""
     if isinstance(spec, ScenarioSpec):
         return scenario_trace(spec)
     if isinstance(spec, ChurnSpec):
         return churn_trace(spec)
+    if isinstance(spec, AioSpec):
+        return aio_trace(spec)
     raise TypeError(f"not a scenario spec: {spec!r}")
 
 
@@ -382,6 +475,32 @@ SMOKE_CHURN_GRID = dict(
     site_counts=(1, 2),
     verdicts=(True, False),
 )
+
+#: Default aio-family grid: the ISSUE's ≥1000-task floor, both shapes.
+DEFAULT_AIO_GRID = dict(
+    task_counts=(1000,),
+    shapes=AIO_SHAPES,
+    verdicts=(True, False),
+)
+
+#: Aio specs for --smoke: same shapes at a CI-friendly task count.
+SMOKE_AIO_GRID = dict(
+    task_counts=(128,),
+    shapes=AIO_SHAPES,
+    verdicts=(True, False),
+)
+
+
+def aio_grid_specs(
+    task_counts: Sequence[int],
+    shapes: Sequence[str] = AIO_SHAPES,
+    verdicts: Sequence[bool] = (True, False),
+) -> List[AioSpec]:
+    """The cross product of the aio grid axes."""
+    return [
+        AioSpec(tasks=n, shape=shape, deadlock=verdict)
+        for n, shape, verdict in itertools.product(task_counts, shapes, verdicts)
+    ]
 
 
 def churn_grid_specs(

@@ -27,6 +27,13 @@ and write each record as it arrives, keeping memory O(1).
 
 Task, phaser and site identifiers are coerced to ``str`` at record time
 so that in-memory traces equal their decoded round-trips.
+
+The recorder is backend-neutral by construction: both wait drivers
+(threaded :func:`~repro.runtime.observer.verified_wait` and asyncio
+:func:`~repro.aio.observer.averified_wait`) route through the same
+runtime hooks, so an asyncio run records the same versioned format —
+compare recordings across backends with
+:func:`~repro.trace.normalize.canonical_trace`.
 """
 
 from __future__ import annotations

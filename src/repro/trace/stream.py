@@ -181,12 +181,14 @@ class StreamedTrace:
             header_seen = False
             bad_line: Optional[TraceFormatError] = None
             for raw in fp:
+                if bad_line is not None:
+                    # The failure was *followed* by another line — blank
+                    # included: a crash tail is an unterminated partial
+                    # line, so anything after the newline proves this
+                    # was corruption, not a crash.  Always fatal.
+                    raise bad_line
                 if not raw.strip():
                     continue
-                if bad_line is not None:
-                    # The failure was *followed* by more records, so it
-                    # was corruption, not a crash tail: always fatal.
-                    raise bad_line
                 try:
                     line = raw.decode("utf-8")
                 except UnicodeDecodeError as exc:

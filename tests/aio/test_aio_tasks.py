@@ -1,0 +1,150 @@
+"""AioTask lifecycle: spawn, identity, joins, failure, cancellation."""
+
+from __future__ import annotations
+
+import asyncio
+import threading
+
+import pytest
+
+from repro.aio import AioTask, aio_spawn
+from repro.core.report import DeadlockReport
+from repro.core.report import DeadlockDetectedError
+from repro.runtime.tasks import TaskFailedError, current_task, lookup_task
+from repro.runtime.verifier import ArmusRuntime
+
+
+@pytest.fixture
+def runtime():
+    rt = ArmusRuntime().start()
+    yield rt
+    rt.stop()
+
+
+class TestSpawnAndJoin:
+    def test_wait_returns_result(self, runtime):
+        async def main():
+            async def body(x):
+                return x * 2
+
+            task = aio_spawn(body, 21, runtime=runtime)
+            return await task.wait(5)
+
+        assert asyncio.run(main()) == 42
+
+    def test_failure_wrapped(self, runtime):
+        async def main():
+            async def body():
+                raise RuntimeError("boom")
+
+            task = aio_spawn(body, runtime=runtime)
+            with pytest.raises(TaskFailedError) as err:
+                await task.wait(5)
+            assert isinstance(err.value.cause, RuntimeError)
+
+        asyncio.run(main())
+
+    def test_thread_join_works_cross_thread(self, runtime):
+        """The inherited, blocking join is usable from another thread."""
+        results = {}
+
+        async def main():
+            async def body():
+                await asyncio.sleep(0.01)
+                return "done"
+
+            task = aio_spawn(body, runtime=runtime)
+            joiner = threading.Thread(
+                target=lambda: results.update(value=task.join(5))
+            )
+            joiner.start()
+            await task.wait(5)
+            joiner.join(5)
+
+        asyncio.run(main())
+        assert results["value"] == "done"
+
+    def test_wait_timeout(self, runtime):
+        async def main():
+            async def body():
+                await asyncio.sleep(5)
+
+            task = aio_spawn(body, runtime=runtime)
+            with pytest.raises(TimeoutError):
+                await task.wait(0.01)
+            task._aio_task.cancel()
+
+        asyncio.run(main())
+
+    def test_cannot_start_directly(self, runtime):
+        with pytest.raises(RuntimeError):
+            AioTask(runtime).start()
+
+
+class TestIdentity:
+    def test_current_task_resolves_coroutine(self, runtime):
+        """Inside a spawned coroutine, the runtime sees the AioTask —
+        not the (adopted) loop thread."""
+
+        async def main():
+            async def body():
+                return runtime.current_task()
+
+            task = aio_spawn(body, runtime=runtime, name="me")
+            seen = await task.wait(5)
+            assert seen is task
+            # The loop thread itself still resolves thread-wise.
+            assert current_task(runtime) is not task
+
+        asyncio.run(main())
+
+    def test_registered_in_global_directory(self, runtime):
+        async def main():
+            async def body():
+                await asyncio.sleep(0.01)
+
+            task = aio_spawn(body, runtime=runtime)
+            assert lookup_task(task.task_id) is task
+            await task.wait(5)
+
+        asyncio.run(main())
+
+    def test_sibling_coroutines_have_distinct_tasks(self, runtime):
+        async def main():
+            async def body():
+                await asyncio.sleep(0.001)
+                return runtime.current_task().task_id
+
+            tasks = [aio_spawn(body, runtime=runtime) for _ in range(10)]
+            ids = [await t.wait(5) for t in tasks]
+            assert len(set(ids)) == 10
+            assert ids == [t.task_id for t in tasks]
+
+        asyncio.run(main())
+
+
+class TestCancellation:
+    def test_cancel_delivers_report_at_next_check(self, runtime):
+        from repro.core.selection import GraphModel
+
+        report = DeadlockReport(
+            tasks=("T1",), events=(), cycle=("T1",),
+            model_used=GraphModel.WFG, edge_count=1,
+        )
+
+        async def main():
+            started = asyncio.Event()
+
+            async def body():
+                started.set()
+                while True:
+                    runtime.current_task().check_cancelled()
+                    await asyncio.sleep(0.001)
+
+            task = aio_spawn(body, runtime=runtime)
+            await started.wait()
+            task.cancel(report)
+            with pytest.raises(DeadlockDetectedError):
+                await task.wait(5)
+
+        asyncio.run(main())

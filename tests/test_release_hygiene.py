@@ -47,6 +47,7 @@ class TestPublicApi:
         "repro.core",
         "repro.pl",
         "repro.runtime",
+        "repro.aio",
         "repro.distributed",
         "repro.workloads",
         "repro.bench",

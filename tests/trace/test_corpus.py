@@ -126,3 +126,62 @@ class TestWrittenCorpus:
         assert kinds.get("publish", 0) > 0
         assert "block" not in kinds and "unblock" not in kinds
         assert kinds.get("register", 0) > 0  # context survives distribution
+
+
+class TestAioFamily:
+    def test_spec_validation_and_names(self):
+        from repro.trace.corpus import AioSpec
+
+        assert AioSpec(tasks=1000, shape="cycle").name == "aio-cycle-N1000-dl"
+        assert (
+            AioSpec(tasks=128, shape="churn", deadlock=False).name
+            == "aio-churn-N128-ok"
+        )
+        with pytest.raises(ValueError):
+            AioSpec(tasks=1, shape="cycle")
+        with pytest.raises(ValueError):
+            AioSpec(tasks=10, shape="ring")
+
+    def test_header_marks_the_backend(self):
+        from repro.trace.corpus import AioSpec, aio_trace
+
+        meta = aio_trace(AioSpec(tasks=16, shape="cycle")).header.meta
+        assert meta["family"] == "aio"
+        assert meta["backend"] == "asyncio"
+        assert meta["tasks"] == 16
+        assert meta["expect_deadlock"] is True
+
+    @pytest.mark.parametrize("shape", ["cycle", "churn"])
+    @pytest.mark.parametrize("deadlock", [True, False])
+    def test_ground_truth(self, shape, deadlock):
+        from repro.trace.corpus import AioSpec, build_trace
+
+        spec = AioSpec(tasks=32, shape=shape, deadlock=deadlock)
+        assert replay(build_trace(spec)).deadlocked == deadlock
+
+    def test_cycle_shape_scales_to_the_acceptance_floor(self):
+        """The ISSUE's floor: a ≥1000-task scenario with a verified
+        deadlock report — the generated twin of the live aio run."""
+        from repro.trace.corpus import AioSpec, build_trace
+
+        trace = build_trace(AioSpec(tasks=1000, shape="cycle"))
+        tasks = {r.task for r in trace if r.task is not None}
+        assert len(tasks) == 1000
+        outcome = replay(trace)
+        assert outcome.deadlocked
+        assert len(outcome.reports[0].tasks) == 1000
+
+    def test_churn_shape_slides_over_the_whole_pool(self):
+        from repro.trace.corpus import AIO_CHURN_WINDOW, AioSpec, build_trace
+
+        trace = build_trace(AioSpec(tasks=64, shape="churn", deadlock=False))
+        registers = [r for r in trace if r.kind is RecordKind.REGISTER]
+        assert len({r.task for r in registers}) == 64  # every task joined
+        assert trace.header.meta["tasks"] == 64
+
+    def test_grid_specs(self):
+        from repro.trace.corpus import aio_grid_specs
+
+        specs = aio_grid_specs((128, 1000))
+        assert len(specs) == 8  # 2 counts x 2 shapes x 2 verdicts
+        assert len({s.name for s in specs}) == 8

@@ -22,7 +22,7 @@ import pytest
 
 from repro.trace.cli import main
 from repro.trace.codec import dumps, load_trace
-from repro.trace.corpus import ChurnSpec, ScenarioSpec, build_trace
+from repro.trace.corpus import AioSpec, ChurnSpec, ScenarioSpec, build_trace
 from repro.trace.parallel import discover_traces
 from repro.trace.replay import replay
 
@@ -37,6 +37,8 @@ GENERATED_SPECS = (
     ScenarioSpec(cycle_len=2, fan_out=2, sites=2, rounds=1, deadlock=True),
     ChurnSpec(pool=5, window=3, rounds=3, sites=1, deadlock=True),
     ChurnSpec(pool=4, window=2, rounds=2, sites=2, deadlock=False),
+    AioSpec(tasks=8, shape="cycle", deadlock=True),
+    AioSpec(tasks=8, shape="churn", deadlock=False),
 )
 
 CODEC_EXT = {"jsonl": ".jsonl", "binary": ".trace"}
@@ -56,9 +58,24 @@ def expected_verdict(path: pathlib.Path) -> bool:
 class TestCorpusContents:
     def test_corpus_is_checked_in_and_nonempty(self):
         files = corpus_files()
-        assert len(files) == 12
+        assert len(files) == 19
         assert any(p.name.startswith("recorded-") for p in files)
         assert any(p.name.startswith("churn-") for p in files)
+        assert any(p.name.startswith("aio-") for p in files)
+
+    def test_recorded_members_cover_every_source(self):
+        """The ROADMAP's pinned-surface item: live runtime, PL
+        interpreter and distributed cluster recordings all present."""
+        names = {p.name for p in corpus_files()}
+        assert "recorded-crossed-detection.trace" in names
+        assert "recorded-pl-averaging-dl.jsonl" in names
+        assert "recorded-pl-spmd-ok.jsonl" in names
+        assert "recorded-cluster-dl.trace" in names
+
+    def test_cluster_recording_carries_multi_site_publishes(self):
+        trace = load_trace(CORPUS / "recorded-cluster-dl.trace")
+        sites = {r.site for r in trace if r.site is not None}
+        assert len(sites) >= 2, "expected publishes from several places"
 
     @pytest.mark.parametrize("path", corpus_files(), ids=lambda p: p.name)
     def test_replays_to_expected_verdict(self, path):

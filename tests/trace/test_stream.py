@@ -213,3 +213,84 @@ class TestTruncationTolerance:
         clipped.write_bytes(path.read_bytes()[:-5])
         outcome = replay(iter_load(clipped, on_truncation="ignore"))
         assert outcome.records_processed == 49
+
+
+class TestStreamEdgeCases:
+    @pytest.mark.parametrize("policy", ["error", "ignore"])
+    def test_zero_length_file_is_fatal(self, tmp_path, policy):
+        """An empty file has no header: fatal under every policy."""
+        empty = tmp_path / "empty.trace"
+        empty.write_bytes(b"")
+        with pytest.raises(TraceFormatError):
+            iter_load(empty, on_truncation=policy)
+
+    @pytest.mark.parametrize("policy", ["error", "ignore"])
+    def test_cut_exactly_on_frame_boundary_is_clean_eof(self, tmp_path, policy):
+        """A file ending exactly after a complete frame is not truncated
+        at all — every record before the cut streams out, even in strict
+        mode."""
+        from repro.trace.codec import CODECS
+
+        trace = build_trace(SPECS[0])
+        codec = CODECS["binary"]
+        header = codec.encode_header(trace.header)
+        frames = [codec.encode_record(r) for r in trace.records]
+        keep = len(frames) // 2
+        cut = tmp_path / "boundary.trace"
+        cut.write_bytes(header + b"".join(frames[:keep]))
+        records = tuple(iter_load(cut, on_truncation=policy))
+        assert records == trace.records[:keep]
+
+    @pytest.mark.parametrize("policy", ["error", "ignore"])
+    def test_cut_exactly_on_line_boundary_is_clean_eof(self, tmp_path, policy):
+        trace = build_trace(SPECS[0])
+        path = write(trace, tmp_path, "jsonl")
+        lines = path.read_bytes().splitlines(keepends=True)
+        keep = len(lines) // 2  # header + keep-1 records
+        cut = tmp_path / "boundary.jsonl"
+        cut.write_bytes(b"".join(lines[:keep]))
+        records = tuple(iter_load(cut, on_truncation=policy))
+        assert records == trace.records[: keep - 1]
+
+    def test_ignore_mode_with_midfile_corruption_still_fatal(self, tmp_path):
+        """on_truncation='ignore' tolerates the crash *tail* only: a
+        corrupt frame followed by good frames — even with a genuinely
+        truncated tail after them — must still raise."""
+        from repro.trace import events as ev
+        from repro.trace.codec import CODECS
+
+        codec = CODECS["binary"]
+        good = [codec.encode_record(ev.advance(i, "t1", "p", i + 1)) for i in range(3)]
+        corrupt = bytes([1, 99])  # complete frame, unknown kind tag
+        partial_tail = good[2][: len(good[2]) - 2]  # crash mid-frame
+        path = tmp_path / "bad.trace"
+        path.write_bytes(
+            codec.encode_header(ev.TraceHeader(meta={}))
+            + good[0]
+            + corrupt
+            + good[1]
+            + partial_tail
+        )
+        with pytest.raises(TraceFormatError):
+            list(iter_load(path, on_truncation="ignore"))
+
+    def test_ignore_mode_jsonl_corruption_before_valid_records_fatal(self, tmp_path):
+        trace = build_trace(SPECS[0])
+        path = write(trace, tmp_path, "jsonl")
+        lines = path.read_bytes().splitlines(keepends=True)
+        lines[2] = b'{"seq": "not-a-record"}\n'
+        bad = tmp_path / "bad.jsonl"
+        bad.write_bytes(b"".join(lines))
+        with pytest.raises(TraceFormatError):
+            list(iter_load(bad, on_truncation="ignore"))
+
+    def test_ignore_mode_jsonl_corrupt_line_before_blank_tail_fatal(self, tmp_path):
+        """A corrupt *terminated* line followed only by blank lines is
+        corruption, not a crash tail (a crash leaves an unterminated
+        partial line, never content after a newline)."""
+        trace = build_trace(SPECS[0])
+        path = write(trace, tmp_path, "jsonl")
+        bad = tmp_path / "bad.jsonl"
+        bad.write_bytes(path.read_bytes() + b'{"broken": \n\n')
+        with pytest.raises(TraceFormatError):
+            list(iter_load(bad, on_truncation="ignore"))
