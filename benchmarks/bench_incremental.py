@@ -1,0 +1,106 @@
+"""Incremental vs from-scratch checking: the O(N) vs O(N²) replay wall.
+
+The ISSUE's acceptance workload is a ``check_every=1`` detection replay
+of an N-task aio cycle trace (the thousand-task ring the asyncio
+backend records).  The from-scratch engine rebuilds the analysis graph
+at every cadence point — quadratic overall; the incremental engine
+feeds record-level deltas into the maintained graph and only pays for
+what changed — linear, with the single canonical-extraction fallback at
+the knot-closing record.
+
+``extra_info`` records per-engine events/sec and, on the incremental
+points, ``speedup_vs_scratch`` — the acceptance figure (≥5× at
+N=1000).  CI runs the suite at a reduced N (``REPRO_INCR_BENCH_TASKS``)
+and uploads ``BENCH_incremental.json``; run locally without the
+variable for the full-size numbers.
+
+A second pair of points replays the churn-shaped ok-trace (constant
+small blocked set, heavy block/unblock turnover) — the delta engine's
+worst case relative to scratch, reported for honesty: the win there is
+bounded because the from-scratch graphs are already tiny.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.trace.corpus import AioSpec, build_trace
+from repro.trace.replay import replay
+
+#: Acceptance size; CI overrides with a reduced count.
+N_TASKS = int(os.environ.get("REPRO_INCR_BENCH_TASKS", "1000"))
+
+#: The acceptance floor for the cycle-shape speedup.
+SPEEDUP_FLOOR = 5.0
+
+
+@pytest.fixture(scope="module")
+def cycle_trace():
+    return build_trace(AioSpec(tasks=N_TASKS, shape="cycle", deadlock=True))
+
+
+@pytest.fixture(scope="module")
+def churn_trace():
+    return build_trace(AioSpec(tasks=N_TASKS, shape="churn", deadlock=False))
+
+
+def _info(benchmark, trace, engine):
+    elapsed = benchmark.stats.stats.mean
+    benchmark.extra_info["engine"] = engine
+    benchmark.extra_info["tasks"] = N_TASKS
+    benchmark.extra_info["records"] = len(trace)
+    benchmark.extra_info["events_per_sec"] = round(len(trace) / elapsed)
+    return elapsed
+
+
+def test_cycle_scratch(bench, benchmark, cycle_trace):
+    result = bench(lambda: replay(cycle_trace, check_every=1))
+    assert result.deadlocked
+    _info(benchmark, cycle_trace, "scratch")
+
+
+def test_cycle_incremental(bench, benchmark, cycle_trace):
+    """The acceptance point: ≥5× over from-scratch at ``check_every=1``."""
+    result = bench(lambda: replay(cycle_trace, check_every=1, incremental=True))
+    assert result.deadlocked
+    elapsed = _info(benchmark, cycle_trace, "incremental")
+    # One timed from-scratch reference inside the same process/state so
+    # the speedup lands in this benchmark's extra_info.
+    import time
+
+    t0 = time.perf_counter()
+    reference = replay(cycle_trace, check_every=1)
+    scratch_s = time.perf_counter() - t0
+    assert reference.reports == result.reports  # byte-identical evidence
+    speedup = scratch_s / elapsed
+    benchmark.extra_info["scratch_s"] = round(scratch_s, 4)
+    benchmark.extra_info["speedup_vs_scratch"] = round(speedup, 1)
+    benchmark.extra_info["speedup_floor"] = SPEEDUP_FLOOR
+    if N_TASKS >= 1000:
+        assert speedup >= SPEEDUP_FLOOR
+
+
+def test_churn_scratch(bench, benchmark, churn_trace):
+    result = bench(lambda: replay(churn_trace, check_every=1))
+    assert not result.deadlocked
+    _info(benchmark, churn_trace, "scratch")
+
+
+def test_churn_incremental(bench, benchmark, churn_trace):
+    result = bench(lambda: replay(churn_trace, check_every=1, incremental=True))
+    assert not result.deadlocked
+    _info(benchmark, churn_trace, "incremental")
+
+
+def test_sharded_cycle_incremental(bench, benchmark, cycle_trace):
+    """Sharded detection through the maintained graph: the oracle keeps
+    shard checks O(1) while acyclic too."""
+    result = bench(
+        lambda: replay(
+            cycle_trace, check_every=1, shard_components=True, incremental=True
+        )
+    )
+    assert result.deadlocked
+    _info(benchmark, cycle_trace, "incremental+sharded")

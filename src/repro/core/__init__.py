@@ -19,6 +19,8 @@ from repro.core.graphs import DiGraph, build_wfg, build_sg, build_grg
 from repro.core.cycles import has_cycle, find_cycle, strongly_connected_components
 from repro.core.selection import GraphModel, GraphBuildResult, build_graph
 from repro.core.checker import DeadlockChecker, CheckStats
+from repro.core.scc import DynamicSCC
+from repro.core.incremental import IncrementalChecker
 from repro.core.report import (
     DeadlockReport,
     DeadlockError,
@@ -46,6 +48,8 @@ __all__ = [
     "build_graph",
     "DeadlockChecker",
     "CheckStats",
+    "DynamicSCC",
+    "IncrementalChecker",
     "DeadlockReport",
     "DeadlockError",
     "DeadlockDetectedError",

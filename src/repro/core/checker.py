@@ -33,6 +33,7 @@ from repro.core.selection import (
     GraphBuildResult,
     GraphModel,
     build_graph,
+    select_shard_model,
 )
 
 
@@ -182,6 +183,11 @@ class DeadlockChecker:
         """Withdraw ``task``'s blocked status (the task unblocked)."""
         self.dependency.clear(task)
 
+    def restore(self, task: TaskId, status: BlockedStatus) -> None:
+        """Put back a previously stamped status verbatim (the avoidance
+        undo path; see :meth:`ResourceDependency.restore`)."""
+        self.dependency.restore(task, status)
+
     # ------------------------------------------------------------------
     # verification
     # ------------------------------------------------------------------
@@ -189,6 +195,7 @@ class DeadlockChecker:
         self,
         snapshot: Optional[DependencySnapshot] = None,
         revalidate: bool = False,
+        model: Optional[GraphModel] = None,
     ) -> Optional[DeadlockReport]:
         """Analyse ``snapshot`` (or a fresh one) for a deadlock cycle.
 
@@ -196,14 +203,19 @@ class DeadlockChecker:
         reported if every involved task is still blocked with the very
         status that produced the cycle — eliminating false positives from
         tasks that unblocked after the snapshot was taken.
+
+        ``model`` overrides the checker's configured selection for this
+        one check — the hook sharded checking uses to pick a model per
+        component without reconfiguring the checker.
         """
+        effective = self.model if model is None else model
         t0 = time.perf_counter()
         if snapshot is None:
             snapshot = self.dependency.snapshot()
         if snapshot.is_empty():
-            self._record(t0, None, GraphModel.SG if self.model is not GraphModel.WFG else GraphModel.WFG, 0)
+            self._record(t0, None, GraphModel.SG if effective is not GraphModel.WFG else GraphModel.WFG, 0)
             return None
-        built = build_graph(snapshot, self.model, self.threshold_factor)
+        built = build_graph(snapshot, effective, self.threshold_factor)
         cycle = find_cycle(built.graph)
         report = None
         if cycle is not None:
@@ -225,6 +237,12 @@ class DeadlockChecker:
         obvious parallelisation unit, and (unlike :meth:`check`, which
         stops at the first cycle) one report *per* deadlocked component.
         Reports come back in shard order, which is deterministic.
+
+        The graph model is selected *per shard*
+        (:func:`~repro.core.selection.select_shard_model`): components of
+        a few tasks are checked directly in the WFG, larger ones under
+        the configured selection — a fragmented snapshot no longer pays
+        the SG attempt on every tiny knot.
         """
         if snapshot is None:
             snapshot = self.dependency.snapshot()
@@ -233,7 +251,11 @@ class DeadlockChecker:
             return []
         reports: List[DeadlockReport] = []
         for shard in snapshot_components(snapshot):
-            report = self.check(snapshot=shard, revalidate=revalidate)
+            report = self.check(
+                snapshot=shard,
+                revalidate=revalidate,
+                model=select_shard_model(len(shard), self.model),
+            )
             if report is not None:
                 reports.append(report)
         return reports
@@ -254,26 +276,44 @@ class DeadlockChecker:
             t0 = time.perf_counter()
             prior = self.dependency.get(task)
             stamped = self.dependency.set_blocked(task, status)
-            snapshot = self.dependency.snapshot()
-            built = build_graph(snapshot, self.model, self.threshold_factor)
-            cycle = self._cycle_for_avoidance(task, status, built)
-            if cycle is None:
-                self._record(t0, None, built.model_used, built.edge_count)
-                return None, stamped
-            # Withdraw the doomed status; if the caller was already
-            # blocked elsewhere (re-entrant or multi-wait usage), its
-            # previous status must survive the refusal untouched.
-            if prior is not None:
-                self.dependency.restore(task, prior)
-            else:
-                self.dependency.clear(task)
-            report = self._report_from_cycle(snapshot, built, cycle, avoided=True)
-            self._record(t0, report, built.model_used, built.edge_count)
-            return report, None
+            return self._finish_avoidance(t0, task, status, prior, stamped)
 
     # ------------------------------------------------------------------
     # internals
     # ------------------------------------------------------------------
+    def _finish_avoidance(
+        self,
+        t0: float,
+        task: TaskId,
+        status: BlockedStatus,
+        prior: Optional[BlockedStatus],
+        stamped: BlockedStatus,
+    ) -> Tuple[Optional[DeadlockReport], Optional[BlockedStatus]]:
+        """The vet-after-publication half of :meth:`check_before_block`.
+
+        Split out so subclasses can interpose a cheaper verdict between
+        publication and this full analysis (the incremental checker's
+        O(1) accept path) while sharing the refusal path verbatim.
+        Caller holds ``_avoidance_lock`` and has already published
+        ``stamped``.
+        """
+        snapshot = self.dependency.snapshot()
+        built = build_graph(snapshot, self.model, self.threshold_factor)
+        cycle = self._cycle_for_avoidance(task, status, built)
+        if cycle is None:
+            self._record(t0, None, built.model_used, built.edge_count)
+            return None, stamped
+        # Withdraw the doomed status; if the caller was already
+        # blocked elsewhere (re-entrant or multi-wait usage), its
+        # previous status must survive the refusal untouched.
+        if prior is not None:
+            self.restore(task, prior)
+        else:
+            self.clear(task)
+        report = self._report_from_cycle(snapshot, built, cycle, avoided=True)
+        self._record(t0, report, built.model_used, built.edge_count)
+        return report, None
+
     def _cycle_for_avoidance(
         self, task: TaskId, status: BlockedStatus, built: GraphBuildResult
     ):

@@ -158,6 +158,18 @@ class ResourceDependency:
         with self._lock:
             return DependencySnapshot(statuses=dict(self._statuses))
 
+    @property
+    def generation(self) -> int:
+        """The last stamped generation number.
+
+        Together with :meth:`blocked_count` this fingerprints the store
+        state: any ``set_blocked`` bumps it, any ``clear`` changes the
+        count.  The incremental checker uses the pair to detect writes
+        that bypassed its delta surface and resynchronise.
+        """
+        with self._lock:
+            return self._generation
+
     def is_current(self, task: TaskId, status: BlockedStatus) -> bool:
         """Whether ``task`` is still blocked with exactly ``status``."""
         with self._lock:

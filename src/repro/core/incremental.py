@@ -1,0 +1,297 @@
+"""Delta-maintained analysis state: O(change) updates, O(1) no-cycle checks.
+
+The classic :class:`~repro.core.checker.DeadlockChecker` re-derives the
+analysis graph from the blocked-status snapshot at every check — each
+check is O(registrations) after the awaited-index work, so a
+``check_every=1`` replay of an N-task trace is O(N²) overall.
+:class:`IncrementalChecker` removes the per-check rebuild: it consumes
+the same *deltas* the trace format already expresses (task blocked /
+unblocked, statuses restored, site buckets republished) and maintains
+the Wait-For Graph edge set in place, answering cycle queries through an
+incrementally maintained SCC structure (:class:`~repro.core.scc.DynamicSCC`).
+
+**Delta contract.**  Every state change arrives through exactly the
+:class:`~repro.core.checker.DeadlockChecker` mutation surface —
+:meth:`set_blocked`, :meth:`clear`, :meth:`restore` — so every existing
+producer (runtime observer hooks, replay engines, distributed bucket
+diffs) can feed this checker unchanged.  A blocked status is immutable
+while published (the task observer's core insight), therefore one
+status contributes a *fixed* WFG edge group computable at publication:
+
+* out-edges ``task -> t2`` for every ``t2`` impeding an event ``task``
+  waits on, found through a phase-bucketed registration index;
+* in-edges ``t1 -> task`` for every already-blocked ``t1`` waiting on an
+  event ``task`` impedes, found through an awaited-events index.
+
+Withdrawal removes the task's vertex and (only) its incident edges —
+sound because every WFG edge needs both endpoints blocked, so no other
+pair's edge can depend on the withdrawn status.
+
+**Query contract.**  While the maintained WFG is acyclic — the common
+case by far — :meth:`check` answers in O(1) with no snapshot, no graph
+build and no Tarjan run.  Only when a cycle exists does the checker fall
+back to the classic path (snapshot → :func:`~repro.core.selection.build_graph`
+→ canonical extraction), which is what keeps its reports **byte-identical**
+to the from-scratch checker's under every model selection: cycle
+*existence* is model-independent (Theorem 4.8: the WFG has a cycle iff
+the SG has one), so the maintained WFG is a sound and complete oracle
+for any configured model, and report *content* is produced by the very
+same code.  A per-epoch cache skips even that fallback when the state
+has not changed since the last extraction (a detection monitor polling
+a stable deadlock).
+
+The checker inherits the classic one's :class:`~repro.core.dependency.
+ResourceDependency` store, so generation stamping, ``is_current``
+revalidation and the avoidance restore path all keep their semantics.
+
+**Foreign writes.**  Some producers (the PL interpreter's re-publish
+loop, sites sharing one store across checkers) write to the dependency
+store directly instead of through the checker surface.  Every query
+therefore fingerprints the store (generation counter + blocked count)
+against the delta state and, on mismatch, *resynchronises* — a full
+O(N) rebuild of indexes and graph, paid only when something bypassed
+the delta surface.  The one write the fingerprint cannot see is a
+direct ``dependency.restore`` of an already-blocked task (same count,
+no new generation); all in-tree restore flows go through
+:meth:`restore`, which is delta-aware.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import Callable, Dict, List, Optional, Set, Tuple
+
+from repro.core.checker import DeadlockChecker
+from repro.core.dependency import DependencySnapshot, ResourceDependency
+from repro.core.events import BlockedStatus, Event, PhaserId, TaskId
+from repro.core.report import DeadlockReport
+from repro.core.scc import DynamicSCC
+from repro.core.selection import DEFAULT_THRESHOLD_FACTOR, GraphModel
+
+
+class IncrementalChecker(DeadlockChecker):
+    """A :class:`DeadlockChecker` whose graph state is delta-maintained.
+
+    Drop-in compatible: same constructor, same mutation and query
+    surface, same reports.  Differences are operational only —
+
+    * :meth:`check`/:meth:`check_sharded` with no explicit snapshot run
+      against the live delta state (O(1) when acyclic) instead of
+      snapshotting;
+    * :attr:`stats` records the maintained WFG's edge count (model
+      ``WFG``) for fast-path checks, since no per-model graph is built
+      on that path.
+
+    Passing an explicit ``snapshot`` bypasses the incremental state and
+    behaves exactly like the parent class (offline ablations over
+    foreign snapshots keep working).
+    """
+
+    def __init__(
+        self,
+        model: GraphModel = GraphModel.AUTO,
+        threshold_factor: float = DEFAULT_THRESHOLD_FACTOR,
+        dependency: Optional[ResourceDependency] = None,
+    ) -> None:
+        super().__init__(model, threshold_factor, dependency)
+        # One lock orders all delta applications and live-state queries;
+        # re-entrant because the avoidance path mutates while holding it.
+        self._delta_lock = threading.RLock()
+        self._scc = DynamicSCC()
+        self._statuses: Dict[TaskId, BlockedStatus] = {}
+        # phaser -> local phase -> tasks registered there (blocked only).
+        self._phases: Dict[PhaserId, Dict[int, Set[TaskId]]] = {}
+        # phaser -> awaited event -> blocked tasks waiting on it.
+        self._awaited: Dict[PhaserId, Dict[Event, Set[TaskId]]] = {}
+        self._cached_epoch = -1
+        self._cached_report: Optional[DeadlockReport] = None
+        # Fingerprint of the store state the delta state mirrors: the
+        # highest generation this checker stamped plus its own status
+        # count.  A store whose (generation, count) disagrees was
+        # written behind our back — resync before answering.
+        self._my_generation = self.dependency.generation
+        #: Optional override for the fallback snapshot.  The classic
+        #: checker derives report task order from snapshot insertion
+        #: order; a consumer mirroring a *foreign* ordering (the replay
+        #: engine's site-bucket merge) installs a factory here so the
+        #: rare cyclic-path rebuild sees byte-identical input.  Must
+        #: return statuses equal (as a mapping) to the delta state.
+        self.snapshot_source: Optional[Callable[[], "DependencySnapshot"]] = None
+
+    def _fallback_snapshot(self):
+        if self.snapshot_source is not None:
+            return self.snapshot_source()
+        return self.dependency.snapshot()
+
+    def _maybe_resync(self) -> None:
+        """Rebuild the delta state if the store was written directly.
+
+        Caller holds ``_delta_lock``.  Cheap (two counter reads) when
+        nothing bypassed the delta surface — the overwhelmingly common
+        case; O(statuses) when something did.
+        """
+        if (
+            self.dependency.generation == self._my_generation
+            and self.dependency.blocked_count() == len(self._statuses)
+        ):
+            return
+        for task in list(self._statuses):
+            self._retract(task)
+        snapshot = self.dependency.snapshot()
+        for task, status in snapshot.statuses.items():
+            self._insert(task, status)
+        self._my_generation = self.dependency.generation
+
+    # ------------------------------------------------------------------
+    # delta application (the mutation surface of the delta contract)
+    # ------------------------------------------------------------------
+    def set_blocked(self, task: TaskId, status: BlockedStatus) -> BlockedStatus:
+        with self._delta_lock:
+            self._maybe_resync()
+            stamped = super().set_blocked(task, status)
+            if task in self._statuses:
+                self._retract(task)
+            self._insert(task, stamped)
+            self._my_generation = stamped.generation
+            return stamped
+
+    def clear(self, task: TaskId) -> None:
+        with self._delta_lock:
+            self._maybe_resync()
+            super().clear(task)
+            if task in self._statuses:
+                self._retract(task)
+
+    def restore(self, task: TaskId, status: BlockedStatus) -> None:
+        with self._delta_lock:
+            self._maybe_resync()
+            super().restore(task, status)
+            if task in self._statuses:
+                self._retract(task)
+            self._insert(task, status)
+
+    def _insert(self, task: TaskId, status: BlockedStatus) -> None:
+        """Fold one newly published status into graph and indexes."""
+        self._statuses[task] = status
+        scc = self._scc
+        scc.add_vertex(task)
+        for phaser, phase in status.registered.items():
+            self._phases.setdefault(phaser, {}).setdefault(phase, set()).add(task)
+        for event in status.waits:
+            self._awaited.setdefault(event.phaser, {}).setdefault(
+                event, set()
+            ).add(task)
+        # Out-edges: who impedes the events this task waits on.
+        for event in status.waits:
+            for phase, holders in self._phases.get(event.phaser, {}).items():
+                if phase < event.phase:
+                    for impeder in holders:
+                        scc.add_edge(task, impeder)
+        # In-edges: who already waits on an event this task impedes.
+        for phaser, phase in status.registered.items():
+            for event, waiters in self._awaited.get(phaser, {}).items():
+                if phase < event.phase:
+                    for waiter in waiters:
+                        scc.add_edge(waiter, task)
+
+    def _retract(self, task: TaskId) -> None:
+        """Withdraw a status: drop the vertex and its incident edges."""
+        status = self._statuses.pop(task)
+        for phaser, phase in status.registered.items():
+            buckets = self._phases[phaser]
+            buckets[phase].discard(task)
+            if not buckets[phase]:
+                del buckets[phase]
+            if not buckets:
+                del self._phases[phaser]
+        for event in status.waits:
+            waiters = self._awaited[event.phaser]
+            waiters[event].discard(task)
+            if not waiters[event]:
+                del waiters[event]
+            if not waiters:
+                del self._awaited[event.phaser]
+        self._scc.remove_vertex(task)
+
+    # ------------------------------------------------------------------
+    # queries
+    # ------------------------------------------------------------------
+    def check(
+        self,
+        snapshot=None,
+        revalidate: bool = False,
+        model: Optional[GraphModel] = None,
+    ) -> Optional[DeadlockReport]:
+        if snapshot is not None or model is not None:
+            return super().check(
+                snapshot=snapshot, revalidate=revalidate, model=model
+            )
+        t0 = time.perf_counter()
+        with self._delta_lock:
+            self._maybe_resync()
+            if not self._scc.has_cycle():
+                self._record(t0, None, GraphModel.WFG, self._scc.edge_count)
+                return None
+            epoch = self._scc.mutation_epoch
+            if epoch == self._cached_epoch:
+                report = self._cached_report
+                self._record(t0, report, GraphModel.WFG, self._scc.edge_count)
+                return report
+            snapshot = self._fallback_snapshot()
+            report = super().check(snapshot=snapshot, revalidate=revalidate)
+            self._cached_epoch = epoch
+            self._cached_report = report
+            return report
+
+    def check_sharded(
+        self,
+        snapshot=None,
+        revalidate: bool = False,
+    ) -> List[DeadlockReport]:
+        if snapshot is not None:
+            return super().check_sharded(snapshot=snapshot, revalidate=revalidate)
+        t0 = time.perf_counter()
+        with self._delta_lock:
+            self._maybe_resync()
+            if not self._scc.has_cycle():
+                self._record(t0, None, GraphModel.WFG, self._scc.edge_count)
+                return []
+            snapshot = self._fallback_snapshot()
+            return super().check_sharded(snapshot=snapshot, revalidate=revalidate)
+
+    def check_before_block(
+        self, task: TaskId, status: BlockedStatus
+    ) -> Tuple[Optional[DeadlockReport], Optional[BlockedStatus]]:
+        with self._avoidance_lock, self._delta_lock:
+            t0 = time.perf_counter()
+            prior = self.dependency.get(task)
+            stamped = self.set_blocked(task, status)  # resyncs + applies
+            if not self._scc.has_cycle():
+                # Fast accept: publishing this status created no cycle,
+                # so blocking cannot complete a deadlock.
+                self._record(t0, None, GraphModel.WFG, self._scc.edge_count)
+                return None, stamped
+            # Slow path: the classic refusal, shared with the parent —
+            # restore/clear route through the delta-aware overrides.
+            return self._finish_avoidance(t0, task, status, prior, stamped)
+
+    # ------------------------------------------------------------------
+    # introspection (tests, benchmarks)
+    # ------------------------------------------------------------------
+    @property
+    def wfg_edge_count(self) -> int:
+        """Edges of the maintained Wait-For Graph."""
+        with self._delta_lock:
+            return self._scc.edge_count
+
+    @property
+    def mutation_epoch(self) -> int:
+        """Global delta counter (see :attr:`DynamicSCC.mutation_epoch`)."""
+        with self._delta_lock:
+            return self._scc.mutation_epoch
+
+    def maintained_graph(self):
+        """Materialise the maintained WFG (differential tests)."""
+        with self._delta_lock:
+            return self._scc.to_digraph()

@@ -28,6 +28,7 @@ from typing import Any, Callable, Dict, Iterable, List, Optional, TYPE_CHECKING
 from repro.core.checker import DeadlockChecker
 from repro.core.dependency import ResourceDependency
 from repro.core.events import BlockedStatus
+from repro.core.incremental import IncrementalChecker
 from repro.core.monitor import DetectionMonitor
 from repro.core.report import DeadlockReport
 from repro.core.selection import DEFAULT_THRESHOLD_FACTOR, GraphModel
@@ -76,6 +77,15 @@ class ArmusRuntime:
         every block/unblock (and the synchronizers' register/advance
         context) is appended to it — recording works in *any* mode,
         including OFF (record cheaply now, replay offline later).
+    incremental:
+        Use the delta-maintained
+        :class:`~repro.core.incremental.IncrementalChecker`: the
+        observer hooks (``block_entry``/``block_exit``, whichever driver
+        — thread or asyncio — invoked them) become graph deltas, the
+        detection monitor's periodic poll stops snapshotting (O(1) while
+        no deadlock exists), and avoidance checks only pay for a graph
+        build when the tentative block actually closes a cycle.
+        Reports are identical to the classic checker's.
     """
 
     def __init__(
@@ -88,12 +98,14 @@ class ArmusRuntime:
         threshold_factor: float = DEFAULT_THRESHOLD_FACTOR,
         dependency: Optional[ResourceDependency] = None,
         recorder: Optional["TraceRecorder"] = None,
+        incremental: bool = False,
     ) -> None:
         self.mode = mode
         self.poll_s = poll_s
         self.cancel_on_detect = cancel_on_detect
         self.recorder = recorder
-        self.checker = DeadlockChecker(
+        checker_cls = IncrementalChecker if incremental else DeadlockChecker
+        self.checker = checker_cls(
             model=model, threshold_factor=threshold_factor, dependency=dependency
         )
         self.monitor = DetectionMonitor(

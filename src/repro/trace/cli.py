@@ -10,9 +10,12 @@ Four subcommands cover the record → persist → analyse loop:
   directories through the checker.  ``--parallel N`` fans a corpus out
   over N worker processes; ``--stream`` reads each file in O(frame)
   memory; ``--shard-components`` checks connected components
-  independently.  Corpus output on stdout is byte-identical for any
-  ``--parallel`` value (timing goes to stderr) — CI diffs serial
-  against parallel output to pin it;
+  independently; ``--incremental`` selects the delta-maintained engine
+  (same reports, O(N) instead of O(N²) at ``check_every=1``).  Corpus
+  output on stdout is byte-identical for any ``--parallel`` value and
+  either engine (timing goes to stderr, buffered and emitted once after
+  the merge) — CI diffs serial against parallel and incremental output
+  to pin it;
 * ``gen`` — write a scenario corpus over parameter grids
   (``--families cycle,churn,aio``; the aio family generates the
   asyncio backend's thousand-task shapes, ``--task-counts`` scales
@@ -42,14 +45,20 @@ from repro.core.selection import GraphModel
 from repro.trace.codec import load_trace
 from repro.trace.corpus import (
     DEFAULT_AIO_GRID,
+    DEFAULT_BOUNDED_GRID,
     DEFAULT_CHURN_GRID,
     DEFAULT_GRID,
+    DEFAULT_KNOT_GRID,
     SMOKE_AIO_GRID,
+    SMOKE_BOUNDED_GRID,
     SMOKE_CHURN_GRID,
     SMOKE_GRID,
+    SMOKE_KNOT_GRID,
     aio_grid_specs,
+    bounded_grid_specs,
     churn_grid_specs,
     grid_specs,
+    knot_grid_specs,
     verify_corpus,
     write_corpus,
 )
@@ -57,7 +66,7 @@ from repro.trace.recorder import TraceRecorder
 from repro.trace.replay import replay as run_replay
 
 #: Scenario families ``gen`` knows how to write.
-FAMILIES = ("cycle", "churn", "aio")
+FAMILIES = ("cycle", "churn", "aio", "bounded", "knot")
 
 
 def _ints(text: str) -> List[int]:
@@ -244,6 +253,7 @@ def _replay_single(path: pathlib.Path, args: argparse.Namespace) -> int:
         model=GraphModel(args.model),
         check_every=args.check_every,
         shard_components=args.shard_components,
+        incremental=args.incremental,
     )
     print(f"trace: {path} ({described})")
     print(
@@ -275,6 +285,7 @@ def _replay_corpus(paths, args: argparse.Namespace) -> int:
         check_every=args.check_every,
         shard_components=args.shard_components,
         stream=args.stream,
+        incremental=args.incremental,
         processes=args.parallel,
     )
     print(f"corpus: {len(result.entries)} trace(s), mode={result.mode}")
@@ -297,13 +308,24 @@ def _replay_corpus(paths, args: argparse.Namespace) -> int:
         f"verdicts: {deadlocked}/{len(result.entries)} deadlocked, "
         f"{len(result.mismatches)} mismatch(es)"
     )
-    print(
+    # Timing goes to stderr — buffered into one write, emitted only
+    # after the merge, so the per-file lines always come out whole, in
+    # work-list order, regardless of how many worker processes shared
+    # the stream.  (Interleaving with worker stderr mid-line is what
+    # made --parallel timing undiffable in CI.)
+    timing = [
+        f"timing: {entry.path.name}: "
+        f"{entry.result.duration_s * 1e3:.1f} ms "
+        f"({entry.result.events_per_sec:,.0f} events/sec)"
+        for entry in result.entries
+    ]
+    timing.append(
         f"replayed {result.records_processed} record(s), "
         f"{result.checks_run} check(s) in {result.duration_s * 1e3:.1f} ms "
         f"({result.events_per_sec:,.0f} events/sec, "
-        f"processes={result.processes})",
-        file=sys.stderr,
+        f"processes={result.processes})"
     )
+    sys.stderr.write("\n".join(timing) + "\n")
     return 1 if result.mismatches else 0
 
 
@@ -351,6 +373,25 @@ def cmd_gen(args: argparse.Namespace) -> int:
                     SMOKE_AIO_GRID["verdicts"],
                 )
             )
+        if "bounded" in families:
+            specs.extend(
+                bounded_grid_specs(
+                    SMOKE_BOUNDED_GRID["stage_counts"],
+                    SMOKE_BOUNDED_GRID["bounds"],
+                    SMOKE_BOUNDED_GRID["rounds"],
+                    SMOKE_BOUNDED_GRID["site_counts"],
+                    SMOKE_BOUNDED_GRID["verdicts"],
+                )
+            )
+        if "knot" in families:
+            specs.extend(
+                knot_grid_specs(
+                    SMOKE_KNOT_GRID["pair_counts"],
+                    SMOKE_KNOT_GRID["rounds"],
+                    SMOKE_KNOT_GRID["site_counts"],
+                    SMOKE_KNOT_GRID["verdicts"],
+                )
+            )
         results = verify_corpus(specs, processes=args.parallel)
         bad = [spec for spec, ok in results if not ok]
         for spec, ok in results:
@@ -387,6 +428,25 @@ def cmd_gen(args: argparse.Namespace) -> int:
                 args.task_counts or DEFAULT_AIO_GRID["task_counts"],
                 DEFAULT_AIO_GRID["shapes"],
                 DEFAULT_AIO_GRID["verdicts"],
+            )
+        )
+    if "bounded" in families:
+        specs.extend(
+            bounded_grid_specs(
+                DEFAULT_BOUNDED_GRID["stage_counts"],
+                DEFAULT_BOUNDED_GRID["bounds"],
+                args.rounds or DEFAULT_BOUNDED_GRID["rounds"],
+                args.sites or DEFAULT_BOUNDED_GRID["site_counts"],
+                DEFAULT_BOUNDED_GRID["verdicts"],
+            )
+        )
+    if "knot" in families:
+        specs.extend(
+            knot_grid_specs(
+                DEFAULT_KNOT_GRID["pair_counts"],
+                args.rounds or DEFAULT_KNOT_GRID["rounds"],
+                args.sites or DEFAULT_KNOT_GRID["site_counts"],
+                DEFAULT_KNOT_GRID["verdicts"],
             )
         )
     codecs = ("jsonl", "binary") if args.codec == "both" else (args.codec,)
@@ -460,11 +520,15 @@ def build_parser() -> argparse.ArgumentParser:
     p_replay.add_argument("--shard-components", action="store_true",
                           help="check connected components of the wait-for "
                                "graph independently (detection only)")
+    p_replay.add_argument("--incremental", action="store_true",
+                          help="feed record-level deltas into a maintained "
+                               "analysis graph instead of rebuilding per "
+                               "check (same reports, O(N) not O(N²))")
     p_replay.set_defaults(fn=cmd_replay)
 
     p_gen = sub.add_parser("gen", help="generate a scenario corpus")
     p_gen.add_argument("--out", default=None, help="output directory")
-    p_gen.add_argument("--families", default="cycle,churn,aio",
+    p_gen.add_argument("--families", default="cycle,churn,aio,bounded,knot",
                        help="comma-separated scenario families "
                             f"(from: {', '.join(FAMILIES)})")
     p_gen.add_argument("--cycle-lens", type=_ints, default=None)

@@ -25,10 +25,14 @@ records (tasks round-robined over sites, each publish replacing that
 site's whole bucket) — the distributed one-phase detection replayed
 from a file.
 
-Three spec families share :func:`build_trace`: :class:`ScenarioSpec`
-(the cycle grid), :class:`ChurnSpec` (dynamic membership) and
+Five spec families share :func:`build_trace`: :class:`ScenarioSpec`
+(the cycle grid), :class:`ChurnSpec` (dynamic membership),
 :class:`AioSpec` (the asyncio backend's high-task-count shapes —
-thousand-task rings and whole-pool churn).
+thousand-task rings and whole-pool churn), :class:`BoundedSpec`
+(producer-consumer pipelines over bounded phasers — signal/ack clock
+pairs, deadlocking with every buffer *full*) and :class:`KnotSpec`
+(mixed lock/barrier knots — locks held across a barrier wait, the
+JArmus ``ReentrantLock`` instrumentation's scenario class).
 
 The schedules are arranged so that in a ``check_every=1`` detection
 replay a report appears exactly at the record that first closes the
@@ -341,6 +345,288 @@ def churn_trace(spec: ChurnSpec) -> Trace:
 
 
 # ---------------------------------------------------------------------------
+# producer-consumer bounded-phaser family
+# ---------------------------------------------------------------------------
+@dataclass(frozen=True)
+class BoundedSpec:
+    """A ring pipeline over bounded signal/ack clock pairs.
+
+    ``stages`` tasks form a ring: stage ``i`` *produces* items on its
+    signal clock ``s{i}`` and *consumes* its predecessor's stream
+    ``s{i-1}``, acknowledging each item on its ack clock ``a{i}``.  The
+    bound is the producer-consumer invariant of a bounded phaser: stage
+    ``i`` may signal item ``m`` only while ``m - phase(a{i+1}) <=
+    bound`` — once ``bound`` items are unacknowledged it must wait for
+    its consumer's ack event.  Consumers observe their input stream
+    without registering on it (a pure wait), so an idle consumer never
+    impedes the producer's signal clock.
+
+    ``rounds`` warm-up token circulations exercise the *empty* waits
+    (each stage briefly blocks for its input, one blocked task at a
+    time — cycle-free at every prefix).  Then every stage produces
+    ``bound`` items ahead and blocks *full*, waiting for an ack its
+    blocked consumer will never give: waits ``a{i+1}@(R+1)`` while
+    registered at ``a{i}: R`` — the all-full ring knot, closed by the
+    last stage's block.  With ``deadlock=False`` stage 1 first consumes
+    (and acks) one item, so its producer's wait has no impeder and the
+    ring degenerates to an acyclic chain.
+    """
+
+    stages: int = 2
+    bound: int = 1
+    rounds: int = 1
+    sites: int = 1
+    deadlock: bool = True
+
+    def __post_init__(self) -> None:
+        if self.stages < 2:
+            raise ValueError("stages must be at least 2 (the ring needs 2)")
+        if self.bound < 1:
+            raise ValueError("bound must be at least 1")
+        if self.rounds < 0 or self.sites < 1:
+            raise ValueError("rounds must be >= 0, sites >= 1")
+
+    @property
+    def n_tasks(self) -> int:
+        return self.stages
+
+    @property
+    def name(self) -> str:
+        verdict = "dl" if self.deadlock else "ok"
+        return (
+            f"bounded-G{self.stages}-B{self.bound}"
+            f"-R{self.rounds}-S{self.sites}-{verdict}"
+        )
+
+
+def bounded_trace(spec: BoundedSpec) -> Trace:
+    """Generate the full trace for a :class:`BoundedSpec`."""
+    emit = _Emitter(spec.sites)
+    L, R, bound = spec.stages, spec.rounds, spec.bound
+    names = [f"st{i}" for i in range(L)]
+
+    def sig(i: int) -> str:
+        return f"s{i % L}"
+
+    def ack(i: int) -> str:
+        return f"a{i % L}"
+
+    for i, name in enumerate(names):
+        emit.register(name, sig(i), 0)
+        emit.register(name, ack(i), 0)
+
+    # Warm-up: one token circulates per round; each stage blocks empty
+    # (waiting its input signal), consumes, acks, and signals onwards.
+    # At most one task is blocked at any prefix — trivially cycle-free.
+    for r in range(1, R + 1):
+        emit.advance(names[0], sig(0), r)
+        for i in range(1, L):
+            emit.block(
+                i,
+                names[i],
+                BlockedStatus(
+                    waits=frozenset({Event(sig(i - 1), r)}),
+                    registered={sig(i): r - 1, ack(i): r - 1},
+                ),
+            )
+            emit.unblock(i, names[i])
+            emit.advance(names[i], ack(i), r)
+            emit.advance(names[i], sig(i), r)
+        emit.block(
+            0,
+            names[0],
+            BlockedStatus(
+                waits=frozenset({Event(sig(L - 1), r)}),
+                registered={sig(0): r, ack(0): r - 1},
+            ),
+        )
+        emit.unblock(0, names[0])
+        emit.advance(names[0], ack(0), r)
+
+    # Every stage produces ahead until its buffer is full.
+    for i, name in enumerate(names):
+        for m in range(R + 1, R + bound + 1):
+            emit.advance(name, sig(i), m)
+
+    acked = {i: R for i in range(L)}
+    if not spec.deadlock:
+        # Stage 1 consumes (and acks) one item before anyone blocks:
+        # its producer's full-wait then has no impeder.
+        emit.block(
+            1,
+            names[1],
+            BlockedStatus(
+                waits=frozenset({Event(sig(0), R + 1)}),
+                registered={sig(1): R + bound, ack(1): R},
+            ),
+        )
+        emit.unblock(1, names[1])
+        emit.advance(names[1], ack(1), R + 1)
+        acked[1] = R + 1
+
+    # The knot: stage i blocks full, waiting its consumer's next ack.
+    for i, name in enumerate(names):
+        emit.block(
+            i,
+            name,
+            BlockedStatus(
+                waits=frozenset({Event(ack(i + 1), R + 1)}),
+                registered={sig(i): R + bound, ack(i): acked[i]},
+            ),
+        )
+
+    if not spec.deadlock:
+        # The chain unwinds from its free end; keep the trace tidy.
+        for i, name in reversed(list(enumerate(names))):
+            emit.unblock(i, name)
+
+    header = TraceHeader(
+        meta={
+            "scenario": spec.name,
+            "family": "bounded",
+            "stages": spec.stages,
+            "bound": spec.bound,
+            "rounds": spec.rounds,
+            "sites": spec.sites,
+            "tasks": spec.n_tasks,
+            "expect_deadlock": spec.deadlock,
+            "generator": "repro.trace.corpus",
+        }
+    )
+    return Trace(header=header, records=tuple(emit.records))
+
+
+# ---------------------------------------------------------------------------
+# mixed lock/barrier knot family
+# ---------------------------------------------------------------------------
+@dataclass(frozen=True)
+class KnotSpec:
+    """Locks held across a barrier wait, tangled with lock acquirers.
+
+    ``pairs`` holder/waiter pairs share one barrier.  In the knot,
+    holder ``h{p}`` takes lock ``l{p}``, arrives at the barrier and
+    waits for the others; waiter ``w{p}`` — which has *not* arrived —
+    tries to take ``l{p}`` instead.  Under the lock event model
+    (:mod:`repro.runtime.locks`: the holder of epoch ``k`` impedes the
+    release event ``(l, k+1)``) that is the classic mixed knot: the
+    holder's barrier wait is impeded by every non-arrived waiter, and
+    each waiter's lock wait is impeded by its holder — a cycle through
+    a lock edge *and* a barrier edge, closed by the first waiter's
+    block.  With ``deadlock=False`` the waiters arrive at the barrier
+    before acquiring, so the barrier trips and only acyclic lock waits
+    remain.
+
+    ``rounds`` warm-up barrier rounds (with per-round lock
+    acquire/release context) provide bulk that must stay report-free.
+    """
+
+    pairs: int = 1
+    rounds: int = 1
+    sites: int = 1
+    deadlock: bool = True
+
+    def __post_init__(self) -> None:
+        if self.pairs < 1:
+            raise ValueError("pairs must be at least 1")
+        if self.rounds < 0 or self.sites < 1:
+            raise ValueError("rounds must be >= 0, sites >= 1")
+
+    @property
+    def n_tasks(self) -> int:
+        return 2 * self.pairs
+
+    @property
+    def name(self) -> str:
+        verdict = "dl" if self.deadlock else "ok"
+        return f"knot-P{self.pairs}-R{self.rounds}-S{self.sites}-{verdict}"
+
+
+def knot_trace(spec: KnotSpec) -> Trace:
+    """Generate the full trace for a :class:`KnotSpec`."""
+    emit = _Emitter(spec.sites)
+    P, R = spec.pairs, spec.rounds
+    holders = [f"h{p}" for p in range(P)]
+    waiters = [f"w{p}" for p in range(P)]
+    tasks = holders + waiters
+    barrier = "bar"
+
+    for name in tasks:
+        emit.register(name, barrier, 0)
+
+    # Warm-up: each round the holders cycle their locks (acquire at the
+    # current epoch, release advancing it) and everyone runs one clean
+    # SPMD barrier step.
+    for r in range(1, R + 1):
+        for p, name in enumerate(holders):
+            emit.register(name, f"l{p}", r - 1)
+            emit.advance(name, f"l{p}", r)
+        for idx, name in enumerate(tasks):
+            emit.advance(name, barrier, r)
+            emit.block(
+                idx,
+                name,
+                BlockedStatus(
+                    waits=frozenset({Event(barrier, r)}),
+                    registered={barrier: r},
+                ),
+            )
+        for idx, name in enumerate(tasks):
+            emit.unblock(idx, name)
+
+    # The knot.  Holders take their locks (epoch R after R releases),
+    # arrive at the barrier and wait for the stragglers.
+    for p, name in enumerate(holders):
+        emit.register(name, f"l{p}", R)
+        emit.advance(name, barrier, R + 1)
+        emit.block(
+            p,
+            name,
+            BlockedStatus(
+                waits=frozenset({Event(barrier, R + 1)}),
+                registered={barrier: R + 1, f"l{p}": R},
+            ),
+        )
+    # Waiters go for the held locks.  Deadlock: without arriving (they
+    # impede the holders' barrier wait).  Ok: after arriving (they
+    # impede nothing, and the barrier will trip).
+    for p, name in enumerate(waiters):
+        registered = {barrier: R}
+        if not spec.deadlock:
+            emit.advance(name, barrier, R + 1)
+            registered = {barrier: R + 1}
+        emit.block(
+            P + p,
+            name,
+            BlockedStatus(
+                waits=frozenset({Event(f"l{p}", R + 1)}), registered=registered
+            ),
+        )
+
+    if not spec.deadlock:
+        # Everyone arrived: the barrier trips, the holders release, the
+        # waiters acquire; unwind in that order.
+        for p, name in enumerate(holders):
+            emit.unblock(p, name)
+            emit.advance(name, f"l{p}", R + 1)
+        for p, name in enumerate(waiters):
+            emit.unblock(P + p, name)
+
+    header = TraceHeader(
+        meta={
+            "scenario": spec.name,
+            "family": "knot",
+            "pairs": spec.pairs,
+            "rounds": spec.rounds,
+            "sites": spec.sites,
+            "tasks": spec.n_tasks,
+            "expect_deadlock": spec.deadlock,
+            "generator": "repro.trace.corpus",
+        }
+    )
+    return Trace(header=header, records=tuple(emit.records))
+
+
+# ---------------------------------------------------------------------------
 # high-task-count (asyncio-backend) family
 # ---------------------------------------------------------------------------
 #: Shapes the aio family generates.
@@ -434,6 +720,10 @@ def build_trace(spec) -> Trace:
         return churn_trace(spec)
     if isinstance(spec, AioSpec):
         return aio_trace(spec)
+    if isinstance(spec, BoundedSpec):
+        return bounded_trace(spec)
+    if isinstance(spec, KnotSpec):
+        return knot_trace(spec)
     raise TypeError(f"not a scenario spec: {spec!r}")
 
 
@@ -489,6 +779,72 @@ SMOKE_AIO_GRID = dict(
     shapes=AIO_SHAPES,
     verdicts=(True, False),
 )
+
+#: Default bounded-pipeline grid (ring size, buffer bound axes).
+DEFAULT_BOUNDED_GRID = dict(
+    stage_counts=(2, 3),
+    bounds=(1, 2),
+    rounds=(2,),
+    site_counts=(1, 2),
+    verdicts=(True, False),
+)
+
+#: Bounded specs for --smoke: one small ring per verdict and site count.
+SMOKE_BOUNDED_GRID = dict(
+    stage_counts=(3,),
+    bounds=(2,),
+    rounds=(1,),
+    site_counts=(1, 2),
+    verdicts=(True, False),
+)
+
+#: Default mixed lock/barrier knot grid.
+DEFAULT_KNOT_GRID = dict(
+    pair_counts=(1, 2),
+    rounds=(2,),
+    site_counts=(1, 2),
+    verdicts=(True, False),
+)
+
+#: Knot specs for --smoke.
+SMOKE_KNOT_GRID = dict(
+    pair_counts=(2,),
+    rounds=(1,),
+    site_counts=(1, 2),
+    verdicts=(True, False),
+)
+
+
+def bounded_grid_specs(
+    stage_counts: Sequence[int],
+    bounds: Sequence[int],
+    rounds: Sequence[int] = (1,),
+    site_counts: Sequence[int] = (1,),
+    verdicts: Sequence[bool] = (True, False),
+) -> List[BoundedSpec]:
+    """The cross product of the bounded-pipeline grid axes."""
+    return [
+        BoundedSpec(stages=stages, bound=bound, rounds=r, sites=sites,
+                    deadlock=verdict)
+        for stages, bound, r, sites, verdict in itertools.product(
+            stage_counts, bounds, rounds, site_counts, verdicts
+        )
+    ]
+
+
+def knot_grid_specs(
+    pair_counts: Sequence[int],
+    rounds: Sequence[int] = (1,),
+    site_counts: Sequence[int] = (1,),
+    verdicts: Sequence[bool] = (True, False),
+) -> List[KnotSpec]:
+    """The cross product of the lock/barrier knot grid axes."""
+    return [
+        KnotSpec(pairs=pairs, rounds=r, sites=sites, deadlock=verdict)
+        for pairs, r, sites, verdict in itertools.product(
+            pair_counts, rounds, site_counts, verdicts
+        )
+    ]
 
 
 def aio_grid_specs(

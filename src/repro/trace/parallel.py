@@ -144,16 +144,17 @@ class CorpusReplayResult:
 
 
 def _replay_one(
-    args: Tuple[str, str, GraphModel, float, int, bool, bool]
+    args: Tuple[str, str, GraphModel, float, int, bool, bool, bool]
 ) -> Tuple[dict, ReplayResult]:
     """Worker body: replay one file; must stay module-level picklable."""
-    path, mode, model, threshold_factor, check_every, shard, stream = args
+    path, mode, model, threshold_factor, check_every, shard, stream, incremental = args
     engine = ReplayEngine(
         mode=mode,
         model=model,
         threshold_factor=threshold_factor,
         check_every=check_every,
         shard_components=shard,
+        incremental=incremental,
     )
     if stream:
         from repro.trace.stream import iter_load
@@ -175,6 +176,7 @@ def replay_corpus(
     check_every: int = 1,
     shard_components: bool = False,
     stream: bool = False,
+    incremental: bool = False,
     processes: int = 1,
 ) -> CorpusReplayResult:
     """Replay every trace under ``sources``, fanning out over processes.
@@ -187,7 +189,8 @@ def replay_corpus(
     if not paths:
         raise ValueError(f"no trace files found under {sources!r}")
     work = [
-        (str(p), mode, model, threshold_factor, check_every, shard_components, stream)
+        (str(p), mode, model, threshold_factor, check_every, shard_components,
+         stream, incremental)
         for p in paths
     ]
     t0 = time.perf_counter()

@@ -1,0 +1,44 @@
+"""Event-loop policy selection for the asyncio backend tests.
+
+The backend only assumes ``call_soon_threadsafe`` + futures, so the
+whole suite can run under an alternative loop.  Setting
+``REPRO_AIO_LOOP=uvloop`` re-runs every aio test on uvloop — the CI
+job's optional leg, guarded by an install probe so the leg *skips*
+(rather than fails) on platforms where uvloop cannot be installed.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import os
+
+import pytest
+
+_REQUESTED = os.environ.get("REPRO_AIO_LOOP", "").strip().lower()
+
+
+def pytest_configure(config):
+    if _REQUESTED in ("", "default", "asyncio"):
+        return
+    if _REQUESTED != "uvloop":
+        raise pytest.UsageError(
+            f"unknown REPRO_AIO_LOOP={_REQUESTED!r} (try 'uvloop')"
+        )
+    try:
+        import uvloop
+    except ImportError:
+        # Skip, don't fail: the CI probe should have prevented this,
+        # but a developer exporting the variable without the package
+        # still gets a clean run.
+        config._repro_uvloop_missing = True
+        return
+    asyncio.set_event_loop_policy(uvloop.EventLoopPolicy())
+
+
+def pytest_collection_modifyitems(config, items):
+    if getattr(config, "_repro_uvloop_missing", False):
+        skip = pytest.mark.skip(
+            reason="REPRO_AIO_LOOP=uvloop but uvloop is not installed"
+        )
+        for item in items:
+            item.add_marker(skip)

@@ -1,0 +1,301 @@
+"""Stateful differential tests: IncrementalChecker vs from-scratch.
+
+The delta contract's acceptance property is *pointwise* equivalence:
+after every single state change, the incremental checker's answer —
+report or no report, plain or sharded — must equal the classic
+checker's on the same state.  These tests drive both checkers through
+
+* every trace in the checked-in regression corpus (the real workloads:
+  cycle, churn, aio, bounded, knot families plus live recordings), and
+* randomised delta sequences (random statuses over small task/phaser
+  pools, random withdrawals, re-publications and restores),
+
+comparing canonical reports at every cadence point.
+"""
+
+from __future__ import annotations
+
+import pathlib
+import random
+
+import pytest
+
+from repro.core.checker import DeadlockChecker
+from repro.core.events import BlockedStatus, Event
+from repro.core.incremental import IncrementalChecker
+from repro.core.selection import GraphModel
+from repro.trace.events import RecordKind
+from repro.trace.parallel import discover_traces
+from repro.trace.replay import replay
+from repro.trace.stream import iter_load
+
+CORPUS = pathlib.Path(__file__).parent.parent / "trace" / "corpus"
+
+
+def corpus_files():
+    return discover_traces(CORPUS)
+
+
+def drive_both(records, model=GraphModel.AUTO, sharded=False):
+    """Feed the same delta stream to both checkers; compare after every
+    state change.  Returns how many comparisons ran."""
+    scratch = DeadlockChecker(model=model)
+    incremental = IncrementalChecker(model=model)
+    compared = 0
+    for rec in records:
+        if rec.kind is RecordKind.BLOCK:
+            scratch.set_blocked(rec.task, rec.status)
+            incremental.set_blocked(rec.task, rec.status)
+        elif rec.kind is RecordKind.UNBLOCK:
+            scratch.clear(rec.task)
+            incremental.clear(rec.task)
+        else:
+            continue
+        if sharded:
+            assert incremental.check_sharded() == scratch.check_sharded()
+        else:
+            assert incremental.check() == scratch.check()
+        compared += 1
+    return compared
+
+
+class TestCorpusDifferential:
+    @pytest.mark.parametrize("path", corpus_files(), ids=lambda p: p.name)
+    def test_reports_identical_at_every_cadence_point(self, path):
+        """Block/unblock traces: drive both checkers record by record.
+        Publish traces exercise the engine-level bucket diffing instead
+        (their records carry no per-task delta to hand a checker)."""
+        records = list(iter_load(path))
+        if any(r.kind is RecordKind.PUBLISH for r in records):
+            a = replay(records, check_every=1)
+            b = replay(records, check_every=1, incremental=True)
+            assert a.reports == b.reports
+            return
+        assert drive_both(records) > 0
+
+    @pytest.mark.parametrize("path", corpus_files(), ids=lambda p: p.name)
+    def test_sharded_reports_identical(self, path):
+        records = list(iter_load(path))
+        if any(r.kind is RecordKind.PUBLISH for r in records):
+            a = replay(records, check_every=1, shard_components=True)
+            b = replay(
+                records, check_every=1, shard_components=True, incremental=True
+            )
+            assert a.reports == b.reports
+            return
+        drive_both(records, sharded=True)
+
+    @pytest.mark.parametrize(
+        "model", [GraphModel.WFG, GraphModel.SG], ids=str
+    )
+    def test_fixed_model_reports_identical(self, model):
+        """The incremental oracle is model-independent (Theorem 4.8):
+        fixed-WFG and fixed-SG configurations fall back to identical
+        reports too."""
+        records = list(iter_load(CORPUS / "aio-cycle-N8-dl.jsonl"))
+        drive_both(records, model=model)
+
+
+def random_status(rng, phasers):
+    """A random blocked status over a small phaser pool."""
+    waits = frozenset(
+        Event(rng.choice(phasers), rng.randint(1, 3))
+        for _ in range(rng.randint(1, 2))
+    )
+    registered = {
+        p: rng.randint(0, 3)
+        for p in rng.sample(phasers, rng.randint(0, len(phasers)))
+    }
+    return BlockedStatus(waits=waits, registered=registered)
+
+
+class TestRandomizedDifferential:
+    @pytest.mark.parametrize("seed", range(10))
+    def test_random_delta_sequences(self, seed):
+        rng = random.Random(seed)
+        tasks = [f"t{i}" for i in range(8)]
+        phasers = [f"p{i}" for i in range(4)]
+        scratch = DeadlockChecker()
+        incremental = IncrementalChecker()
+        blocked = set()
+        for _ in range(250):
+            op = rng.random()
+            if op < 0.55 or not blocked:
+                task = rng.choice(tasks)
+                status = random_status(rng, phasers)
+                scratch.set_blocked(task, status)
+                incremental.set_blocked(task, status)
+                blocked.add(task)
+            else:
+                task = rng.choice(sorted(blocked))
+                scratch.clear(task)
+                incremental.clear(task)
+                blocked.discard(task)
+            assert incremental.check() == scratch.check()
+            assert incremental.check_sharded() == scratch.check_sharded()
+
+    @pytest.mark.parametrize("seed", range(5))
+    def test_random_avoidance_sequences(self, seed):
+        """check_before_block: refusals, restores and accepted publishes
+        must leave both checkers in equivalent states throughout."""
+        rng = random.Random(1000 + seed)
+        tasks = [f"t{i}" for i in range(6)]
+        phasers = [f"p{i}" for i in range(3)]
+        scratch = DeadlockChecker()
+        incremental = IncrementalChecker()
+        for _ in range(150):
+            if rng.random() < 0.7:
+                task = rng.choice(tasks)
+                status = random_status(rng, phasers)
+                r1, s1 = scratch.check_before_block(task, status)
+                r2, s2 = incremental.check_before_block(task, status)
+                assert r1 == r2
+                assert (s1 is None) == (s2 is None)
+            else:
+                task = rng.choice(tasks)
+                scratch.clear(task)
+                incremental.clear(task)
+            assert incremental.check() == scratch.check()
+
+    def test_restore_keeps_states_aligned(self):
+        """The avoidance restore path: a withdrawn tentative status must
+        put the prior one (and its edges) back."""
+        scratch = DeadlockChecker()
+        incremental = IncrementalChecker()
+        prior = BlockedStatus(
+            waits=frozenset({Event("p", 1)}), registered={"p": 1, "q": 0}
+        )
+        for checker in (scratch, incremental):
+            stamped = checker.set_blocked("a", prior)
+            checker.set_blocked(
+                "a",
+                BlockedStatus(waits=frozenset({Event("z", 1)}), registered={}),
+            )
+            checker.restore("a", stamped)
+            checker.set_blocked(
+                "b",
+                BlockedStatus(
+                    waits=frozenset({Event("q", 1)}), registered={"p": 0, "q": 1}
+                ),
+            )
+        assert incremental.check() == scratch.check()
+        assert incremental.check() is not None
+
+
+class TestForeignStoreWrites:
+    """Producers that write to the dependency store directly (the PL
+    interpreter's re-publish loop, shared-store deployments) must be
+    detected and resynchronised — never silently missed."""
+
+    def knot(self):
+        return {
+            "a": BlockedStatus(
+                waits=frozenset({Event("p", 1)}), registered={"p": 1, "q": 0}
+            ),
+            "b": BlockedStatus(
+                waits=frozenset({Event("q", 1)}), registered={"p": 0, "q": 1}
+            ),
+        }
+
+    def test_direct_dependency_writes_are_resynced(self):
+        checker = IncrementalChecker()
+        for task, status in self.knot().items():
+            checker.dependency.set_blocked(task, status)
+        scratch = DeadlockChecker()
+        for task, status in self.knot().items():
+            scratch.dependency.set_blocked(task, status)
+        assert checker.check() == scratch.check()
+        assert checker.check() is not None
+
+    def test_clear_all_behind_the_checkers_back(self):
+        checker = IncrementalChecker()
+        for task, status in self.knot().items():
+            checker.set_blocked(task, status)
+        assert checker.check() is not None
+        checker.dependency.clear_all()
+        assert checker.check() is None
+        assert checker.wfg_edge_count == 0
+
+    def test_pl_interpreter_accepts_an_incremental_checker(self):
+        """The interpreter republishes phi(S) via clear_all + direct
+        store writes on every cadence step — the resync must make an
+        incremental checker a true drop-in there."""
+        from repro.pl.interpreter import Interpreter
+        from repro.pl.programs import running_example
+        from repro.pl.state import State
+
+        a = Interpreter(seed=7, checker=DeadlockChecker()).run(
+            State.initial(running_example(I=3, J=1))
+        )
+        b = Interpreter(seed=7, checker=IncrementalChecker()).run(
+            State.initial(running_example(I=3, J=1))
+        )
+        assert a.is_deadlocked and b.is_deadlocked
+        assert a.reports and b.reports
+        assert a.reports[0].cycle == b.reports[0].cycle
+
+    def test_shared_store_between_two_checkers(self):
+        from repro.core.dependency import ResourceDependency
+
+        store = ResourceDependency()
+        writer = DeadlockChecker(dependency=store)
+        reader = IncrementalChecker(dependency=store)
+        for task, status in self.knot().items():
+            writer.set_blocked(task, status)
+        assert reader.check() == writer.check()
+        writer.clear("a")
+        assert reader.check() is None
+
+
+class TestTransientPublishConflicts:
+    """Cross-site duplication is rejected at check time — like the
+    from-scratch merge — so an overlap resolving within one cadence
+    window replays identically in both engines."""
+
+    def records(self):
+        from repro.trace import events as ev
+        from repro.trace.events import status_to_obj
+        from repro.core.events import waiting_on
+
+        blob = status_to_obj(waiting_on("p", 1, p=1))
+        return [
+            ev.publish(0, "A", {"t1": blob}),
+            ev.publish(1, "B", {"t1": blob}),
+            ev.publish(2, "A", {}),
+        ]
+
+    def test_transient_overlap_replays_in_both_engines(self):
+        recs = self.records()
+        a = replay(recs, check_every=10)
+        b = replay(recs, check_every=10, incremental=True)
+        assert a.reports == b.reports
+        assert a.checks_run == b.checks_run
+
+    def test_persisting_overlap_raises_identically(self):
+        recs = self.records()[:2]
+        errors = []
+        for kwargs in ({}, {"incremental": True}):
+            with pytest.raises(ValueError) as exc:
+                replay(recs, check_every=1, **kwargs)
+            errors.append(str(exc.value))
+        assert errors[0] == errors[1]
+        assert "several sites" in errors[0]
+
+    def test_survivor_status_wins_after_resolution(self):
+        """While conflicted the delta state is last-writer; resolution
+        must re-apply the surviving site's status, not keep the loser's."""
+        from repro.trace import events as ev
+        from repro.trace.events import status_to_obj
+        from repro.core.events import waiting_on
+
+        a_blob = status_to_obj(waiting_on("p", 1, p=1, q=0))
+        b_blob = status_to_obj(waiting_on("q", 1, p=0, q=1))
+        recs = [
+            ev.publish(0, "A", {"t1": a_blob, "t2": b_blob}),
+            ev.publish(1, "B", {"t2": a_blob}),  # conflicting duplicate
+            ev.publish(2, "B", {}),  # B retracts: A's t2 must win again
+        ]
+        x = replay(recs, check_every=5)
+        y = replay(recs, check_every=5, incremental=True)
+        assert x.reports == y.reports
+        assert x.deadlocked  # A's pair is the crossed knot

@@ -1,0 +1,187 @@
+"""DynamicSCC: incremental cycle maintenance under insert/delete churn."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.core.scc import DynamicSCC
+
+
+def edges_of(pairs) -> DynamicSCC:
+    """Build a DynamicSCC from an edge iterable."""
+    scc = DynamicSCC()
+    for u, v in pairs:
+        scc.add_edge(u, v)
+    return scc
+
+
+class TestBasics:
+    def test_empty_has_no_cycle(self):
+        assert not DynamicSCC().has_cycle()
+
+    def test_path_is_acyclic(self):
+        scc = edges_of([(1, 2), (2, 3), (3, 4)])
+        assert not scc.has_cycle()
+        assert scc.edge_count == 3
+        assert scc.vertex_count == 4
+
+    def test_closing_edge_creates_cycle(self):
+        scc = edges_of([(1, 2), (2, 3)])
+        assert not scc.has_cycle()
+        scc.add_edge(3, 1)
+        assert scc.has_cycle()
+
+    def test_self_loop_is_a_cycle(self):
+        scc = DynamicSCC()
+        scc.add_edge("t", "t")
+        assert scc.has_cycle()
+
+    def test_duplicate_edges_and_vertices_are_idempotent(self):
+        scc = DynamicSCC()
+        scc.add_edge(1, 2)
+        scc.add_edge(1, 2)
+        scc.add_vertex(1)
+        assert scc.edge_count == 1
+
+    def test_remove_edge_breaks_the_cycle(self):
+        scc = edges_of([(1, 2), (2, 1)])
+        assert scc.has_cycle()
+        scc.remove_edge(2, 1)
+        assert not scc.has_cycle()
+
+    def test_remove_vertex_breaks_the_cycle(self):
+        scc = edges_of([(1, 2), (2, 3), (3, 1)])
+        assert scc.has_cycle()
+        scc.remove_vertex(2)
+        assert not scc.has_cycle()
+        assert scc.edge_count == 1  # only 3 -> 1 survives
+
+    def test_one_cycle_among_many_components(self):
+        scc = edges_of([(1, 2), (3, 4), (5, 6), (6, 5), (7, 8)])
+        assert scc.has_cycle()
+        components = scc.cyclic_components()
+        assert components == [frozenset({5, 6})]
+
+    def test_vertex_readded_after_removal_is_fresh(self):
+        """The churn pattern: a task unblocks and blocks again.  Stale
+        component bookkeeping must not leak across incarnations."""
+        scc = edges_of([(1, 2), (2, 3)])
+        scc.remove_vertex(1)
+        scc.add_edge(3, 1)  # re-adds 1 with a fresh identity
+        assert not scc.has_cycle()
+        scc.add_edge(1, 2)
+        assert scc.has_cycle()
+        scc.remove_vertex(2)
+        assert not scc.has_cycle()
+
+    def test_cycle_restored_after_break(self):
+        scc = edges_of([(1, 2), (2, 1)])
+        scc.remove_edge(1, 2)
+        assert not scc.has_cycle()
+        scc.add_edge(1, 2)
+        assert scc.has_cycle()
+
+
+class TestEpochs:
+    def test_epoch_advances_on_component_mutation(self):
+        scc = DynamicSCC()
+        scc.add_edge("a", "b")
+        before = scc.epoch_of("a")
+        scc.add_edge("b", "c")
+        assert scc.epoch_of("a") > before
+
+    def test_untouched_component_epoch_is_stable(self):
+        scc = DynamicSCC()
+        scc.add_edge("a", "b")
+        scc.add_edge("x", "y")
+        before = scc.epoch_of("a")
+        scc.add_edge("y", "z")  # other component only
+        assert scc.epoch_of("a") == before
+
+    def test_mutation_epoch_is_global(self):
+        scc = DynamicSCC()
+        e0 = scc.mutation_epoch
+        scc.add_edge("a", "b")
+        assert scc.mutation_epoch > e0
+
+    def test_component_of_tracks_unions(self):
+        scc = DynamicSCC()
+        scc.add_edge("a", "b")
+        scc.add_edge("c", "d")
+        assert scc.component_of("a") == frozenset({"a", "b"})
+        scc.add_edge("b", "c")
+        assert scc.component_of("a") == frozenset({"a", "b", "c", "d"})
+
+
+class TestScopedRecompute:
+    def test_deletion_in_cyclic_component_recomputes_scoped(self):
+        """Breaking one of two cycles in a component keeps the other."""
+        scc = edges_of([(1, 2), (2, 1), (2, 3), (3, 2)])
+        assert scc.has_cycle()
+        scc.remove_edge(2, 1)
+        assert scc.has_cycle()  # 2 <-> 3 survives
+        scc.remove_edge(3, 2)
+        assert not scc.has_cycle()
+
+    def test_component_split_after_deletion(self):
+        """A deletion can split a weak component; verdicts must follow
+        the true partition after the lazy recompute."""
+        scc = edges_of([(1, 2), (2, 1), (2, 3), (3, 4), (4, 3)])
+        assert scc.has_cycle()
+        scc.remove_edge(2, 3)  # splits {1,2} from {3,4}
+        assert scc.has_cycle()  # both halves still cyclic
+        scc.remove_edge(2, 1)
+        assert scc.has_cycle()  # {3,4} still cyclic
+        scc.remove_edge(4, 3)
+        assert not scc.has_cycle()
+
+
+class TestRandomizedDifferential:
+    """The oracle property: under random insert/delete churn the
+    maintained verdict always equals a from-scratch Tarjan run."""
+
+    @pytest.mark.parametrize("seed", range(8))
+    def test_random_churn_matches_tarjan(self, seed):
+        rng = random.Random(seed)
+        scc = DynamicSCC()
+        vertices = list(range(12))
+        edges = set()
+        for step in range(300):
+            op = rng.random()
+            if op < 0.45 or not edges:
+                u, v = rng.choice(vertices), rng.choice(vertices)
+                scc.add_edge(u, v)
+                edges.add((u, v))
+            elif op < 0.8:
+                u, v = rng.choice(sorted(edges))
+                scc.remove_edge(u, v)
+                edges.discard((u, v))
+            else:
+                v = rng.choice(vertices)
+                if v in scc:
+                    scc.remove_vertex(v)
+                    edges = {(a, b) for a, b in edges if a != v and b != v}
+            if step % 7 == 0:
+                scc.check_valid()
+        scc.check_valid()
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_grow_then_shrink(self, seed):
+        """Monotone growth to a dense graph, then full teardown —
+        exercising the dirty/recompute path on every deletion."""
+        rng = random.Random(100 + seed)
+        scc = DynamicSCC()
+        edges = [
+            (rng.randrange(10), rng.randrange(10)) for _ in range(60)
+        ]
+        for u, v in edges:
+            scc.add_edge(u, v)
+        scc.check_valid()
+        rng.shuffle(edges)
+        for u, v in edges:
+            scc.remove_edge(u, v)
+            scc.check_valid()
+        assert not scc.has_cycle()
+        assert scc.edge_count == 0

@@ -1,0 +1,146 @@
+"""Live-runtime wiring of the delta-maintained checker.
+
+``ArmusRuntime(incremental=True)`` swaps the classic checker for an
+:class:`~repro.core.incremental.IncrementalChecker`: the observer hooks
+become graph deltas and the detection monitor polls without
+snapshotting.  These tests pin that the swap changes *nothing*
+semantically — same reports, same cancellations, same avoidance
+refusals — through both the hook surface and real blocked threads.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+
+import pytest
+
+from repro.core.events import waiting_on
+from repro.core.incremental import IncrementalChecker
+from repro.core.report import DeadlockAvoidedError, DeadlockError
+from repro.runtime.phaser import Phaser
+
+
+@pytest.fixture
+def incremental_detection(runtime_factory):
+    return runtime_factory("detection", incremental=True)
+
+
+@pytest.fixture
+def incremental_avoidance(runtime_factory):
+    return runtime_factory("avoidance", incremental=True)
+
+
+class TestHookSurface:
+    def test_runtime_installs_the_incremental_checker(self, runtime_factory):
+        runtime = runtime_factory("detection", incremental=True)
+        assert isinstance(runtime.checker, IncrementalChecker)
+
+    def test_block_entry_is_a_delta(self, incremental_detection):
+        rt = incremental_detection
+        task = rt.current_task()
+        rt.block_entry(task, waiting_on("p", 1, p=1))
+        assert rt.checker.wfg_edge_count == 0
+        assert rt.checker.dependency.blocked_count() == 1
+        rt.block_exit(task)
+        assert rt.checker.dependency.blocked_count() == 0
+
+    def test_monitor_poll_is_snapshot_free_when_acyclic(
+        self, incremental_detection
+    ):
+        """The tentpole's monitor claim: polling a deadlock-free state
+        answers from the maintained graph (stats record the WFG fast
+        path, never a built SG)."""
+        rt = incremental_detection
+        task = rt.current_task()
+        rt.block_entry(task, waiting_on("bar", 1, bar=1))
+        for _ in range(5):
+            assert rt.monitor.poll_once() is None
+        from repro.core.selection import GraphModel
+
+        assert set(rt.checker.stats.model_histogram()) == {GraphModel.WFG}
+        rt.block_exit(task)
+
+    def test_avoidance_refuses_the_closing_block(self, incremental_avoidance):
+        rt = incremental_avoidance
+        other = rt.spawn(lambda: None)
+        other.join(5)
+        rt.checker.set_blocked(other.task_id, waiting_on("p", 1, p=1, q=0))
+        report = rt.block_entry(
+            rt.current_task(), waiting_on("q", 1, q=1, p=0)
+        )
+        assert report is not None and report.avoided
+        # The doomed status was withdrawn from the delta state too.
+        assert rt.checker.check() is None
+
+
+class TestLiveDeadlocks:
+    def crossed(self, runtime):
+        """Two tasks in the classic crossed two-phaser deadlock."""
+        ph1 = Phaser(runtime, register_self=False, name="p")
+        ph2 = Phaser(runtime, register_self=False, name="q")
+        gate = threading.Event()
+        order = threading.Event()
+
+        def first() -> None:
+            gate.wait(10)
+            order.set()
+            ph1.arrive_and_await_advance()
+
+        def second() -> None:
+            gate.wait(10)
+            order.wait(10)
+            time.sleep(0.01)
+            ph2.arrive_and_await_advance()
+
+        t1 = runtime.spawn(first, register=[ph1, ph2], name="t1")
+        t2 = runtime.spawn(second, register=[ph1, ph2], name="t2")
+        gate.set()
+        return t1, t2
+
+    def test_incremental_detection_cancels_the_cycle(
+        self, incremental_detection
+    ):
+        tasks = self.crossed(incremental_detection)
+        for task in tasks:
+            with pytest.raises(DeadlockError):
+                task.join(10)
+        assert incremental_detection.reports
+        report = incremental_detection.reports[0]
+        assert len(report.tasks) == 2  # both crossed tasks condemned
+
+    def test_incremental_avoidance_raises_instead_of_blocking(
+        self, incremental_avoidance
+    ):
+        tasks = self.crossed(incremental_avoidance)
+        refused = 0
+        for task in tasks:
+            try:
+                task.join(10)
+            except DeadlockError:
+                refused += 1
+        assert refused >= 1  # the closing block was refused
+        assert incremental_avoidance.reports
+        assert incremental_avoidance.reports[0].avoided
+        # After the refusal the delta state holds no cycle.
+        assert incremental_avoidance.checker.check() is None
+
+    def test_reports_match_classic_runtime(self, runtime_factory):
+        """Same scenario, both checkers: the evidence is identical up to
+        nondeterministic task ids (compare shapes)."""
+        classic = runtime_factory("detection")
+        incremental = runtime_factory("detection", incremental=True)
+        shapes = []
+        for runtime in (classic, incremental):
+            tasks = self.crossed(runtime)
+            for task in tasks:
+                try:
+                    task.join(10)
+                except DeadlockError:
+                    pass
+            assert runtime.reports
+            report = runtime.reports[0]
+            shapes.append(
+                (len(report.tasks), len(report.events), report.model_used)
+            )
+        assert shapes[0] == shapes[1]

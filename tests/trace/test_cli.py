@@ -104,3 +104,53 @@ class TestRecord:
         rc = main(["record", "--scenario", "crossed", "--mode", "off",
                    "--out", str(tmp_path / "x.jsonl")])
         assert rc == 2
+
+
+class TestIncrementalFlag:
+    def test_single_file_incremental(self, tmp_path, capsys):
+        main(["gen", "--out", str(tmp_path), "--cycle-lens", "2",
+              "--fan-outs", "1", "--sites", "1", "--rounds", "1",
+              "--codec", "jsonl", "--families", "cycle"])
+        capsys.readouterr()
+        path = next(p for p in tmp_path.iterdir()
+                    if p.name.endswith("-dl.jsonl"))
+        assert main(["replay", str(path), "--incremental"]) == 0
+        assert "barrier deadlock detected" in capsys.readouterr().out
+
+    def test_corpus_incremental_stdout_matches_scratch(self, tmp_path, capsys):
+        main(["gen", "--out", str(tmp_path), "--cycle-lens", "2,3",
+              "--fan-outs", "1", "--sites", "1,2", "--rounds", "1",
+              "--codec", "jsonl", "--families", "cycle,knot,bounded"])
+        capsys.readouterr()
+        assert main(["replay", str(tmp_path)]) == 0
+        scratch = capsys.readouterr().out
+        assert main(["replay", str(tmp_path), "--incremental"]) == 0
+        assert capsys.readouterr().out == scratch
+
+
+class TestBufferedCorpusTiming:
+    def test_timing_goes_to_stderr_once_after_merge(self, tmp_path, capsys):
+        """One timing line per file plus the total, in work-list order,
+        for any --parallel value — emitted as a single buffered write so
+        worker stderr cannot interleave mid-line."""
+        main(["gen", "--out", str(tmp_path), "--cycle-lens", "2,3",
+              "--fan-outs", "1", "--sites", "1", "--rounds", "1",
+              "--codec", "jsonl", "--families", "cycle"])
+        capsys.readouterr()
+        for parallel in ("1", "2"):
+            assert main(["replay", str(tmp_path), "--parallel", parallel]) == 0
+            out, err = capsys.readouterr()
+            timing = [l for l in err.splitlines() if l.startswith("timing: ")]
+            files = sorted(p.name for p in tmp_path.iterdir())
+            assert [l.split()[1].rstrip(":") for l in timing] == files
+            assert err.splitlines()[-1].startswith("replayed ")
+            assert "timing:" not in out
+
+    def test_new_families_reach_gen(self, tmp_path, capsys):
+        main(["gen", "--out", str(tmp_path), "--families", "bounded,knot",
+              "--codec", "jsonl"])
+        out = capsys.readouterr().out
+        names = {p.name for p in tmp_path.iterdir()}
+        assert any(n.startswith("bounded-") for n in names)
+        assert any(n.startswith("knot-") for n in names)
+        assert "wrote" in out

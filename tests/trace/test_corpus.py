@@ -185,3 +185,123 @@ class TestAioFamily:
         specs = aio_grid_specs((128, 1000))
         assert len(specs) == 8  # 2 counts x 2 shapes x 2 verdicts
         assert len({s.name for s in specs}) == 8
+
+
+class TestBoundedFamily:
+    def test_spec_validation_and_names(self):
+        from repro.trace.corpus import BoundedSpec
+
+        assert (
+            BoundedSpec(stages=3, bound=2, rounds=1).name
+            == "bounded-G3-B2-R1-S1-dl"
+        )
+        assert (
+            BoundedSpec(stages=2, bound=1, rounds=0, sites=2,
+                        deadlock=False).name
+            == "bounded-G2-B1-R0-S2-ok"
+        )
+        with pytest.raises(ValueError):
+            BoundedSpec(stages=1)
+        with pytest.raises(ValueError):
+            BoundedSpec(bound=0)
+
+    @pytest.mark.parametrize("deadlock", [True, False])
+    @pytest.mark.parametrize("sites", [1, 2])
+    def test_ground_truth(self, deadlock, sites):
+        from repro.trace.corpus import BoundedSpec, build_trace
+
+        spec = BoundedSpec(stages=3, bound=2, rounds=2, sites=sites,
+                           deadlock=deadlock)
+        assert replay(build_trace(spec)).deadlocked == deadlock
+
+    def test_bound_shows_in_the_signal_phases(self):
+        """The producer runs exactly ``bound`` items ahead before the
+        full-buffer wait — the bounded-phaser invariant, in the trace."""
+        from repro.trace.corpus import BoundedSpec, build_trace
+
+        bound, rounds = 3, 1
+        trace = build_trace(BoundedSpec(stages=2, bound=bound, rounds=rounds))
+        sig_advances = [
+            r.phase for r in trace
+            if r.kind is RecordKind.ADVANCE and r.phaser == "s0"
+        ]
+        assert max(sig_advances) == rounds + bound
+        blocks = [r for r in trace if r.kind is RecordKind.BLOCK]
+        final = blocks[-2]  # st0's full-buffer block
+        assert final.status.registered["s0"] == rounds + bound
+        assert final.status.registered["a0"] == rounds
+
+    def test_deadlock_appears_only_when_the_ring_fills(self):
+        """Prefix safety: the all-full knot closes at the last stage's
+        block and never before."""
+        from repro.trace.corpus import BoundedSpec, build_trace
+
+        trace = build_trace(BoundedSpec(stages=4, bound=2, rounds=2))
+        assert replay(trace).deadlocked
+        assert not replay(trace.records[:-1]).deadlocked
+
+    def test_consumers_do_not_impede_their_input_stream(self):
+        """A consumer observes its input signal clock without
+        registering on it (pure wait) — no spurious back edges."""
+        from repro.trace.corpus import BoundedSpec, build_trace
+
+        trace = build_trace(BoundedSpec(stages=2, bound=1, rounds=1))
+        for rec in trace:
+            if rec.kind is RecordKind.BLOCK:
+                for event in rec.status.waits:
+                    if str(event.phaser).startswith("s"):
+                        assert event.phaser not in rec.status.registered or \
+                            rec.status.registered[event.phaser] >= event.phase
+
+
+class TestKnotFamily:
+    def test_spec_validation_and_names(self):
+        from repro.trace.corpus import KnotSpec
+
+        assert KnotSpec(pairs=2, rounds=1).name == "knot-P2-R1-S1-dl"
+        assert (
+            KnotSpec(pairs=1, rounds=0, sites=2, deadlock=False).name
+            == "knot-P1-R0-S2-ok"
+        )
+        with pytest.raises(ValueError):
+            KnotSpec(pairs=0)
+
+    @pytest.mark.parametrize("deadlock", [True, False])
+    @pytest.mark.parametrize("sites", [1, 2])
+    def test_ground_truth(self, deadlock, sites):
+        from repro.trace.corpus import KnotSpec, build_trace
+
+        spec = KnotSpec(pairs=2, rounds=2, sites=sites, deadlock=deadlock)
+        assert replay(build_trace(spec)).deadlocked == deadlock
+
+    def test_cycle_mixes_lock_and_barrier_edges(self):
+        """The deadlock evidence must involve both resource kinds: the
+        barrier event the holder awaits and the lock release event the
+        waiter awaits."""
+        from repro.trace.corpus import KnotSpec, build_trace
+
+        outcome = replay(build_trace(KnotSpec(pairs=1, rounds=1)))
+        assert outcome.deadlocked
+        phasers = {str(e.phaser) for e in outcome.reports[0].events}
+        assert "bar" in phasers
+        assert "l0" in phasers
+
+    def test_deadlock_closes_at_the_first_lock_wait(self):
+        """Prefix safety: holders parked at the barrier are harmless
+        until a non-arrived waiter goes for a held lock."""
+        from repro.trace.corpus import KnotSpec, build_trace
+
+        trace = build_trace(KnotSpec(pairs=2, rounds=1))
+        blocks = [i for i, r in enumerate(trace.records)
+                  if r.kind is RecordKind.BLOCK]
+        first_waiter_block = blocks[-2]  # w0 (w1 repeats the knot)
+        assert not replay(trace.records[:first_waiter_block]).deadlocked
+        assert replay(trace.records[:first_waiter_block + 1]).deadlocked
+
+    def test_lock_epochs_advance_through_the_warmup(self):
+        from repro.trace.corpus import KnotSpec, build_trace
+
+        trace = build_trace(KnotSpec(pairs=1, rounds=3))
+        lock_advances = [r.phase for r in trace
+                         if r.kind is RecordKind.ADVANCE and r.phaser == "l0"]
+        assert lock_advances == [1, 2, 3]  # one release per round

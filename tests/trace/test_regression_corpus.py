@@ -8,10 +8,13 @@ against the golden bytes: any refactor that changes a report (cycle
 rotation, task ordering, check cadence, codec framing) fails loudly
 here instead of drifting silently.
 
-Regenerating the golden file after an *intentional* change::
+Regenerating the golden files after an *intentional* change::
 
     PYTHONPATH=src python -m repro.trace replay tests/trace/corpus \
         > tests/trace/corpus/expected_replay.txt 2>/dev/null
+    PYTHONPATH=src python -m repro.trace replay tests/trace/corpus \
+        --shard-components \
+        > tests/trace/corpus/expected_replay_sharded.txt 2>/dev/null
 """
 
 from __future__ import annotations
@@ -22,12 +25,23 @@ import pytest
 
 from repro.trace.cli import main
 from repro.trace.codec import dumps, load_trace
-from repro.trace.corpus import AioSpec, ChurnSpec, ScenarioSpec, build_trace
+from repro.trace.corpus import (
+    AioSpec,
+    BoundedSpec,
+    ChurnSpec,
+    KnotSpec,
+    ScenarioSpec,
+    build_trace,
+)
 from repro.trace.parallel import discover_traces
 from repro.trace.replay import replay
 
 CORPUS = pathlib.Path(__file__).parent / "corpus"
 GOLDEN = CORPUS / "expected_replay.txt"
+#: Sharded replay has its own golden: per-shard model selection checks
+#: small components in the WFG, so its reports legitimately differ from
+#: the serial (whole-snapshot, usually SG) ones.
+GOLDEN_SHARDED = CORPUS / "expected_replay_sharded.txt"
 
 #: The generated members of the corpus (the recorded-* files are
 #: one-off captures and are pinned by bytes alone).
@@ -39,6 +53,10 @@ GENERATED_SPECS = (
     ChurnSpec(pool=4, window=2, rounds=2, sites=2, deadlock=False),
     AioSpec(tasks=8, shape="cycle", deadlock=True),
     AioSpec(tasks=8, shape="churn", deadlock=False),
+    BoundedSpec(stages=3, bound=2, rounds=1, sites=1, deadlock=True),
+    BoundedSpec(stages=2, bound=1, rounds=1, sites=2, deadlock=False),
+    KnotSpec(pairs=2, rounds=1, sites=1, deadlock=True),
+    KnotSpec(pairs=1, rounds=1, sites=2, deadlock=False),
 )
 
 CODEC_EXT = {"jsonl": ".jsonl", "binary": ".trace"}
@@ -58,10 +76,12 @@ def expected_verdict(path: pathlib.Path) -> bool:
 class TestCorpusContents:
     def test_corpus_is_checked_in_and_nonempty(self):
         files = corpus_files()
-        assert len(files) == 19
+        assert len(files) == 27
         assert any(p.name.startswith("recorded-") for p in files)
         assert any(p.name.startswith("churn-") for p in files)
         assert any(p.name.startswith("aio-") for p in files)
+        assert any(p.name.startswith("bounded-") for p in files)
+        assert any(p.name.startswith("knot-") for p in files)
 
     def test_recorded_members_cover_every_source(self):
         """The ROADMAP's pinned-surface item: live runtime, PL
@@ -85,6 +105,12 @@ class TestCorpusContents:
     @pytest.mark.parametrize("path", corpus_files(), ids=lambda p: p.name)
     def test_streamed_replay_agrees(self, path):
         assert replay(path, stream=True).reports == replay(path).reports
+
+    @pytest.mark.parametrize("path", corpus_files(), ids=lambda p: p.name)
+    def test_incremental_replay_agrees(self, path):
+        """The tentpole acceptance pin: the delta-maintained engine
+        reproduces the from-scratch reports on every corpus member."""
+        assert replay(path, incremental=True).reports == replay(path).reports
 
     @pytest.mark.parametrize("spec", GENERATED_SPECS, ids=lambda s: s.name)
     @pytest.mark.parametrize("codec", sorted(CODEC_EXT))
@@ -110,7 +136,18 @@ class TestGoldenReplayOutput:
     def test_streamed_output_matches_golden(self, capsys):
         assert self.run_cli(capsys, "--stream") == GOLDEN.read_text()
 
-    def test_sharded_output_matches_golden(self, capsys):
-        """Single-deadlock corpora: per-component checking must not
-        change what gets reported."""
-        assert self.run_cli(capsys, "--shard-components") == GOLDEN.read_text()
+    def test_incremental_output_matches_golden(self, capsys):
+        """The CI assertion, in-process: --incremental is byte-identical
+        to the from-scratch engine."""
+        assert self.run_cli(capsys, "--incremental") == GOLDEN.read_text()
+
+    def test_sharded_output_matches_sharded_golden(self, capsys):
+        """Sharded replay is pinned by its own golden (per-shard model
+        selection reports small components as WFG cycles)."""
+        assert self.run_cli(capsys, "--shard-components") == GOLDEN_SHARDED.read_text()
+
+    def test_sharded_incremental_matches_sharded_golden(self, capsys):
+        assert (
+            self.run_cli(capsys, "--shard-components", "--incremental")
+            == GOLDEN_SHARDED.read_text()
+        )
