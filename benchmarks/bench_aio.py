@@ -12,6 +12,12 @@ process, the workload class this backend opens).
 ``extra_info`` carries ``syncs_per_sec`` (tasks × rounds / mean wall
 time) per backend/size point; CI uploads the whole suite as
 ``BENCH_aio.json`` next to the trace-replay benchmark artifact.
+
+The ``aio-uvloop`` column (the ROADMAP item) reruns the aio points on a
+uvloop event loop at matched sizes, so the artifact carries
+syncs/sec for the default loop and uvloop side by side.  It is
+probe-gated exactly like the CI uvloop leg: where no uvloop wheel is
+installed the points *skip* instead of failing.
 """
 
 from __future__ import annotations
@@ -25,15 +31,29 @@ from repro.aio.scenarios import barrier_rounds
 from repro.runtime.phaser import Phaser
 from repro.runtime.verifier import ArmusRuntime, VerificationMode
 
+
+def _uvloop_available() -> bool:
+    try:
+        import uvloop  # noqa: F401
+    except ImportError:
+        return False
+    return True
+
+
 #: (backend, tasks, rounds) grid.  Matched sizes first, then the
-#: aio-only scale points (≥1000 tasks: the ISSUE's floor).
+#: aio-only scale points (≥1000 tasks: the ISSUE's floor); the uvloop
+#: column mirrors the aio points (probe-gated skip where unavailable).
 POINTS = [
     ("thread", 32, 20),
     ("aio", 32, 20),
+    ("aio-uvloop", 32, 20),
     ("thread", 128, 10),
     ("aio", 128, 10),
+    ("aio-uvloop", 128, 10),
     ("aio", 1024, 4),
+    ("aio-uvloop", 1024, 4),
     ("aio", 2048, 2),
+    ("aio-uvloop", 2048, 2),
 ]
 
 
@@ -81,17 +101,58 @@ def run_aio_backend(n_tasks: int, rounds: int) -> int:
     return n_tasks * rounds
 
 
-RUNNERS = {"thread": run_thread_backend, "aio": run_aio_backend}
+def run_aio_uvloop_backend(n_tasks: int, rounds: int) -> int:
+    """The aio workload on a uvloop event loop (caller has probed the
+    import)."""
+    import uvloop
+
+    runtime = ArmusRuntime(
+        mode=VerificationMode.DETECTION, interval_s=0.1, poll_s=0.005
+    ).start()
+
+    async def main() -> None:
+        tasks = barrier_rounds(runtime, n_tasks, rounds)
+        for task in tasks:
+            await task.wait(120)
+
+    try:
+        if hasattr(asyncio, "Runner"):  # 3.11+
+            with asyncio.Runner(loop_factory=uvloop.new_event_loop) as runner:
+                runner.run(main())
+        else:  # 3.10: drive a uvloop loop by hand
+            loop = uvloop.new_event_loop()
+            try:
+                asyncio.set_event_loop(loop)
+                loop.run_until_complete(main())
+            finally:
+                asyncio.set_event_loop(None)
+                loop.close()
+    finally:
+        runtime.stop()
+    assert not runtime.reports
+    return n_tasks * rounds
+
+
+RUNNERS = {
+    "thread": run_thread_backend,
+    "aio": run_aio_backend,
+    "aio-uvloop": run_aio_uvloop_backend,
+}
 
 
 @pytest.mark.parametrize(
     "backend,n_tasks,rounds", POINTS, ids=[f"{b}-N{n}xR{r}" for b, n, r in POINTS]
 )
 def test_barrier_rounds_throughput(bench, benchmark, backend, n_tasks, rounds):
+    if backend == "aio-uvloop" and not _uvloop_available():
+        pytest.skip("uvloop wheel not installed on this platform/python")
     syncs = bench(RUNNERS[backend], n_tasks, rounds)
     assert syncs == n_tasks * rounds
     elapsed = benchmark.stats.stats.mean
     benchmark.extra_info["backend"] = backend
+    benchmark.extra_info["loop"] = (
+        "uvloop" if backend == "aio-uvloop" else "asyncio"
+    )
     benchmark.extra_info["tasks"] = n_tasks
     benchmark.extra_info["rounds"] = rounds
     benchmark.extra_info["syncs_per_sec"] = round(syncs / elapsed)

@@ -22,7 +22,7 @@ from __future__ import annotations
 import threading
 import time
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List, Mapping, Optional, Tuple
 
 from repro.core.cycles import cycle_through, find_cycle
 from repro.core.dependency import DependencySnapshot, ResourceDependency
@@ -340,6 +340,32 @@ class DeadlockChecker:
             cycle = find_cycle(built.graph)
         return cycle
 
+    @staticmethod
+    def _wfg_report(
+        statuses: Mapping[TaskId, BlockedStatus],
+        cycle: list,
+        edge_count: int,
+        avoided: bool,
+    ) -> DeadlockReport:
+        """Assemble a WFG-model report from a task cycle.
+
+        The one assembly rule for WFG evidence — shared by the classic
+        built-graph path and the incremental checker's maintained-state
+        extraction, so the two can never drift apart field by field.
+        """
+        tasks = tuple(dict.fromkeys(cycle[:-1]))
+        events: list[Event] = []
+        for t in tasks:
+            events.extend(sorted(statuses[t].waits))
+        return DeadlockReport(
+            tasks=tasks,
+            events=tuple(dict.fromkeys(events)),
+            cycle=tuple(cycle),
+            model_used=GraphModel.WFG,
+            edge_count=edge_count,
+            avoided=avoided,
+        )
+
     def _report_from_cycle(
         self,
         snapshot: DependencySnapshot,
@@ -349,19 +375,16 @@ class DeadlockChecker:
     ) -> DeadlockReport:
         """Translate a graph cycle into task/event evidence."""
         if built.model_used is GraphModel.WFG:
-            tasks = tuple(dict.fromkeys(cycle[:-1]))
-            events: list[Event] = []
-            for t in tasks:
-                events.extend(sorted(snapshot.statuses[t].waits))
-            events_t = tuple(dict.fromkeys(events))
-        else:
-            events_t = tuple(dict.fromkeys(cycle[:-1]))
-            event_set = set(events_t)
-            tasks = tuple(
-                t
-                for t, s in snapshot.statuses.items()
-                if s.waits & event_set
+            return self._wfg_report(
+                snapshot.statuses, cycle, built.edge_count, avoided
             )
+        events_t = tuple(dict.fromkeys(cycle[:-1]))
+        event_set = set(events_t)
+        tasks = tuple(
+            t
+            for t, s in snapshot.statuses.items()
+            if s.waits & event_set
+        )
         return DeadlockReport(
             tasks=tasks,
             events=events_t,

@@ -122,12 +122,15 @@ def canonical_rotation(cycle: List[Vertex]) -> List[Vertex]:
     return rotated
 
 
-def find_cycle(graph: DiGraph) -> Optional[List[Vertex]]:
-    """A concrete cycle ``[v1, ..., vk, v1]`` if one exists, else ``None``.
+def canonical_cyclic_scc(graph: DiGraph):
+    """The canonical cyclic SCC choice: ``(entry, members)`` for the
+    cyclic SCC holding the globally minimal vertex, or ``None``.
 
-    Canonical: the cyclic SCC containing the globally minimal vertex is
-    selected (the SCC partition is unique, so this choice is independent
-    of traversal order), and the returned walk starts at that vertex.
+    The one selection rule behind every canonical extraction — the
+    from-scratch :func:`find_cycle` and the maintained-partition
+    :meth:`~repro.core.scc.DynamicSCC.extract_cycle` both call it, so
+    the two paths cannot drift (the byte-identical-reports guarantee
+    rests on them choosing the same SCC by the same rule).
     """
     entry: Optional[Vertex] = None
     members: Optional[Set[Vertex]] = None
@@ -140,6 +143,20 @@ def find_cycle(graph: DiGraph) -> Optional[List[Vertex]]:
             members = set(component)
     if entry is None or members is None:
         return None
+    return entry, members
+
+
+def find_cycle(graph: DiGraph) -> Optional[List[Vertex]]:
+    """A concrete cycle ``[v1, ..., vk, v1]`` if one exists, else ``None``.
+
+    Canonical: the cyclic SCC containing the globally minimal vertex is
+    selected (the SCC partition is unique, so this choice is independent
+    of traversal order), and the returned walk starts at that vertex.
+    """
+    chosen = canonical_cyclic_scc(graph)
+    if chosen is None:
+        return None
+    entry, members = chosen
     return canonical_rotation(_cycle_containing(graph, members, entry))
 
 

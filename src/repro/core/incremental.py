@@ -13,8 +13,8 @@ incrementally maintained SCC structure (:class:`~repro.core.scc.DynamicSCC`).
 **Delta contract.**  Every state change arrives through exactly the
 :class:`~repro.core.checker.DeadlockChecker` mutation surface —
 :meth:`set_blocked`, :meth:`clear`, :meth:`restore` — so every existing
-producer (runtime observer hooks, replay engines, distributed bucket
-diffs) can feed this checker unchanged.  A blocked status is immutable
+producer (runtime observer hooks, replay engines, the distributed
+delta-merge view) can feed this checker unchanged.  A blocked status is immutable
 while published (the task observer's core insight), therefore one
 status contributes a *fixed* WFG edge group computable at publication:
 
@@ -29,14 +29,28 @@ pair's edge can depend on the withdrawn status.
 
 **Query contract.**  While the maintained WFG is acyclic — the common
 case by far — :meth:`check` answers in O(1) with no snapshot, no graph
-build and no Tarjan run.  Only when a cycle exists does the checker fall
-back to the classic path (snapshot → :func:`~repro.core.selection.build_graph`
-→ canonical extraction), which is what keeps its reports **byte-identical**
-to the from-scratch checker's under every model selection: cycle
-*existence* is model-independent (Theorem 4.8: the WFG has a cycle iff
-the SG has one), so the maintained WFG is a sound and complete oracle
-for any configured model, and report *content* is produced by the very
-same code.  A per-epoch cache skips even that fallback when the state
+build and no Tarjan run.  When a cycle exists:
+
+* under the fixed **WFG** model the canonical cycle is extracted
+  straight from the maintained component partition
+  (:meth:`~repro.core.scc.DynamicSCC.extract_cycle` — a scoped Tarjan
+  over the cyclic components only, cached against per-component
+  mutation epochs) and the report is assembled from the maintained
+  statuses — O(cyclic component), no snapshot, no graph build, with
+  bytes identical to the classic path because the extraction rules
+  (minimal-vertex SCC choice, canonical BFS, minimal-vertex rotation)
+  and the report-assembly code agree field for field;
+* under **SG**/**AUTO** selection the checker falls back to the classic
+  path (snapshot → :func:`~repro.core.selection.build_graph` →
+  canonical extraction), since the chosen model — and hence the
+  report's event-cycle content and edge count — depends on the built
+  graph, which only the classic path produces.
+
+Cycle *existence* is model-independent either way (Theorem 4.8: the WFG
+has a cycle iff the SG has one), so the maintained WFG is a sound and
+complete oracle for any configured model, and report *content* is
+byte-identical to the from-scratch checker's — differential-tested
+pointwise.  A per-epoch cache skips even the fallback when the state
 has not changed since the last extraction (a detection monitor polling
 a stable deadlock).
 
@@ -238,11 +252,40 @@ class IncrementalChecker(DeadlockChecker):
                 report = self._cached_report
                 self._record(t0, report, GraphModel.WFG, self._scc.edge_count)
                 return report
-            snapshot = self._fallback_snapshot()
-            report = super().check(snapshot=snapshot, revalidate=revalidate)
+            if self.model is GraphModel.WFG:
+                # Incremental extraction: the maintained WFG *is* the
+                # analysis graph under this model, so the canonical
+                # cycle comes straight from the component partition —
+                # no snapshot, no rebuild.
+                report = self._extract_wfg_report(t0, revalidate)
+            else:
+                snapshot = self._fallback_snapshot()
+                report = super().check(snapshot=snapshot, revalidate=revalidate)
             self._cached_epoch = epoch
             self._cached_report = report
             return report
+
+    def _extract_wfg_report(
+        self, t0: float, revalidate: bool
+    ) -> Optional[DeadlockReport]:
+        """Assemble the WFG-model report from the maintained state.
+
+        The cycle comes from the (epoch-cached) partition extraction;
+        assembly and revalidation run the classic checker's own code
+        (:meth:`_wfg_report`, :meth:`_still_current`) over the
+        maintained statuses, so the two paths cannot drift.  Caller
+        holds ``_delta_lock`` and has established that a cycle exists.
+        """
+        cycle = self._scc.extract_cycle()
+        report: Optional[DeadlockReport] = self._wfg_report(
+            self._statuses, cycle, self._scc.edge_count, avoided=False
+        )
+        if revalidate and not self._still_current(
+            DependencySnapshot(statuses=self._statuses), report
+        ):
+            report = None
+        self._record(t0, report, GraphModel.WFG, self._scc.edge_count)
+        return report
 
     def check_sharded(
         self,
@@ -290,6 +333,12 @@ class IncrementalChecker(DeadlockChecker):
         """Global delta counter (see :attr:`DynamicSCC.mutation_epoch`)."""
         with self._delta_lock:
             return self._scc.mutation_epoch
+
+    @property
+    def incremental_extractions(self) -> int:
+        """Scoped cycle extractions computed (WFG model; cache misses)."""
+        with self._delta_lock:
+            return self._scc.extractions
 
     def maintained_graph(self):
         """Materialise the maintained WFG (differential tests)."""

@@ -33,17 +33,29 @@ set, paying only for what changed:
   bookkeeping.  Epochs let callers cache per-component results ("this
   component has not changed since I last extracted a cycle").
 
-The structure answers *existence* only.  Cycle extraction stays with
-:mod:`repro.core.cycles` — reports are rare, and extracting through the
-canonical from-scratch path is what keeps incremental reports
-byte-identical to the classic checker's.
+Beyond existence, :meth:`DynamicSCC.extract_cycle` extracts the
+*canonical* witness cycle from the maintained partition: only the
+cyclic components' members are touched (a scoped Tarjan plus the
+canonical BFS of :mod:`repro.core.cycles`), and the per-component
+extraction is cached against the component's mutation epoch — a
+persisting deadlock polled while *other* components churn re-extracts
+nothing.  The result is exactly
+``find_cycle(self.to_digraph())`` — same SCC choice (globally minimal
+vertex), same BFS order, same rotation — at O(cyclic component) instead
+of O(graph).
 """
 
 from __future__ import annotations
 
-from typing import Dict, Hashable, List, Set
+from typing import Dict, Hashable, List, Optional, Set, Tuple
 
-from repro.core.cycles import strongly_connected_components
+from repro.core.cycles import (
+    _cycle_containing,
+    _vertex_key,
+    canonical_cyclic_scc,
+    canonical_rotation,
+    strongly_connected_components,
+)
 from repro.core.graphs import DiGraph
 
 Vertex = Hashable
@@ -74,6 +86,11 @@ class DynamicSCC:
         self._epoch: Dict[int, int] = {}  # label -> last-mutation epoch
         self._mutations = 0
         self._edge_count = 0
+        # Per-component extraction cache: label -> (epoch, cycle).
+        self._cycle_cache: Dict[int, Tuple[int, Tuple[Vertex, ...]]] = {}
+        #: Scoped extractions actually computed (cache misses) — lets
+        #: tests assert the epoch cache is doing its job.
+        self.extractions = 0
 
     # ------------------------------------------------------------------
     # introspection
@@ -267,6 +284,61 @@ class DynamicSCC:
         """Member sets of every cyclic component (dirty ones resolved)."""
         self.has_cycle()
         return [frozenset(self._members[label]) for label in self._cyclic]
+
+    def extract_cycle(self) -> Optional[List[Vertex]]:
+        """The canonical witness cycle, from the maintained partition.
+
+        Equals ``find_cycle(self.to_digraph())`` — the cyclic SCC
+        holding the globally minimal vertex, grown by canonical BFS,
+        rotated to its minimal vertex — but touches only the members of
+        components whose verdict is cyclic, and caches each component's
+        extraction against its mutation epoch: re-polling a stable
+        deadlock while unrelated components mutate re-extracts nothing.
+        """
+        if not self.has_cycle():
+            return None
+        best: Optional[Tuple[str, Tuple[Vertex, ...]]] = None
+        for label in self._cyclic:
+            cycle = self._component_cycle(label)
+            key = _vertex_key(cycle[0])
+            if best is None or key < best[0]:
+                best = (key, cycle)
+        # Prune cache entries of labels that stopped being cyclic (or
+        # died): the cache only ever holds currently-cyclic components.
+        if len(self._cycle_cache) > len(self._cyclic):
+            self._cycle_cache = {
+                label: entry
+                for label, entry in self._cycle_cache.items()
+                if label in self._cyclic
+            }
+        assert best is not None
+        return list(best[1])
+
+    def _component_cycle(self, label: int) -> Tuple[Vertex, ...]:
+        """Canonical cycle of one cyclic component, epoch-cached.
+
+        Every edge stays inside its component (unions happen on every
+        insertion), so the scoped subgraph contains every SCC of the
+        component's members and the per-component minimal-vertex choice
+        composes into the global one.
+        """
+        epoch = self._epoch[label]
+        cached = self._cycle_cache.get(label)
+        if cached is not None and cached[0] == epoch:
+            return cached[1]
+        self.extractions += 1
+        members = self._members[label]
+        sub = DiGraph()
+        for w in members:
+            sub.add_vertex(w)
+            for x in self._out[w]:
+                sub.add_edge(w, x)
+        chosen = canonical_cyclic_scc(sub)
+        assert chosen is not None, "cyclic label without a cyclic SCC"
+        entry, scc = chosen
+        cycle = tuple(canonical_rotation(_cycle_containing(sub, scc, entry)))
+        self._cycle_cache[label] = (epoch, cycle)
+        return cycle
 
     # ------------------------------------------------------------------
     # scoped recompute

@@ -15,9 +15,16 @@ cycle detection.  Two properties make this simple and robust:
 
 The paper used real Redis over real clusters; this package substitutes
 an in-memory store with the same interface contract (disjoint per-site
-buckets, snapshot reads, injectable failures) and in-process sites, each
-with its own :class:`~repro.runtime.verifier.ArmusRuntime` — see
-DESIGN.md, "Substitutions".
+streams, injectable failures) and in-process sites, each with its own
+:class:`~repro.runtime.verifier.ArmusRuntime` — see DESIGN.md,
+"Substitutions".
+
+Publishing runs the **delta wire protocol**
+(:mod:`repro.distributed.delta`): sites append
+``set``/``restore``/``clear`` deltas under per-site sequence numbers
+(with periodic full-snapshot checkpoints) instead of re-putting whole
+buckets, and checkers maintain the merged view incrementally — both
+sides of the store pay O(change) per round, not O(cluster).
 """
 
 from repro.distributed.store import (
@@ -27,7 +34,16 @@ from repro.distributed.store import (
     encode_statuses,
     decode_statuses,
 )
-from repro.distributed.detector import merge_payloads, DistributedChecker
+from repro.distributed.delta import (
+    DeltaMergeState,
+    DeltaPublisher,
+    DeltaSequenceError,
+)
+from repro.distributed.detector import (
+    DistributedChecker,
+    check_buckets,
+    merge_payloads,
+)
 from repro.distributed.site import Site
 from repro.distributed.places import Cluster
 
@@ -35,9 +51,13 @@ __all__ = [
     "InMemoryStore",
     "ReplicatedStore",
     "StoreUnavailableError",
+    "DeltaPublisher",
+    "DeltaMergeState",
+    "DeltaSequenceError",
     "encode_statuses",
     "decode_statuses",
     "merge_payloads",
+    "check_buckets",
     "DistributedChecker",
     "Site",
     "Cluster",

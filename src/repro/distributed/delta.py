@@ -1,0 +1,484 @@
+"""The delta wire protocol: carry O(change) across the store boundary.
+
+PR 4 made *local* continuous checking O(change) by feeding blocked-status
+deltas into a maintained analysis graph; the distributed path still
+shipped whole buckets — every site re-published its entire blocked set
+each period and every checker re-merged the full global view each round,
+so distributed check cost grew with cluster size, not with what changed.
+This module is the shared core of the protocol that fixes it, used by
+**both** the live ``Site``/store path and the offline replay engines so
+the two derivations cannot drift apart.
+
+**Wire format.**  One delta is a plain JSON-able object::
+
+    {"v": 1, "stream": "d41c2a0f", "seq": 7, "kind": "delta",
+     "set":     {task: encoded-status, ...},   # newly blocked tasks
+     "restore": {task: encoded-status, ...},   # still blocked, status replaced
+     "clear":   [task, ...]}                   # no longer blocked
+
+``seq`` is a per-site monotonic sequence number starting at 1; the
+stream order is the semantics, so consumers validate contiguity and a
+gap means "request a checkpoint".  ``stream`` identifies the publisher
+*incarnation* (the replication-id idea: a fresh token per
+:class:`DeltaPublisher`): sequence numbers only compose within one
+stream, so a consumer whose cursor came from a previous incarnation —
+or from a divergent replica — can never silently splice the new
+stream's deltas onto old state just because the numbers happen to
+line up; any stream mismatch is a :class:`DeltaSequenceError` and
+resolves like every other divergence, with a checkpoint.
+``kind: "snapshot"`` marks a full checkpoint: ``set`` carries the
+site's whole bucket, ``restore`` and ``clear`` are empty, and a
+snapshot is accepted at *any* position — it resets the stream (first
+publish, periodic checkpoint cadence, and every resync path all reuse
+it).  The per-status encoding is
+:func:`repro.trace.events.status_to_obj` (sorted, canonical), so a
+delta recorded into a trace replays bit-identically.
+
+**Roles.**
+
+* :class:`DeltaPublisher` — the producer half: diff the site's current
+  encoded bucket against the last *committed* publication, emit the
+  delta (or ``None`` when nothing changed), checkpoint every
+  ``checkpoint_every`` deltas.  ``prepare``/``commit`` are split so a
+  store outage between them retries the same logical change next round
+  without burning sequence numbers.
+* :class:`DeltaMergeState` — the consumer half: maintain the merged
+  global view as per-site buckets plus a fed checker (any object with
+  the ``set_blocked``/``clear`` mutation surface — in practice an
+  :class:`~repro.core.incremental.IncrementalChecker`), applying each
+  delta as task-level ops instead of re-merging every bucket.  Tracks
+  cross-site ownership so a task published by several sites raises the
+  same error, at the same time (check time), as the classic
+  :func:`~repro.distributed.detector.merge_payloads` — a transient
+  overlap that resolves within one cadence window is tolerated.
+* :func:`apply_delta_obj` — the bucket-materialisation primitive the
+  from-scratch replay engine (and the stores) use: fold one delta into
+  a ``site -> {task: blob}`` view with the same gap validation.
+
+**Determinism.**  Bucket dicts preserve insertion order and every
+application path mutates them identically (clears pop, restores update
+in place, sets append), so the merged snapshot a delta consumer
+materialises is ordered exactly like the bucket protocol's
+``merge_payloads(store.get_all())`` — which is what keeps distributed
+detection reports byte-identical across the two protocols and across
+the from-scratch/incremental replay engines.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, List, Mapping, Optional, Set, Tuple
+
+from repro.core.dependency import DependencySnapshot
+from repro.core.events import BlockedStatus
+
+#: Current delta wire-protocol version (the ``v`` field).
+PROTOCOL_VERSION = 1
+
+#: The delta kinds the protocol defines (the ``kind`` field).
+DELTA_KINDS = ("delta", "snapshot")
+
+#: Publisher checkpoint cadence: a full snapshot every N deltas bounds
+#: both store log length and the cost of a cold consumer catching up.
+DEFAULT_CHECKPOINT_EVERY = 64
+
+
+class DeltaSequenceError(RuntimeError):
+    """A delta stream cannot be extended or served contiguously.
+
+    Raised by stores when an appended delta does not extend the tail
+    (the publisher and the store disagree about history — e.g. a
+    failover to a stale replica), and by consumers/stores when a read
+    cursor falls outside the retained log.  The protocol-level answer
+    is always the same: fall back to a full snapshot checkpoint.
+    """
+
+
+# ---------------------------------------------------------------------------
+# wire helpers
+# ---------------------------------------------------------------------------
+def encode_bucket(statuses: Mapping) -> Dict[str, dict]:
+    """Encode a ``task -> BlockedStatus`` mapping to wire blobs.
+
+    The per-status form is the canonical (sorted) trace encoding, so
+    publisher diffs compare stable representations.  (Imported lazily:
+    ``repro.trace`` pulls the replay engine in through its package
+    init, which imports this module — a top-level import would cycle.)
+    """
+    from repro.trace.events import status_to_obj
+
+    return {str(task): status_to_obj(status) for task, status in statuses.items()}
+
+
+def decode_blob(blob: Mapping) -> BlockedStatus:
+    """One wire blob back to a :class:`BlockedStatus`."""
+    from repro.trace.events import status_from_obj
+
+    return status_from_obj(blob)
+
+
+def wire_size(obj) -> int:
+    """Bytes-on-the-wire proxy for one payload (compact JSON length).
+
+    The stores use it for traffic accounting — the quantity the
+    delta-vs-bucket benchmark compares.
+    """
+    return len(json.dumps(obj, separators=(",", ":"), sort_keys=True))
+
+
+def fresh_stream_token() -> str:
+    """A stream (publisher-incarnation) token: unique per restart.
+
+    Fixed-width time-prefixed hex, so tokens from successive
+    incarnations of one publisher compare lexicographically in birth
+    order — what lets replica read-repair pick the *newest* stream as
+    the heal source when divergent replicas hold different
+    incarnations.  (Deterministic producers that pass their own fixed
+    tokens never replicate, so the ordering property is not load-
+    bearing for them.)
+    """
+    import time
+    import uuid
+
+    return f"{time.time_ns():016x}{uuid.uuid4().hex[:8]}"
+
+
+def make_snapshot(seq: int, bucket: Mapping[str, Mapping], stream: str) -> dict:
+    """A full-checkpoint delta at ``stream``/``seq`` carrying ``bucket``
+    whole."""
+    return {
+        "v": PROTOCOL_VERSION,
+        "stream": str(stream),
+        "seq": seq,
+        "kind": "snapshot",
+        "set": {task: dict(blob) for task, blob in bucket.items()},
+        "restore": {},
+        "clear": [],
+    }
+
+
+def diff_buckets(
+    old: Mapping[str, Mapping], new: Mapping[str, Mapping]
+) -> Tuple[Dict[str, dict], Dict[str, dict], List[str]]:
+    """Classify the change between two encoded buckets into wire ops.
+
+    Returns ``(set, restore, clear)``: tasks newly present, tasks still
+    present whose blob changed (a replaced/restored status), and tasks
+    gone.  ``clear`` is sorted for a canonical wire form.
+    """
+    set_ops = {t: dict(b) for t, b in new.items() if t not in old}
+    restore_ops = {
+        t: dict(b) for t, b in new.items() if t in old and old[t] != b
+    }
+    clear_ops = sorted(t for t in old if t not in new)
+    return set_ops, restore_ops, clear_ops
+
+
+#: A consumer's position in one site's stream: (stream token, seq).
+Cursor = Tuple[str, int]
+
+
+def validate_extends(cursor: Optional[Cursor], site: str, obj: Mapping) -> Cursor:
+    """Check that ``obj`` legally extends ``cursor``; return the new one.
+
+    The single validation rule every consumer of a delta stream runs
+    (stores, merge views, replay, the publisher's committed state):
+    snapshots are accepted anywhere and reset the stream; ordinary
+    deltas must carry the cursor's stream token *and* the next sequence
+    number.  Anything else — a gap, a foreign stream incarnation, a
+    delta with no base — raises :class:`DeltaSequenceError`.
+    """
+    stream, seq = str(obj["stream"]), int(obj["seq"])
+    if obj["kind"] == "snapshot":
+        # Shape check at the shared gate: a snapshot carrying delta ops
+        # would be materialised differently by the plain bucket fold
+        # and the ownership-tracking merge view — reject it loudly
+        # before any consumer state can diverge.
+        if obj["restore"] or list(obj["clear"]):
+            raise ValueError(
+                f"site {site}: snapshot deltas carry only a set section"
+            )
+        return stream, seq
+    if cursor is None or cursor[0] != stream or seq != cursor[1] + 1:
+        raise DeltaSequenceError(
+            f"site {site}: delta {stream}/{seq} does not extend "
+            f"{cursor[0] + '/' + str(cursor[1]) if cursor else 'empty stream'}"
+        )
+    return stream, seq
+
+
+def apply_ops_to_bucket(bucket: Dict[str, dict], obj: Mapping) -> None:
+    """Mutate one encoded bucket with a (validated) delta's ops.
+
+    The single materialisation rule: a snapshot replaces the bucket
+    wholesale; an ordinary delta pops ``clear``, updates ``restore`` in
+    place and appends ``set`` — preserving dict order identically
+    everywhere, which is what keeps merged-snapshot task order equal
+    across the stores, the replay engines and the publisher.
+    """
+    if obj["kind"] == "snapshot":
+        bucket.clear()
+    for task in obj["clear"]:
+        bucket.pop(task, None)
+    for task, blob in obj["restore"].items():
+        bucket[task] = dict(blob)
+    for task, blob in obj["set"].items():
+        bucket[task] = dict(blob)
+
+
+def apply_delta_obj(
+    buckets: Dict[str, Dict[str, dict]],
+    cursors: Dict[str, Cursor],
+    site: str,
+    obj: Mapping,
+) -> None:
+    """Fold one delta into a materialised ``site -> bucket`` view:
+    :func:`validate_extends` + :func:`apply_ops_to_bucket` + cursor
+    advance — what the from-scratch replay engine and the publisher's
+    committed state run."""
+    cursor = validate_extends(cursors.get(site), site, obj)
+    apply_ops_to_bucket(buckets.setdefault(site, {}), obj)
+    cursors[site] = cursor
+
+
+# ---------------------------------------------------------------------------
+# producer half
+# ---------------------------------------------------------------------------
+class DeltaPublisher:
+    """Derives one site's delta stream from successive encoded buckets.
+
+    ``prepare(bucket)`` returns the next wire object (or ``None`` when
+    nothing changed and no checkpoint is due) *without* advancing state;
+    ``commit(obj)`` advances it after the store accepted the write.  A
+    failed append therefore re-derives the same logical change next
+    round — changes accumulate into one delta instead of being lost.
+    The first publication is always a snapshot (consumers need a base),
+    and every ``checkpoint_every`` committed deltas another snapshot is
+    emitted so store logs stay bounded and cold readers catch up in one
+    read.
+
+    ``stream`` is the incarnation token stamped on every delta: by
+    default a fresh random one (a restarted site must not alias its
+    predecessor's sequence numbers); deterministic producers (the
+    corpus generator) pass a fixed token.
+    """
+
+    def __init__(
+        self,
+        site_id: str,
+        checkpoint_every: int = DEFAULT_CHECKPOINT_EVERY,
+        stream: Optional[str] = None,
+    ) -> None:
+        self.site_id = str(site_id)
+        self.checkpoint_every = max(1, int(checkpoint_every))
+        self.stream = str(stream) if stream is not None else fresh_stream_token()
+        self.seq = 0
+        self._last: Dict[str, dict] = {}
+        self._since_checkpoint = 0
+
+    def prepare(self, bucket: Mapping[str, Mapping]) -> Optional[dict]:
+        """The next delta for ``bucket``, or ``None`` if nothing to say."""
+        if self.seq == 0:
+            return make_snapshot(1, bucket, self.stream)
+        set_ops, restore_ops, clear_ops = diff_buckets(self._last, bucket)
+        if not (set_ops or restore_ops or clear_ops):
+            return None
+        if self._since_checkpoint + 1 >= self.checkpoint_every:
+            return make_snapshot(self.seq + 1, bucket, self.stream)
+        return {
+            "v": PROTOCOL_VERSION,
+            "stream": self.stream,
+            "seq": self.seq + 1,
+            "kind": "delta",
+            "set": set_ops,
+            "restore": restore_ops,
+            "clear": clear_ops,
+        }
+
+    def prepare_checkpoint(self, bucket: Mapping[str, Mapping]) -> dict:
+        """A forced snapshot at the next sequence number (gap recovery)."""
+        return make_snapshot(self.seq + 1, bucket, self.stream)
+
+    def commit(self, obj: Mapping) -> None:
+        """Advance committed state to include ``obj`` (store accepted it)."""
+        buckets = {self.site_id: self._last}
+        cursors = {self.site_id: (self.stream, self.seq)}
+        apply_delta_obj(buckets, cursors, self.site_id, obj)
+        self._last = buckets[self.site_id]
+        self.seq = cursors[self.site_id][1]
+        if obj["kind"] == "snapshot":
+            self._since_checkpoint = 0
+        else:
+            self._since_checkpoint += 1
+
+
+# ---------------------------------------------------------------------------
+# consumer half
+# ---------------------------------------------------------------------------
+def merge_buckets(buckets: Mapping[str, Mapping[str, Mapping]]) -> DependencySnapshot:
+    """Merge per-site encoded buckets into one global snapshot.
+
+    Task ids are globally unique, so the merge is a disjoint union; a
+    duplicate id across sites would indicate a publishing bug and
+    raises — with the same message whichever protocol carried the
+    statuses, so replays of bucket and delta traces fail identically.
+    """
+    merged: Dict[str, BlockedStatus] = {}
+    for site_id, bucket in buckets.items():
+        statuses = {str(t): decode_blob(blob) for t, blob in bucket.items()}
+        overlap = merged.keys() & statuses.keys()
+        if overlap:
+            raise ValueError(
+                f"tasks {sorted(overlap)} published by several sites "
+                f"(last: {site_id})"
+            )
+        merged.update(statuses)
+    return DependencySnapshot(statuses=merged)
+
+
+class DeltaMergeState:
+    """The consumer's maintained global view, fed task-level deltas.
+
+    One instance backs one checker: per-site encoded buckets (ordered —
+    the merged snapshot must mirror the bucket protocol's site/task
+    ordering), per-site stream cursors, and cross-site ownership for
+    conflict detection.  Applying a delta costs O(ops), not O(cluster):
+    this is the property the whole protocol exists to carry across the
+    wire.
+
+    The checker only needs the delta mutation surface (``set_blocked``,
+    ``clear``); pair it with an
+    :class:`~repro.core.incremental.IncrementalChecker` whose
+    ``snapshot_source`` is :meth:`merged_snapshot` and the rare
+    cyclic-path fallback sees byte-identical input to the bucket
+    protocol's merge.
+    """
+
+    def __init__(self, checker) -> None:
+        self.checker = checker
+        self.buckets: Dict[str, Dict[str, dict]] = {}
+        self.cursors: Dict[str, Cursor] = {}
+        self._owners: Dict[str, Set[str]] = {}
+        self._conflicted: Set[str] = set()
+        #: Task-level operations applied since construction — the
+        #: "per-check merge cost" quantity of the delta benchmark.
+        self.ops_applied = 0
+
+    # -- introspection -------------------------------------------------
+    def sites(self) -> List[str]:
+        return list(self.buckets)
+
+    def cursor(self, site: str) -> Optional[Cursor]:
+        return self.cursors.get(site)
+
+    def cursor_seq(self, site: str) -> int:
+        cursor = self.cursors.get(site)
+        return 0 if cursor is None else cursor[1]
+
+    @property
+    def conflicted(self) -> frozenset:
+        return frozenset(self._conflicted)
+
+    def merged_snapshot(self) -> DependencySnapshot:
+        """The global view, ordered like the bucket protocol's merge."""
+        return merge_buckets(self.buckets)
+
+    def raise_on_conflict(self) -> None:
+        """Reject cross-site duplication at check time, identically to
+        the classic merge (which produces the error text)."""
+        if self._conflicted:
+            merge_buckets(self.buckets)
+
+    # -- application ---------------------------------------------------
+    def apply_obj(self, site: str, obj: Mapping) -> None:
+        """Fold one wire delta into the view and the fed checker.
+
+        Validation is the shared :func:`validate_extends` rule; the op
+        walk mirrors :func:`apply_ops_to_bucket` (same order: clear,
+        restore, set) but interleaves the per-task ownership and
+        checker feeding that the plain bucket fold has no need for.
+        """
+        site = str(site)
+        cursor = validate_extends(self.cursors.get(site), site, obj)
+        if obj["kind"] == "snapshot":
+            self._replace_bucket(
+                site, {str(t): dict(b) for t, b in obj["set"].items()}
+            )
+        else:
+            bucket = self.buckets.setdefault(site, {})
+            for task in obj["clear"]:
+                if task in bucket:
+                    bucket.pop(task)
+                    self._remove_task(site, task)
+            for task, blob in obj["restore"].items():
+                bucket[task] = dict(blob)
+                self._set_task(site, task, blob)
+            for task, blob in obj["set"].items():
+                bucket[task] = dict(blob)
+                self._set_task(site, task, blob)
+        self.cursors[site] = cursor
+
+    def apply_bucket(self, site: str, new_bucket: Mapping[str, Mapping]) -> None:
+        """Fold a whole-bucket replacement (the legacy ``publish``
+        record / bucket protocol) into the view, diffing against the
+        site's previous bucket so only changed tasks touch the checker."""
+        self._replace_bucket(
+            str(site), {str(t): dict(b) for t, b in new_bucket.items()}
+        )
+
+    def reset_site(
+        self, site: str, stream: str, seq: int, state: Mapping[str, Mapping]
+    ) -> None:
+        """Checkpoint resync: replace ``site``'s view wholesale and
+        fast-forward its cursor (the consumer detected a gap or a
+        foreign stream and requested a snapshot)."""
+        self._replace_bucket(
+            str(site), {str(t): dict(b) for t, b in state.items()}
+        )
+        self.cursors[str(site)] = (str(stream), seq)
+
+    def drop_site(self, site: str) -> None:
+        """The site withdrew (graceful stop deleted its stream): clear
+        every status it owned from the merged view."""
+        site = str(site)
+        if site in self.buckets:
+            self._replace_bucket(site, {})
+        self.buckets.pop(site, None)
+        self.cursors.pop(site, None)
+
+    # -- task-level primitives (the shared ownership semantics) --------
+    def _replace_bucket(self, site: str, new: Dict[str, dict]) -> None:
+        old = self.buckets.get(site, {})
+        self.buckets[site] = new
+        for task in old:
+            if task not in new:
+                self._remove_task(site, task)
+        for task, blob in new.items():
+            if old.get(task) != blob:
+                self._set_task(site, task, blob)
+
+    def _remove_task(self, site: str, task: str) -> None:
+        self.ops_applied += 1
+        owners = self._owners.get(task, set())
+        owners.discard(site)
+        if not owners:
+            self.checker.clear(task)
+            self._owners.pop(task, None)
+        elif len(owners) == 1:
+            # Conflict resolved by this removal: the survivor's current
+            # blob is the merged truth again.
+            self._conflicted.discard(task)
+            (survivor,) = owners
+            blob = self.buckets[survivor][task]
+            self.checker.set_blocked(task, decode_blob(blob))
+
+    def _set_task(self, site: str, task: str, blob: Mapping) -> None:
+        self.ops_applied += 1
+        self.checker.set_blocked(task, decode_blob(blob))
+        owners = self._owners.setdefault(task, set())
+        owners.add(site)
+        if len(owners) > 1:
+            # While a task is conflicted its delta state is last-writer;
+            # the caller rejects at the next check, exactly when the
+            # classic merge would.
+            self._conflicted.add(task)

@@ -1,4 +1,4 @@
-"""The one-phase distributed detection algorithm (Section 5.2).
+"""The one-phase distributed detection algorithm (Section 5.2), delta-fed.
 
 Armus's two changes to Kshemkalyani & Singhal's one-phase algorithm:
 
@@ -10,46 +10,72 @@ Armus's two changes to Kshemkalyani & Singhal's one-phase algorithm:
    (fault-tolerant) store and *all* sites check, so detection survives
    any site failure.
 
-:class:`DistributedChecker` is the per-site checking half: pull every
-site's published bucket, merge into one
-:class:`~repro.core.dependency.DependencySnapshot`, run the ordinary
-graph analysis.  A deadlock spanning sites appears as a cycle exactly as
-a local one would, because event names are global.
+:class:`DistributedChecker` is the per-site checking half.  Under the
+delta protocol it no longer re-merges the whole global view each round:
+it polls every site's delta stream from its cursor, feeds the decoded
+ops into a maintained :class:`~repro.core.incremental.IncrementalChecker`
+through a :class:`~repro.distributed.delta.DeltaMergeState`, and asks
+the maintained graph — O(change) to sync, O(1) to answer while acyclic.
+A sequence gap (compacted log, restarted stream, stale replica) makes
+the checker *request a checkpoint*: one ``get_state`` read resyncs that
+site's slice of the view.  A deadlock spanning sites appears as a cycle
+exactly as a local one would, because event names are global, and the
+reports are byte-identical to the bucket protocol's (the cyclic-path
+fallback rebuilds from the same merged, same-ordered snapshot).
+
+:func:`merge_payloads` and :func:`check_buckets` keep the bucket
+protocol's reference semantics alive for old traces and for the
+delta-vs-bucket benchmark.
 """
 
 from __future__ import annotations
 
-from typing import Dict, Mapping, Optional
+from typing import Mapping, Optional
 
 from repro.core.checker import DeadlockChecker
 from repro.core.dependency import DependencySnapshot
-from repro.core.events import BlockedStatus
 from repro.core.report import DeadlockReport
 from repro.core.selection import GraphModel
-from repro.distributed.store import decode_statuses
+from repro.distributed.delta import DeltaMergeState, DeltaSequenceError, merge_buckets
+from repro.core.incremental import IncrementalChecker
 
 
 def merge_payloads(payloads: Mapping[str, Mapping]) -> DependencySnapshot:
-    """Merge the per-site buckets into one global snapshot.
+    """Merge per-site buckets into one global snapshot.
 
     Task ids are globally unique, so the merge is a disjoint union; a
     duplicate id across sites would indicate a publishing bug and raises.
     """
-    merged: Dict[str, BlockedStatus] = {}
-    for site_id, payload in payloads.items():
-        statuses = decode_statuses(payload)
-        overlap = merged.keys() & statuses.keys()
-        if overlap:
-            raise ValueError(
-                f"tasks {sorted(overlap)} published by several sites "
-                f"(last: {site_id})"
-            )
-        merged.update(statuses)
-    return DependencySnapshot(statuses=merged)
+    return merge_buckets(payloads)
+
+
+def check_buckets(
+    store,
+    model: GraphModel = GraphModel.AUTO,
+    threshold_factor: float = 2.0,
+    checker: Optional[DeadlockChecker] = None,
+) -> Optional[DeadlockReport]:
+    """One bucket-protocol detection pass: ``get_all`` → merge → check.
+
+    The pre-delta reference path, retained for the delta-vs-bucket
+    benchmark and the protocol-equivalence differential tests.  Pass a
+    ``checker`` to accumulate stats across rounds.
+    """
+    if checker is None:
+        checker = DeadlockChecker(model=model, threshold_factor=threshold_factor)
+    return checker.check(snapshot=merge_payloads(store.get_all()))
 
 
 class DistributedChecker:
-    """The checking half of a site: global view -> cycle detection."""
+    """The checking half of a site: delta streams -> maintained view.
+
+    ``check_global`` first syncs — reads each live site's new deltas
+    (resyncing from a checkpoint on any gap) and drops sites whose
+    streams were withdrawn — then queries the maintained incremental
+    checker.  Store outages surface as exceptions for the caller (the
+    site's checking loop) to tolerate — the algorithm's fault-tolerance
+    is *continuing to run*, not pretending the read succeeded.
+    """
 
     def __init__(
         self,
@@ -58,18 +84,58 @@ class DistributedChecker:
         threshold_factor: float = 2.0,
     ) -> None:
         self.store = store
-        self.checker = DeadlockChecker(model=model, threshold_factor=threshold_factor)
+        self.checker = IncrementalChecker(
+            model=model, threshold_factor=threshold_factor
+        )
+        self.view = DeltaMergeState(self.checker)
+        # The rare cyclic-path fallback must see the same snapshot —
+        # same site order, same task order — the bucket protocol's
+        # merge produced, so reports stay byte-identical across
+        # protocols.
+        self.checker.snapshot_source = self.view.merged_snapshot
+        #: Checkpoint resyncs performed (gap recovery accounting).
+        self.resyncs = 0
+
+    def sync(self) -> None:
+        """Pull every site's new deltas into the maintained view.
+
+        O(change) per round: only appended deltas cross the wire, and
+        only their ops touch the checker.  Gaps — compacted logs,
+        restarted streams, stale replicas — fall back to one
+        ``get_state`` checkpoint read for that site.
+        """
+        live = self.store.delta_sites()
+        live_set = set(live)
+        for site in [s for s in self.view.sites() if s not in live_set]:
+            self.view.drop_site(site)
+        for site in live:
+            cursor = self.view.cursor(site)
+            try:
+                if cursor is None:
+                    deltas = self.store.get_deltas(site, 0)
+                else:
+                    deltas = self.store.get_deltas(site, cursor[1], cursor[0])
+                for obj in deltas:
+                    self.view.apply_obj(site, obj)
+            except DeltaSequenceError:
+                self._resync(site)
+
+    def _resync(self, site: str) -> None:
+        """Checkpoint recovery: replace the site's slice of the view."""
+        try:
+            stream, seq, state = self.store.get_state(site)
+        except DeltaSequenceError:
+            # The stream vanished between the listing and the read.
+            self.view.drop_site(site)
+            return
+        self.view.reset_site(site, stream, seq, state)
+        self.resyncs += 1
 
     def check_global(self) -> Optional[DeadlockReport]:
-        """One detection pass over the published global state.
-
-        Store outages surface as exceptions for the caller (the site's
-        checking loop) to tolerate — the algorithm's fault-tolerance is
-        *continuing to run*, not pretending the read succeeded.
-        """
-        payloads = self.store.get_all()
-        snapshot = merge_payloads(payloads)
-        return self.checker.check(snapshot=snapshot)
+        """One detection pass over the published global state."""
+        self.sync()
+        self.view.raise_on_conflict()
+        return self.checker.check()
 
     @property
     def stats(self):

@@ -1,20 +1,34 @@
 """A distributed site: one place of an X10-style cluster (Section 5.2).
 
 Each site owns an :class:`~repro.runtime.verifier.ArmusRuntime` whose
-blocked statuses it periodically publishes to its own bucket of the
-global store, plus a checking loop running the full one-phase detection
-over the global view.  Every site checks (fault tolerance: no control
-site); reports are de-duplicated per site and the involved *local* tasks
-are cancelled, while remote tasks are cancelled by their own site when
-it observes the same cycle.
+blocked statuses it periodically publishes to the global store, plus a
+checking loop running the one-phase detection over the global view.
+Every site checks (fault tolerance: no control site); reports are
+de-duplicated per site and the involved *local* tasks are cancelled,
+while remote tasks are cancelled by their own site when it observes the
+same cycle.
+
+Publishing runs the **delta protocol**
+(:mod:`repro.distributed.delta`): each round the site diffs its
+runtime's dependency against the last committed publication and appends
+only the change — a ``set``/``restore``/``clear`` delta, or nothing at
+all when the blocked set is unchanged — with a full snapshot checkpoint
+on the first publish, every ``checkpoint_every`` deltas, and whenever
+the store reports a sequence gap (its history diverged from the
+publisher's, e.g. after failover onto a stale replica).  Both loops run
+their body once *immediately* on start, then on their interval — a
+short-lived site is visible to the cluster from its first scheduling
+quantum instead of after ``publish_interval_s``.
 
 Failure injection for tests and fault-tolerance benches:
 
-* :meth:`Site.kill` — abrupt site death: loops stop, its stale bucket
-  remains in the store (exactly what a crashed machine leaves behind);
+* :meth:`Site.kill` — abrupt site death: loops stop, its stale delta
+  stream remains in the store (exactly what a crashed machine leaves
+  behind);
 * store outages — both loops tolerate
   :class:`~repro.distributed.store.StoreUnavailableError` by skipping the
-  round, and recover when the store returns.
+  round, and recover when the store returns; an un-committed delta is
+  re-derived next round, so outages never burn sequence numbers.
 """
 
 from __future__ import annotations
@@ -24,8 +38,14 @@ from typing import Callable, List, Optional
 
 from repro.core.report import DeadlockReport
 from repro.core.selection import GraphModel
+from repro.distributed.delta import (
+    DEFAULT_CHECKPOINT_EVERY,
+    DeltaPublisher,
+    DeltaSequenceError,
+    encode_bucket,
+)
 from repro.distributed.detector import DistributedChecker
-from repro.distributed.store import StoreUnavailableError, encode_statuses
+from repro.distributed.store import StoreUnavailableError
 from repro.runtime.tasks import Task
 from repro.runtime.verifier import ArmusRuntime, VerificationMode
 
@@ -47,6 +67,10 @@ class Site:
         Graph model for the site's global checks.
     check_interval_s / publish_interval_s:
         Cadences of the two loops.
+    checkpoint_every:
+        Publisher checkpoint cadence: a full snapshot delta every this
+        many ordinary deltas (bounds store log length and cold-reader
+        catch-up cost).
     cancel_on_detect:
         Cancel local tasks involved in a detected cycle.
     recorder:
@@ -63,6 +87,7 @@ class Site:
         model: GraphModel = GraphModel.AUTO,
         check_interval_s: float = DEFAULT_CHECK_INTERVAL_S,
         publish_interval_s: float = DEFAULT_PUBLISH_INTERVAL_S,
+        checkpoint_every: int = DEFAULT_CHECKPOINT_EVERY,
         cancel_on_detect: bool = True,
         on_deadlock: Optional[Callable[[DeadlockReport], None]] = None,
         recorder=None,
@@ -79,6 +104,7 @@ class Site:
             recorder=recorder,
         )
         self.checker = DistributedChecker(store, model=model)
+        self.publisher = DeltaPublisher(site_id, checkpoint_every=checkpoint_every)
         self.check_interval_s = check_interval_s
         self.publish_interval_s = publish_interval_s
         self.cancel_on_detect = cancel_on_detect
@@ -116,7 +142,7 @@ class Site:
         return self
 
     def stop(self, timeout: float = 5.0) -> None:
-        """Graceful shutdown: loops drain, the bucket is withdrawn."""
+        """Graceful shutdown: loops drain, the delta stream is withdrawn."""
         self._stop.set()
         for thread in self._threads:
             thread.join(timeout)
@@ -129,7 +155,8 @@ class Site:
             pass
 
     def kill(self) -> None:
-        """Abrupt site death: loops stop, the stale bucket stays behind."""
+        """Abrupt site death: loops stop, the stale delta stream stays
+        behind in the store."""
         self._stop.set()
         with self._lock:
             self._alive = False
@@ -156,7 +183,10 @@ class Site:
     # loops
     # ------------------------------------------------------------------
     def _loop(self, body: Callable[[], None], interval: float) -> None:
-        while not self._stop.wait(interval):
+        # The body runs once immediately: a site that lives for less
+        # than one interval still publishes (and checks) at least once,
+        # instead of being invisible to the cluster for its whole life.
+        while True:
             try:
                 body()
             except StoreUnavailableError:
@@ -167,10 +197,30 @@ class Site:
                     self.check_failures += 1
             except Exception:  # pragma: no cover - defensive logging path
                 raise
+            if self._stop.wait(interval):
+                return
 
     def _publish_once(self) -> None:
+        """Diff the runtime's blocked set against the last committed
+        publication; append only the change.
+
+        ``prepare``/``commit`` straddle the store write: an outage
+        leaves the publisher state untouched (the change re-derives
+        next round), and a sequence gap — the store lost our tail, e.g.
+        failover onto a recovered-stale replica — is healed by forcing
+        a full snapshot checkpoint.
+        """
         snapshot = self.runtime.checker.dependency.snapshot()
-        self.store.put(self.site_id, encode_statuses(snapshot.statuses))
+        bucket = encode_bucket(snapshot.statuses)
+        delta = self.publisher.prepare(bucket)
+        if delta is None:
+            return  # nothing changed: nothing crosses the wire
+        try:
+            self.store.append_delta(self.site_id, delta)
+        except DeltaSequenceError:
+            delta = self.publisher.prepare_checkpoint(bucket)
+            self.store.append_delta(self.site_id, delta)
+        self.publisher.commit(delta)
 
     def _check_once(self) -> None:
         report = self.checker.check_global()

@@ -464,6 +464,8 @@ def cmd_gen(args: argparse.Namespace) -> int:
 # ---------------------------------------------------------------------------
 def cmd_stats(args: argparse.Namespace) -> int:
     """Summarise one trace file."""
+    from repro.trace.events import RecordKind
+
     path = pathlib.Path(args.trace)
     trace = load_trace(path)
     tasks = {r.task for r in trace if r.task is not None}
@@ -472,6 +474,12 @@ def cmd_stats(args: argparse.Namespace) -> int:
     for rec in trace:
         if rec.status is not None:
             phasers.update(str(e.phaser) for e in rec.status.waits)
+        if rec.kind is RecordKind.PUBLISH and rec.payload:
+            tasks.update(rec.payload)
+        if rec.kind is RecordKind.PUBLISH_DELTA:
+            for section in ("set", "restore"):
+                tasks.update(rec.payload[section])
+            tasks.update(rec.payload["clear"])
     print(f"file: {path} ({path.stat().st_size} bytes)")
     print(f"version: {trace.header.version}")
     print(f"meta: {dict(trace.header.meta)}")

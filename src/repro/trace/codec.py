@@ -45,6 +45,7 @@ from repro.trace.events import (
     RecordKind,
     TRACE_MAGIC,
     TRACE_VERSION,
+    delta_payload_from_obj,
     status_from_obj,
     status_to_obj,
 )
@@ -60,7 +61,12 @@ _KIND_TAGS = {
     RecordKind.REGISTER: 3,
     RecordKind.ADVANCE: 4,
     RecordKind.PUBLISH: 5,
+    RecordKind.PUBLISH_DELTA: 6,
 }
+
+#: Binary bytes for the two delta kinds (PUBLISH_DELTA frames).
+_DELTA_KIND_TAGS = {"delta": 0, "snapshot": 1}
+_TAG_DELTA_KINDS = {tag: kind for kind, tag in _DELTA_KIND_TAGS.items()}
 _TAG_KINDS = {tag: kind for kind, tag in _KIND_TAGS.items()}
 
 
@@ -101,6 +107,10 @@ def _record_from_obj(obj: dict) -> TraceRecord:
             raise TraceFormatError(f"publish payload is not an object: {payload!r}")
         for blob in payload.values():
             status_from_obj(blob)
+    if kind is RecordKind.PUBLISH_DELTA and payload is not None:
+        if not isinstance(payload, dict):
+            raise TraceFormatError(f"delta payload is not an object: {payload!r}")
+        payload = delta_payload_from_obj(payload)
     try:
         return TraceRecord(
             seq=seq,
@@ -295,12 +305,29 @@ class BinaryCodec:
             _write_str(body, rec.task)
             _write_str(body, rec.phaser)
             _write_varint(body, rec.phase)
-        else:  # PUBLISH
+        elif kind is RecordKind.PUBLISH:
             _write_str(body, rec.site)
             _write_varint(body, len(rec.payload))
             for task, blob in rec.payload.items():
                 _write_str(body, str(task))
                 _write_status(body, blob)
+        else:  # PUBLISH_DELTA
+            delta = rec.payload
+            _write_str(body, rec.site)
+            _write_varint(body, int(delta.get("v", 1)))
+            _write_str(body, str(delta["stream"]))
+            _write_varint(body, int(delta["seq"]))
+            body.append(_DELTA_KIND_TAGS[delta["kind"]])
+            for section in ("set", "restore"):
+                ops = delta[section]
+                _write_varint(body, len(ops))
+                for task, blob in ops.items():
+                    _write_str(body, str(task))
+                    _write_status(body, blob)
+            clear = delta["clear"]
+            _write_varint(body, len(clear))
+            for task in clear:
+                _write_str(body, str(task))
         frame = bytearray()
         _write_varint(frame, len(body))
         frame.extend(body)
@@ -363,7 +390,7 @@ class BinaryCodec:
             phaser, pos = _read_str(body, pos)
             phase, pos = _read_varint(body, pos)
             rec = TraceRecord(seq=seq, kind=kind, task=task, phaser=phaser, phase=phase)
-        else:  # PUBLISH
+        elif kind is RecordKind.PUBLISH:
             site, pos = _read_str(body, pos)
             n_tasks, pos = _read_varint(body, pos)
             payload = {}
@@ -371,6 +398,43 @@ class BinaryCodec:
                 task, pos = _read_str(body, pos)
                 blob, pos = _read_status(body, pos)
                 payload[task] = blob
+            rec = TraceRecord(seq=seq, kind=kind, site=site, payload=payload)
+        else:  # PUBLISH_DELTA
+            site, pos = _read_str(body, pos)
+            version, pos = _read_varint(body, pos)
+            delta_stream, pos = _read_str(body, pos)
+            delta_seq, pos = _read_varint(body, pos)
+            if pos >= len(body):
+                raise TraceFormatError("truncated delta frame")
+            delta_kind = _TAG_DELTA_KINDS.get(body[pos])
+            if delta_kind is None:
+                raise TraceFormatError(f"unknown delta kind tag {body[pos]}")
+            pos += 1
+            sections = []
+            for _ in range(2):  # set, then restore
+                n_tasks, pos = _read_varint(body, pos)
+                ops = {}
+                for _ in range(n_tasks):
+                    task, pos = _read_str(body, pos)
+                    blob, pos = _read_status(body, pos)
+                    ops[task] = blob
+                sections.append(ops)
+            n_clear, pos = _read_varint(body, pos)
+            clear = []
+            for _ in range(n_clear):
+                task, pos = _read_str(body, pos)
+                clear.append(task)
+            payload = delta_payload_from_obj(
+                {
+                    "v": version,
+                    "stream": delta_stream,
+                    "seq": delta_seq,
+                    "kind": delta_kind,
+                    "set": sections[0],
+                    "restore": sections[1],
+                    "clear": clear,
+                }
+            )
             rec = TraceRecord(seq=seq, kind=kind, site=site, payload=payload)
         if pos != len(body):
             raise TraceFormatError(f"{len(body) - pos} trailing bytes in frame")

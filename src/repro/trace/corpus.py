@@ -20,9 +20,12 @@ length × task count (phaser fan-out) × site count — with two phases:
    generalised.  With ``deadlock=False`` the back edge is broken (group
    0 has already arrived at ``c{L-1}``), leaving an acyclic chain.
 
-With ``sites > 1`` the blocked statuses flow through ``publish``
-records (tasks round-robined over sites, each publish replacing that
-site's whole bucket) — the distributed one-phase detection replayed
+With ``sites > 1`` the blocked statuses flow through ``publish_delta``
+records (tasks round-robined over sites, each status change derived
+into a delta by the same :class:`~repro.distributed.delta.DeltaPublisher`
+the live ``Site`` path runs — first publish per site is a snapshot
+checkpoint, subsequent ones carry only the changed task) — the
+distributed one-phase detection under the delta wire protocol, replayed
 from a file.
 
 Five spec families share :func:`build_trace`: :class:`ScenarioSpec`
@@ -89,15 +92,24 @@ class ScenarioSpec:
 
 class _Emitter:
     """Builds the record stream, routing blocked-status changes either
-    to local ``block``/``unblock`` records (one site) or to cumulative
-    per-site ``publish`` records (several sites)."""
+    to local ``block``/``unblock`` records (one site) or to per-site
+    ``publish_delta`` records (several sites), derived by the same
+    :class:`~repro.distributed.delta.DeltaPublisher` the live ``Site``
+    publishing loop runs."""
 
     def __init__(self, sites: int) -> None:
+        from repro.distributed.delta import DeltaPublisher
+
         self.sites = sites
         self.records: List[ev.TraceRecord] = []
         self._seq = 0
         self._buckets: Dict[str, Dict[str, dict]] = {
             self._site_name(i): {} for i in range(sites)
+        }
+        # Fixed stream tokens: generated corpora must be byte-pinnable,
+        # so the publisher's random-incarnation default is overridden.
+        self._publishers: Dict[str, DeltaPublisher] = {
+            name: DeltaPublisher(name, stream=name) for name in self._buckets
         }
 
     def _site_name(self, index: int) -> str:
@@ -117,13 +129,20 @@ class _Emitter:
     def advance(self, task: str, phaser: str, phase: int) -> None:
         self.records.append(ev.advance(self._next(), task, phaser, phase))
 
+    def _publish_site(self, site: str) -> None:
+        publisher = self._publishers[site]
+        delta = publisher.prepare(self._buckets[site])
+        assert delta is not None, "emitter publishes only on change"
+        publisher.commit(delta)
+        self.records.append(ev.publish_delta(self._next(), site, delta))
+
     def block(self, task_index: int, task: str, status: BlockedStatus) -> None:
         if self.sites == 1:
             self.records.append(ev.block(self._next(), task, status))
             return
         site = self._site_of(task_index)
         self._buckets[site][task] = status_to_obj(status)
-        self.records.append(ev.publish(self._next(), site, dict(self._buckets[site])))
+        self._publish_site(site)
 
     def unblock(self, task_index: int, task: str) -> None:
         if self.sites == 1:
@@ -131,7 +150,7 @@ class _Emitter:
             return
         site = self._site_of(task_index)
         self._buckets[site].pop(task, None)
-        self.records.append(ev.publish(self._next(), site, dict(self._buckets[site])))
+        self._publish_site(site)
 
 
 def scenario_trace(spec: ScenarioSpec) -> Trace:

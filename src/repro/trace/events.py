@@ -7,7 +7,7 @@ during one run.  Replaying the stream through a fresh
 :class:`~repro.core.checker.DeadlockChecker` reproduces the analysis of
 the live run — deterministically, offline, and at batch throughput.
 
-Five record kinds cover every observation point of the tool
+Six record kinds cover every observation point of the tool
 architecture (Section 5.3's task observer plus Section 5.2's publishes):
 
 * ``block`` — a task is about to block, with its full
@@ -18,13 +18,19 @@ architecture (Section 5.3's task observer plus Section 5.2's publishes):
   local-phase changes.  Replay does not need them (the blocked status is
   self-contained), but they make traces debuggable and let future
   analyses reconstruct phaser membership over time;
-* ``publish`` — a distributed site wrote its encoded status bucket to
-  the global store (the paper's Redis ``put``).
+* ``publish`` — a distributed site replaced its whole encoded status
+  bucket in the global store (the PR-1 bucket protocol, kept for old
+  recordings);
+* ``publish_delta`` — a distributed site appended one
+  :mod:`repro.distributed.delta` wire delta (per-site sequence number,
+  ``set``/``restore``/``clear`` ops or a full ``snapshot`` checkpoint)
+  to its stream — the store write of the delta protocol.
 
 Records carry a monotonically increasing ``seq`` stamped by the
 producer; the stream order *is* the semantics, so codecs must preserve
 it.  The format is versioned through :data:`TRACE_VERSION` in the trace
-header; readers reject versions they do not understand.
+header; readers accept every version in :data:`SUPPORTED_VERSIONS`
+(version 1 predates ``publish_delta``) and reject the rest.
 """
 
 from __future__ import annotations
@@ -36,7 +42,10 @@ from typing import Mapping, Optional, Tuple
 from repro.core.events import BlockedStatus, Event
 
 #: Current trace-format version, written into every header.
-TRACE_VERSION = 1
+TRACE_VERSION = 2
+
+#: Versions this reader understands (v1 lacks ``publish_delta``).
+SUPPORTED_VERSIONS = (1, 2)
 
 #: Magic string identifying a trace (JSONL header field / binary magic).
 TRACE_MAGIC = "armus-trace"
@@ -54,6 +63,7 @@ class RecordKind(enum.Enum):
     REGISTER = "register"
     ADVANCE = "advance"
     PUBLISH = "publish"
+    PUBLISH_DELTA = "publish_delta"
 
     def __str__(self) -> str:  # pragma: no cover - cosmetic
         return self.value
@@ -85,6 +95,63 @@ def status_from_obj(obj: Mapping) -> BlockedStatus:
 
 
 # ---------------------------------------------------------------------------
+# delta payload validation — the per-record wire form of PUBLISH_DELTA
+# (the protocol constants and semantics live in repro.distributed.delta,
+# the single owner; this is format validation only)
+# ---------------------------------------------------------------------------
+def delta_payload_from_obj(obj: Mapping) -> dict:
+    """Validate and normalise one PUBLISH_DELTA payload.
+
+    Raises :class:`TraceFormatError` on malformed input; returns a plain
+    dict with canonical key order (``v``, ``stream``, ``seq``, ``kind``,
+    ``set``, ``restore``, ``clear``).  Every status blob is validated
+    through :func:`status_from_obj` so a bad delta fails at load time,
+    not mid-replay.  (Protocol constants are imported lazily from their
+    owner, :mod:`repro.distributed.delta` — a top-level import would
+    cycle through the trace package init.)
+    """
+    from repro.distributed.delta import DELTA_KINDS, PROTOCOL_VERSION
+
+    try:
+        version = int(obj.get("v", PROTOCOL_VERSION))
+        stream = str(obj["stream"])
+        seq = int(obj["seq"])
+        kind = obj["kind"]
+        set_ops = obj["set"]
+        restore_ops = obj["restore"]
+        clear_ops = obj["clear"]
+    except (KeyError, TypeError, ValueError) as exc:
+        raise TraceFormatError(f"malformed delta payload: {obj!r}") from exc
+    if not stream:
+        raise TraceFormatError("delta payload needs a non-empty stream token")
+    if not 1 <= version <= PROTOCOL_VERSION:
+        raise TraceFormatError(f"unsupported delta protocol version {version}")
+    if kind not in DELTA_KINDS:
+        raise TraceFormatError(f"unknown delta kind {kind!r}")
+    if seq < 1:
+        raise TraceFormatError(f"delta seq must be >= 1, got {seq}")
+    if not isinstance(set_ops, Mapping) or not isinstance(restore_ops, Mapping):
+        raise TraceFormatError("delta set/restore must be objects")
+    if isinstance(clear_ops, (str, bytes)) or not hasattr(clear_ops, "__iter__"):
+        raise TraceFormatError("delta clear must be a list of task ids")
+    if kind == "snapshot" and (restore_ops or list(clear_ops)):
+        raise TraceFormatError("snapshot deltas carry only a set section")
+    for blob in set_ops.values():
+        status_from_obj(blob)
+    for blob in restore_ops.values():
+        status_from_obj(blob)
+    return {
+        "v": version,
+        "stream": stream,
+        "seq": seq,
+        "kind": kind,
+        "set": {str(t): dict(b) for t, b in set_ops.items()},
+        "restore": {str(t): dict(b) for t, b in restore_ops.items()},
+        "clear": [str(t) for t in clear_ops],
+    }
+
+
+# ---------------------------------------------------------------------------
 # records
 # ---------------------------------------------------------------------------
 @dataclass(frozen=True)
@@ -93,15 +160,16 @@ class TraceRecord:
 
     Which fields are populated depends on :attr:`kind`:
 
-    ========  =======================================================
-    kind      fields
-    ========  =======================================================
-    BLOCK     ``task``, ``status``
-    UNBLOCK   ``task``
-    REGISTER  ``task``, ``phaser``, ``phase``
-    ADVANCE   ``task``, ``phaser``, ``phase``
-    PUBLISH   ``site``, ``payload`` (task -> encoded status)
-    ========  =======================================================
+    =============  =======================================================
+    kind           fields
+    =============  =======================================================
+    BLOCK          ``task``, ``status``
+    UNBLOCK        ``task``
+    REGISTER       ``task``, ``phaser``, ``phase``
+    ADVANCE        ``task``, ``phaser``, ``phase``
+    PUBLISH        ``site``, ``payload`` (task -> encoded status)
+    PUBLISH_DELTA  ``site``, ``payload`` (the delta wire object)
+    =============  =======================================================
     """
 
     seq: int
@@ -130,6 +198,13 @@ class TraceRecord:
         if k is RecordKind.PUBLISH:
             if self.site is None or self.payload is None:
                 raise TraceFormatError("publish record needs site and payload")
+        if k is RecordKind.PUBLISH_DELTA:
+            if self.site is None or self.payload is None:
+                raise TraceFormatError("publish_delta record needs site and payload")
+            if "seq" not in self.payload or "kind" not in self.payload:
+                raise TraceFormatError(
+                    "publish_delta payload needs seq and kind fields"
+                )
 
 
 def block(seq: int, task: str, status: BlockedStatus) -> TraceRecord:
@@ -163,6 +238,15 @@ def publish(seq: int, site: str, payload: Mapping[str, Mapping]) -> TraceRecord:
     return TraceRecord(seq=seq, kind=RecordKind.PUBLISH, site=site, payload=dict(payload))
 
 
+def publish_delta(seq: int, site: str, payload: Mapping) -> TraceRecord:
+    """A ``publish_delta`` record: ``site`` appended the delta wire
+    object ``payload`` (see :mod:`repro.distributed.delta`) to its
+    stream in the global store."""
+    return TraceRecord(
+        seq=seq, kind=RecordKind.PUBLISH_DELTA, site=site, payload=dict(payload)
+    )
+
+
 # ---------------------------------------------------------------------------
 # the trace container
 # ---------------------------------------------------------------------------
@@ -178,10 +262,10 @@ class TraceHeader:
     meta: Mapping[str, object] = field(default_factory=dict)
 
     def __post_init__(self) -> None:
-        if self.version != TRACE_VERSION:
+        if self.version not in SUPPORTED_VERSIONS:
             raise TraceFormatError(
                 f"unsupported trace version {self.version} "
-                f"(this reader understands {TRACE_VERSION})"
+                f"(this reader understands {SUPPORTED_VERSIONS})"
             )
 
 

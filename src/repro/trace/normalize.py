@@ -116,6 +116,9 @@ def canonical_trace(trace: Trace) -> Trace:
     task = _Renamer("t")
     resource = _Renamer("r")
     site = _Renamer("s")
+    # Stream (publisher-incarnation) tokens are minted randomly per
+    # live run, so they get their own canonical namespace.
+    stream = _Renamer("c")
     records = []
     for rec in trace.records:
         kind = rec.kind
@@ -134,12 +137,37 @@ def canonical_trace(trace: Trace) -> Trace:
             records.append(
                 make(rec.seq, task(rec.task), resource(rec.phaser), rec.phase)
             )
-        else:  # PUBLISH
+        elif kind is RecordKind.PUBLISH:
             records.append(
                 ev.publish(
                     rec.seq,
                     site(rec.site),
                     _canonical_payload(rec.payload, task, resource),
+                )
+            )
+        else:  # PUBLISH_DELTA
+            delta = rec.payload
+            # Walk the delta's sections in a fixed order (set, restore,
+            # clear) so identifier discovery cannot depend on payload
+            # spelling; seq/kind/v are structural and pass through.
+            records.append(
+                ev.publish_delta(
+                    rec.seq,
+                    site(rec.site),
+                    {
+                        "v": delta.get("v", 1),
+                        "stream": stream(delta["stream"]),
+                        "seq": delta["seq"],
+                        "kind": delta["kind"],
+                        "set": _canonical_payload(delta["set"], task, resource),
+                        "restore": _canonical_payload(
+                            delta["restore"], task, resource
+                        ),
+                        "clear": [
+                            task(t)
+                            for t in sorted(delta["clear"], key=_natural_key)
+                        ],
+                    },
                 )
             )
     header = TraceHeader(version=trace.header.version, meta=dict(trace.header.meta))

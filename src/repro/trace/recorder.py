@@ -94,6 +94,11 @@ class TraceRecorder:
         """``site`` replaced its store bucket with ``payload``."""
         return self._append(lambda seq: ev.publish(seq, str(site), payload))
 
+    def record_publish_delta(self, site, payload: Mapping) -> ev.TraceRecord:
+        """``site`` appended the delta wire object ``payload`` to its
+        stream in the global store (the delta-protocol write)."""
+        return self._append(lambda seq: ev.publish_delta(seq, str(site), payload))
+
     # ------------------------------------------------------------------
     # results
     # ------------------------------------------------------------------

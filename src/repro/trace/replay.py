@@ -20,10 +20,16 @@ Two replay modes mirror the paper's verification modes:
   (``publish`` records) carry whole buckets, not vettable individual
   blocks, so avoidance replay rejects them with :class:`ValueError`.
 
-``publish`` records switch detection to the distributed view: once a
-site bucket has been seen, checks analyse the merged global store state
-(:func:`~repro.distributed.detector.merge_payloads`) instead of the
-local dependency — the one-phase algorithm of Section 5.2, replayed.
+``publish`` records (the legacy bucket protocol) and ``publish_delta``
+records (the live delta protocol: per-site sequence numbers,
+``set``/``restore``/``clear`` ops, snapshot checkpoints) switch
+detection to the distributed view: once any site publication has been
+seen, checks analyse the merged global store state instead of the local
+dependency — the one-phase algorithm of Section 5.2, replayed.  Both
+engines derive that view through the same module the live path uses
+(:mod:`repro.distributed.delta`), so offline and live derivations
+cannot drift apart; a sequence gap inside a trace is a recording bug
+and raises :class:`~repro.distributed.delta.DeltaSequenceError`.
 
 ``register``/``advance`` records are context only (a blocked status is
 self-contained) and are skipped, but counted towards throughput.
@@ -68,9 +74,14 @@ from repro.core.checker import CheckStats, DeadlockChecker
 from repro.core.incremental import IncrementalChecker
 from repro.core.report import DeadlockReport
 from repro.core.selection import DEFAULT_THRESHOLD_FACTOR, GraphModel
+from repro.distributed.delta import Cursor, DeltaMergeState, apply_delta_obj
 from repro.distributed.detector import merge_payloads
 from repro.trace.codec import load_trace
 from repro.trace.events import RecordKind, Trace, TraceRecord
+
+#: Publication record kinds (either protocol) — they flip detection to
+#: the merged distributed view and are unanalysable under avoidance.
+_PUBLISH_KINDS = (RecordKind.PUBLISH, RecordKind.PUBLISH_DELTA)
 
 #: Replay modes (strings, to stay import-independent of the runtime).
 DETECTION = "detection"
@@ -162,6 +173,7 @@ class ReplayEngine:
         result = ReplayResult(mode=self.mode)
         seen: Set[frozenset] = set()
         buckets: Dict[str, dict] = {}
+        cursors: Dict[str, Cursor] = {}
         pending = 0
         t0 = time.perf_counter()
         for rec in records:
@@ -179,7 +191,7 @@ class ReplayEngine:
             elif kind is RecordKind.UNBLOCK:
                 checker.clear(rec.task)
                 pending += 1
-            elif kind is RecordKind.PUBLISH:
+            elif kind in _PUBLISH_KINDS:
                 if self.mode == AVOIDANCE:
                     # Avoidance vets individual blocks; a published
                     # bucket carries no per-block order to vet.  Failing
@@ -188,7 +200,10 @@ class ReplayEngine:
                         "avoidance replay cannot analyse publish records "
                         "(distributed traces replay in detection mode)"
                     )
-                buckets[rec.site] = dict(rec.payload)
+                if kind is RecordKind.PUBLISH:
+                    buckets[rec.site] = dict(rec.payload)
+                else:
+                    apply_delta_obj(buckets, cursors, rec.site, rec.payload)
                 pending += 1
             else:  # REGISTER / ADVANCE: context only
                 continue
@@ -243,10 +258,14 @@ class ReplayEngine:
 
         Two delta-maintained checkers mirror the from-scratch engine's
         two views: ``local`` accumulates ``block``/``unblock`` records,
-        ``remote`` accumulates the merged site buckets.  Once any
-        ``publish`` has been seen, detection queries the remote view
-        only — exactly the view switch the from-scratch ``_detect``
-        performs by merging buckets instead of snapshotting.
+        ``remote`` accumulates the merged site publications through a
+        :class:`~repro.distributed.delta.DeltaMergeState` — the same
+        consumer the live distributed checker runs, fed either
+        whole-bucket ``publish`` records (diffed against the site's
+        previous bucket) or ``publish_delta`` ops (applied directly).
+        Once any publication has been seen, detection queries the
+        remote view only — exactly the view switch the from-scratch
+        ``_detect`` performs by merging buckets instead of snapshotting.
         """
         local = IncrementalChecker(
             model=self.model, threshold_factor=self.threshold_factor
@@ -254,27 +273,25 @@ class ReplayEngine:
         remote = IncrementalChecker(
             model=self.model, threshold_factor=self.threshold_factor
         )
-        result = ReplayResult(mode=self.mode)
-        seen: Set[frozenset] = set()
-        site_buckets: Dict[str, Dict[str, dict]] = {}
-        task_owners: Dict[str, Set[str]] = {}
-        conflicted: Set[str] = set()
+        merge = DeltaMergeState(remote)
         # The from-scratch engine checks the *merged bucket* snapshot,
         # whose task order is site order × bucket order — not delta
         # arrival order.  Rebuilding the merge on the (rare) cyclic
         # fallback keeps remote reports byte-identical to it.
-        remote.snapshot_source = lambda: merge_payloads(site_buckets)
+        remote.snapshot_source = merge.merged_snapshot
+        result = ReplayResult(mode=self.mode)
+        seen: Set[frozenset] = set()
         publishes_seen = False
         pending = 0
         t0 = time.perf_counter()
 
         def detect() -> None:
-            if publishes_seen and conflicted:
+            if publishes_seen:
                 # Mirror the from-scratch engine: cross-site duplication
                 # is rejected at *check* time (a transient overlap that
                 # resolves before the next cadence point replays fine),
-                # with merge_payloads producing the identical error.
-                merge_payloads(site_buckets)
+                # with the classic merge producing the identical error.
+                merge.raise_on_conflict()
             self._detect_incremental(
                 remote if publishes_seen else local, seen, result
             )
@@ -294,15 +311,16 @@ class ReplayEngine:
             elif kind is RecordKind.UNBLOCK:
                 local.clear(rec.task)
                 pending += 1
-            elif kind is RecordKind.PUBLISH:
+            elif kind in _PUBLISH_KINDS:
                 if self.mode == AVOIDANCE:
                     raise ValueError(
                         "avoidance replay cannot analyse publish records "
                         "(distributed traces replay in detection mode)"
                     )
-                self._apply_publish(
-                    remote, site_buckets, task_owners, conflicted, rec
-                )
+                if kind is RecordKind.PUBLISH:
+                    merge.apply_bucket(rec.site, rec.payload)
+                else:
+                    merge.apply_obj(rec.site, rec.payload)
                 publishes_seen = True
                 pending += 1
             else:  # REGISTER / ADVANCE: context only
@@ -329,60 +347,6 @@ class ReplayEngine:
             report = checker.check()
             reports = [] if report is None else [report]
         self._collect(reports, seen, result)
-
-    @staticmethod
-    def _apply_publish(
-        remote: IncrementalChecker,
-        site_buckets: Dict[str, Dict[str, dict]],
-        task_owners: Dict[str, Set[str]],
-        conflicted: Set[str],
-        rec: TraceRecord,
-    ) -> None:
-        """Diff a site's replacement bucket into task-level deltas.
-
-        A publish replaces the site's whole bucket, but between two
-        publishes of one site most statuses are unchanged — only the
-        tasks whose encoded status differs are re-applied.  A task
-        published by several sites at once lands in ``conflicted``; the
-        caller rejects at the next check (exactly when — and with the
-        error — the from-scratch merge would), so a transient overlap
-        that resolves within a cadence window replays cleanly.  While a
-        task is conflicted its delta state is last-writer; the moment
-        the overlap resolves the survivor's status is re-applied.
-        """
-        from repro.distributed.store import decode_statuses
-
-        old = site_buckets.get(rec.site, {})
-        new = {task: dict(blob) for task, blob in rec.payload.items()}
-        site_buckets[rec.site] = new
-        for task in old:
-            if task in new:
-                continue
-            owners = task_owners.get(task, set())
-            owners.discard(rec.site)
-            if not owners:
-                remote.clear(task)
-                task_owners.pop(task, None)
-            elif len(owners) == 1:
-                # Conflict resolved by this removal: the survivor's
-                # current blob is the merged truth again.
-                conflicted.discard(task)
-                (survivor,) = owners
-                blob = site_buckets[survivor][task]
-                remote.set_blocked(
-                    task, decode_statuses({task: blob})[task]
-                )
-        changed = {
-            task: blob for task, blob in new.items() if old.get(task) != blob
-        }
-        for task, status in decode_statuses(changed).items():
-            remote.set_blocked(task, status)
-        for task in new:
-            owners = task_owners.setdefault(task, set())
-            owners.add(rec.site)
-            if len(owners) > 1:
-                conflicted.add(task)
-
 
 def replay(
     source: Union[Trace, Iterable[TraceRecord], str],

@@ -59,14 +59,20 @@ def drive_both(records, model=GraphModel.AUTO, sharded=False):
     return compared
 
 
+#: Publication kinds (either protocol): these traces exercise the
+#: engine-level view derivation instead of the raw checker surface.
+PUBLISH_KINDS = (RecordKind.PUBLISH, RecordKind.PUBLISH_DELTA)
+
+
 class TestCorpusDifferential:
     @pytest.mark.parametrize("path", corpus_files(), ids=lambda p: p.name)
     def test_reports_identical_at_every_cadence_point(self, path):
         """Block/unblock traces: drive both checkers record by record.
-        Publish traces exercise the engine-level bucket diffing instead
-        (their records carry no per-task delta to hand a checker)."""
+        Publication traces (bucket or delta protocol) exercise the
+        engine-level view derivation instead (their records carry no
+        per-task delta to hand a checker directly)."""
         records = list(iter_load(path))
-        if any(r.kind is RecordKind.PUBLISH for r in records):
+        if any(r.kind in PUBLISH_KINDS for r in records):
             a = replay(records, check_every=1)
             b = replay(records, check_every=1, incremental=True)
             assert a.reports == b.reports
@@ -76,7 +82,7 @@ class TestCorpusDifferential:
     @pytest.mark.parametrize("path", corpus_files(), ids=lambda p: p.name)
     def test_sharded_reports_identical(self, path):
         records = list(iter_load(path))
-        if any(r.kind is RecordKind.PUBLISH for r in records):
+        if any(r.kind in PUBLISH_KINDS for r in records):
             a = replay(records, check_every=1, shard_components=True)
             b = replay(
                 records, check_every=1, shard_components=True, incremental=True
@@ -299,3 +305,86 @@ class TestTransientPublishConflicts:
         y = replay(recs, check_every=5, incremental=True)
         assert x.reports == y.reports
         assert x.deadlocked  # A's pair is the crossed knot
+
+
+class TestIncrementalExtraction:
+    """The WFG-model checker extracts reports from the maintained
+    partition — no snapshot, no classic rebuild — byte-identically."""
+
+    def knot(self):
+        return {
+            "a": BlockedStatus(
+                waits=frozenset({Event("p", 1)}), registered={"p": 1, "q": 0}
+            ),
+            "b": BlockedStatus(
+                waits=frozenset({Event("q", 1)}), registered={"p": 0, "q": 1}
+            ),
+        }
+
+    def test_wfg_report_skips_the_classic_build(self, monkeypatch):
+        import repro.core.checker as checker_mod
+
+        incremental = IncrementalChecker(model=GraphModel.WFG)
+        for task, status in self.knot().items():
+            incremental.set_blocked(task, status)
+        calls = []
+        original = checker_mod.build_graph
+        monkeypatch.setattr(
+            checker_mod, "build_graph",
+            lambda *a, **k: calls.append(1) or original(*a, **k),
+        )
+        report = incremental.check()
+        assert report is not None
+        assert calls == []  # extraction came from the partition
+        assert incremental.incremental_extractions == 1
+
+    def test_wfg_extraction_is_epoch_cached_across_churn(self):
+        incremental = IncrementalChecker(model=GraphModel.WFG)
+        for task, status in self.knot().items():
+            incremental.set_blocked(task, status)
+        first = incremental.check()
+        assert first is not None
+        done = incremental.incremental_extractions
+        for i in range(4):
+            # Churn an unrelated component: the knot's extraction must
+            # be served from the per-component cache.
+            incremental.set_blocked(
+                f"x{i}",
+                BlockedStatus(
+                    waits=frozenset({Event(f"r{i}", 1)}), registered={}
+                ),
+            )
+            assert incremental.check() == first
+        assert incremental.incremental_extractions == done
+
+    def test_wfg_revalidate_matches_classic(self):
+        scratch = DeadlockChecker(model=GraphModel.WFG)
+        incremental = IncrementalChecker(model=GraphModel.WFG)
+        for checker in (scratch, incremental):
+            for task, status in self.knot().items():
+                checker.set_blocked(task, status)
+        assert incremental.check(revalidate=True) == scratch.check(revalidate=True)
+
+    @pytest.mark.parametrize("seed", range(6))
+    def test_wfg_randomized_pointwise_identity(self, seed):
+        """The extraction path under random churn: pointwise equality
+        with the classic WFG checker after every delta."""
+        rng = random.Random(7000 + seed)
+        tasks = [f"t{i}" for i in range(8)]
+        phasers = [f"p{i}" for i in range(4)]
+        scratch = DeadlockChecker(model=GraphModel.WFG)
+        incremental = IncrementalChecker(model=GraphModel.WFG)
+        blocked = set()
+        for _ in range(200):
+            if rng.random() < 0.6 or not blocked:
+                task = rng.choice(tasks)
+                status = random_status(rng, phasers)
+                scratch.set_blocked(task, status)
+                incremental.set_blocked(task, status)
+                blocked.add(task)
+            else:
+                task = rng.choice(sorted(blocked))
+                scratch.clear(task)
+                incremental.clear(task)
+                blocked.discard(task)
+            assert incremental.check() == scratch.check()

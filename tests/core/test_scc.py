@@ -185,3 +185,81 @@ class TestRandomizedDifferential:
             scc.check_valid()
         assert not scc.has_cycle()
         assert scc.edge_count == 0
+
+
+class TestExtractCycle:
+    """extract_cycle: canonical witness from the maintained partition,
+    byte-equal to the from-scratch find_cycle, epoch-cached per
+    component."""
+
+    def test_acyclic_returns_none(self):
+        scc = edges_of([("a", "b"), ("b", "c")])
+        assert scc.extract_cycle() is None
+
+    def test_matches_from_scratch_extraction(self):
+        from repro.core.cycles import find_cycle
+
+        scc = edges_of(
+            [("b", "c"), ("c", "b"), ("x", "y"), ("m", "a"), ("a", "m")]
+        )
+        assert scc.extract_cycle() == find_cycle(scc.to_digraph())
+
+    def test_self_loop(self):
+        from repro.core.cycles import find_cycle
+
+        scc = edges_of([("s", "s"), ("a", "b")])
+        assert scc.extract_cycle() == find_cycle(scc.to_digraph()) == ["s", "s"]
+
+    def test_global_minimal_vertex_chosen_across_components(self):
+        """Two disjoint cyclic components: the one holding the globally
+        minimal vertex wins, like find_cycle."""
+        scc = edges_of([("z1", "z2"), ("z2", "z1"), ("a1", "a2"), ("a2", "a1")])
+        cycle = scc.extract_cycle()
+        assert cycle[0] == "a1"
+
+    def test_extraction_is_epoch_cached(self):
+        """Re-extracting a stable deadlock while *other* components
+        mutate computes nothing new — the per-component epoch cache."""
+        scc = edges_of([("a", "b"), ("b", "a")])
+        first = scc.extract_cycle()
+        done = scc.extractions
+        for i in range(5):
+            scc.add_edge(f"x{i}", f"x{i + 1}")  # churn elsewhere
+            assert scc.extract_cycle() == first
+        assert scc.extractions == done
+
+    def test_mutating_the_cyclic_component_recomputes(self):
+        scc = edges_of([("a", "b"), ("b", "a")])
+        scc.extract_cycle()
+        done = scc.extractions
+        scc.add_edge("c", "a")
+        scc.extract_cycle()
+        assert scc.extractions == done + 1
+
+    def test_cache_pruned_when_cycle_breaks(self):
+        scc = edges_of([("a", "b"), ("b", "a"), ("c", "d"), ("d", "c")])
+        scc.extract_cycle()
+        scc.remove_edge("b", "a")
+        cycle = scc.extract_cycle()
+        assert cycle[0] == "c"
+
+    @pytest.mark.parametrize("seed", range(6))
+    def test_random_churn_matches_find_cycle(self, seed):
+        from repro.core.cycles import find_cycle
+
+        rng = random.Random(3000 + seed)
+        scc = DynamicSCC()
+        vertices = [f"v{i}" for i in range(10)]
+        edges = set()
+        for step in range(200):
+            if rng.random() < 0.6 or not edges:
+                u, v = rng.choice(vertices), rng.choice(vertices)
+                scc.add_edge(u, v)
+                edges.add((u, v))
+            else:
+                u, v = rng.choice(sorted(edges))
+                scc.remove_edge(u, v)
+                edges.discard((u, v))
+            if step % 5 == 0:
+                assert scc.extract_cycle() == find_cycle(scc.to_digraph())
+        assert scc.extract_cycle() == find_cycle(scc.to_digraph())

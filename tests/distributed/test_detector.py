@@ -1,4 +1,11 @@
-"""One-phase distributed detection: merging and global analysis."""
+"""One-phase distributed detection over the delta protocol.
+
+``DistributedChecker`` now maintains its global view from per-site
+delta streams instead of re-merging buckets; these tests pin the
+detection semantics (cross-site cycles, no-cycle, outages), the
+O(change) sync behaviour, gap/checkpoint recovery, and — the acceptance
+differential — report byte-identity with the legacy bucket path.
+"""
 
 from __future__ import annotations
 
@@ -6,12 +13,34 @@ import pytest
 
 from repro.core.events import waiting_on
 from repro.core.selection import GraphModel
-from repro.distributed.detector import DistributedChecker, merge_payloads
+from repro.distributed.delta import DeltaPublisher, encode_bucket
+from repro.distributed.detector import (
+    DistributedChecker,
+    check_buckets,
+    merge_payloads,
+)
 from repro.distributed.store import (
     InMemoryStore,
     StoreUnavailableError,
     encode_statuses,
 )
+
+
+def publish(store, site, statuses, publisher=None):
+    """One delta-protocol publication round for ``site``."""
+    publisher = publisher or DeltaPublisher(site)
+    obj = publisher.prepare(encode_bucket(statuses))
+    if obj is not None:
+        store.append_delta(site, obj)
+        publisher.commit(obj)
+    return publisher
+
+
+def crossed_knot():
+    return (
+        {"a": waiting_on("p", 1, p=1, q=0)},
+        {"b": waiting_on("q", 1, q=1, p=0)},
+    )
 
 
 class TestMerge:
@@ -37,12 +66,9 @@ class TestGlobalCheck:
         """The deadlock spans two sites: neither site's local view has a
         cycle, the merged view does — the whole point of Section 5.2."""
         store = InMemoryStore()
-        store.put(
-            "s0", encode_statuses({"a": waiting_on("p", 1, p=1, q=0)})
-        )
-        store.put(
-            "s1", encode_statuses({"b": waiting_on("q", 1, q=1, p=0)})
-        )
+        a, b = crossed_knot()
+        publish(store, "s0", a)
+        publish(store, "s1", b)
         checker = DistributedChecker(store)
         report = checker.check_global()
         assert report is not None
@@ -50,7 +76,7 @@ class TestGlobalCheck:
 
     def test_no_cycle_no_report(self):
         store = InMemoryStore()
-        store.put("s0", encode_statuses({"a": waiting_on("p", 1, p=1)}))
+        publish(store, "s0", {"a": waiting_on("p", 1, p=1)})
         assert DistributedChecker(store).check_global() is None
 
     def test_store_outage_propagates(self):
@@ -61,13 +87,178 @@ class TestGlobalCheck:
 
     def test_model_configuration(self):
         store = InMemoryStore()
-        store.put(
-            "s0", encode_statuses({"a": waiting_on("p", 1, p=1, q=0)})
-        )
-        store.put(
-            "s1", encode_statuses({"b": waiting_on("q", 1, q=1, p=0)})
-        )
+        a, b = crossed_knot()
+        publish(store, "s0", a)
+        publish(store, "s1", b)
         for model in (GraphModel.WFG, GraphModel.SG, GraphModel.AUTO):
             checker = DistributedChecker(store, model=model)
             assert checker.check_global() is not None
         assert checker.stats.checks == 1
+
+
+class TestDeltaFedView:
+    def test_idle_rounds_apply_no_ops(self):
+        """The tentpole property: an unchanged cluster costs O(1) per
+        round — no bucket re-merge, no status re-application."""
+        store = InMemoryStore()
+        a, b = crossed_knot()
+        publish(store, "s0", a)
+        publish(store, "s1", b)
+        checker = DistributedChecker(store)
+        checker.check_global()
+        ops = checker.view.ops_applied
+        for _ in range(5):
+            checker.check_global()
+        assert checker.view.ops_applied == ops
+
+    def test_incremental_change_applies_only_the_change(self):
+        store = InMemoryStore()
+        pub = publish(store, "s0", {f"t{i}": waiting_on("p", i + 1, p=i + 1)
+                                    for i in range(20)})
+        checker = DistributedChecker(store)
+        checker.check_global()
+        ops = checker.view.ops_applied
+        statuses = {f"t{i}": waiting_on("p", i + 1, p=i + 1) for i in range(20)}
+        statuses["t20"] = waiting_on("q", 1, q=1)
+        publish(store, "s0", statuses, pub)
+        checker.check_global()
+        assert checker.view.ops_applied == ops + 1  # one set op, not 21
+
+    def test_gap_triggers_checkpoint_resync(self):
+        store = InMemoryStore(max_log=2)
+        pub = publish(store, "s0", {"a": waiting_on("p", 1, p=1)})
+        checker = DistributedChecker(store)
+        checker.check_global()
+        statuses = {"a": waiting_on("p", 1, p=1)}
+        for i in range(6):  # push the log past the cap
+            statuses[f"x{i}"] = waiting_on(f"r{i}", 1, **{f"r{i}": 1})
+            pub = publish(store, "s0", statuses, pub)
+        # A second (cold) checker's cursor has been compacted off.
+        cold = DistributedChecker(store)
+        assert cold.check_global() is None
+        assert cold.resyncs == 1
+        assert set(cold.view.buckets["s0"]) == set(encode_bucket(statuses))
+
+    def test_withdrawn_stream_drops_the_sites_tasks(self):
+        store = InMemoryStore()
+        a, b = crossed_knot()
+        publish(store, "s0", a)
+        publish(store, "s1", b)
+        checker = DistributedChecker(store)
+        assert checker.check_global() is not None
+        store.delete("s1")
+        # The cycle involved b; dropping s1's stream must clear it.
+        assert checker.check_global() is None
+        assert checker.view.sites() == ["s0"]
+
+    def test_restarted_stream_resyncs(self):
+        """A site that crashed and rejoined restarts at seq 1 with a
+        snapshot; consumers ahead of the new tail must resync, not
+        wedge."""
+        store = InMemoryStore()
+        pub = publish(store, "s0", {"a": waiting_on("p", 1, p=1)})
+        for i in range(3):
+            pub = publish(
+                store, "s0",
+                {"a": waiting_on("p", 1, p=1),
+                 f"x{i}": waiting_on(f"r{i}", 1, **{f"r{i}": 1})},
+                pub,
+            )
+        checker = DistributedChecker(store)
+        checker.check_global()
+        assert checker.view.cursor_seq("s0") == 4
+        publish(store, "s0", {"b": waiting_on("q", 1, q=1)})  # fresh stream
+        assert checker.check_global() is None
+        assert checker.view.cursor_seq("s0") == 1
+        assert set(checker.view.buckets["s0"]) == {"b"}
+
+    def test_new_stream_overtaking_old_cursor_resyncs(self):
+        """The aliasing hole stream tokens close: a restarted site's
+        new stream reaches a seq *beyond* the consumer's old-stream
+        cursor before the next poll.  Without tokens the numbers line
+        up and new deltas would silently splice onto old state; with
+        them the mismatch forces a checkpoint resync."""
+        store = InMemoryStore()
+        pub = None
+        statuses = {}
+        for i in range(5):
+            statuses[f"x{i}"] = waiting_on(f"r{i}", 1, **{f"r{i}": 1})
+            pub = publish(store, "s0", dict(statuses), pub)
+        checker = DistributedChecker(store)
+        checker.check_global()
+        assert checker.view.cursor_seq("s0") == 5
+        # The site restarts (fresh publisher incarnation) and its new
+        # stream runs past seq 5 before the checker polls again.
+        pub2 = None
+        fresh = {}
+        for i in range(6):
+            fresh[f"y{i}"] = waiting_on(f"w{i}", 1, **{f"w{i}": 1})
+            pub2 = publish(store, "s0", dict(fresh), pub2)
+        assert checker.check_global() is None
+        assert checker.resyncs == 1
+        assert set(checker.view.buckets["s0"]) == set(encode_bucket(fresh))
+
+
+class TestProtocolEquivalence:
+    """The acceptance pin: distributed detection reports are
+    byte-identical between the delta protocol and the bucket path."""
+
+    def drive_both(self, rounds):
+        """``rounds`` is a list of {site: statuses} cluster states; both
+        protocols replay them and the per-round reports must match."""
+        bucket_store = InMemoryStore("bucket")
+        delta_store = InMemoryStore("delta")
+        from repro.core.checker import DeadlockChecker
+
+        bucket_checker = DeadlockChecker()
+        delta_checker = DistributedChecker(delta_store)
+        publishers = {}
+        for state in rounds:
+            for site, statuses in state.items():
+                bucket_store.put(site, encode_statuses(statuses))
+                publishers[site] = publish(
+                    delta_store, site, statuses, publishers.get(site)
+                )
+            expected = check_buckets(bucket_store, checker=bucket_checker)
+            actual = delta_checker.check_global()
+            assert actual == expected
+        return expected
+
+    def test_cross_site_knot_reports_identical(self):
+        a, b = crossed_knot()
+        report = self.drive_both([
+            {"s0": {"t0": waiting_on("w", 1, w=1)}, "s1": {}},
+            {"s0": dict(a, t0=waiting_on("w", 1, w=1)), "s1": b},
+        ])
+        assert report is not None
+
+    def test_churny_rounds_identical(self):
+        rounds = []
+        for r in range(1, 6):
+            state = {}
+            for s in range(3):
+                statuses = {
+                    f"s{s}t{i}": waiting_on("bar", r, bar=r)
+                    for i in range(r % 3 + 1)
+                }
+                state[f"s{s}"] = statuses
+            rounds.append(state)
+        # Final round ties a cross-site knot.
+        a, b = crossed_knot()
+        rounds.append({"s0": a, "s1": b, "s2": {}})
+        report = self.drive_both(rounds)
+        assert report is not None
+
+    def test_fixed_models_identical(self):
+        a, b = crossed_knot()
+        for model in (GraphModel.WFG, GraphModel.SG):
+            bucket_store = InMemoryStore()
+            delta_store = InMemoryStore()
+            bucket_store.put("s0", encode_statuses(a))
+            bucket_store.put("s1", encode_statuses(b))
+            publish(delta_store, "s0", a)
+            publish(delta_store, "s1", b)
+            expected = check_buckets(bucket_store, model=model)
+            actual = DistributedChecker(delta_store, model=model).check_global()
+            assert actual == expected
+            assert actual is not None

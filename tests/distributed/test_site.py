@@ -1,10 +1,13 @@
-"""Site tests: publishing/checking loops, de-dup, failures."""
+"""Site tests: delta publishing/checking loops, de-dup, failures."""
 
 from __future__ import annotations
 
 import time
 
+import pytest
+
 from repro.core.events import waiting_on
+from repro.distributed.delta import DeltaSequenceError, make_snapshot
 from repro.distributed.site import Site
 from repro.distributed.store import InMemoryStore
 
@@ -24,7 +27,30 @@ class TestSynchronousRounds:
         load_local_deadlock(site)
         report = site.poll_detection()
         assert report is not None
-        assert store.get("s0")  # the bucket was published
+        stream, seq, state = store.get_state("s0")  # the stream was published
+        assert seq == 1 and set(state) == {"a", "b"}
+
+    def test_first_publish_is_a_snapshot_then_deltas(self):
+        store = InMemoryStore()
+        site = Site("s0", store, cancel_on_detect=False)
+        dep = site.runtime.checker.dependency
+        dep.set_blocked("a", waiting_on("p", 1, p=1))
+        site._publish_once()
+        dep.set_blocked("b", waiting_on("q", 1, q=1))
+        site._publish_once()
+        objs = store.get_deltas("s0", 0)
+        assert [o["kind"] for o in objs] == ["snapshot", "delta"]
+        assert set(objs[1]["set"]) == {"b"}
+
+    def test_unchanged_rounds_publish_nothing(self):
+        store = InMemoryStore()
+        site = Site("s0", store, cancel_on_detect=False)
+        load_local_deadlock(site)
+        site._publish_once()
+        puts = store.puts
+        site._publish_once()
+        site._publish_once()
+        assert store.puts == puts  # nothing changed, nothing on the wire
 
     def test_duplicate_cycles_deduplicated(self):
         site = Site("s0", InMemoryStore(), cancel_on_detect=False)
@@ -45,6 +71,40 @@ class TestSynchronousRounds:
         site.poll_detection()
         assert len(seen) == 1
 
+    def test_store_gap_heals_with_forced_checkpoint(self):
+        """The publisher-gap fault path: the store lost the site's
+        stream (a failover artefact), the next append raises a sequence
+        gap, and the site responds with a full snapshot checkpoint
+        instead of wedging."""
+        store = InMemoryStore()
+        site = Site("s0", store, cancel_on_detect=False)
+        dep = site.runtime.checker.dependency
+        dep.set_blocked("a", waiting_on("p", 1, p=1))
+        site._publish_once()
+        store.delete("s0")  # the store forgot us
+        dep.set_blocked("b", waiting_on("q", 1, q=1))
+        site._publish_once()  # delta seq 2 has no stream -> checkpoint
+        stream, seq, state = store.get_state("s0")
+        assert set(state) == {"a", "b"}
+        objs = store.get_deltas("s0", seq - 1)
+        assert objs[-1]["kind"] == "snapshot"
+
+    def test_outage_does_not_burn_sequence_numbers(self):
+        store = InMemoryStore()
+        site = Site("s0", store, cancel_on_detect=False)
+        dep = site.runtime.checker.dependency
+        dep.set_blocked("a", waiting_on("p", 1, p=1))
+        site._publish_once()
+        store.set_available(False)
+        dep.set_blocked("b", waiting_on("q", 1, q=1))
+        with pytest.raises(Exception):
+            site._publish_once()
+        store.set_available(True)
+        site._publish_once()  # the lost change re-derives, seq 2
+        objs = store.get_deltas("s0", 1)
+        assert [o["seq"] for o in objs] == [2]
+        assert set(objs[0]["set"]) == {"b"}
+
 
 class TestBackgroundLoops:
     def test_detects_in_background(self):
@@ -62,6 +122,25 @@ class TestBackgroundLoops:
                 time.sleep(0.01)
         assert site.reports
 
+    def test_first_round_runs_immediately(self):
+        """The loop body runs once on start: a site is visible to the
+        cluster well before one publish_interval_s has elapsed."""
+        store = InMemoryStore()
+        site = Site(
+            "s0", store, publish_interval_s=30.0, check_interval_s=30.0
+        )
+        load_local_deadlock(site)
+        site.start()
+        try:
+            deadline = time.time() + 5.0
+            while time.time() < deadline:
+                if "s0" in store.delta_sites():
+                    break
+                time.sleep(0.005)
+            assert "s0" in store.delta_sites()
+        finally:
+            site.stop(timeout=0.2)
+
     def test_store_outage_counted_and_survived(self):
         store = InMemoryStore()
         with Site(
@@ -77,18 +156,36 @@ class TestBackgroundLoops:
                 time.sleep(0.01)
             assert site.reports  # recovered after the outage
 
-    def test_kill_leaves_stale_bucket(self):
+    def test_kill_leaves_stale_delta_stream(self):
+        """The satellite fault path: abrupt death leaves the stream
+        behind (exactly what a crashed machine leaves), and other
+        checkers keep seeing its last published state."""
         store = InMemoryStore()
         site = Site("s0", store, publish_interval_s=0.01).start()
         load_local_deadlock(site)
-        time.sleep(0.1)
+        deadline = time.time() + 5.0
+        while time.time() < deadline:
+            try:
+                if store.get_state("s0")[2]:
+                    break
+            except DeltaSequenceError:
+                pass
+            time.sleep(0.005)
         site.kill()
         assert not site.alive
-        assert store.get("s0") is not None  # the crash leaves it behind
+        assert "s0" in store.delta_sites()  # the crash leaves it behind
+        stream, seq, state = store.get_state("s0")
+        assert set(state) == {"a", "b"}
+        # A peer checker still merges the dead site's statuses.
+        from repro.distributed.detector import DistributedChecker
 
-    def test_graceful_stop_withdraws_bucket(self):
+        peer = DistributedChecker(store)
+        report = peer.check_global()
+        assert report is not None and set(report.tasks) == {"a", "b"}
+
+    def test_graceful_stop_withdraws_stream(self):
         store = InMemoryStore()
         site = Site("s0", store, publish_interval_s=0.01).start()
         time.sleep(0.05)
         site.stop()
-        assert store.get("s0") is None
+        assert store.delta_sites() == []

@@ -62,7 +62,7 @@ class TestRoundTrip:
     def test_all_record_kinds_survive(self):
         trace = sample_trace(2)
         kinds = {r.kind for r in loads(dumps(trace, "binary"))}
-        assert ev.RecordKind.PUBLISH in kinds
+        assert ev.RecordKind.PUBLISH_DELTA in kinds
         local = loads(dumps(sample_trace(1), "binary"))
         assert {r.kind for r in local} >= {
             ev.RecordKind.BLOCK,
@@ -70,6 +70,45 @@ class TestRoundTrip:
             ev.RecordKind.REGISTER,
             ev.RecordKind.ADVANCE,
         }
+
+    @pytest.mark.parametrize("codec", ["jsonl", "binary"])
+    def test_legacy_publish_records_round_trip(self, codec):
+        """The bucket-protocol record kind survives both codecs — old
+        recordings must keep replaying under the delta protocol era."""
+        payload = {
+            "t1": {"waits": [["p", 1]], "registered": {"p": 1}, "generation": 3}
+        }
+        trace = Trace(
+            header=TraceHeader(meta={}),
+            records=(ev.publish(0, "siteA", payload),),
+        )
+        restored = loads(dumps(trace, codec))
+        assert restored.records == trace.records
+
+    @pytest.mark.parametrize("codec", ["jsonl", "binary"])
+    @pytest.mark.parametrize("kind", ["delta", "snapshot"])
+    def test_publish_delta_round_trip(self, codec, kind):
+        blobs = {
+            "t1": {"waits": [["p", 1]], "registered": {"p": 1}, "generation": 3}
+        }
+        payload = {
+            "v": 1,
+            "stream": "st1",
+            "seq": 4,
+            "kind": kind,
+            "set": blobs,
+            "restore": {} if kind == "snapshot" else {
+                "t2": {"waits": [["q", 2]], "registered": {}, "generation": 9}
+            },
+            "clear": [] if kind == "snapshot" else ["t3"],
+        }
+        trace = Trace(
+            header=TraceHeader(meta={}),
+            records=(ev.publish_delta(0, "siteA", payload),),
+        )
+        restored = loads(dumps(trace, codec))
+        assert restored.records == trace.records
+        assert restored.records[0].payload == payload
 
     def test_status_fidelity(self):
         status = BlockedStatus(
@@ -152,3 +191,27 @@ class TestMalformedInput:
             loads(header + b'{"seq":0,"kind":"publish","site":"s","payload":{"t":{}}}\n')
         with pytest.raises(TraceFormatError):
             loads(header + b'{"seq":0,"kind":"publish","site":"s","payload":"oops"}\n')
+
+
+class TestDeltaPayloadValidation:
+    def header(self):
+        return b'{"magic":"armus-trace","version":%d,"meta":{}}\n' % TRACE_VERSION
+
+    @pytest.mark.parametrize("version", [0, -1, 99])
+    def test_out_of_range_protocol_version_rejected_at_load(self, version):
+        line = (
+            b'{"seq":0,"kind":"publish_delta","site":"s","payload":'
+            b'{"v":%d,"stream":"x","seq":1,"kind":"snapshot",'
+            b'"set":{},"restore":{},"clear":[]}}\n' % version
+        )
+        with pytest.raises(TraceFormatError, match="version"):
+            loads(self.header() + line)
+
+    def test_snapshot_with_delta_ops_rejected_at_load(self):
+        line = (
+            b'{"seq":0,"kind":"publish_delta","site":"s","payload":'
+            b'{"v":1,"stream":"x","seq":1,"kind":"snapshot",'
+            b'"set":{},"restore":{},"clear":["t"]}}\n'
+        )
+        with pytest.raises(TraceFormatError, match="snapshot"):
+            loads(self.header() + line)

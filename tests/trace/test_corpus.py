@@ -120,12 +120,21 @@ class TestWrittenCorpus:
         a, b = (load_trace(p) for p in paths)
         assert a.records == b.records
 
-    def test_distributed_corpus_has_publishes_only(self):
+    def test_distributed_corpus_has_publish_deltas_only(self):
         trace = scenario_trace(ScenarioSpec(cycle_len=2, fan_out=1, sites=2))
         kinds = trace.kind_counts()
-        assert kinds.get("publish", 0) > 0
+        assert kinds.get("publish_delta", 0) > 0
+        assert "publish" not in kinds  # the bucket protocol is retired
         assert "block" not in kinds and "unblock" not in kinds
         assert kinds.get("register", 0) > 0  # context survives distribution
+
+    def test_distributed_corpus_streams_open_with_snapshots(self):
+        trace = scenario_trace(ScenarioSpec(cycle_len=2, fan_out=1, sites=2))
+        first_kind_per_site = {}
+        for rec in trace:
+            if rec.site is not None and rec.site not in first_kind_per_site:
+                first_kind_per_site[rec.site] = rec.payload["kind"]
+        assert set(first_kind_per_site.values()) == {"snapshot"}
 
 
 class TestAioFamily:

@@ -110,3 +110,29 @@ class TestCanonicalTrace:
         assert [r.kind for r in out.records] == [r.kind for r in trace.records]
         assert [r.seq for r in out.records] == [r.seq for r in trace.records]
         assert dict(out.header.meta) == dict(trace.header.meta)
+
+    def test_publish_delta_payloads_renamed(self):
+        """Delta payloads: tasks/resources inside set/restore/clear are
+        renamed; seq, kind and protocol version pass through."""
+        from repro.trace.events import RecordKind
+
+        trace = build_trace(
+            ScenarioSpec(cycle_len=2, fan_out=1, sites=2, rounds=1)
+        )
+        out = canonical_trace(trace)
+        deltas = [r for r in out.records if r.kind is RecordKind.PUBLISH_DELTA]
+        assert deltas, "multi-site trace must carry deltas"
+        originals = [
+            r for r in trace.records if r.kind is RecordKind.PUBLISH_DELTA
+        ]
+        for rec, orig in zip(deltas, originals):
+            assert rec.site.startswith("s")
+            assert rec.payload["seq"] == orig.payload["seq"]
+            assert rec.payload["kind"] == orig.payload["kind"]
+            for section in ("set", "restore"):
+                for task, blob in rec.payload[section].items():
+                    assert task.startswith("t")
+                    assert all(
+                        p.startswith("r") for p, _ in blob["waits"]
+                    )
+            assert all(t.startswith("t") for t in rec.payload["clear"])

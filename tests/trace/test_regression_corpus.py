@@ -76,7 +76,7 @@ def expected_verdict(path: pathlib.Path) -> bool:
 class TestCorpusContents:
     def test_corpus_is_checked_in_and_nonempty(self):
         files = corpus_files()
-        assert len(files) == 27
+        assert len(files) == 28
         assert any(p.name.startswith("recorded-") for p in files)
         assert any(p.name.startswith("churn-") for p in files)
         assert any(p.name.startswith("aio-") for p in files)
@@ -85,17 +85,35 @@ class TestCorpusContents:
 
     def test_recorded_members_cover_every_source(self):
         """The ROADMAP's pinned-surface item: live runtime, PL
-        interpreter and distributed cluster recordings all present."""
+        interpreter and distributed cluster recordings all present —
+        the bucket-era cluster capture (v1, ``publish`` records) *and*
+        a delta-protocol one (v2, ``publish_delta`` records)."""
         names = {p.name for p in corpus_files()}
         assert "recorded-crossed-detection.trace" in names
         assert "recorded-pl-averaging-dl.jsonl" in names
         assert "recorded-pl-spmd-ok.jsonl" in names
         assert "recorded-cluster-dl.trace" in names
+        assert "recorded-cluster-delta-dl.trace" in names
 
     def test_cluster_recording_carries_multi_site_publishes(self):
         trace = load_trace(CORPUS / "recorded-cluster-dl.trace")
         sites = {r.site for r in trace if r.site is not None}
         assert len(sites) >= 2, "expected publishes from several places"
+
+    def test_delta_cluster_recording_carries_publish_deltas(self):
+        """The new live capture: the store recorded the delta streams
+        of several places, opening with snapshot checkpoints."""
+        from repro.trace.events import RecordKind
+
+        trace = load_trace(CORPUS / "recorded-cluster-delta-dl.trace")
+        deltas = [r for r in trace if r.kind is RecordKind.PUBLISH_DELTA]
+        assert deltas, "expected publish_delta records"
+        sites = {r.site for r in deltas}
+        assert len(sites) >= 2, "expected streams from several places"
+        first = {}
+        for rec in deltas:
+            first.setdefault(rec.site, rec.payload["kind"])
+        assert set(first.values()) == {"snapshot"}
 
     @pytest.mark.parametrize("path", corpus_files(), ids=lambda p: p.name)
     def test_replays_to_expected_verdict(self, path):

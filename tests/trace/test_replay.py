@@ -70,18 +70,53 @@ class TestModes:
 
 
 class TestDistributedReplay:
-    def test_publish_records_drive_global_view(self):
-        """sites>1 corpora carry only publish records; the replay merges
-        buckets exactly like the one-phase distributed algorithm."""
+    def test_publish_delta_records_drive_global_view(self):
+        """sites>1 corpora carry only publish_delta records; the replay
+        materialises per-site views from the deltas exactly like the
+        live one-phase distributed checker."""
         trace = scenario_trace(ScenarioSpec(cycle_len=3, fan_out=1, sites=3))
         from repro.trace.events import RecordKind
 
         kinds = {r.kind for r in trace}
-        assert RecordKind.PUBLISH in kinds and RecordKind.BLOCK not in kinds
+        assert RecordKind.PUBLISH_DELTA in kinds and RecordKind.BLOCK not in kinds
         outcome = replay(trace, mode=DETECTION)
         assert outcome.deadlocked
         # The cycle spans statuses from every site's bucket.
         assert len(outcome.reports[0].tasks) == 3
+
+    def test_legacy_publish_records_still_replay(self):
+        """Bucket-protocol traces (old recordings) replay unchanged."""
+        from repro.trace import events as ev
+        from repro.trace.events import status_to_obj
+        from repro.core.events import waiting_on
+
+        records = [
+            ev.publish(0, "A", {"a": status_to_obj(waiting_on("p", 1, p=1, q=0))}),
+            ev.publish(1, "B", {"b": status_to_obj(waiting_on("q", 1, q=1, p=0))}),
+        ]
+        for kwargs in ({}, {"incremental": True}):
+            outcome = replay(records, mode=DETECTION, **kwargs)
+            assert outcome.deadlocked
+            assert set(outcome.reports[0].tasks) == {"a", "b"}
+
+    def test_delta_gap_in_a_trace_is_an_error(self):
+        """A non-contiguous per-site delta stream is a recording bug;
+        both engines reject it identically instead of analysing a view
+        that silently missed a change."""
+        from repro.distributed.delta import DeltaSequenceError, make_snapshot
+        from repro.trace import events as ev
+
+        records = [
+            ev.publish_delta(0, "A", make_snapshot(1, {}, "A1")),
+            ev.publish_delta(
+                1, "A",
+                {"v": 1, "stream": "A1", "seq": 3, "kind": "delta",
+                 "set": {}, "restore": {}, "clear": []},
+            ),
+        ]
+        for kwargs in ({}, {"incremental": True}):
+            with pytest.raises(DeltaSequenceError):
+                replay(records, mode=DETECTION, **kwargs)
 
     def test_deadlock_free_distributed_trace(self):
         trace = scenario_trace(
