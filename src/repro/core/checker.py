@@ -21,7 +21,6 @@ from __future__ import annotations
 
 import threading
 import time
-from dataclasses import dataclass, field
 from typing import Dict, List, Mapping, Optional, Tuple
 
 from repro.core.cycles import cycle_through, find_cycle
@@ -35,62 +34,166 @@ from repro.core.selection import (
     build_graph,
     select_shard_model,
 )
+from repro.obs.registry import (
+    DEFAULT_LATENCY_BUCKETS_S,
+    DEFAULT_SIZE_BUCKETS,
+    MetricsRegistry,
+)
 
 
-@dataclass
 class CheckStats:
     """Accounting across checks — the source of Table 3's edge counts.
 
-    All aggregates are *streaming* (count / sum / max plus a per-model
-    histogram): memory stays O(1) no matter how long the run, which is
-    what lets a detection monitor — or a million-event trace replay —
-    run indefinitely without the stats object growing.
+    Since the ``repro.obs`` layer, this is a *view* over obs
+    instruments rather than a bag of plain fields: the counts live in a
+    :class:`~repro.obs.registry.MetricsRegistry` (the enabled registry
+    passed as ``metrics``, else a private one — stats always work), and
+    the classic API (``checks``/``cycles_found``/``edges_total``/
+    ``mean_edges``/``model_histogram``/``merge``) reads through to
+    them.  The histogram backing also fixes the old lossy mean-only
+    latency aggregation: p50/p95/max are derived from bucket counts.
+
+    All aggregates remain *streaming* (count / sum / max plus per-model
+    and bucket counts): memory stays O(1) no matter how long the run,
+    which is what lets a detection monitor — or a million-event trace
+    replay — run indefinitely without the stats object growing.
     """
 
-    checks: int = 0
-    cycles_found: int = 0
-    edges_total: int = 0
-    edges_max: int = 0
-    model_counts: Dict[GraphModel, int] = field(default_factory=dict)
-    total_time_s: float = 0.0
+    def __init__(self, metrics: Optional[MetricsRegistry] = None) -> None:
+        if metrics is not None and metrics.enabled:
+            self.metrics = metrics
+        else:
+            # Stats must always function (they predate repro.obs), so a
+            # disabled/absent registry falls back to a private one.
+            self.metrics = MetricsRegistry()
+        reg = self.metrics
+        self._checks = reg.counter(
+            "repro_checks_total",
+            "Deadlock checks run, by graph model analysed.",
+            labels=("model",),
+        )
+        self._cycles = reg.counter(
+            "repro_check_cycles_found_total", "Checks that found a cycle."
+        )
+        self._sg_aborts = reg.counter(
+            "repro_check_sg_aborts_total",
+            "Adaptive-mode checks whose SG build aborted past the "
+            "threshold and fell back to the WFG.",
+        )
+        self._edges = reg.histogram(
+            "repro_check_edges",
+            "Analysis-graph edges per check.",
+            buckets=DEFAULT_SIZE_BUCKETS,
+        )
+        self._latency = reg.histogram(
+            "repro_check_duration_seconds",
+            "Wall-clock duration of one deadlock check.",
+            buckets=DEFAULT_LATENCY_BUCKETS_S,
+            volatile=True,
+        )
+        # Pre-bound children keep the per-check cost to a few bound
+        # calls — this runs on the incremental checker's O(1) path.
+        self._checks_by_model = {
+            m: self._checks.labels(model=m.value) for m in GraphModel
+        }
+        self._edges_bound = self._edges.labels()
+        self._latency_bound = self._latency.labels()
 
     def record(self, model_used: GraphModel, edge_count: int, dt_s: float,
-               found_cycle: bool) -> None:
+               found_cycle: bool, sg_aborted: bool = False) -> None:
         """Fold one check into the aggregates."""
-        self.checks += 1
-        self.total_time_s += dt_s
-        self.edges_total += edge_count
-        if edge_count > self.edges_max:
-            self.edges_max = edge_count
-        self.model_counts[model_used] = self.model_counts.get(model_used, 0) + 1
+        self._checks_by_model[model_used].inc()
+        self._latency_bound.observe(dt_s)
+        self._edges_bound.observe(edge_count)
         if found_cycle:
-            self.cycles_found += 1
+            self._cycles.inc()
+        if sg_aborted:
+            self._sg_aborts.inc()
+
+    # -- the classic field API, read through the instruments -----------
+    @property
+    def checks(self) -> int:
+        return self._checks.total()
+
+    @property
+    def cycles_found(self) -> int:
+        return self._cycles.value()
+
+    @property
+    def sg_aborts(self) -> int:
+        return self._sg_aborts.value()
+
+    @property
+    def edges_total(self) -> int:
+        return self._edges.sum_of()
+
+    @property
+    def edges_max(self) -> int:
+        return self._edges.max_of()
+
+    @property
+    def model_counts(self) -> Dict[GraphModel, int]:
+        return {
+            GraphModel(values[0]): count
+            for values, count in self._checks.per_label().items()
+        }
+
+    @property
+    def total_time_s(self) -> float:
+        return self._latency.sum_of()
 
     @property
     def mean_edges(self) -> float:
         """Average number of edges per check (Table 3's "Edges" row)."""
-        if not self.checks:
+        checks = self._edges.count_of()
+        if not checks:
             return 0.0
-        return self.edges_total / self.checks
+        return self._edges.sum_of() / checks
 
     @property
     def max_edges(self) -> int:
         """Largest analysis graph seen across all checks."""
         return self.edges_max
 
+    # -- latency quantiles (bucket resolution; max is exact) -----------
+    def latency_quantile(self, q: float) -> float:
+        """Check-latency quantile from the histogram buckets."""
+        return self._latency.quantile(q)
+
+    @property
+    def p50_latency_s(self) -> float:
+        return self._latency.quantile(0.50)
+
+    @property
+    def p95_latency_s(self) -> float:
+        return self._latency.quantile(0.95)
+
+    @property
+    def max_latency_s(self) -> float:
+        return self._latency.max_of()
+
     def model_histogram(self) -> dict:
         """How often each concrete graph model was analysed."""
-        return dict(self.model_counts)
+        return self.model_counts
 
     def merge(self, other: "CheckStats") -> None:
-        """Fold ``other``'s aggregates into this one (cluster totals)."""
-        self.checks += other.checks
-        self.cycles_found += other.cycles_found
-        self.edges_total += other.edges_total
-        self.edges_max = max(self.edges_max, other.edges_max)
-        for model, count in other.model_counts.items():
-            self.model_counts[model] = self.model_counts.get(model, 0) + count
-        self.total_time_s += other.total_time_s
+        """Fold ``other``'s aggregates into this one (cluster totals).
+
+        A no-op when both views share one registry — the counts are
+        already the same storage, and folding them would double."""
+        if other.metrics is self.metrics:
+            return
+        self._checks.merge_from(other._checks)
+        self._cycles.merge_from(other._cycles)
+        self._sg_aborts.merge_from(other._sg_aborts)
+        self._edges.merge_from(other._edges)
+        self._latency.merge_from(other._latency)
+
+    def clear(self) -> None:
+        """Zero this view's instruments (``reset_stats`` support)."""
+        for instrument in (self._checks, self._cycles, self._sg_aborts,
+                           self._edges, self._latency):
+            instrument.clear()
 
 
 def snapshot_components(snapshot: DependencySnapshot) -> List[DependencySnapshot]:
@@ -155,6 +258,12 @@ class DeadlockChecker:
         The blocked-status store; a fresh one is created when omitted.
         Sharing one store among several checkers is how distributed sites
         analyse a global view.
+    metrics:
+        An enabled :class:`~repro.obs.registry.MetricsRegistry` binds
+        the checker's instruments (and its :class:`CheckStats` view)
+        into that registry, making them visible to live exporters.
+        Omitted or disabled, the stats view keeps a private registry —
+        behaviour and stats are identical either way.
     """
 
     def __init__(
@@ -162,11 +271,16 @@ class DeadlockChecker:
         model: GraphModel = GraphModel.AUTO,
         threshold_factor: float = DEFAULT_THRESHOLD_FACTOR,
         dependency: Optional[ResourceDependency] = None,
+        metrics: Optional[MetricsRegistry] = None,
     ) -> None:
         self.model = model
         self.threshold_factor = threshold_factor
         self.dependency = dependency if dependency is not None else ResourceDependency()
-        self.stats = CheckStats()
+        self.stats = CheckStats(metrics=metrics)
+        #: Where this checker's instruments live: the registry passed as
+        #: ``metrics`` when enabled, else the stats view's private one —
+        #: so everything a checker emits travels with ``stats.merge``.
+        self.metrics = self.stats.metrics
         # Serialises avoidance checks: two tasks blocking concurrently must
         # not both conclude "no cycle yet" for a cycle they jointly create.
         self._avoidance_lock = threading.Lock()
@@ -222,7 +336,8 @@ class DeadlockChecker:
             report = self._report_from_cycle(snapshot, built, cycle, avoided=False)
             if revalidate and not self._still_current(snapshot, report):
                 report = None
-        self._record(t0, report, built.model_used, built.edge_count)
+        self._record(t0, report, built.model_used, built.edge_count,
+                     sg_aborted=built.sg_aborted)
         return report
 
     def check_sharded(
@@ -301,7 +416,8 @@ class DeadlockChecker:
         built = build_graph(snapshot, self.model, self.threshold_factor)
         cycle = self._cycle_for_avoidance(task, status, built)
         if cycle is None:
-            self._record(t0, None, built.model_used, built.edge_count)
+            self._record(t0, None, built.model_used, built.edge_count,
+                         sg_aborted=built.sg_aborted)
             return None, stamped
         # Withdraw the doomed status; if the caller was already
         # blocked elsewhere (re-entrant or multi-wait usage), its
@@ -311,7 +427,8 @@ class DeadlockChecker:
         else:
             self.clear(task)
         report = self._report_from_cycle(snapshot, built, cycle, avoided=True)
-        self._record(t0, report, built.model_used, built.edge_count)
+        self._record(t0, report, built.model_used, built.edge_count,
+                     sg_aborted=built.sg_aborted)
         return report, None
 
     def _cycle_for_avoidance(
@@ -410,14 +527,21 @@ class DeadlockChecker:
         report: Optional[DeadlockReport],
         model_used: GraphModel,
         edge_count: int,
+        sg_aborted: bool = False,
     ) -> None:
         dt = time.perf_counter() - t0
         with self._stats_lock:
-            self.stats.record(model_used, edge_count, dt, report is not None)
+            self.stats.record(
+                model_used, edge_count, dt, report is not None,
+                sg_aborted=sg_aborted,
+            )
 
     def reset_stats(self) -> CheckStats:
-        """Swap in a fresh stats object; return the old one."""
+        """Return a detached copy of the accumulated stats and zero the
+        live view (the instruments keep their identity — a bound live
+        registry sees the reset as cleared children)."""
         with self._stats_lock:
-            old = self.stats
-            self.stats = CheckStats()
+            old = CheckStats()
+            old.merge(self.stats)
+            self.stats.clear()
             return old

@@ -82,6 +82,7 @@ from repro.core.events import BlockedStatus, Event, PhaserId, TaskId
 from repro.core.report import DeadlockReport
 from repro.core.scc import DynamicSCC
 from repro.core.selection import DEFAULT_THRESHOLD_FACTOR, GraphModel
+from repro.obs.registry import MetricsRegistry
 
 
 class IncrementalChecker(DeadlockChecker):
@@ -107,8 +108,38 @@ class IncrementalChecker(DeadlockChecker):
         model: GraphModel = GraphModel.AUTO,
         threshold_factor: float = DEFAULT_THRESHOLD_FACTOR,
         dependency: Optional[ResourceDependency] = None,
+        metrics: Optional[MetricsRegistry] = None,
     ) -> None:
-        super().__init__(model, threshold_factor, dependency)
+        super().__init__(model, threshold_factor, dependency, metrics=metrics)
+        # Incremental-path instruments live next to the stats view (in
+        # ``self.metrics``), so a merged stats registry carries them.
+        self._m_deltas = self.metrics.counter(
+            "repro_incremental_delta_ops_total",
+            "Delta operations applied to the maintained graph state.",
+            labels=("op",),
+        )
+        self._m_resyncs = self.metrics.counter(
+            "repro_incremental_resyncs_total",
+            "Full rebuilds forced by writes that bypassed the delta "
+            "surface.",
+        )
+        self._m_fallbacks = self.metrics.counter(
+            "repro_incremental_fallback_checks_total",
+            "Cyclic-state checks answered through the classic "
+            "snapshot-and-rebuild path (SG/AUTO models).",
+        )
+        # Volatile: visit counts follow set/dict iteration order, which
+        # varies with each process's string-hash seed — work measures,
+        # like timings, are excluded from the deterministic snapshot.
+        scc_work = self.metrics.counter(
+            "repro_scc_work_total",
+            "DynamicSCC maintenance work, mirrored from the structure's "
+            "own counters at each check.",
+            labels=("kind",), volatile=True,
+        )
+        self._m_scc_extractions = scc_work.labels(kind="extractions")
+        self._m_scc_pk_visits = scc_work.labels(kind="pk_visits")
+        self._m_scc_resolves = scc_work.labels(kind="resolves")
         # One lock orders all delta applications and live-state queries;
         # re-entrant because the avoidance path mutates while holding it.
         self._delta_lock = threading.RLock()
@@ -150,6 +181,7 @@ class IncrementalChecker(DeadlockChecker):
             and self.dependency.blocked_count() == len(self._statuses)
         ):
             return
+        self._m_resyncs.inc()
         for task in list(self._statuses):
             self._retract(task)
         snapshot = self.dependency.snapshot()
@@ -163,6 +195,7 @@ class IncrementalChecker(DeadlockChecker):
     def set_blocked(self, task: TaskId, status: BlockedStatus) -> BlockedStatus:
         with self._delta_lock:
             self._maybe_resync()
+            self._m_deltas.inc(op="set_blocked")
             stamped = super().set_blocked(task, status)
             if task in self._statuses:
                 self._retract(task)
@@ -173,6 +206,7 @@ class IncrementalChecker(DeadlockChecker):
     def clear(self, task: TaskId) -> None:
         with self._delta_lock:
             self._maybe_resync()
+            self._m_deltas.inc(op="clear")
             super().clear(task)
             if task in self._statuses:
                 self._retract(task)
@@ -180,6 +214,7 @@ class IncrementalChecker(DeadlockChecker):
     def restore(self, task: TaskId, status: BlockedStatus) -> None:
         with self._delta_lock:
             self._maybe_resync()
+            self._m_deltas.inc(op="restore")
             super().restore(task, status)
             if task in self._statuses:
                 self._retract(task)
@@ -259,6 +294,7 @@ class IncrementalChecker(DeadlockChecker):
                 # no snapshot, no rebuild.
                 report = self._extract_wfg_report(t0, revalidate)
             else:
+                self._m_fallbacks.inc()
                 snapshot = self._fallback_snapshot()
                 report = super().check(snapshot=snapshot, revalidate=revalidate)
             self._cached_epoch = epoch
@@ -318,6 +354,28 @@ class IncrementalChecker(DeadlockChecker):
             # Slow path: the classic refusal, shared with the parent —
             # restore/clear route through the delta-aware overrides.
             return self._finish_avoidance(t0, task, status, prior, stamped)
+
+    # ------------------------------------------------------------------
+    # metrics
+    # ------------------------------------------------------------------
+    def sync_metrics(self) -> None:
+        """Mirror :class:`DynamicSCC`'s plain work counters into obs.
+
+        Runs on every ``_record`` (so live exporters are at most one
+        check stale) and is also the hook a replay engine calls before
+        merging worker registries, catching deltas applied after the
+        final check.
+        """
+        scc = self._scc
+        self._m_scc_extractions.set_total(scc.extractions)
+        self._m_scc_pk_visits.set_total(scc.pk_visits)
+        self._m_scc_resolves.set_total(scc.resolves)
+
+    def _record(self, t0, report, model_used, edge_count,
+                sg_aborted: bool = False) -> None:
+        self.sync_metrics()
+        super()._record(t0, report, model_used, edge_count,
+                        sg_aborted=sg_aborted)
 
     # ------------------------------------------------------------------
     # introspection (tests, benchmarks)

@@ -42,6 +42,10 @@ class DetectionMonitor:
         When True, stop monitoring after the first confirmed deadlock —
         a deadlock does not dissolve by itself, so repeated reports of the
         same cycle are noise unless the callback resolves it.
+    metrics:
+        Optional :class:`~repro.obs.registry.MetricsRegistry`; when
+        enabled, the monitor counts its polls and confirmed reports
+        (both volatile — poll counts are wall-clock artefacts).
     """
 
     def __init__(
@@ -50,6 +54,7 @@ class DetectionMonitor:
         interval_s: float = DEFAULT_INTERVAL_S,
         on_deadlock: Optional[ReportCallback] = None,
         once: bool = False,
+        metrics=None,
     ) -> None:
         self.checker = checker
         self.interval_s = interval_s
@@ -59,6 +64,21 @@ class DetectionMonitor:
         self._stop = threading.Event()
         self._thread: Optional[threading.Thread] = None
         self._lock = threading.Lock()
+        if metrics is None:
+            from repro.obs.registry import NULL_REGISTRY
+
+            metrics = NULL_REGISTRY
+        self.metrics = metrics
+        self._m_polls = metrics.counter(
+            "repro_monitor_polls_total",
+            "Detection passes run by the periodic monitor.",
+            volatile=True,
+        )
+        self._m_reports = metrics.counter(
+            "repro_monitor_reports_total",
+            "Confirmed deadlock reports filed by the monitor.",
+            volatile=True,
+        )
 
     # ------------------------------------------------------------------
     def start(self) -> "DetectionMonitor":
@@ -93,8 +113,10 @@ class DetectionMonitor:
     def poll_once(self) -> Optional[DeadlockReport]:
         """Run a single detection pass synchronously (used by tests and by
         callers that schedule their own periodic execution)."""
+        self._m_polls.inc()
         report = self.checker.check(revalidate=True)
         if report is not None:
+            self._m_reports.inc()
             self.reports.append(report)
             if self.on_deadlock is not None:
                 self.on_deadlock(report)

@@ -91,6 +91,12 @@ class DynamicSCC:
         #: Scoped extractions actually computed (cache misses) — lets
         #: tests assert the epoch cache is doing its job.
         self.extractions = 0
+        #: Vertices visited by Pearce-Kelly discovery searches (forward
+        #: plus backward frontiers) — the maintenance work an insertion
+        #: sequence actually paid, mirrored into ``repro.obs`` counters.
+        self.pk_visits = 0
+        #: Scoped recomputes run for dirty components (deletion cost).
+        self.resolves = 0
 
     # ------------------------------------------------------------------
     # introspection
@@ -210,6 +216,7 @@ class DynamicSCC:
             for x in self._out[w]:
                 if x == u:
                     self._cyclic.add(label)
+                    self.pk_visits += len(fwd)
                     return
                 if x not in seen and self._ord[x] < ub:
                     seen.add(x)
@@ -233,6 +240,7 @@ class DynamicSCC:
         slots = sorted(self._ord[w] for w in region)
         for w, slot in zip(region, slots):
             self._ord[w] = slot
+        self.pk_visits += len(region)
 
     def remove_edge(self, u: Vertex, v: Vertex) -> None:
         if v not in self._out.get(u, ()):
@@ -358,6 +366,7 @@ class DynamicSCC:
         self._epoch.pop(label, None)
         if not members:
             return
+        self.resolves += 1
         for w in members:
             self._fresh_label(w)
         for w in members:

@@ -82,10 +82,11 @@ class DistributedChecker:
         store,
         model: GraphModel = GraphModel.AUTO,
         threshold_factor: float = 2.0,
+        metrics=None,
     ) -> None:
         self.store = store
         self.checker = IncrementalChecker(
-            model=model, threshold_factor=threshold_factor
+            model=model, threshold_factor=threshold_factor, metrics=metrics
         )
         self.view = DeltaMergeState(self.checker)
         # The rare cyclic-path fallback must see the same snapshot —
@@ -95,6 +96,28 @@ class DistributedChecker:
         self.checker.snapshot_source = self.view.merged_snapshot
         #: Checkpoint resyncs performed (gap recovery accounting).
         self.resyncs = 0
+        if metrics is None:
+            from repro.obs.registry import NULL_REGISTRY
+
+            metrics = NULL_REGISTRY
+        self.metrics = metrics
+        syncs = metrics.counter(
+            "repro_distributed_sync_total",
+            "Delta-stream sync work per global check round: rounds "
+            "run, delta entries applied, checkpoint resyncs, sites "
+            "dropped.",
+            labels=("event",), volatile=True,
+        )
+        self._m_sync_rounds = syncs.labels(event="rounds")
+        self._m_sync_deltas = syncs.labels(event="deltas_applied")
+        self._m_sync_resyncs = syncs.labels(event="resyncs")
+        self._m_sync_drops = syncs.labels(event="sites_dropped")
+        self._m_sync_lag = metrics.histogram(
+            "repro_distributed_sync_lag",
+            "Delta entries a site's stream had queued when the checker "
+            "polled it (how far behind each round found itself).",
+            volatile=True,
+        )
 
     def sync(self) -> None:
         """Pull every site's new deltas into the maintained view.
@@ -104,10 +127,12 @@ class DistributedChecker:
         restarted streams, stale replicas — fall back to one
         ``get_state`` checkpoint read for that site.
         """
+        self._m_sync_rounds.inc()
         live = self.store.delta_sites()
         live_set = set(live)
         for site in [s for s in self.view.sites() if s not in live_set]:
             self.view.drop_site(site)
+            self._m_sync_drops.inc()
         for site in live:
             cursor = self.view.cursor(site)
             try:
@@ -115,6 +140,9 @@ class DistributedChecker:
                     deltas = self.store.get_deltas(site, 0)
                 else:
                     deltas = self.store.get_deltas(site, cursor[1], cursor[0])
+                self._m_sync_lag.observe(len(deltas))
+                if deltas:
+                    self._m_sync_deltas.inc(len(deltas))
                 for obj in deltas:
                     self.view.apply_obj(site, obj)
             except DeltaSequenceError:
@@ -127,9 +155,11 @@ class DistributedChecker:
         except DeltaSequenceError:
             # The stream vanished between the listing and the read.
             self.view.drop_site(site)
+            self._m_sync_drops.inc()
             return
         self.view.reset_site(site, stream, seq, state)
         self.resyncs += 1
+        self._m_sync_resyncs.inc()
 
     def check_global(self) -> Optional[DeadlockReport]:
         """One detection pass over the published global state."""

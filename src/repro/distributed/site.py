@@ -78,6 +78,12 @@ class Site:
         this site's runtime, capturing its tasks' block/unblock stream
         (attach the same recorder to the store to also capture
         publishes).
+    metrics:
+        Optional :class:`~repro.obs.registry.MetricsRegistry`,
+        propagated to the site's runtime and global checker.  The site
+        itself adds publish-outcome counters (delta / checkpoint / noop
+        / gap-forced checkpoint) and a delta op-size histogram, all
+        labelled by ``site``.
     """
 
     def __init__(
@@ -91,9 +97,15 @@ class Site:
         cancel_on_detect: bool = True,
         on_deadlock: Optional[Callable[[DeadlockReport], None]] = None,
         recorder=None,
+        metrics=None,
     ) -> None:
         self.site_id = site_id
         self.store = store
+        if metrics is None:
+            from repro.obs.registry import NULL_REGISTRY
+
+            metrics = NULL_REGISTRY
+        self.metrics = metrics
         # Local runtime in DETECTION mode: blocking ops publish statuses
         # into the local dependency; the monitor stays off — the site's
         # own checking loop replaces it.
@@ -102,8 +114,9 @@ class Site:
             model=model,
             cancel_on_detect=False,
             recorder=recorder,
+            metrics=metrics,
         )
-        self.checker = DistributedChecker(store, model=model)
+        self.checker = DistributedChecker(store, model=model, metrics=metrics)
         self.publisher = DeltaPublisher(site_id, checkpoint_every=checkpoint_every)
         self.check_interval_s = check_interval_s
         self.publish_interval_s = publish_interval_s
@@ -117,6 +130,23 @@ class Site:
         self._threads: List[threading.Thread] = []
         self._lock = threading.Lock()
         self._alive = False
+        self._m_publishes = metrics.counter(
+            "repro_site_publishes_total",
+            "Publish rounds, by outcome: noop (no change), delta, "
+            "checkpoint (cadence), gap_checkpoint (store lost our "
+            "tail), failure (store unreachable).",
+            labels=("site", "outcome"),
+        )
+        self._m_delta_ops = metrics.histogram(
+            "repro_site_delta_ops",
+            "Operations per published delta (diff size).",
+            labels=("site",),
+        )
+        self._m_check_rounds = metrics.counter(
+            "repro_site_check_rounds_total",
+            "Global detection rounds run by this site.",
+            labels=("site",), volatile=True,
+        )
 
     # ------------------------------------------------------------------
     # lifecycle
@@ -193,6 +223,7 @@ class Site:
                 # Fault tolerance: skip the round, try again next period.
                 if body is self._publish_once:
                     self.publish_failures += 1
+                    self._m_publishes.inc(site=self.site_id, outcome="failure")
                 else:
                     self.check_failures += 1
             except Exception:  # pragma: no cover - defensive logging path
@@ -214,15 +245,25 @@ class Site:
         bucket = encode_bucket(snapshot.statuses)
         delta = self.publisher.prepare(bucket)
         if delta is None:
+            self._m_publishes.inc(site=self.site_id, outcome="noop")
             return  # nothing changed: nothing crosses the wire
+        outcome = "checkpoint" if delta["kind"] == "snapshot" else "delta"
         try:
             self.store.append_delta(self.site_id, delta)
         except DeltaSequenceError:
             delta = self.publisher.prepare_checkpoint(bucket)
             self.store.append_delta(self.site_id, delta)
+            outcome = "gap_checkpoint"
         self.publisher.commit(delta)
+        self._m_publishes.inc(site=self.site_id, outcome=outcome)
+        if delta["kind"] == "delta":
+            self._m_delta_ops.observe(
+                len(delta["set"]) + len(delta["restore"]) + len(delta["clear"]),
+                site=self.site_id,
+            )
 
     def _check_once(self) -> None:
+        self._m_check_rounds.inc(site=self.site_id)
         report = self.checker.check_global()
         if report is None:
             return

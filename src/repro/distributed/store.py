@@ -103,6 +103,12 @@ class InMemoryStore:
     a JSON-serialisation of every payload) is what the delta-vs-bucket
     benchmark compares and costs O(payload) per operation, so it is
     **opt-in** via ``track_bytes`` — the live path never pays it.
+
+    All accounting lives in ``repro.obs`` counters (labelled by the
+    store's ``name``): an enabled registry passed as ``metrics`` makes
+    the traffic visible to live exporters, while the classic
+    ``puts``/``gets``/``bytes_put``/``bytes_get`` attributes remain as
+    read-only views so benchmarks and tests keep working unchanged.
     """
 
     def __init__(
@@ -111,6 +117,7 @@ class InMemoryStore:
         recorder=None,
         max_log: int = DEFAULT_MAX_LOG,
         track_bytes: bool = False,
+        metrics=None,
     ) -> None:
         self.name = name
         self.recorder = recorder
@@ -126,14 +133,59 @@ class InMemoryStore:
         self._tail: Dict[str, Cursor] = {}
         self._states: Dict[str, Dict[str, dict]] = {}
         self._available = True
-        # Operation counters: the distributed benchmarks report traffic.
-        self.puts = 0
-        self.gets = 0
-        self.bytes_put = 0
-        self.bytes_get = 0
+        # Accounting instruments.  The counters must always function
+        # (benchmarks read the view attributes below), so a disabled or
+        # absent registry falls back to a private one.
+        from repro.obs.registry import MetricsRegistry
 
-    def _size(self, obj) -> int:
-        return wire_size(obj) if self.track_bytes else 0
+        if metrics is not None and metrics.enabled:
+            self.metrics = metrics
+        else:
+            self.metrics = MetricsRegistry()
+        ops = self.metrics.counter(
+            "repro_store_ops_total",
+            "Store operations served, by store and direction.",
+            labels=("store", "op"),
+        )
+        self._m_puts = ops.labels(store=name, op="put")
+        self._m_gets = ops.labels(store=name, op="get")
+        traffic = self.metrics.counter(
+            "repro_store_bytes_total",
+            "Wire bytes through the store (requires track_bytes).",
+            labels=("store", "direction"),
+        )
+        self._m_bytes_put = traffic.labels(store=name, direction="put")
+        self._m_bytes_get = traffic.labels(store=name, direction="get")
+        appends = self.metrics.counter(
+            "repro_store_appends_total",
+            "Delta-stream appends accepted, by entry kind.",
+            labels=("store", "kind"),
+        )
+        self._m_append_delta = appends.labels(store=name, kind="delta")
+        self._m_append_snapshot = appends.labels(store=name, kind="snapshot")
+        self._m_gaps = self.metrics.counter(
+            "repro_store_delta_gaps_total",
+            "Sequence/stream mismatches raised to delta producers and "
+            "consumers (each one forces a checkpoint or resync).",
+            labels=("store",),
+        ).labels(store=name)
+
+    # -- classic accounting attributes, now views over the counters ----
+    @property
+    def puts(self) -> int:
+        return self._m_puts.value()
+
+    @property
+    def gets(self) -> int:
+        return self._m_gets.value()
+
+    @property
+    def bytes_put(self) -> int:
+        return self._m_bytes_put.value()
+
+    @property
+    def bytes_get(self) -> int:
+        return self._m_bytes_get.value()
 
     # -- failure injection ---------------------------------------------------
     def set_available(self, available: bool) -> None:
@@ -163,11 +215,16 @@ class InMemoryStore:
         site_id = str(site_id)
         with self._lock:
             self._check_up()
-            cursor = validate_extends(self._tail.get(site_id), site_id, obj)
+            try:
+                cursor = validate_extends(self._tail.get(site_id), site_id, obj)
+            except DeltaSequenceError:
+                self._m_gaps.inc()
+                raise
             if obj["kind"] == "snapshot":
                 self._logs[site_id] = [dict(obj)]
                 self._base[site_id] = cursor[1] - 1
                 self._states[site_id] = {}
+                self._m_append_snapshot.inc()
             else:
                 log = self._logs[site_id]
                 log.append(dict(obj))
@@ -175,10 +232,12 @@ class InMemoryStore:
                     drop = len(log) - self.max_log
                     del log[:drop]
                     self._base[site_id] += drop
+                self._m_append_delta.inc()
             self._tail[site_id] = cursor
             apply_ops_to_bucket(self._states[site_id], obj)
-            self.puts += 1
-            self.bytes_put += self._size(obj)
+            self._m_puts.inc()
+            if self.track_bytes:
+                self._m_bytes_put.inc(wire_size(obj))
             # Recorded under the lock so the trace's publish order is
             # the stream-append order (the recorder's lock is a leaf).
             if self.recorder is not None:
@@ -201,26 +260,29 @@ class InMemoryStore:
         site_id = str(site_id)
         with self._lock:
             self._check_up()
-            self.gets += 1
+            self._m_gets.inc()
             tail = self._tail.get(site_id)
             if tail is None:
+                self._m_gaps.inc()
                 raise DeltaSequenceError(
                     f"{self.name}: no delta stream for {site_id}"
                 )
             if stream is not None and stream != tail[0]:
+                self._m_gaps.inc()
                 raise DeltaSequenceError(
                     f"{self.name}: {site_id} is on stream {tail[0]}, "
                     f"cursor follows {stream}"
                 )
             base = self._base[site_id]
             if after_seq > tail[1] or after_seq < base:
+                self._m_gaps.inc()
                 raise DeltaSequenceError(
                     f"{self.name}: {site_id} cursor {after_seq} outside "
                     f"retained log ({base}..{tail[1]}]"
                 )
             out = [dict(obj) for obj in self._logs[site_id][after_seq - base:]]
             if self.track_bytes:
-                self.bytes_get += sum(wire_size(obj) for obj in out)
+                self._m_bytes_get.inc(sum(wire_size(obj) for obj in out))
             return out
 
     def get_state(self, site_id: str) -> Tuple[str, int, Dict[str, dict]]:
@@ -229,14 +291,16 @@ class InMemoryStore:
         site_id = str(site_id)
         with self._lock:
             self._check_up()
-            self.gets += 1
+            self._m_gets.inc()
             tail = self._tail.get(site_id)
             if tail is None:
+                self._m_gaps.inc()
                 raise DeltaSequenceError(
                     f"{self.name}: no delta stream for {site_id}"
                 )
             state = {t: dict(b) for t, b in self._states[site_id].items()}
-            self.bytes_get += self._size(state)
+            if self.track_bytes:
+                self._m_bytes_get.inc(wire_size(state))
             return tail[0], tail[1], state
 
     def delta_tail(self, site_id: str) -> Optional[Cursor]:
@@ -258,8 +322,9 @@ class InMemoryStore:
         """Replace ``site_id``'s bucket (the bucket-protocol write)."""
         with self._lock:
             self._check_up()
-            self.puts += 1
-            self.bytes_put += self._size(payload)
+            self._m_puts.inc()
+            if self.track_bytes:
+                self._m_bytes_put.inc(wire_size(payload))
             self._buckets[site_id] = payload
             if self.recorder is not None:
                 self.recorder.record_publish(site_id, payload)
@@ -267,16 +332,17 @@ class InMemoryStore:
     def get(self, site_id: str) -> Optional[dict]:
         with self._lock:
             self._check_up()
-            self.gets += 1
+            self._m_gets.inc()
             return self._buckets.get(site_id)
 
     def get_all(self) -> Dict[str, dict]:
         """Snapshot of every site's bucket (the bucket-protocol read)."""
         with self._lock:
             self._check_up()
-            self.gets += 1
+            self._m_gets.inc()
             out = dict(self._buckets)
-            self.bytes_get += self._size(out)
+            if self.track_bytes:
+                self._m_bytes_get.inc(wire_size(out))
             return out
 
     # -- lifecycle -----------------------------------------------------------
@@ -326,7 +392,12 @@ class ReplicatedStore:
     stream token.
     """
 
-    def __init__(self, replicas: Sequence[InMemoryStore], recorder=None) -> None:
+    def __init__(
+        self,
+        replicas: Sequence[InMemoryStore],
+        recorder=None,
+        metrics=None,
+    ) -> None:
         if not replicas:
             raise ValueError("need at least one replica")
         self.replicas: List[InMemoryStore] = list(replicas)
@@ -336,6 +407,27 @@ class ReplicatedStore:
         # Serialises write-through so replica contents and the recorded
         # publish order cannot interleave across concurrent writers.
         self._put_lock = threading.Lock()
+        # Heal/failover telemetry, per replica (these events were
+        # previously silent).  Unlike the per-store accounting there is
+        # no compat surface to keep alive, so the default is the no-op
+        # registry: zero overhead unless somebody asks.
+        if metrics is None:
+            from repro.obs.registry import NULL_REGISTRY
+
+            metrics = NULL_REGISTRY
+        self.metrics = metrics
+        self._m_heals = metrics.counter(
+            "repro_replica_heals_total",
+            "Stale replicas healed with a synthesised checkpoint, by "
+            "replica and trigger.",
+            labels=("replica", "trigger"),
+        )
+        self._m_failovers = metrics.counter(
+            "repro_replica_failovers_total",
+            "Reads served after skipping this unreachable/divergent "
+            "replica.",
+            labels=("replica",),
+        )
 
     # -- delta-protocol operations -------------------------------------------
     def append_delta(self, site_id: str, obj: Mapping) -> None:
@@ -362,7 +454,7 @@ class ReplicatedStore:
                     )
                 raise StoreUnavailableError("all replicas down")
             if gapped:
-                self._heal(site_id, accepted, gapped)
+                self._heal(site_id, accepted, gapped, trigger="write")
             if self.recorder is not None:
                 self.recorder.record_publish_delta(str(site_id), obj)
 
@@ -371,6 +463,7 @@ class ReplicatedStore:
         site_id: str,
         source: InMemoryStore,
         targets: List[InMemoryStore],
+        trigger: str = "write",
     ) -> None:
         """Replica recovery = request checkpoint: overwrite the stale
         replicas' streams with a snapshot of a healthy one's state."""
@@ -382,6 +475,7 @@ class ReplicatedStore:
         for replica in targets:
             try:
                 replica.append_delta(site_id, checkpoint)
+                self._m_heals.inc(replica=replica.name, trigger=trigger)
             except StoreUnavailableError:
                 continue
 
@@ -415,7 +509,7 @@ class ReplicatedStore:
         best_tail, best = max(present, key=lambda entry: entry[0])
         stale = [replica for tail, replica in reachable if tail != best_tail]
         with self._put_lock:
-            self._heal(site_id, best, stale)
+            self._heal(site_id, best, stale, trigger="read")
 
     def get_deltas(
         self, site_id: str, after_seq: int, stream: Optional[str] = None
@@ -444,8 +538,10 @@ class ReplicatedStore:
             try:
                 out = read(replica)
             except StoreUnavailableError:
+                self._m_failovers.inc(replica=replica.name)
                 continue
             except DeltaSequenceError as exc:
+                self._m_failovers.inc(replica=replica.name)
                 last_gap = exc
                 continue
             self._read_repair(site_id)

@@ -1,0 +1,47 @@
+"""repro.obs — the observability plane of the verification stack.
+
+Metrics (counters / gauges / fixed-bucket histograms), ``span`` timing
+contexts, and structured health, with two exporters (Prometheus text,
+canonical JSON) and a one-file HTTP endpoint
+(``python -m repro.obs serve``).
+
+The contract every layer builds on:
+
+* snapshots are deterministic (sorted, and — excluding ``volatile``
+  wall-clock instruments — a pure function of the event stream);
+* ``merge`` is associative and commutative (parallel-replay fan-in);
+* the disabled path (:data:`NULL_REGISTRY`) is near-free and changes
+  no behaviour.
+"""
+
+from repro.obs.export import parse_prometheus, to_json, to_prometheus
+from repro.obs.health import health_status, render_health, runtime_health
+from repro.obs.registry import (
+    DEFAULT_LATENCY_BUCKETS_S,
+    DEFAULT_SIZE_BUCKETS,
+    NULL_REGISTRY,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    NullRegistry,
+    Span,
+)
+
+__all__ = [
+    "MetricsRegistry",
+    "NullRegistry",
+    "NULL_REGISTRY",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "Span",
+    "DEFAULT_LATENCY_BUCKETS_S",
+    "DEFAULT_SIZE_BUCKETS",
+    "to_prometheus",
+    "to_json",
+    "parse_prometheus",
+    "runtime_health",
+    "render_health",
+    "health_status",
+]

@@ -1,0 +1,100 @@
+"""The ``python -m repro.obs`` command line.
+
+One subcommand today::
+
+    python -m repro.obs serve [--host H] [--port P] [--scenario ring]
+                              [--tasks N] [--duration S] [--no-deadlock]
+
+``serve`` starts a live detection-mode runtime running a deadlocking
+demo scenario and exposes its telemetry over HTTP:
+
+* ``GET /metrics`` — Prometheus text exposition;
+* ``GET /healthz`` — structured health JSON (``503`` once the monitor
+  files a deadlock report — probes trip when the deadlock lands).
+
+``--duration 0`` (the default) serves until interrupted; a positive
+duration exits on its own, which is what the CI smoke and the tests
+use.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from typing import Optional, Sequence
+
+from repro.obs.registry import MetricsRegistry
+from repro.obs.server import SCENARIOS, MetricsHTTPServer, build_demo_runtime, shutdown_demo
+
+
+def cmd_serve(args: argparse.Namespace) -> int:
+    registry = MetricsRegistry()
+    runtime, tasks = build_demo_runtime(
+        registry,
+        scenario=args.scenario,
+        n_tasks=args.tasks,
+        cancel_on_detect=args.no_deadlock,
+    )
+    try:
+        with MetricsHTTPServer(
+            registry, runtime, host=args.host, port=args.port,
+            verbose=args.verbose,
+        ) as server:
+            print(
+                f"serving {args.scenario} scenario ({args.tasks} task(s)) "
+                f"on {server.url} — /metrics /healthz",
+                file=sys.stderr,
+            )
+            try:
+                if args.duration > 0:
+                    time.sleep(args.duration)
+                else:
+                    while True:
+                        time.sleep(3600)
+            except KeyboardInterrupt:
+                pass
+    finally:
+        shutdown_demo(runtime, tasks)
+    if runtime.reports:
+        print(
+            f"observed {len(runtime.reports)} deadlock report(s)",
+            file=sys.stderr,
+        )
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.obs",
+        description="telemetry endpoints for the verification stack",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    serve = sub.add_parser(
+        "serve", help="expose /metrics and /healthz from a live runtime"
+    )
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument("--port", type=int, default=9464,
+                       help="TCP port (0 picks a free one)")
+    serve.add_argument("--scenario", default="ring", choices=sorted(SCENARIOS))
+    serve.add_argument("--tasks", type=int, default=3,
+                       help="ring size (>= 2)")
+    serve.add_argument("--duration", type=float, default=0.0,
+                       help="seconds to serve; 0 = until interrupted")
+    serve.add_argument("--no-deadlock", action="store_true",
+                       help="cancel tasks on detection instead of leaving "
+                            "the deadlock parked")
+    serve.add_argument("--verbose", action="store_true",
+                       help="log each HTTP request")
+    serve.set_defaults(fn=cmd_serve)
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.fn(args)
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via subprocess
+    sys.exit(main())

@@ -1,0 +1,202 @@
+"""Exporters: Prometheus text exposition and canonical JSON snapshots.
+
+Two serialisations of one :class:`~repro.obs.registry.MetricsRegistry`:
+
+* :func:`to_prometheus` — the text exposition format (version 0.0.4)
+  a Prometheus server scrapes: ``# HELP``/``# TYPE`` preambles, one
+  sample per line, histogram children expanded into cumulative
+  ``_bucket{le=...}`` series plus ``_sum``/``_count``.  This is what
+  ``python -m repro.obs serve`` exposes at ``/metrics``.
+* :func:`to_json` — the canonical JSON snapshot: metrics sorted by
+  name, children by label values, keys sorted, stable separators.
+  With ``volatile=False`` every wall-clock-valued instrument is
+  excluded, making the output a pure function of the event stream —
+  the replay CLI's ``--metrics-json`` relies on this for its
+  byte-identical-across-``--parallel`` guarantee.
+
+:func:`parse_prometheus` is a minimal parser for the exposition format
+— enough to round-trip what :func:`to_prometheus` emits, used by the
+format tests and by scrapers that want numbers without a Prometheus.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+from typing import Dict, List, Tuple
+
+from repro.obs.registry import MetricsRegistry
+
+__all__ = ["to_prometheus", "to_json", "parse_prometheus"]
+
+
+def _escape_help(text: str) -> str:
+    return text.replace("\\", "\\\\").replace("\n", "\\n")
+
+
+def _escape_label(text: str) -> str:
+    return (
+        text.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+    )
+
+
+def _format_value(value) -> str:
+    """Prometheus sample values: integers stay integral, floats use
+    ``repr`` (shortest round-trippable form), infinities spell +Inf."""
+    if value is None:
+        return "0"
+    if isinstance(value, bool):  # pragma: no cover - no bool samples exist
+        return "1" if value else "0"
+    if isinstance(value, int):
+        return str(value)
+    if math.isinf(value):
+        return "+Inf" if value > 0 else "-Inf"
+    if float(value).is_integer():
+        return str(int(value))
+    return repr(float(value))
+
+
+def _label_str(names: List[str], values: List[str], extra: Tuple[str, str] = None) -> str:
+    pairs = [(n, v) for n, v in zip(names, values)]
+    if extra is not None:
+        pairs.append(extra)
+    if not pairs:
+        return ""
+    body = ",".join(f'{n}="{_escape_label(str(v))}"' for n, v in pairs)
+    return "{" + body + "}"
+
+
+def to_prometheus(registry: MetricsRegistry, volatile: bool = True) -> str:
+    """Render ``registry`` in Prometheus text exposition format."""
+    snap = registry.snapshot(volatile=volatile)
+    lines: List[str] = []
+    for metric in snap["metrics"]:
+        name = metric["name"]
+        kind = metric["kind"]
+        names = metric["labels"]
+        if metric["help"]:
+            lines.append(f"# HELP {name} {_escape_help(metric['help'])}")
+        lines.append(f"# TYPE {name} {kind}")
+        if kind in ("counter", "gauge"):
+            for child in metric["values"]:
+                lines.append(
+                    f"{name}{_label_str(names, child['labels'])} "
+                    f"{_format_value(child['value'])}"
+                )
+        else:  # histogram
+            uppers = metric["buckets"]
+            for child in metric["values"]:
+                cumulative = 0
+                for upper, count in zip(uppers, child["counts"]):
+                    cumulative += count
+                    le = _label_str(names, child["labels"],
+                                    ("le", _format_value(upper)))
+                    lines.append(f"{name}_bucket{le} {cumulative}")
+                cumulative += child["counts"][len(uppers)]
+                inf = _label_str(names, child["labels"], ("le", "+Inf"))
+                lines.append(f"{name}_bucket{inf} {cumulative}")
+                base = _label_str(names, child["labels"])
+                lines.append(f"{name}_sum{base} {_format_value(child['sum'])}")
+                lines.append(f"{name}_count{base} {child['count']}")
+    return "\n".join(lines) + "\n" if lines else ""
+
+
+def to_json(registry: MetricsRegistry, volatile: bool = True,
+            indent=None) -> str:
+    """Render the canonical JSON snapshot.
+
+    Canonical means: metrics sorted by name, children sorted by label
+    values, object keys sorted, fixed separators, trailing newline —
+    two registries fed the same events serialise to the same bytes.
+    """
+    snap = registry.snapshot(volatile=volatile)
+    if indent is None:
+        return json.dumps(snap, sort_keys=True, separators=(",", ":")) + "\n"
+    return json.dumps(snap, sort_keys=True, indent=indent) + "\n"
+
+
+# ---------------------------------------------------------------------------
+# parsing (round-trip tests; scrape clients without a Prometheus)
+# ---------------------------------------------------------------------------
+def _parse_number(text: str) -> float:
+    if text == "+Inf":
+        return math.inf
+    if text == "-Inf":
+        return -math.inf
+    return float(text)
+
+
+def _parse_labels(body: str) -> Dict[str, str]:
+    labels: Dict[str, str] = {}
+    i = 0
+    while i < len(body):
+        eq = body.index("=", i)
+        name = body[i:eq].strip().lstrip(",").strip()
+        assert body[eq + 1] == '"', "label value must be quoted"
+        j = eq + 2
+        out: List[str] = []
+        while body[j] != '"':
+            ch = body[j]
+            if ch == "\\":
+                nxt = body[j + 1]
+                out.append({"\\": "\\", '"': '"', "n": "\n"}[nxt])
+                j += 2
+            else:
+                out.append(ch)
+                j += 1
+        labels[name] = "".join(out)
+        i = j + 1
+    return labels
+
+
+def parse_prometheus(text: str) -> Dict[str, dict]:
+    """Parse exposition text into ``{family: {type, help, samples}}``.
+
+    ``samples`` maps ``(sample_name, ((label, value), ...))`` — labels
+    sorted by name — to the parsed float.  Covers exactly the subset
+    :func:`to_prometheus` emits (which is the subset Prometheus
+    requires), not the full OpenMetrics grammar.
+    """
+    families: Dict[str, dict] = {}
+    current = None
+    for line in text.splitlines():
+        line = line.strip()
+        if not line:
+            continue
+        if line.startswith("# HELP "):
+            _, _, rest = line.partition("# HELP ")
+            name, _, help_text = rest.partition(" ")
+            current = families.setdefault(
+                name, {"type": None, "help": "", "samples": {}}
+            )
+            current["help"] = help_text
+        elif line.startswith("# TYPE "):
+            _, _, rest = line.partition("# TYPE ")
+            name, _, kind = rest.partition(" ")
+            current = families.setdefault(
+                name, {"type": None, "help": "", "samples": {}}
+            )
+            current["type"] = kind
+        elif line.startswith("#"):
+            continue
+        else:
+            if "{" in line:
+                sample_name = line[: line.index("{")]
+                body = line[line.index("{") + 1: line.rindex("}")]
+                labels = _parse_labels(body)
+                value_text = line[line.rindex("}") + 1:].strip()
+            else:
+                sample_name, _, value_text = line.partition(" ")
+                labels = {}
+            family_name = sample_name
+            for suffix in ("_bucket", "_sum", "_count"):
+                base = sample_name[: -len(suffix)] if sample_name.endswith(suffix) else None
+                if base and base in families and families[base]["type"] == "histogram":
+                    family_name = base
+                    break
+            family = families.setdefault(
+                family_name, {"type": None, "help": "", "samples": {}}
+            )
+            key = (sample_name, tuple(sorted(labels.items())))
+            family["samples"][key] = _parse_number(value_text)
+    return families

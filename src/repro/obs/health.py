@@ -1,0 +1,83 @@
+"""Structured health for a live runtime: the ``/healthz`` payload.
+
+A health document is the operator's one-glance answer to "is this
+verifier alive, and did it find anything": verification mode, blocked
+population, check counts, and every distinct deadlock report collected
+so far (repeat detections of the same cycle fold into one entry, with
+``report_count`` keeping the raw total).
+It deliberately reads only public runtime surface
+(:class:`~repro.runtime.verifier.ArmusRuntime` attributes and the
+checker's stats view), so it works for any mode and either checker
+engine.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+__all__ = ["runtime_health", "health_status"]
+
+
+def health_status(runtime) -> str:
+    """``"deadlock"`` once any report exists, ``"ok"`` otherwise."""
+    return "deadlock" if runtime.reports else "ok"
+
+
+def _unique_reports(reports) -> list:
+    # An un-cancelled deadlock is re-reported on every monitor poll;
+    # embedding each repeat would grow the document without bound on a
+    # long-lived endpoint, so distinct cycles are listed once each
+    # (first-seen order) and report_count keeps the raw total.
+    seen = set()
+    unique = []
+    for report in reports:
+        entry = {
+            "tasks": sorted(str(t) for t in report.tasks),
+            "events": sorted(str(e) for e in report.events),
+            "model": report.model_used.value,
+            "avoided": report.avoided,
+        }
+        key = (tuple(entry["tasks"]), tuple(entry["events"]),
+               entry["model"], entry["avoided"])
+        if key not in seen:
+            seen.add(key)
+            unique.append(entry)
+    return unique
+
+
+def runtime_health(runtime, registry=None) -> dict:
+    """Build the ``/healthz`` document for ``runtime``.
+
+    ``registry`` (optional) adds an ``instruments`` count so a scraper
+    can sanity-check that the metrics plane is actually wired.
+    """
+    checker = runtime.checker
+    stats = runtime.stats
+    reports = list(runtime.reports)
+    doc = {
+        "status": health_status(runtime),
+        "mode": str(runtime.mode),
+        "blocked_tasks": checker.dependency.blocked_count(),
+        "checks": stats.checks,
+        "cycles_found": stats.cycles_found,
+        "models": {
+            model.value: count
+            for model, count in sorted(
+                stats.model_histogram().items(), key=lambda kv: kv[0].value
+            )
+        },
+        "report_count": len(reports),
+        "reports": _unique_reports(reports),
+    }
+    if registry is not None:
+        doc["instruments"] = len(registry.names())
+    return doc
+
+
+def render_health(runtime, registry=None, indent: Optional[int] = None) -> str:
+    """The health document as JSON text (sorted keys, trailing newline)."""
+    import json
+
+    return json.dumps(
+        runtime_health(runtime, registry), sort_keys=True, indent=indent
+    ) + "\n"

@@ -1,0 +1,721 @@
+"""The process-local metrics registry: counters, gauges, histograms.
+
+``repro.obs`` is the instrumentation plane of the verification stack.
+Every layer — checker, runtime, distributed sites and stores, the
+replay engines — records what it does into a
+:class:`MetricsRegistry`, and two exporters (:mod:`repro.obs.export`)
+turn a registry into Prometheus text exposition or a canonical JSON
+snapshot.  Three properties are design constraints, not afterthoughts:
+
+* **Deterministic snapshots.**  A snapshot orders metrics by name and
+  children by label values, and every *non-volatile* instrument is a
+  pure function of the event stream that fed it — so replaying the
+  same trace produces byte-identical snapshots, however many worker
+  processes shared the work.  Wall-clock-valued instruments (latency
+  histograms, poll counters, live gauges) are declared ``volatile``
+  and can be excluded from a snapshot wholesale, which is how the CLI
+  keeps ``--metrics-json`` output diffable across ``--parallel N``.
+* **Associative, commutative ``merge``.**  Counters and histogram
+  buckets fold by summation, gauges by their declared mode (``sum`` or
+  ``max``), histogram extrema by min/max — so parallel-replay fan-in
+  can merge per-worker registries in any order and get the same bytes.
+* **Near-zero disabled overhead.**  :data:`NULL_REGISTRY` (a
+  :class:`NullRegistry`) hands out shared no-op instruments and a
+  reusable no-op span; an instrumented call site costs one attribute
+  load and one no-op call when metrics are off.  Hot paths that would
+  pay even for argument marshalling guard on ``registry.enabled``.
+
+Instruments are keyed by name process-wide *per registry* — asking a
+registry twice for the same name returns the same instrument (matching
+Prometheus client semantics), and asking with a different type or
+label set raises.  Registries are picklable (locks are dropped and
+recreated), which is what lets a replay worker ship its registry back
+to the parent for merging.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from bisect import bisect_left
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+__all__ = [
+    "MetricsRegistry",
+    "NullRegistry",
+    "NULL_REGISTRY",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "Span",
+    "DEFAULT_LATENCY_BUCKETS_S",
+    "DEFAULT_SIZE_BUCKETS",
+]
+
+#: Default buckets for wall-clock latency histograms (seconds).  Spans
+#: the paper's check-latency range: microsecond O(1) incremental checks
+#: up to whole-second distributed rounds.
+DEFAULT_LATENCY_BUCKETS_S: Tuple[float, ...] = (
+    25e-6, 50e-6, 100e-6, 250e-6, 500e-6,
+    1e-3, 2.5e-3, 5e-3, 10e-3, 25e-3, 50e-3, 100e-3, 250e-3, 500e-3,
+    1.0, 2.5,
+)
+
+#: Default buckets for size-like histograms (edge counts, delta op
+#: counts, payload sizes): powers of two, which keep bucket boundaries
+#: exact for the integer quantities the verifier produces.
+DEFAULT_SIZE_BUCKETS: Tuple[float, ...] = (
+    1, 2, 4, 8, 16, 32, 64, 128, 256, 512, 1024, 4096, 16384, 65536,
+)
+
+
+def _label_values(label_names: Tuple[str, ...], labels: Dict[str, object]) -> Tuple[str, ...]:
+    """Canonicalise keyword labels into the declared-name order."""
+    if len(labels) != len(label_names):
+        raise ValueError(
+            f"expected labels {label_names}, got {tuple(sorted(labels))}"
+        )
+    try:
+        return tuple(str(labels[name]) for name in label_names)
+    except KeyError as exc:
+        raise ValueError(
+            f"expected labels {label_names}, got {tuple(sorted(labels))}"
+        ) from exc
+
+
+class _Instrument:
+    """Common instrument state: identity, labels, child table."""
+
+    kind = "instrument"
+
+    def __init__(
+        self,
+        registry: "MetricsRegistry",
+        name: str,
+        help: str,
+        label_names: Tuple[str, ...],
+        volatile: bool,
+    ) -> None:
+        self._registry = registry
+        self.name = name
+        self.help = help
+        self.label_names = label_names
+        self.volatile = volatile
+        # label-values tuple -> child state (shape is subclass-specific).
+        self._children: Dict[Tuple[str, ...], object] = {}
+
+    # -- identity ------------------------------------------------------
+    def _spec(self) -> tuple:
+        """The compatibility key a re-registration must match."""
+        return (self.kind, self.label_names)
+
+    def _check_compatible(self, other_spec: tuple) -> None:
+        if self._spec() != other_spec:
+            raise ValueError(
+                f"metric {self.name!r} re-registered with a different "
+                f"type or label set ({self._spec()} vs {other_spec})"
+            )
+
+    # -- child access --------------------------------------------------
+    def _child(self, values: Tuple[str, ...]):
+        child = self._children.get(values)
+        if child is None:
+            with self._registry._lock:
+                child = self._children.setdefault(values, self._new_child())
+        return child
+
+    def _new_child(self):  # pragma: no cover - overridden
+        raise NotImplementedError
+
+    def clear(self) -> None:
+        """Drop every child (tests and registry resets)."""
+        with self._registry._lock:
+            self._children.clear()
+
+    # -- snapshot ------------------------------------------------------
+    def _snapshot_values(self) -> List[dict]:
+        with self._registry._lock:
+            items = sorted(self._children.items())
+        return [
+            dict(labels=list(values), **self._snapshot_child(child))
+            for values, child in items
+        ]
+
+    def _snapshot_child(self, child) -> dict:  # pragma: no cover - overridden
+        raise NotImplementedError
+
+    def snapshot(self) -> dict:
+        """This instrument's canonical snapshot entry."""
+        out = {
+            "name": self.name,
+            "kind": self.kind,
+            "help": self.help,
+            "labels": list(self.label_names),
+            "volatile": self.volatile,
+            "values": self._snapshot_values(),
+        }
+        return out
+
+
+class Counter(_Instrument):
+    """A monotonically increasing count (optionally labelled)."""
+
+    kind = "counter"
+
+    def _new_child(self) -> List:
+        return [0]
+
+    def inc(self, amount: int = 1, **labels) -> None:
+        """Add ``amount`` (default 1) to the labelled child."""
+        child = self._child(_label_values(self.label_names, labels))
+        with self._registry._lock:
+            child[0] += amount
+
+    def set_total(self, value, **labels) -> None:
+        """Overwrite the child's running total.
+
+        For *mirror* counters: a layer that already maintains a cheap
+        monotonic count (e.g. :class:`~repro.core.scc.DynamicSCC`'s
+        work counters) publishes it by assignment instead of paying an
+        ``inc`` per event.
+        """
+        child = self._child(_label_values(self.label_names, labels))
+        with self._registry._lock:
+            child[0] = value
+
+    def value(self, **labels):
+        """Current value of the labelled child (0 if never touched)."""
+        child = self._children.get(_label_values(self.label_names, labels))
+        return 0 if child is None else child[0]
+
+    def total(self):
+        """Sum across every labelled child."""
+        with self._registry._lock:
+            return sum(child[0] for child in self._children.values())
+
+    def per_label(self) -> Dict[Tuple[str, ...], int]:
+        """``{label-values tuple: value}`` across children (sorted)."""
+        with self._registry._lock:
+            return {values: child[0]
+                    for values, child in sorted(self._children.items())}
+
+    def labels(self, **labels) -> "BoundCounter":
+        """Pre-bind a label set for hot paths (one dict lookup saved
+        per increment)."""
+        return BoundCounter(self, _label_values(self.label_names, labels))
+
+    def _snapshot_child(self, child) -> dict:
+        return {"value": child[0]}
+
+    def merge_from(self, other: "Counter") -> None:
+        with other._registry._lock:
+            items = list(other._children.items())
+        for values, child in items:
+            mine = self._child(values)
+            with self._registry._lock:
+                mine[0] += child[0]
+
+
+class BoundCounter:
+    """A counter child bound to fixed label values."""
+
+    __slots__ = ("_counter", "_values")
+
+    def __init__(self, counter: Counter, values: Tuple[str, ...]) -> None:
+        self._counter = counter
+        self._values = values
+
+    def inc(self, amount: int = 1) -> None:
+        child = self._counter._child(self._values)
+        with self._counter._registry._lock:
+            child[0] += amount
+
+    def set_total(self, value) -> None:
+        child = self._counter._child(self._values)
+        with self._counter._registry._lock:
+            child[0] = value
+
+    def value(self):
+        child = self._counter._children.get(self._values)
+        return 0 if child is None else child[0]
+
+
+class Gauge(_Instrument):
+    """A point-in-time value.
+
+    ``merge_mode`` decides how parallel fan-in folds two children:
+    ``"sum"`` (capacity-like gauges) or ``"max"`` (high-water marks).
+    """
+
+    kind = "gauge"
+
+    def __init__(self, registry, name, help, label_names, volatile,
+                 merge_mode: str = "sum") -> None:
+        if merge_mode not in ("sum", "max"):
+            raise ValueError(f"unknown gauge merge mode {merge_mode!r}")
+        super().__init__(registry, name, help, label_names, volatile)
+        self.merge_mode = merge_mode
+
+    def _spec(self) -> tuple:
+        return (self.kind, self.label_names, self.merge_mode)
+
+    def _new_child(self) -> List:
+        return [0]
+
+    def set(self, value, **labels) -> None:
+        child = self._child(_label_values(self.label_names, labels))
+        with self._registry._lock:
+            child[0] = value
+
+    def inc(self, amount=1, **labels) -> None:
+        child = self._child(_label_values(self.label_names, labels))
+        with self._registry._lock:
+            child[0] += amount
+
+    def dec(self, amount=1, **labels) -> None:
+        self.inc(-amount, **labels)
+
+    def value(self, **labels):
+        child = self._children.get(_label_values(self.label_names, labels))
+        return 0 if child is None else child[0]
+
+    def _snapshot_child(self, child) -> dict:
+        return {"value": child[0]}
+
+    def merge_from(self, other: "Gauge") -> None:
+        with other._registry._lock:
+            items = list(other._children.items())
+        for values, child in items:
+            mine = self._child(values)
+            with self._registry._lock:
+                if self.merge_mode == "max":
+                    mine[0] = max(mine[0], child[0])
+                else:
+                    mine[0] += child[0]
+
+
+class _HistChild:
+    """Per-label-set histogram state: bucket counts + streaming extrema."""
+
+    __slots__ = ("counts", "count", "sum", "vmin", "vmax")
+
+    def __init__(self, n_buckets: int) -> None:
+        self.counts = [0] * (n_buckets + 1)  # +1: the +Inf bucket
+        self.count = 0
+        self.sum = 0
+        self.vmin: Optional[float] = None
+        self.vmax: Optional[float] = None
+
+
+class Histogram(_Instrument):
+    """A fixed-bucket distribution with exact sum/min/max.
+
+    Buckets are *upper bounds* (a trailing +Inf bucket is implicit).
+    Quantiles are derived from the bucket counts — deterministic and
+    mergeable, at bucket-boundary resolution — while ``sum``/``min``/
+    ``max`` are exact streaming aggregates.
+    """
+
+    kind = "histogram"
+
+    def __init__(self, registry, name, help, label_names, volatile,
+                 buckets: Sequence[float]) -> None:
+        if not buckets or list(buckets) != sorted(buckets):
+            raise ValueError("histogram buckets must be a sorted non-empty sequence")
+        super().__init__(registry, name, help, label_names, volatile)
+        self.buckets: Tuple[float, ...] = tuple(buckets)
+
+    def _spec(self) -> tuple:
+        return (self.kind, self.label_names, self.buckets)
+
+    def _new_child(self) -> _HistChild:
+        return _HistChild(len(self.buckets))
+
+    def observe(self, value, **labels) -> None:
+        child = self._child(_label_values(self.label_names, labels))
+        idx = bisect_left(self.buckets, value)
+        with self._registry._lock:
+            child.counts[idx] += 1
+            child.count += 1
+            child.sum += value
+            if child.vmin is None or value < child.vmin:
+                child.vmin = value
+            if child.vmax is None or value > child.vmax:
+                child.vmax = value
+
+    def labels(self, **labels) -> "BoundHistogram":
+        return BoundHistogram(self, _label_values(self.label_names, labels))
+
+    # -- derived aggregates -------------------------------------------
+    def _get(self, labels) -> Optional[_HistChild]:
+        return self._children.get(_label_values(self.label_names, labels))
+
+    def count_of(self, **labels) -> int:
+        child = self._get(labels)
+        return 0 if child is None else child.count
+
+    def sum_of(self, **labels):
+        child = self._get(labels)
+        return 0 if child is None else child.sum
+
+    def max_of(self, **labels):
+        child = self._get(labels)
+        return 0 if child is None or child.vmax is None else child.vmax
+
+    def min_of(self, **labels):
+        child = self._get(labels)
+        return 0 if child is None or child.vmin is None else child.vmin
+
+    def quantile(self, q: float, **labels) -> float:
+        """Bucket-resolution quantile estimate in ``[0, 1]``.
+
+        Returns the upper bound of the first bucket whose cumulative
+        count reaches ``q * count`` — clamped to the exact streaming
+        ``max`` so an estimate can never exceed an observed value.
+        Deterministic, and stable under :meth:`merge_from` (quantiles
+        of merged buckets equal quantiles over the union stream at the
+        same resolution).
+        """
+        if not 0.0 <= q <= 1.0:
+            raise ValueError("quantile must be within [0, 1]")
+        child = self._get(labels)
+        if child is None or child.count == 0:
+            return 0.0
+        target = q * child.count
+        cumulative = 0
+        for idx, upper in enumerate(self.buckets):
+            cumulative += child.counts[idx]
+            if cumulative >= target and cumulative > 0:
+                return min(upper, child.vmax)
+        return child.vmax
+
+    def _snapshot_child(self, child: _HistChild) -> dict:
+        return {
+            "counts": list(child.counts),
+            "count": child.count,
+            "sum": child.sum,
+            "min": child.vmin,
+            "max": child.vmax,
+        }
+
+    def snapshot(self) -> dict:
+        out = super().snapshot()
+        out["buckets"] = list(self.buckets)
+        return out
+
+    def merge_from(self, other: "Histogram") -> None:
+        with other._registry._lock:
+            items = [(v, (list(c.counts), c.count, c.sum, c.vmin, c.vmax))
+                     for v, c in other._children.items()]
+        for values, (counts, count, total, vmin, vmax) in items:
+            mine = self._child(values)
+            with self._registry._lock:
+                for idx, n in enumerate(counts):
+                    mine.counts[idx] += n
+                mine.count += count
+                mine.sum += total
+                if vmin is not None:
+                    mine.vmin = vmin if mine.vmin is None else min(mine.vmin, vmin)
+                if vmax is not None:
+                    mine.vmax = vmax if mine.vmax is None else max(mine.vmax, vmax)
+
+
+class BoundHistogram:
+    """A histogram child bound to fixed label values."""
+
+    __slots__ = ("_hist", "_values")
+
+    def __init__(self, hist: Histogram, values: Tuple[str, ...]) -> None:
+        self._hist = hist
+        self._values = values
+
+    def observe(self, value) -> None:
+        hist = self._hist
+        child = hist._child(self._values)
+        idx = bisect_left(hist.buckets, value)
+        with hist._registry._lock:
+            child.counts[idx] += 1
+            child.count += 1
+            child.sum += value
+            if child.vmin is None or value < child.vmin:
+                child.vmin = value
+            if child.vmax is None or value > child.vmax:
+                child.vmax = value
+
+
+class Span:
+    """A timing context recording its duration into a histogram.
+
+    Re-usable and re-entrant-safe per ``with`` statement (each entry
+    snapshots its own start time on a small stack), so one span object
+    can be pre-bound next to the hot path it measures::
+
+        span = registry.span("repro_check")
+        ...
+        with span:
+            run_the_check()
+    """
+
+    __slots__ = ("_hist", "_starts")
+
+    def __init__(self, hist: Histogram) -> None:
+        self._hist = hist
+        self._starts: List[float] = []
+
+    def __enter__(self) -> "Span":
+        self._starts.append(time.perf_counter())
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self._hist.observe(time.perf_counter() - self._starts.pop())
+
+
+class _NullSpan:
+    """The disabled span: enter/exit do nothing."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> "_NullSpan":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        return None
+
+
+class MetricsRegistry:
+    """A named collection of instruments with deterministic snapshots.
+
+    ``enabled`` is True — the :class:`NullRegistry` subclass is the
+    disabled twin, letting call sites guard genuinely hot work with a
+    single attribute check (``if registry.enabled: ...``) while routine
+    instrumentation just calls the no-op instruments.
+    """
+
+    enabled = True
+
+    def __init__(self) -> None:
+        self._metrics: Dict[str, _Instrument] = {}
+        self._lock = threading.Lock()
+
+    # -- pickling (replay workers ship registries to the parent) -------
+    def __getstate__(self) -> dict:
+        state = self.__dict__.copy()
+        del state["_lock"]
+        return state
+
+    def __setstate__(self, state: dict) -> None:
+        self.__dict__.update(state)
+        self._lock = threading.Lock()
+
+    # -- instrument constructors (get-or-create) -----------------------
+    def _register(self, name: str, factory):
+        with self._lock:
+            existing = self._metrics.get(name)
+        if existing is None:
+            created = factory()
+            with self._lock:
+                existing = self._metrics.setdefault(name, created)
+        return existing
+
+    def counter(
+        self,
+        name: str,
+        help: str = "",
+        labels: Iterable[str] = (),
+        volatile: bool = False,
+    ) -> Counter:
+        label_names = tuple(labels)
+        metric = self._register(
+            name, lambda: Counter(self, name, help, label_names, volatile)
+        )
+        metric._check_compatible(("counter", label_names))
+        return metric  # type: ignore[return-value]
+
+    def gauge(
+        self,
+        name: str,
+        help: str = "",
+        labels: Iterable[str] = (),
+        volatile: bool = False,
+        merge_mode: str = "sum",
+    ) -> Gauge:
+        label_names = tuple(labels)
+        metric = self._register(
+            name,
+            lambda: Gauge(self, name, help, label_names, volatile, merge_mode),
+        )
+        metric._check_compatible(("gauge", label_names, merge_mode))
+        return metric  # type: ignore[return-value]
+
+    def histogram(
+        self,
+        name: str,
+        help: str = "",
+        labels: Iterable[str] = (),
+        buckets: Sequence[float] = DEFAULT_SIZE_BUCKETS,
+        volatile: bool = False,
+    ) -> Histogram:
+        label_names = tuple(labels)
+        bucket_t = tuple(buckets)
+        metric = self._register(
+            name,
+            lambda: Histogram(self, name, help, label_names, volatile, bucket_t),
+        )
+        metric._check_compatible(("histogram", label_names, bucket_t))
+        return metric  # type: ignore[return-value]
+
+    def span(self, name: str, help: str = "",
+             buckets: Sequence[float] = DEFAULT_LATENCY_BUCKETS_S) -> Span:
+        """A timing context over the volatile histogram
+        ``<name>_duration_seconds``."""
+        hist = self.histogram(
+            f"{name}_duration_seconds", help or f"Duration of {name}.",
+            buckets=buckets, volatile=True,
+        )
+        return Span(hist)
+
+    # -- introspection -------------------------------------------------
+    def get(self, name: str) -> Optional[_Instrument]:
+        with self._lock:
+            return self._metrics.get(name)
+
+    def names(self) -> List[str]:
+        with self._lock:
+            return sorted(self._metrics)
+
+    def __contains__(self, name: str) -> bool:
+        with self._lock:
+            return name in self._metrics
+
+    # -- snapshot / merge ---------------------------------------------
+    def snapshot(self, volatile: bool = True) -> dict:
+        """The canonical snapshot: metrics sorted by name, children by
+        label values.  ``volatile=False`` excludes volatile instruments
+        — the deterministic view the replay CLI emits."""
+        with self._lock:
+            metrics = sorted(self._metrics.items())
+        return {
+            "v": 1,
+            "metrics": [
+                metric.snapshot()
+                for _, metric in metrics
+                if volatile or not metric.volatile
+            ],
+        }
+
+    def merge(self, other: "MetricsRegistry") -> None:
+        """Fold ``other``'s instruments into this registry.
+
+        Same-named instruments must agree on type, labels and buckets;
+        missing ones are created.  The fold is associative and
+        commutative in every field, so parallel fan-in may merge
+        worker registries in any order.
+        """
+        if not other.enabled:
+            return
+        with other._lock:
+            items = sorted(other._metrics.items())
+        for name, metric in items:
+            if isinstance(metric, Counter):
+                mine = self.counter(name, metric.help, metric.label_names,
+                                    metric.volatile)
+            elif isinstance(metric, Gauge):
+                mine = self.gauge(name, metric.help, metric.label_names,
+                                  metric.volatile, metric.merge_mode)
+            elif isinstance(metric, Histogram):
+                mine = self.histogram(name, metric.help, metric.label_names,
+                                      metric.buckets, metric.volatile)
+            else:  # pragma: no cover - no other instrument kinds exist
+                raise TypeError(f"unknown instrument type {type(metric)!r}")
+            mine.merge_from(metric)  # type: ignore[arg-type]
+
+
+class _NullInstrument:
+    """One shared do-nothing instrument behind every null constructor."""
+
+    __slots__ = ()
+    volatile = False
+
+    def inc(self, amount=1, **labels) -> None:
+        return None
+
+    def dec(self, amount=1, **labels) -> None:
+        return None
+
+    def set(self, value, **labels) -> None:
+        return None
+
+    def set_total(self, value, **labels) -> None:
+        return None
+
+    def observe(self, value, **labels) -> None:
+        return None
+
+    def labels(self, **labels) -> "_NullInstrument":
+        return self
+
+    def value(self, **labels) -> int:
+        return 0
+
+    def total(self) -> int:
+        return 0
+
+    def per_label(self) -> dict:
+        return {}
+
+    def count_of(self, **labels) -> int:
+        return 0
+
+    def sum_of(self, **labels) -> int:
+        return 0
+
+    def max_of(self, **labels) -> int:
+        return 0
+
+    def min_of(self, **labels) -> int:
+        return 0
+
+    def quantile(self, q, **labels) -> float:
+        return 0.0
+
+    def clear(self) -> None:
+        return None
+
+
+_NULL_INSTRUMENT = _NullInstrument()
+_NULL_SPAN = _NullSpan()
+
+
+class NullRegistry(MetricsRegistry):
+    """The disabled registry: every constructor returns a shared no-op
+    instrument, ``span`` a shared no-op context, ``snapshot`` is empty
+    and ``merge`` drops its input.  Identity across calls lets call
+    sites pre-bind instruments unconditionally and pay (almost)
+    nothing when metrics are off."""
+
+    enabled = False
+
+    def counter(self, name, help="", labels=(), volatile=False):
+        return _NULL_INSTRUMENT  # type: ignore[return-value]
+
+    def gauge(self, name, help="", labels=(), volatile=False, merge_mode="sum"):
+        return _NULL_INSTRUMENT  # type: ignore[return-value]
+
+    def histogram(self, name, help="", labels=(), buckets=DEFAULT_SIZE_BUCKETS,
+                  volatile=False):
+        return _NULL_INSTRUMENT  # type: ignore[return-value]
+
+    def span(self, name, help="", buckets=DEFAULT_LATENCY_BUCKETS_S):
+        return _NULL_SPAN  # type: ignore[return-value]
+
+    def snapshot(self, volatile: bool = True) -> dict:
+        return {"v": 1, "metrics": []}
+
+    def merge(self, other) -> None:
+        return None
+
+
+#: The process-wide disabled registry — the default ``metrics=`` value
+#: throughout the stack.  Shared (it holds no state), so `is` checks
+#: and pre-bound instruments work everywhere.
+NULL_REGISTRY = NullRegistry()

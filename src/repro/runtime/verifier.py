@@ -86,6 +86,14 @@ class ArmusRuntime:
         no deadlock exists), and avoidance checks only pay for a graph
         build when the tentative block actually closes a cycle.
         Reports are identical to the classic checker's.
+    metrics:
+        Optional :class:`~repro.obs.registry.MetricsRegistry`.  When an
+        enabled registry is passed, the checker's instruments bind into
+        it and the runtime adds its own: a live blocked-task gauge and
+        block/unblock/report counters — the surface
+        ``python -m repro.obs serve`` exposes.  Defaults to the no-op
+        registry: zero telemetry, zero overhead beyond a few no-op
+        calls per hook.
     """
 
     def __init__(
@@ -99,21 +107,46 @@ class ArmusRuntime:
         dependency: Optional[ResourceDependency] = None,
         recorder: Optional["TraceRecorder"] = None,
         incremental: bool = False,
+        metrics=None,
     ) -> None:
         self.mode = mode
         self.poll_s = poll_s
         self.cancel_on_detect = cancel_on_detect
         self.recorder = recorder
+        if metrics is None:
+            from repro.obs.registry import NULL_REGISTRY
+
+            metrics = NULL_REGISTRY
+        self.metrics = metrics
         checker_cls = IncrementalChecker if incremental else DeadlockChecker
         self.checker = checker_cls(
-            model=model, threshold_factor=threshold_factor, dependency=dependency
+            model=model, threshold_factor=threshold_factor,
+            dependency=dependency, metrics=metrics,
         )
         self.monitor = DetectionMonitor(
-            self.checker, interval_s=interval_s, on_deadlock=self._on_deadlock
+            self.checker, interval_s=interval_s,
+            on_deadlock=self._on_deadlock, metrics=metrics,
         )
         self.reports: List[DeadlockReport] = []
         self._reports_lock = threading.Lock()
         self._started = False
+        self._m_blocked = metrics.gauge(
+            "repro_blocked_tasks",
+            "Tasks currently published as blocked.",
+            volatile=True,
+        )
+        self._m_blocks = metrics.counter(
+            "repro_block_events_total",
+            "Observer hook invocations, by direction.",
+            labels=("hook",), volatile=True,
+        )
+        self._m_block_entry = self._m_blocks.labels(hook="entry")
+        self._m_block_exit = self._m_blocks.labels(hook="exit")
+        self._m_reports = metrics.counter(
+            "repro_deadlock_reports_total",
+            "Deadlock reports collected by the runtime, by origin.",
+            labels=("origin",), volatile=True,
+        )
 
     # ------------------------------------------------------------------
     # lifecycle
@@ -225,11 +258,15 @@ class ArmusRuntime:
             self.recorder.record_block(task.task_id, status)
         if self.mode is VerificationMode.OFF:
             return None
+        self._m_block_entry.inc()
         if self.mode is VerificationMode.DETECTION:
             self.checker.set_blocked(task.task_id, status)
+            self._sync_blocked_gauge()
             return None
         report, _stamped = self.checker.check_before_block(task.task_id, status)
+        self._sync_blocked_gauge()
         if report is not None:
+            self._m_reports.inc(origin="avoidance")
             with self._reports_lock:
                 self.reports.append(report)
         return report
@@ -240,7 +277,15 @@ class ArmusRuntime:
             self.recorder.record_unblock(task.task_id)
         if self.mode is VerificationMode.OFF:
             return
+        self._m_block_exit.inc()
         self.checker.clear(task.task_id)
+        self._sync_blocked_gauge()
+
+    def _sync_blocked_gauge(self) -> None:
+        """Publish the authoritative blocked count (drift-free under
+        republication, unlike inc/dec pairs)."""
+        if self.metrics.enabled:
+            self._m_blocked.set(self.checker.dependency.blocked_count())
 
     # ------------------------------------------------------------------
     # trace-context hooks (no verification effect; recording only)
@@ -260,6 +305,7 @@ class ArmusRuntime:
     # detection callback
     # ------------------------------------------------------------------
     def _on_deadlock(self, report: DeadlockReport) -> None:
+        self._m_reports.inc(origin="detection")
         with self._reports_lock:
             self.reports.append(report)
         if not self.cancel_on_detect:

@@ -180,6 +180,22 @@ SCENARIOS = {
 }
 
 
+def _emit_metrics(registry, args: argparse.Namespace, volatile: bool) -> None:
+    """Write a metrics snapshot where ``--metrics-json``/``--metrics-stdout``
+    asked.  Replay passes ``volatile=False`` — the deterministic slice,
+    byte-identical across ``--parallel`` values; record passes ``True``
+    (live telemetry includes the wall-clock instruments)."""
+    if not (args.metrics_json or args.metrics_stdout):
+        return
+    from repro.obs.export import to_json
+
+    text = to_json(registry, volatile=volatile)
+    if args.metrics_json:
+        pathlib.Path(args.metrics_json).write_text(text, encoding="utf-8")
+    if args.metrics_stdout:
+        sys.stdout.write(text)
+
+
 def cmd_record(args: argparse.Namespace) -> int:
     """Run ``--scenario`` under a recording runtime; save ``--out``."""
     from repro.runtime.verifier import ArmusRuntime, VerificationMode
@@ -195,11 +211,17 @@ def cmd_record(args: argparse.Namespace) -> int:
         recorder = StreamingRecorder(args.out, meta=meta)
     else:
         recorder = TraceRecorder(meta=meta)
+    metrics = None
+    if args.metrics_json or args.metrics_stdout:
+        from repro.obs.registry import MetricsRegistry
+
+        metrics = MetricsRegistry()
     runtime = ArmusRuntime(
         mode=VerificationMode(args.mode),
         interval_s=0.02,
         poll_s=0.002,
         recorder=recorder,
+        metrics=metrics,
     ).start()
     try:
         SCENARIOS[args.scenario](runtime)
@@ -210,6 +232,8 @@ def cmd_record(args: argparse.Namespace) -> int:
           f"({args.mode}) -> {path}")
     for report in runtime.reports:
         print(report.describe())
+    if metrics is not None:
+        _emit_metrics(metrics, args, volatile=True)
     return 0
 
 
@@ -265,6 +289,7 @@ def _replay_single(path: pathlib.Path, args: argparse.Namespace) -> int:
         print("no deadlock found")
     for report in result.reports:
         print(report.describe())
+    _emit_metrics(result.metrics, args, volatile=False)
     expected = meta.get("expect_deadlock")
     if expected is not None and bool(result.reports) != bool(expected):
         print(f"VERDICT MISMATCH: trace expects deadlock={expected}",
@@ -308,6 +333,7 @@ def _replay_corpus(paths, args: argparse.Namespace) -> int:
         f"verdicts: {deadlocked}/{len(result.entries)} deadlocked, "
         f"{len(result.mismatches)} mismatch(es)"
     )
+    _emit_metrics(result.metrics, args, volatile=False)
     # Timing goes to stderr — buffered into one write, emitted only
     # after the merge, so the per-file lines always come out whole, in
     # work-list order, regardless of how many worker processes shared
@@ -509,6 +535,11 @@ def build_parser() -> argparse.ArgumentParser:
     p_record.add_argument("--stream", action="store_true",
                           help="spill records to disk as they arrive "
                                "instead of buffering the run")
+    p_record.add_argument("--metrics-json", metavar="PATH", default=None,
+                          help="write the run's metrics snapshot (canonical "
+                               "JSON) to PATH")
+    p_record.add_argument("--metrics-stdout", action="store_true",
+                          help="print the run's metrics snapshot to stdout")
     p_record.set_defaults(fn=cmd_record)
 
     p_replay = sub.add_parser("replay", help="replay trace file(s)")
@@ -532,6 +563,13 @@ def build_parser() -> argparse.ArgumentParser:
                           help="feed record-level deltas into a maintained "
                                "analysis graph instead of rebuilding per "
                                "check (same reports, O(N) not O(N²))")
+    p_replay.add_argument("--metrics-json", metavar="PATH", default=None,
+                          help="write the run's deterministic metrics "
+                               "snapshot (canonical JSON; byte-identical "
+                               "for any --parallel value) to PATH")
+    p_replay.add_argument("--metrics-stdout", action="store_true",
+                          help="print the deterministic metrics snapshot "
+                               "to stdout")
     p_replay.set_defaults(fn=cmd_replay)
 
     p_gen = sub.add_parser("gen", help="generate a scenario corpus")

@@ -37,6 +37,7 @@ from typing import Iterable, List, Optional, Sequence, Tuple, Union
 from repro.core.checker import CheckStats
 from repro.core.report import DeadlockReport
 from repro.core.selection import DEFAULT_THRESHOLD_FACTOR, GraphModel
+from repro.obs.registry import MetricsRegistry
 from repro.trace.codec import PathLike, load_trace
 from repro.trace.replay import DETECTION, ReplayResult, ReplayEngine
 
@@ -112,6 +113,11 @@ class CorpusReplayResult:
     processes: int
     entries: List[CorpusEntry] = field(default_factory=list)
     stats: CheckStats = field(default_factory=CheckStats)
+    #: The :meth:`~repro.obs.registry.MetricsRegistry.merge` fold over
+    #: every file's run registry.  Workers build theirs independently
+    #: and the merge is order-insensitive, so the non-volatile snapshot
+    #: is byte-identical across process counts.
+    metrics: MetricsRegistry = field(default_factory=MetricsRegistry)
     duration_s: float = 0.0
 
     @property
@@ -204,5 +210,6 @@ def replay_corpus(
     for path, (meta, result) in zip(paths, outcomes):
         merged.entries.append(CorpusEntry(path=path, meta=meta, result=result))
         merged.stats.merge(result.stats)
+        merged.metrics.merge(result.metrics)
     merged.duration_s = time.perf_counter() - t0
     return merged

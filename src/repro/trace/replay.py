@@ -76,6 +76,7 @@ from repro.core.report import DeadlockReport
 from repro.core.selection import DEFAULT_THRESHOLD_FACTOR, GraphModel
 from repro.distributed.delta import Cursor, DeltaMergeState, apply_delta_obj
 from repro.distributed.detector import merge_payloads
+from repro.obs.registry import MetricsRegistry
 from repro.trace.codec import load_trace
 from repro.trace.events import RecordKind, Trace, TraceRecord
 
@@ -86,6 +87,14 @@ _PUBLISH_KINDS = (RecordKind.PUBLISH, RecordKind.PUBLISH_DELTA)
 #: Replay modes (strings, to stay import-independent of the runtime).
 DETECTION = "detection"
 AVOIDANCE = "avoidance"
+
+#: ``kind`` label values of ``repro_replay_records_total`` (context =
+#: register/advance records, skipped by the engines but counted).
+_KIND_NAMES = ("block", "unblock", "publish", "publish_delta", "context")
+
+#: Buckets for whole-run replay durations (volatile; excluded from the
+#: deterministic snapshot).
+_DURATION_BUCKETS_S = (0.001, 0.01, 0.1, 0.5, 1.0, 5.0, 30.0, 120.0)
 
 
 @dataclass
@@ -103,6 +112,11 @@ class ReplayResult:
     checks_run: int = 0
     duration_s: float = 0.0
     stats: CheckStats = field(default_factory=CheckStats)
+    #: The run's merged telemetry: the engine's replay counters plus
+    #: every checker's instruments, folded into one registry.  Its
+    #: non-volatile slice is deterministic — identical across process
+    #: counts and hosts for the same trace and settings.
+    metrics: MetricsRegistry = field(default_factory=MetricsRegistry)
 
     @property
     def deadlocked(self) -> bool:
@@ -140,6 +154,13 @@ class ReplayEngine:
         Use the delta-maintained engine instead of rebuilding the graph
         per check (see the module docstring).  Reports are identical;
         only the cost model changes.
+    metrics:
+        Optional :class:`~repro.obs.registry.MetricsRegistry` to fold
+        each run's telemetry into (successive runs accumulate).  When
+        omitted every run gets a fresh registry on
+        :attr:`ReplayResult.metrics`.  Checkers always record into
+        private registries merged in at the end, so the hot loop never
+        pays for a shared-registry lock.
     """
 
     def __init__(
@@ -150,6 +171,7 @@ class ReplayEngine:
         check_every: int = 1,
         shard_components: bool = False,
         incremental: bool = False,
+        metrics: Optional[MetricsRegistry] = None,
     ) -> None:
         if mode not in (DETECTION, AVOIDANCE):
             raise ValueError(f"unknown replay mode {mode!r}")
@@ -159,6 +181,7 @@ class ReplayEngine:
         self.check_every = max(1, check_every)
         self.shard_components = shard_components
         self.incremental = incremental
+        self.metrics = metrics
 
     def run(self, trace: Union[Trace, Iterable[TraceRecord]]) -> ReplayResult:
         """Replay ``trace`` (a :class:`Trace` or any record iterable —
@@ -174,12 +197,14 @@ class ReplayEngine:
         seen: Set[frozenset] = set()
         buckets: Dict[str, dict] = {}
         cursors: Dict[str, Cursor] = {}
+        kinds = dict.fromkeys(_KIND_NAMES, 0)
         pending = 0
         t0 = time.perf_counter()
         for rec in records:
             result.records_processed += 1
             kind = rec.kind
             if kind is RecordKind.BLOCK:
+                kinds["block"] += 1
                 if self.mode == AVOIDANCE:
                     report, _ = checker.check_before_block(rec.task, rec.status)
                     result.checks_run += 1
@@ -189,6 +214,7 @@ class ReplayEngine:
                 checker.set_blocked(rec.task, rec.status)
                 pending += 1
             elif kind is RecordKind.UNBLOCK:
+                kinds["unblock"] += 1
                 checker.clear(rec.task)
                 pending += 1
             elif kind in _PUBLISH_KINDS:
@@ -201,11 +227,14 @@ class ReplayEngine:
                         "(distributed traces replay in detection mode)"
                     )
                 if kind is RecordKind.PUBLISH:
+                    kinds["publish"] += 1
                     buckets[rec.site] = dict(rec.payload)
                 else:
+                    kinds["publish_delta"] += 1
                     apply_delta_obj(buckets, cursors, rec.site, rec.payload)
                 pending += 1
             else:  # REGISTER / ADVANCE: context only
+                kinds["context"] += 1
                 continue
             if self.mode == DETECTION and pending >= self.check_every:
                 pending = 0
@@ -216,6 +245,7 @@ class ReplayEngine:
             self._detect(checker, buckets, seen, result)
         result.duration_s = time.perf_counter() - t0
         result.stats = checker.stats
+        self._finish_metrics(result, kinds, [checker])
         return result
 
     def _detect(
@@ -232,6 +262,47 @@ class ReplayEngine:
             report = checker.check(snapshot=snapshot)
             reports = [] if report is None else [report]
         self._collect(reports, seen, result)
+
+    def _finish_metrics(self, result, kinds, checkers) -> None:
+        """Fold the run's telemetry into the result's registry.
+
+        Engine counters are applied once, from the loop's plain-int
+        tallies (zero hot-loop registry cost); checker registries are
+        merged in whole, after ``sync_metrics`` has mirrored any
+        trailing SCC work done since the last check.  Everything here
+        except the duration histogram is deterministic, so the
+        non-volatile snapshot is byte-identical across runs and hosts.
+        """
+        metrics = self.metrics if self.metrics is not None else MetricsRegistry()
+        recs = metrics.counter(
+            "repro_replay_records_total",
+            "Trace records consumed by replay, by kind (context = "
+            "register/advance records, skipped but counted).",
+            labels=("kind",),
+        )
+        for kind in _KIND_NAMES:
+            if kinds[kind]:
+                recs.inc(kinds[kind], kind=kind)
+        metrics.counter(
+            "repro_replay_checks_total",
+            "Detection or avoidance checks run by replay.",
+        ).inc(result.checks_run)
+        metrics.counter(
+            "repro_replay_reports_total",
+            "Deadlock reports surfaced by replay (after de-duplication).",
+        ).inc(len(result.reports))
+        metrics.histogram(
+            "repro_replay_duration_seconds",
+            "Wall-clock duration of one replay run.",
+            buckets=_DURATION_BUCKETS_S,
+            volatile=True,
+        ).observe(result.duration_s)
+        for checker in checkers:
+            sync = getattr(checker, "sync_metrics", None)
+            if sync is not None:
+                sync()
+            metrics.merge(checker.stats.metrics)
+        result.metrics = metrics
 
     def _collect(
         self,
@@ -281,6 +352,7 @@ class ReplayEngine:
         remote.snapshot_source = merge.merged_snapshot
         result = ReplayResult(mode=self.mode)
         seen: Set[frozenset] = set()
+        kinds = dict.fromkeys(_KIND_NAMES, 0)
         publishes_seen = False
         pending = 0
         t0 = time.perf_counter()
@@ -300,6 +372,7 @@ class ReplayEngine:
             result.records_processed += 1
             kind = rec.kind
             if kind is RecordKind.BLOCK:
+                kinds["block"] += 1
                 if self.mode == AVOIDANCE:
                     report, _ = local.check_before_block(rec.task, rec.status)
                     result.checks_run += 1
@@ -309,6 +382,7 @@ class ReplayEngine:
                 local.set_blocked(rec.task, rec.status)
                 pending += 1
             elif kind is RecordKind.UNBLOCK:
+                kinds["unblock"] += 1
                 local.clear(rec.task)
                 pending += 1
             elif kind in _PUBLISH_KINDS:
@@ -318,12 +392,15 @@ class ReplayEngine:
                         "(distributed traces replay in detection mode)"
                     )
                 if kind is RecordKind.PUBLISH:
+                    kinds["publish"] += 1
                     merge.apply_bucket(rec.site, rec.payload)
                 else:
+                    kinds["publish_delta"] += 1
                     merge.apply_obj(rec.site, rec.payload)
                 publishes_seen = True
                 pending += 1
             else:  # REGISTER / ADVANCE: context only
+                kinds["context"] += 1
                 continue
             if self.mode == DETECTION and pending >= self.check_every:
                 pending = 0
@@ -332,6 +409,10 @@ class ReplayEngine:
             detect()
         result.duration_s = time.perf_counter() - t0
         result.stats = local.stats
+        # Registries fold first: CheckStats.merge below copies remote's
+        # check instruments into local's registry, so merging registries
+        # afterwards would double-count them.
+        self._finish_metrics(result, kinds, [local, remote])
         result.stats.merge(remote.stats)
         return result
 
@@ -357,6 +438,7 @@ def replay(
     shard_components: bool = False,
     stream: bool = False,
     incremental: bool = False,
+    metrics: Optional[MetricsRegistry] = None,
 ) -> ReplayResult:
     """Convenience front door: replay a trace, record iterable or path.
 
@@ -364,7 +446,9 @@ def replay(
     :func:`~repro.trace.stream.iter_load` instead of loading it whole —
     same result, O(frame) memory.  ``incremental=True`` selects the
     delta-maintained engine — same reports, O(N) instead of O(N²) on
-    ``check_every=1`` replays.
+    ``check_every=1`` replays.  ``metrics`` folds the run's telemetry
+    into a caller registry instead of the fresh one on
+    :attr:`ReplayResult.metrics`.
     """
     if isinstance(source, (str,)) or hasattr(source, "__fspath__"):
         if stream:
@@ -380,5 +464,6 @@ def replay(
         check_every=check_every,
         shard_components=shard_components,
         incremental=incremental,
+        metrics=metrics,
     )
     return engine.run(source)

@@ -1,0 +1,117 @@
+"""Exporter tests: Prometheus exposition round-trip, canonical JSON."""
+
+from __future__ import annotations
+
+import json
+import math
+
+from repro.obs.export import parse_prometheus, to_json, to_prometheus
+from repro.obs.registry import NULL_REGISTRY, MetricsRegistry
+
+
+def loaded() -> MetricsRegistry:
+    reg = MetricsRegistry()
+    ops = reg.counter("repro_ops_total", "Operations, by kind.", labels=("op",))
+    ops.inc(3, op="put")
+    ops.inc(1, op="get")
+    reg.gauge("repro_depth", "Current depth.").set(2.5)
+    h = reg.histogram("repro_sizes", "Sizes.", buckets=(1, 10, 100))
+    for v in (0, 5, 5, 1000):
+        h.observe(v)
+    return reg
+
+
+class TestPrometheusFormat:
+    def test_help_and_type_preambles(self):
+        text = to_prometheus(loaded())
+        assert "# HELP repro_ops_total Operations, by kind." in text
+        assert "# TYPE repro_ops_total counter" in text
+        assert "# TYPE repro_depth gauge" in text
+        assert "# TYPE repro_sizes histogram" in text
+
+    def test_counter_and_gauge_samples(self):
+        lines = to_prometheus(loaded()).splitlines()
+        assert 'repro_ops_total{op="get"} 1' in lines
+        assert 'repro_ops_total{op="put"} 3' in lines
+        assert "repro_depth 2.5" in lines
+
+    def test_histogram_cumulative_buckets(self):
+        lines = to_prometheus(loaded()).splitlines()
+        assert 'repro_sizes_bucket{le="1"} 1' in lines
+        assert 'repro_sizes_bucket{le="10"} 3' in lines
+        assert 'repro_sizes_bucket{le="100"} 3' in lines
+        assert 'repro_sizes_bucket{le="+Inf"} 4' in lines
+        assert "repro_sizes_sum 1010" in lines
+        assert "repro_sizes_count 4" in lines
+
+    def test_label_escaping(self):
+        reg = MetricsRegistry()
+        reg.counter("c_total", labels=("path",)).inc(path='a\\b"c\nd')
+        text = to_prometheus(reg)
+        assert 'path="a\\\\b\\"c\\nd"' in text
+
+    def test_empty_registry_renders_empty(self):
+        assert to_prometheus(MetricsRegistry()) == ""
+        assert to_prometheus(NULL_REGISTRY) == ""
+
+    def test_volatile_excluded_on_request(self):
+        reg = MetricsRegistry()
+        reg.counter("keep_total").inc()
+        reg.counter("drop_total", volatile=True).inc()
+        text = to_prometheus(reg, volatile=False)
+        assert "keep_total" in text and "drop_total" not in text
+
+
+class TestPrometheusRoundTrip:
+    def test_parse_recovers_every_sample(self):
+        reg = loaded()
+        families = parse_prometheus(to_prometheus(reg))
+        ops = families["repro_ops_total"]
+        assert ops["type"] == "counter"
+        assert ops["help"] == "Operations, by kind."
+        assert ops["samples"][("repro_ops_total", (("op", "put"),))] == 3
+        assert ops["samples"][("repro_ops_total", (("op", "get"),))] == 1
+        assert families["repro_depth"]["samples"][("repro_depth", ())] == 2.5
+
+    def test_histogram_folds_into_one_family(self):
+        families = parse_prometheus(to_prometheus(loaded()))
+        sizes = families["repro_sizes"]
+        assert sizes["type"] == "histogram"
+        samples = sizes["samples"]
+        assert samples[("repro_sizes_bucket", (("le", "+Inf"),))] == 4
+        assert samples[("repro_sizes_sum", ())] == 1010
+        assert samples[("repro_sizes_count", ())] == 4
+        assert not math.isnan(samples[("repro_sizes_bucket", (("le", "1"),))])
+
+    def test_label_escape_round_trip(self):
+        reg = MetricsRegistry()
+        reg.counter("c_total", labels=("path",)).inc(path='a\\b"c\nd')
+        families = parse_prometheus(to_prometheus(reg))
+        key = ("c_total", (("path", 'a\\b"c\nd'),))
+        assert families["c_total"]["samples"][key] == 1
+
+
+class TestCanonicalJson:
+    def test_shape_and_trailing_newline(self):
+        text = to_json(loaded())
+        assert text.endswith("\n")
+        snap = json.loads(text)
+        assert snap["v"] == 1
+        assert [m["name"] for m in snap["metrics"]] == sorted(
+            m["name"] for m in snap["metrics"]
+        )
+
+    def test_byte_stable_across_equal_registries(self):
+        assert to_json(loaded()) == to_json(loaded())
+
+    def test_volatile_flag_filters(self):
+        reg = MetricsRegistry()
+        reg.counter("keep_total").inc()
+        reg.histogram("t_seconds", volatile=True).observe(0.1)
+        names = [m["name"] for m in json.loads(to_json(reg, volatile=False))["metrics"]]
+        assert names == ["keep_total"]
+
+    def test_indent_mode_parses_identically(self):
+        compact = json.loads(to_json(loaded()))
+        pretty = json.loads(to_json(loaded(), indent=2))
+        assert compact == pretty

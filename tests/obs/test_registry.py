@@ -1,0 +1,244 @@
+"""Registry semantics: determinism, merge algebra, the disabled twin.
+
+The properties pinned here are the ones the rest of the stack leans on:
+
+* snapshots are *canonical* — metric order, child order and label
+  order are functions of the data, never of call order;
+* ``merge`` is associative and commutative, so parallel-replay fan-in
+  may fold worker registries in any order;
+* the :data:`~repro.obs.registry.NULL_REGISTRY` twin is a true no-op —
+  identical instrument surface, empty snapshot, zero state.
+"""
+
+from __future__ import annotations
+
+import pickle
+
+import pytest
+
+from repro.obs.registry import (
+    DEFAULT_LATENCY_BUCKETS_S,
+    MetricsRegistry,
+    NULL_REGISTRY,
+    NullRegistry,
+)
+
+
+def make_loaded(order: str = "forward") -> MetricsRegistry:
+    """A registry with one of each instrument kind; ``order`` varies the
+    creation and increment order without varying the data."""
+    reg = MetricsRegistry()
+    steps = [
+        lambda: reg.counter("c_total", "a counter", labels=("op",)).inc(2, op="put"),
+        lambda: reg.counter("c_total", "a counter", labels=("op",)).inc(3, op="get"),
+        lambda: reg.gauge("g", "a gauge").set(7),
+        lambda: reg.histogram("h", "sizes", buckets=(1, 10, 100)).observe(5),
+        lambda: reg.histogram("h", "sizes", buckets=(1, 10, 100)).observe(500),
+    ]
+    if order == "reverse":
+        steps = list(reversed(steps))
+    for step in steps:
+        step()
+    return reg
+
+
+class TestCounters:
+    def test_inc_and_totals(self):
+        reg = MetricsRegistry()
+        c = reg.counter("ops_total", labels=("op",))
+        c.inc(op="put")
+        c.inc(4, op="get")
+        assert c.value(op="put") == 1
+        assert c.value(op="get") == 4
+        assert c.total() == 5
+        assert c.per_label() == {("put",): 1, ("get",): 4}
+
+    def test_bound_counter_shares_storage(self):
+        reg = MetricsRegistry()
+        c = reg.counter("ops_total", labels=("op",))
+        bound = c.labels(op="put")
+        bound.inc()
+        bound.inc(2)
+        assert c.value(op="put") == 3
+
+    def test_labels_does_not_create_children(self):
+        """Pre-binding every enum value must not materialise zero-count
+        children (checker tests compare model-count dicts exactly)."""
+        reg = MetricsRegistry()
+        c = reg.counter("ops_total", labels=("op",))
+        c.labels(op="never_used")
+        assert c.per_label() == {}
+        assert c.snapshot()["values"] == []
+
+    def test_schema_conflict_raises(self):
+        reg = MetricsRegistry()
+        reg.counter("x_total", labels=("a",))
+        with pytest.raises(ValueError):
+            reg.counter("x_total", labels=("b",))
+        with pytest.raises(ValueError):
+            reg.gauge("x_total")
+
+
+class TestGaugesAndHistograms:
+    def test_gauge_set_inc_dec(self):
+        reg = MetricsRegistry()
+        g = reg.gauge("depth")
+        g.set(10)
+        g.inc(5)
+        g.dec(3)
+        assert g.value() == 12
+
+    def test_histogram_buckets_and_aggregates(self):
+        reg = MetricsRegistry()
+        h = reg.histogram("sizes", buckets=(1, 10, 100))
+        for v in (0, 1, 5, 50, 1000):
+            h.observe(v)
+        snap = h.snapshot()["values"][0]
+        # bisect_left: a value equal to an upper bound lands below it.
+        assert snap["counts"] == [2, 1, 1, 1]
+        assert snap["count"] == 5
+        assert snap["sum"] == 1056
+        assert snap["min"] == 0 and snap["max"] == 1000
+
+    def test_quantiles_clamped_to_observed_max(self):
+        reg = MetricsRegistry()
+        h = reg.histogram("sizes", buckets=(1, 10, 100))
+        for v in (2, 3, 4):
+            h.observe(v)
+        assert h.quantile(0.5) == 4  # upper bound 10, clamped to vmax
+        assert h.quantile(1.0) == 4
+
+    def test_span_records_into_volatile_histogram(self):
+        reg = MetricsRegistry()
+        span = reg.span("work", buckets=DEFAULT_LATENCY_BUCKETS_S)
+        with span:
+            pass
+        hist = reg.get("work_duration_seconds")
+        assert hist.volatile
+        assert hist.count_of() == 1
+
+    def test_span_is_reentrant(self):
+        reg = MetricsRegistry()
+        span = reg.span("work")
+        with span:
+            with span:
+                pass
+        assert reg.get("work_duration_seconds").count_of() == 2
+
+
+class TestSnapshotDeterminism:
+    def test_snapshot_independent_of_creation_order(self):
+        assert make_loaded("forward").snapshot() == make_loaded("reverse").snapshot()
+
+    def test_label_kwarg_order_is_canonicalised(self):
+        a = MetricsRegistry()
+        a.counter("c_total", labels=("x", "y")).inc(x="1", y="2")
+        b = MetricsRegistry()
+        b.counter("c_total", labels=("x", "y")).inc(y="2", x="1")
+        assert a.snapshot() == b.snapshot()
+
+    def test_volatile_excluded_from_deterministic_view(self):
+        reg = MetricsRegistry()
+        reg.counter("keep_total").inc()
+        reg.counter("drop_total", volatile=True).inc()
+        names = [m["name"] for m in reg.snapshot(volatile=False)["metrics"]]
+        assert names == ["keep_total"]
+        names = [m["name"] for m in reg.snapshot()["metrics"]]
+        assert names == ["drop_total", "keep_total"]
+
+    def test_pickle_round_trip(self):
+        reg = make_loaded()
+        clone = pickle.loads(pickle.dumps(reg))
+        assert clone.snapshot() == reg.snapshot()
+        # The clone is live, not a frozen copy.
+        clone.counter("c_total", labels=("op",)).inc(op="put")
+        assert clone.get("c_total").value(op="put") == 3
+
+
+class TestMergeAlgebra:
+    def regs(self):
+        a = MetricsRegistry()
+        a.counter("c_total").inc(1)
+        a.histogram("h", buckets=(1, 10)).observe(0)
+        a.gauge("peak", merge_mode="max").set(3)
+        b = MetricsRegistry()
+        b.counter("c_total").inc(10)
+        b.histogram("h", buckets=(1, 10)).observe(5)
+        b.gauge("peak", merge_mode="max").set(9)
+        c = MetricsRegistry()
+        c.counter("c_total").inc(100)
+        c.histogram("h", buckets=(1, 10)).observe(50)
+        c.gauge("peak", merge_mode="max").set(6)
+        return a, b, c
+
+    def fold(self, *regs) -> dict:
+        acc = MetricsRegistry()
+        for reg in regs:
+            acc.merge(reg)
+        return acc.snapshot()
+
+    def test_merge_is_order_insensitive(self):
+        a, b, c = self.regs()
+        assert self.fold(a, b, c) == self.fold(c, b, a) == self.fold(b, a, c)
+
+    def test_merge_is_associative(self):
+        a, b, c = self.regs()
+        left = MetricsRegistry()
+        left.merge(a)
+        left.merge(b)
+        right = MetricsRegistry()
+        right.merge(b)
+        right.merge(c)
+        ab_c = MetricsRegistry()
+        ab_c.merge(left)
+        ab_c.merge(c)
+        a_bc = MetricsRegistry()
+        a_bc.merge(a)
+        a_bc.merge(right)
+        assert ab_c.snapshot() == a_bc.snapshot()
+
+    def test_merge_folds_every_field(self):
+        a, b, c = self.regs()
+        acc = MetricsRegistry()
+        for reg in (a, b, c):
+            acc.merge(reg)
+        assert acc.get("c_total").total() == 111
+        assert acc.get("peak").value() == 9  # max mode
+        h = acc.get("h")
+        assert h.count_of() == 3
+        assert h.sum_of() == 55
+        assert h.min_of() == 0 and h.max_of() == 50
+
+    def test_merge_schema_conflict_raises(self):
+        a = MetricsRegistry()
+        a.counter("m")
+        b = MetricsRegistry()
+        b.gauge("m")
+        with pytest.raises(ValueError):
+            a.merge(b)
+
+    def test_merge_null_is_identity(self):
+        a = MetricsRegistry()
+        a.counter("c_total").inc()
+        before = a.snapshot()
+        a.merge(NULL_REGISTRY)
+        assert a.snapshot() == before
+
+
+class TestNullRegistry:
+    def test_singleton_and_disabled(self):
+        assert isinstance(NULL_REGISTRY, NullRegistry)
+        assert NULL_REGISTRY.enabled is False
+        assert MetricsRegistry().enabled is True
+
+    def test_instruments_are_inert(self):
+        c = NULL_REGISTRY.counter("c_total", labels=("op",))
+        c.inc(5, op="x")
+        c.labels(op="x").inc()
+        NULL_REGISTRY.gauge("g").set(3)
+        NULL_REGISTRY.histogram("h").observe(1)
+        with NULL_REGISTRY.span("s"):
+            pass
+        assert NULL_REGISTRY.snapshot() == {"v": 1, "metrics": []}
+        assert c.total() == 0
+        assert c.per_label() == {}

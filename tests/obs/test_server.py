@@ -1,0 +1,118 @@
+"""The telemetry endpoint, exercised over real HTTP.
+
+Spins up :class:`~repro.obs.server.MetricsHTTPServer` on an ephemeral
+port with the demo deadlock scenario behind it — the acceptance path of
+``python -m repro.obs serve`` — and scrapes ``/metrics`` and
+``/healthz`` with a plain urllib client.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+import urllib.error
+import urllib.request
+
+import pytest
+
+from repro.obs.export import parse_prometheus
+from repro.obs.registry import MetricsRegistry
+from repro.obs.server import (
+    PROMETHEUS_CONTENT_TYPE,
+    MetricsHTTPServer,
+    build_demo_runtime,
+    shutdown_demo,
+)
+
+
+def fetch(url: str):
+    try:
+        with urllib.request.urlopen(url, timeout=5) as resp:
+            return resp.status, resp.headers.get("Content-Type"), resp.read()
+    except urllib.error.HTTPError as exc:
+        return exc.code, exc.headers.get("Content-Type"), exc.read()
+
+
+@pytest.fixture(scope="module")
+def live_endpoint():
+    """One deadlocked demo runtime served over HTTP for the module."""
+    registry = MetricsRegistry()
+    runtime, tasks = build_demo_runtime(registry, n_tasks=3, interval_s=0.02)
+    deadline = time.monotonic() + 10
+    while not runtime.reports and time.monotonic() < deadline:
+        time.sleep(0.01)
+    assert runtime.reports, "demo ring never deadlocked"
+    with MetricsHTTPServer(registry, runtime, port=0) as server:
+        yield server
+    shutdown_demo(runtime, tasks)
+
+
+class TestMetricsEndpoint:
+    def test_prometheus_content_type(self, live_endpoint):
+        status, ctype, _ = fetch(live_endpoint.url + "/metrics")
+        assert status == 200
+        assert ctype == PROMETHEUS_CONTENT_TYPE
+
+    def test_exposition_parses_and_carries_runtime_series(self, live_endpoint):
+        _, _, body = fetch(live_endpoint.url + "/metrics")
+        families = parse_prometheus(body.decode("utf-8"))
+        blocked = families["repro_blocked_tasks"]
+        assert blocked["type"] == "gauge"
+        assert blocked["samples"][("repro_blocked_tasks", ())] == 3
+        checks = families["repro_checks_total"]
+        assert sum(checks["samples"].values()) >= 1
+        reports = families["repro_deadlock_reports_total"]
+        key = ("repro_deadlock_reports_total", (("origin", "detection"),))
+        assert reports["samples"][key] >= 1
+
+    def test_check_latency_histogram_present(self, live_endpoint):
+        _, _, body = fetch(live_endpoint.url + "/metrics")
+        families = parse_prometheus(body.decode("utf-8"))
+        latency = families["repro_check_duration_seconds"]
+        assert latency["type"] == "histogram"
+        count_key = ("repro_check_duration_seconds_count", ())
+        assert latency["samples"][count_key] >= 1
+
+
+class TestHealthEndpoint:
+    def test_deadlocked_runtime_reports_503(self, live_endpoint):
+        status, ctype, body = fetch(live_endpoint.url + "/healthz")
+        assert status == 503
+        assert ctype.startswith("application/json")
+        doc = json.loads(body)
+        assert doc["status"] == "deadlock"
+        assert doc["mode"] == "detection"
+        assert doc["blocked_tasks"] == 3
+        assert doc["reports"] and doc["reports"][0]["tasks"]
+
+    def test_repeat_detections_fold_into_one_entry(self, live_endpoint):
+        """The monitor re-reports an un-cancelled cycle every poll; the
+        document must not grow with uptime."""
+        runtime = live_endpoint.runtime
+        deadline = time.monotonic() + 10
+        while len(runtime.reports) < 3 and time.monotonic() < deadline:
+            time.sleep(0.01)
+        assert len(runtime.reports) >= 3
+        _, _, body = fetch(live_endpoint.url + "/healthz")
+        doc = json.loads(body)
+        assert len(doc["reports"]) == 1
+        assert doc["report_count"] >= 3
+
+    def test_index_and_404(self, live_endpoint):
+        status, _, body = fetch(live_endpoint.url + "/")
+        assert status == 200 and b"/metrics" in body
+        status, _, _ = fetch(live_endpoint.url + "/nope")
+        assert status == 404
+
+
+class TestHealthyServer:
+    def test_registry_only_server_is_ok(self):
+        registry = MetricsRegistry()
+        registry.counter("repro_demo_total").inc()
+        with MetricsHTTPServer(registry, runtime=None, port=0) as server:
+            status, _, body = fetch(server.url + "/healthz")
+            assert status == 200
+            assert json.loads(body)["status"] == "ok"
+            status, _, body = fetch(server.url + "/metrics")
+            assert status == 200
+            assert "repro_demo_total 1" in body.decode("utf-8")

@@ -1,0 +1,84 @@
+"""The pinned corpus metrics snapshot and its determinism guarantees.
+
+``tests/trace/corpus/expected_metrics.txt`` is the canonical-JSON
+metrics snapshot of a corpus replay (``--metrics-json``).  The snapshot
+is the *non-volatile* slice of the merged registry, which makes it a
+pure function of the trace bytes: the tests assert byte-identity
+serially, under ``--parallel N`` (merge is order-insensitive and every
+worker process sees a different string-hash seed) and across repeated
+runs.  Report output must be unaffected by metrics emission.
+
+Regenerating after an intentional change::
+
+    PYTHONPATH=src python -m repro.trace replay tests/trace/corpus \
+        --metrics-json tests/trace/corpus/expected_metrics.txt \
+        > /dev/null 2>&1
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+
+from repro.trace.cli import main
+
+CORPUS = pathlib.Path(__file__).parent / "corpus"
+GOLDEN_REPLAY = CORPUS / "expected_replay.txt"
+GOLDEN_METRICS = CORPUS / "expected_metrics.txt"
+
+
+def run_metrics_json(tmp_path, *extra) -> bytes:
+    out = tmp_path / "metrics.json"
+    assert main(["replay", str(CORPUS), "--metrics-json", str(out), *extra]) == 0
+    return out.read_bytes()
+
+
+class TestMetricsGolden:
+    def test_serial_matches_golden(self, tmp_path, capsys):
+        assert run_metrics_json(tmp_path) == GOLDEN_METRICS.read_bytes()
+
+    def test_parallel_matches_golden(self, tmp_path, capsys):
+        """The acceptance pin: worker processes have different hash
+        seeds, yet the merged snapshot is byte-identical to serial."""
+        assert (
+            run_metrics_json(tmp_path, "--parallel", "2")
+            == GOLDEN_METRICS.read_bytes()
+        )
+
+    def test_incremental_serial_and_parallel_agree(self, tmp_path, capsys):
+        """The incremental engine adds its own series (so it has no
+        shared golden with the from-scratch engine) but must obey the
+        same serial/parallel byte-identity."""
+        serial = run_metrics_json(tmp_path, "--incremental")
+        out2 = tmp_path / "m2.json"
+        assert main([
+            "replay", str(CORPUS), "--incremental", "--parallel", "2",
+            "--metrics-json", str(out2),
+        ]) == 0
+        assert serial == out2.read_bytes()
+
+    def test_golden_is_canonical_json(self):
+        text = GOLDEN_METRICS.read_text()
+        snap = json.loads(text)
+        assert text == json.dumps(snap, sort_keys=True, separators=(",", ":")) + "\n"
+        names = [m["name"] for m in snap["metrics"]]
+        assert names == sorted(names)
+        assert "repro_replay_records_total" in names
+        assert "repro_checks_total" in names
+        # The volatile slice stays out of the deterministic snapshot.
+        assert not any(m["volatile"] for m in snap["metrics"])
+        assert "repro_check_duration_seconds" not in names
+
+
+class TestMetricsDoNotPerturbReports:
+    def test_replay_stdout_unchanged_with_metrics_json(self, tmp_path, capsys):
+        out = tmp_path / "metrics.json"
+        assert main(["replay", str(CORPUS), "--metrics-json", str(out)]) == 0
+        assert capsys.readouterr().out == GOLDEN_REPLAY.read_text()
+
+    def test_metrics_stdout_appends_after_reports(self, capsys):
+        assert main(["replay", str(CORPUS), "--metrics-stdout"]) == 0
+        text = capsys.readouterr().out
+        assert text.startswith(GOLDEN_REPLAY.read_text())
+        trailing = text[len(GOLDEN_REPLAY.read_text()):]
+        assert json.loads(trailing)["v"] == 1
