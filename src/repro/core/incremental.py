@@ -76,12 +76,16 @@ import threading
 import time
 from typing import Callable, Dict, List, Optional, Set, Tuple
 
-from repro.core.checker import DeadlockChecker
+from repro.core.checker import DeadlockChecker, snapshot_components
 from repro.core.dependency import DependencySnapshot, ResourceDependency
 from repro.core.events import BlockedStatus, Event, PhaserId, TaskId
 from repro.core.report import DeadlockReport
 from repro.core.scc import DynamicSCC
-from repro.core.selection import DEFAULT_THRESHOLD_FACTOR, GraphModel
+from repro.core.selection import (
+    DEFAULT_THRESHOLD_FACTOR,
+    GraphModel,
+    select_shard_model,
+)
 from repro.obs.registry import MetricsRegistry
 
 
@@ -336,8 +340,56 @@ class IncrementalChecker(DeadlockChecker):
             if not self._scc.has_cycle():
                 self._record(t0, None, GraphModel.WFG, self._scc.edge_count)
                 return []
+            # Cyclic: shard like the parent (the snapshot only supplies
+            # connectivity and ordering), but answer WFG-model shards
+            # straight from the maintained partition — no per-shard
+            # graph rebuild.  WFG edges are pair-local and require a
+            # shared phaser, so the maintained graph restricted to a
+            # shard equals the shard's rebuilt WFG, and every cyclic
+            # component lies wholly inside one shard.
             snapshot = self._fallback_snapshot()
-            return super().check_sharded(snapshot=snapshot, revalidate=revalidate)
+            reports: List[DeadlockReport] = []
+            for shard in snapshot_components(snapshot):
+                model = select_shard_model(len(shard), self.model)
+                if model is GraphModel.WFG:
+                    report = self._check_wfg_shard(shard, revalidate)
+                else:
+                    # SG/AUTO shards still need the built graph (the
+                    # chosen model depends on it) — classic per-shard
+                    # path, identical to the parent's.
+                    self._m_fallbacks.inc()
+                    report = super().check(
+                        snapshot=shard, revalidate=revalidate, model=model
+                    )
+                if report is not None:
+                    reports.append(report)
+            return reports
+
+    def _check_wfg_shard(
+        self, shard: DependencySnapshot, revalidate: bool
+    ) -> Optional[DeadlockReport]:
+        """One WFG-model shard answered from the maintained partition.
+
+        Mirrors :meth:`_extract_wfg_report` scoped to the shard's tasks:
+        scoped canonical extraction
+        (:meth:`~repro.core.scc.DynamicSCC.extract_cycle_within`), the
+        induced edge count for stats parity with a rebuild, and the
+        classic assembly/revalidation code over the shard's statuses.
+        Caller holds ``_delta_lock``.
+        """
+        t0 = time.perf_counter()
+        tasks = set(shard.statuses)
+        edge_count = self._scc.edges_within(tasks)
+        cycle = self._scc.extract_cycle_within(tasks)
+        report: Optional[DeadlockReport] = None
+        if cycle is not None:
+            report = self._wfg_report(
+                shard.statuses, cycle, edge_count, avoided=False
+            )
+            if revalidate and not self._still_current(shard, report):
+                report = None
+        self._record(t0, report, GraphModel.WFG, edge_count)
+        return report
 
     def check_before_block(
         self, task: TaskId, status: BlockedStatus

@@ -2,11 +2,63 @@
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 from typing import Optional, Tuple
 
 from repro.core.events import Event, TaskId
 from repro.core.selection import GraphModel
+
+
+@dataclass(frozen=True)
+class RecordOrigin:
+    """Where one analysed status came from, in trace-record terms.
+
+    ``ordinal`` is the trace record's own sequence number — the offset a
+    reader can seek to — which makes origins deterministic across
+    processes and hash seeds (unlike wall clock).  Distributed statuses
+    additionally carry the publishing ``site`` and, under the delta
+    protocol, the ``stream`` incarnation token and per-stream ``seq``.
+    """
+
+    ordinal: int
+    kind: str = "block"
+    site: Optional[str] = None
+    stream: Optional[str] = None
+    seq: Optional[int] = None
+
+    def describe(self) -> str:
+        """One-line rendering (``block @record 9`` / publish variants)."""
+        text = f"{self.kind} @record {self.ordinal}"
+        details = []
+        if self.site is not None:
+            details.append(f"site {self.site}")
+        if self.stream is not None:
+            details.append(f"stream {self.stream}")
+        if self.seq is not None:
+            details.append(f"seq {self.seq}")
+        if details:
+            text += " (" + ", ".join(details) + ")"
+        return text
+
+
+@dataclass(frozen=True)
+class EdgeProvenance:
+    """One cycle edge mapped back to its originating records.
+
+    ``source``/``target`` are the cycle's own vertices (tasks in a WFG
+    cycle, events in an SG cycle); ``source_task``/``target_task`` name
+    the task each endpoint is attributed to (the vertex itself for WFG,
+    the minimal waiting task for an SG event vertex), and the two
+    origins point at the records that published those tasks' statuses
+    into the analysed view.
+    """
+
+    source: str
+    target: str
+    source_task: str
+    target_task: str
+    source_origin: RecordOrigin
+    target_origin: RecordOrigin
 
 
 @dataclass(frozen=True)
@@ -31,6 +83,18 @@ class DeadlockReport:
     avoided:
         True when the report was produced by avoidance mode (the deadlock
         never materialised).
+    provenance:
+        Optional per-edge origin mapping (replay engines attach it; live
+        checks leave it ``None``).  One entry per consecutive pair of
+        ``cycle``, in cycle order.
+    detection_lag:
+        Optional record-ordinal distance from the record that closed the
+        cycle to the check that reported it (0 = reported at the closing
+        record itself).
+    detected_at:
+        Optional ordinal of the last record consumed before the
+        reporting check ran (``detected_at - detection_lag`` is the
+        closing record's ordinal).
     """
 
     tasks: Tuple[TaskId, ...]
@@ -39,6 +103,23 @@ class DeadlockReport:
     model_used: GraphModel
     edge_count: int
     avoided: bool = False
+    provenance: Optional[Tuple[EdgeProvenance, ...]] = None
+    detection_lag: Optional[int] = None
+    detected_at: Optional[int] = None
+
+    def without_provenance(self) -> "DeadlockReport":
+        """This report with the replay-attached provenance fields
+        cleared — the live-run form, for comparisons between live and
+        replayed analyses of the same execution."""
+        if (
+            self.provenance is None
+            and self.detection_lag is None
+            and self.detected_at is None
+        ):
+            return self
+        return replace(
+            self, provenance=None, detection_lag=None, detected_at=None
+        )
 
     def describe(self) -> str:
         """Human-readable multi-line description (the tool's user report)."""

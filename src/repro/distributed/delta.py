@@ -11,10 +11,17 @@ the two derivations cannot drift apart.
 
 **Wire format.**  One delta is a plain JSON-able object::
 
-    {"v": 1, "stream": "d41c2a0f", "seq": 7, "kind": "delta",
+    {"v": 2, "stream": "d41c2a0f", "seq": 7, "kind": "delta",
      "set":     {task: encoded-status, ...},   # newly blocked tasks
      "restore": {task: encoded-status, ...},   # still blocked, status replaced
-     "clear":   [task, ...]}                   # no longer blocked
+     "clear":   [task, ...],                   # no longer blocked
+     "trace":   {"span": "9f2c..."}}           # optional causal context (v2+)
+
+Protocol v2 added the optional ``trace`` member: a flat object of
+scalar values carrying the publisher's causal context (a deterministic
+span id derived from site/stream/seq — never wall clock).  Consumers
+ignore it for state materialisation, so v1 objects and v2 objects
+without the field apply identically; readers accept both.
 
 ``seq`` is a per-site monotonic sequence number starting at 1; the
 stream order is the semantics, so consumers validate contiguity and a
@@ -72,15 +79,23 @@ from typing import Dict, List, Mapping, Optional, Set, Tuple
 from repro.core.dependency import DependencySnapshot
 from repro.core.events import BlockedStatus
 
-#: Current delta wire-protocol version (the ``v`` field).
-PROTOCOL_VERSION = 1
+#: Current delta wire-protocol version (the ``v`` field).  Version 2
+#: added the optional ``trace`` causal-context member.
+PROTOCOL_VERSION = 2
 
 #: The delta kinds the protocol defines (the ``kind`` field).
 DELTA_KINDS = ("delta", "snapshot")
 
-#: Publisher checkpoint cadence: a full snapshot every N deltas bounds
-#: both store log length and the cost of a cold consumer catching up.
+#: Publisher checkpoint cadence ceiling: a full snapshot at least every
+#: N deltas bounds both store log length and the cost of a cold
+#: consumer catching up.
 DEFAULT_CHECKPOINT_EVERY = 64
+
+#: Adaptive cadence target: checkpoint once the bytes shipped as deltas
+#: since the last snapshot reach this multiple of the snapshot's own
+#: wire size — so catch-up replay cost stays proportional to one
+#: snapshot regardless of how small individual deltas are.
+DEFAULT_CHECKPOINT_RATIO = 4.0
 
 
 class DeltaSequenceError(RuntimeError):
@@ -143,10 +158,15 @@ def fresh_stream_token() -> str:
     return f"{time.time_ns():016x}{uuid.uuid4().hex[:8]}"
 
 
-def make_snapshot(seq: int, bucket: Mapping[str, Mapping], stream: str) -> dict:
+def make_snapshot(
+    seq: int,
+    bucket: Mapping[str, Mapping],
+    stream: str,
+    trace: Optional[Mapping] = None,
+) -> dict:
     """A full-checkpoint delta at ``stream``/``seq`` carrying ``bucket``
-    whole."""
-    return {
+    whole (plus the optional ``trace`` causal context)."""
+    obj = {
         "v": PROTOCOL_VERSION,
         "stream": str(stream),
         "seq": seq,
@@ -155,6 +175,21 @@ def make_snapshot(seq: int, bucket: Mapping[str, Mapping], stream: str) -> dict:
         "restore": {},
         "clear": [],
     }
+    if trace is not None:
+        obj["trace"] = dict(trace)
+    return obj
+
+
+def delta_trace_context(site_id: str, stream: str, seq: int) -> dict:
+    """The causal context a tracing publisher stamps on one delta.
+
+    The span id is derived from the wire coordinates themselves
+    (site/stream/seq), so the same logical delta carries the same id in
+    every process, recording, and replay — no wall clock involved.
+    """
+    from repro.obs.tracing import span_id
+
+    return {"span": span_id("delta", site_id, stream, seq)}
 
 
 def diff_buckets(
@@ -253,14 +288,21 @@ class DeltaPublisher:
     failed append therefore re-derives the same logical change next
     round — changes accumulate into one delta instead of being lost.
     The first publication is always a snapshot (consumers need a base),
-    and every ``checkpoint_every`` committed deltas another snapshot is
-    emitted so store logs stay bounded and cold readers catch up in one
-    read.
+    and further snapshots keep store logs bounded so cold readers catch
+    up in one read.  Cadence is **adaptive** by default: a checkpoint
+    is due once the bytes committed as deltas since the last snapshot
+    reach ``checkpoint_ratio`` times the current snapshot's own wire
+    size — small, chatty deltas earn a long cadence, deltas nearly as
+    big as the bucket checkpoint almost immediately.  ``checkpoint_every``
+    stays as the count ceiling either way, and ``adaptive=False``
+    restores the fixed every-N cadence alone.
 
     ``stream`` is the incarnation token stamped on every delta: by
     default a fresh random one (a restarted site must not alias its
     predecessor's sequence numbers); deterministic producers (the
-    corpus generator) pass a fixed token.
+    corpus generator) pass a fixed token.  With ``carry_trace`` the
+    publisher stamps each wire object with its deterministic causal
+    context (:func:`delta_trace_context`).
     """
 
     def __init__(
@@ -268,24 +310,45 @@ class DeltaPublisher:
         site_id: str,
         checkpoint_every: int = DEFAULT_CHECKPOINT_EVERY,
         stream: Optional[str] = None,
+        adaptive: bool = True,
+        checkpoint_ratio: float = DEFAULT_CHECKPOINT_RATIO,
+        carry_trace: bool = False,
     ) -> None:
         self.site_id = str(site_id)
         self.checkpoint_every = max(1, int(checkpoint_every))
         self.stream = str(stream) if stream is not None else fresh_stream_token()
+        self.adaptive = bool(adaptive)
+        self.checkpoint_ratio = max(0.0, float(checkpoint_ratio))
+        self.carry_trace = bool(carry_trace)
         self.seq = 0
         self._last: Dict[str, dict] = {}
         self._since_checkpoint = 0
+        #: Wire bytes committed as ordinary deltas since the last
+        #: snapshot — the adaptive cadence's accumulator.
+        self._delta_bytes = 0
+
+    def _trace(self, seq: int) -> Optional[dict]:
+        if not self.carry_trace:
+            return None
+        return delta_trace_context(self.site_id, self.stream, seq)
+
+    def _checkpoint_due(self, delta_obj: Mapping, bucket: Mapping) -> bool:
+        if self._since_checkpoint + 1 >= self.checkpoint_every:
+            return True
+        if not self.adaptive:
+            return False
+        snapshot_size = max(1, wire_size({t: dict(b) for t, b in bucket.items()}))
+        pending = self._delta_bytes + wire_size(delta_obj)
+        return pending >= self.checkpoint_ratio * snapshot_size
 
     def prepare(self, bucket: Mapping[str, Mapping]) -> Optional[dict]:
         """The next delta for ``bucket``, or ``None`` if nothing to say."""
         if self.seq == 0:
-            return make_snapshot(1, bucket, self.stream)
+            return make_snapshot(1, bucket, self.stream, trace=self._trace(1))
         set_ops, restore_ops, clear_ops = diff_buckets(self._last, bucket)
         if not (set_ops or restore_ops or clear_ops):
             return None
-        if self._since_checkpoint + 1 >= self.checkpoint_every:
-            return make_snapshot(self.seq + 1, bucket, self.stream)
-        return {
+        obj = {
             "v": PROTOCOL_VERSION,
             "stream": self.stream,
             "seq": self.seq + 1,
@@ -294,10 +357,20 @@ class DeltaPublisher:
             "restore": restore_ops,
             "clear": clear_ops,
         }
+        if self._checkpoint_due(obj, bucket):
+            return make_snapshot(
+                self.seq + 1, bucket, self.stream, trace=self._trace(self.seq + 1)
+            )
+        trace = self._trace(self.seq + 1)
+        if trace is not None:
+            obj["trace"] = trace
+        return obj
 
     def prepare_checkpoint(self, bucket: Mapping[str, Mapping]) -> dict:
         """A forced snapshot at the next sequence number (gap recovery)."""
-        return make_snapshot(self.seq + 1, bucket, self.stream)
+        return make_snapshot(
+            self.seq + 1, bucket, self.stream, trace=self._trace(self.seq + 1)
+        )
 
     def commit(self, obj: Mapping) -> None:
         """Advance committed state to include ``obj`` (store accepted it)."""
@@ -308,8 +381,10 @@ class DeltaPublisher:
         self.seq = cursors[self.site_id][1]
         if obj["kind"] == "snapshot":
             self._since_checkpoint = 0
+            self._delta_bytes = 0
         else:
             self._since_checkpoint += 1
+            self._delta_bytes += wire_size(obj)
 
 
 # ---------------------------------------------------------------------------

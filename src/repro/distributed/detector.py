@@ -83,8 +83,14 @@ class DistributedChecker:
         model: GraphModel = GraphModel.AUTO,
         threshold_factor: float = 2.0,
         metrics=None,
+        tracer=None,
     ) -> None:
         self.store = store
+        if tracer is None:
+            from repro.obs.tracing import NULL_TRACER
+
+            tracer = NULL_TRACER
+        self.tracer = tracer
         self.checker = IncrementalChecker(
             model=model, threshold_factor=threshold_factor, metrics=metrics
         )
@@ -163,9 +169,19 @@ class DistributedChecker:
 
     def check_global(self) -> Optional[DeadlockReport]:
         """One detection pass over the published global state."""
+        start = self.tracer.next_ordinal() if self.tracer.enabled else 0
         self.sync()
+        if self.tracer.enabled:
+            self.tracer.complete("checker.sync", "checker", start, cat="sync")
         self.view.raise_on_conflict()
-        return self.checker.check()
+        report = self.checker.check()
+        if report is not None and self.tracer.enabled:
+            self.tracer.event(
+                "deadlock.report", "checker", cat="report",
+                cycle=" -> ".join(str(v) for v in report.cycle),
+                model=report.model_used.value,
+            )
+        return report
 
     @property
     def stats(self):

@@ -84,6 +84,13 @@ class Site:
         itself adds publish-outcome counters (delta / checkpoint / noop
         / gap-forced checkpoint) and a delta op-size histogram, all
         labelled by ``site``.
+    tracer:
+        Optional :class:`~repro.obs.tracing.Tracer`, propagated to the
+        runtime (block spans) and global checker (sync spans).  The
+        site itself spans each publish round on its ``site:<id>`` track
+        and — when tracing is enabled — publishes deltas with a wire
+        trace context (``carry_trace``), so a consumer can tie a store
+        entry back to the publish span that produced it.
     """
 
     def __init__(
@@ -98,6 +105,7 @@ class Site:
         on_deadlock: Optional[Callable[[DeadlockReport], None]] = None,
         recorder=None,
         metrics=None,
+        tracer=None,
     ) -> None:
         self.site_id = site_id
         self.store = store
@@ -106,6 +114,11 @@ class Site:
 
             metrics = NULL_REGISTRY
         self.metrics = metrics
+        if tracer is None:
+            from repro.obs.tracing import NULL_TRACER
+
+            tracer = NULL_TRACER
+        self.tracer = tracer
         # Local runtime in DETECTION mode: blocking ops publish statuses
         # into the local dependency; the monitor stays off — the site's
         # own checking loop replaces it.
@@ -115,9 +128,15 @@ class Site:
             cancel_on_detect=False,
             recorder=recorder,
             metrics=metrics,
+            tracer=tracer,
         )
-        self.checker = DistributedChecker(store, model=model, metrics=metrics)
-        self.publisher = DeltaPublisher(site_id, checkpoint_every=checkpoint_every)
+        self.checker = DistributedChecker(
+            store, model=model, metrics=metrics, tracer=tracer
+        )
+        self.publisher = DeltaPublisher(
+            site_id, checkpoint_every=checkpoint_every,
+            carry_trace=tracer.enabled,
+        )
         self.check_interval_s = check_interval_s
         self.publish_interval_s = publish_interval_s
         self.cancel_on_detect = cancel_on_detect
@@ -241,6 +260,7 @@ class Site:
         failover onto a recovered-stale replica — is healed by forcing
         a full snapshot checkpoint.
         """
+        start = self.tracer.next_ordinal() if self.tracer.enabled else 0
         snapshot = self.runtime.checker.dependency.snapshot()
         bucket = encode_bucket(snapshot.statuses)
         delta = self.publisher.prepare(bucket)
@@ -255,6 +275,12 @@ class Site:
             self.store.append_delta(self.site_id, delta)
             outcome = "gap_checkpoint"
         self.publisher.commit(delta)
+        if self.tracer.enabled:
+            self.tracer.complete(
+                "site.publish", f"site:{self.site_id}", start,
+                cat="publish", outcome=outcome, seq=delta["seq"],
+                stream=delta["stream"],
+            )
         self._m_publishes.inc(site=self.site_id, outcome=outcome)
         if delta["kind"] == "delta":
             self._m_delta_ops.observe(
@@ -264,7 +290,13 @@ class Site:
 
     def _check_once(self) -> None:
         self._m_check_rounds.inc(site=self.site_id)
+        start = self.tracer.next_ordinal() if self.tracer.enabled else 0
         report = self.checker.check_global()
+        if self.tracer.enabled:
+            self.tracer.complete(
+                "site.check", f"site:{self.site_id}", start, cat="check",
+                deadlocked=report is not None,
+            )
         if report is None:
             return
         key = frozenset(report.tasks)

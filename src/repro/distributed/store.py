@@ -118,9 +118,15 @@ class InMemoryStore:
         max_log: int = DEFAULT_MAX_LOG,
         track_bytes: bool = False,
         metrics=None,
+        tracer=None,
     ) -> None:
         self.name = name
         self.recorder = recorder
+        if tracer is None:
+            from repro.obs.tracing import NULL_TRACER
+
+            tracer = NULL_TRACER
+        self.tracer = tracer
         self.max_log = max(1, int(max_log))
         self.track_bytes = track_bytes
         self._lock = threading.Lock()
@@ -242,6 +248,15 @@ class InMemoryStore:
             # the stream-append order (the recorder's lock is a leaf).
             if self.recorder is not None:
                 self.recorder.record_publish_delta(site_id, obj)
+            if self.tracer.enabled:
+                args = {"site": site_id, "kind": obj["kind"],
+                        "seq": obj["seq"], "stream": obj["stream"]}
+                trace_ctx = obj.get("trace")
+                if trace_ctx:  # tie the append to the publish's context
+                    args.update(trace_ctx)
+                self.tracer.event(
+                    "store.append", f"store:{self.name}", cat="store", **args
+                )
 
     def get_deltas(
         self, site_id: str, after_seq: int, stream: Optional[str] = None
@@ -397,6 +412,7 @@ class ReplicatedStore:
         replicas: Sequence[InMemoryStore],
         recorder=None,
         metrics=None,
+        tracer=None,
     ) -> None:
         if not replicas:
             raise ValueError("need at least one replica")
@@ -416,6 +432,11 @@ class ReplicatedStore:
 
             metrics = NULL_REGISTRY
         self.metrics = metrics
+        if tracer is None:
+            from repro.obs.tracing import NULL_TRACER
+
+            tracer = NULL_TRACER
+        self.tracer = tracer
         self._m_heals = metrics.counter(
             "repro_replica_heals_total",
             "Stale replicas healed with a synthesised checkpoint, by "
@@ -476,6 +497,11 @@ class ReplicatedStore:
             try:
                 replica.append_delta(site_id, checkpoint)
                 self._m_heals.inc(replica=replica.name, trigger=trigger)
+                if self.tracer.enabled:
+                    self.tracer.event(
+                        "replica.heal", f"store:{replica.name}", cat="store",
+                        site=site_id, trigger=trigger, seq=seq, stream=stream,
+                    )
             except StoreUnavailableError:
                 continue
 

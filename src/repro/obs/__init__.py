@@ -1,9 +1,10 @@
 """repro.obs — the observability plane of the verification stack.
 
 Metrics (counters / gauges / fixed-bucket histograms), ``span`` timing
-contexts, and structured health, with two exporters (Prometheus text,
-canonical JSON) and a one-file HTTP endpoint
-(``python -m repro.obs serve``).
+contexts, causal tracing with deterministic span IDs and deadlock
+provenance (:mod:`repro.obs.tracing`), and structured health, with
+exporters (Prometheus text, canonical JSON, Chrome trace-event JSON)
+and a one-file HTTP endpoint (``python -m repro.obs serve``).
 
 The contract every layer builds on:
 
@@ -27,6 +28,19 @@ from repro.obs.registry import (
     NullRegistry,
     Span,
 )
+from repro.obs.tracing import (
+    NULL_TRACER,
+    NullTracer,
+    OriginTracker,
+    Tracer,
+    TraceSpan,
+    attach_provenance,
+    chrome_trace_from_records,
+    render_report_provenance,
+    span_id,
+    spans_to_chrome,
+    validate_chrome_trace,
+)
 
 __all__ = [
     "MetricsRegistry",
@@ -44,4 +58,15 @@ __all__ = [
     "runtime_health",
     "render_health",
     "health_status",
+    "Tracer",
+    "NullTracer",
+    "NULL_TRACER",
+    "TraceSpan",
+    "OriginTracker",
+    "span_id",
+    "attach_provenance",
+    "spans_to_chrome",
+    "chrome_trace_from_records",
+    "validate_chrome_trace",
+    "render_report_provenance",
 ]

@@ -10,7 +10,9 @@ demo scenario and exposes its telemetry over HTTP:
 
 * ``GET /metrics`` — Prometheus text exposition;
 * ``GET /healthz`` — structured health JSON (``503`` once the monitor
-  files a deadlock report — probes trip when the deadlock lands).
+  files a deadlock report — probes trip when the deadlock lands);
+* ``GET /spans`` — the runtime's causal span buffer as Chrome
+  trace-event JSON (Perfetto-loadable).
 
 ``--duration 0`` (the default) serves until interrupted; a positive
 duration exits on its own, which is what the CI smoke and the tests
@@ -29,21 +31,25 @@ from repro.obs.server import SCENARIOS, MetricsHTTPServer, build_demo_runtime, s
 
 
 def cmd_serve(args: argparse.Namespace) -> int:
+    from repro.obs.tracing import Tracer
+
     registry = MetricsRegistry()
+    tracer = Tracer()
     runtime, tasks = build_demo_runtime(
         registry,
         scenario=args.scenario,
         n_tasks=args.tasks,
         cancel_on_detect=args.no_deadlock,
+        tracer=tracer,
     )
     try:
         with MetricsHTTPServer(
             registry, runtime, host=args.host, port=args.port,
-            verbose=args.verbose,
+            verbose=args.verbose, tracer=tracer,
         ) as server:
             print(
                 f"serving {args.scenario} scenario ({args.tasks} task(s)) "
-                f"on {server.url} — /metrics /healthz",
+                f"on {server.url} — /metrics /healthz /spans",
                 file=sys.stderr,
             )
             try:

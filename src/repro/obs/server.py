@@ -1,14 +1,17 @@
-"""One-file HTTP telemetry endpoint: ``/metrics`` and ``/healthz``.
+"""One-file HTTP telemetry endpoint: ``/metrics``, ``/healthz``, ``/spans``.
 
 This is the piece a future network-native checker service scrapes —
 and, until that service exists, the way to watch a live verifier from
 a browser or a Prometheus.  :class:`MetricsHTTPServer` wraps a
 :class:`~repro.obs.registry.MetricsRegistry` (and optionally a live
-:class:`~repro.runtime.verifier.ArmusRuntime`) behind two routes:
+:class:`~repro.runtime.verifier.ArmusRuntime` and a
+:class:`~repro.obs.tracing.Tracer`) behind three routes:
 
 * ``GET /metrics`` — Prometheus text exposition of the registry;
 * ``GET /healthz`` — the structured health JSON of the runtime
-  (``503`` once a deadlock report exists, so liveness probes trip).
+  (``503`` once a deadlock report exists, so liveness probes trip);
+* ``GET /spans`` — the tracer's span buffer as Chrome trace-event JSON
+  (save it, load it in Perfetto or ``about:tracing``).
 
 :func:`build_demo_runtime` supplies the live *deadlocking* scenario
 ``python -m repro.obs serve`` runs by default: ``n`` tasks in a phaser
@@ -90,6 +93,7 @@ def build_demo_runtime(
     interval_s: float = 0.05,
     cancel_on_detect: bool = False,
     incremental: bool = True,
+    tracer=None,
 ):
     """A started detection-mode runtime running ``scenario`` live.
 
@@ -108,6 +112,7 @@ def build_demo_runtime(
         cancel_on_detect=cancel_on_detect,
         incremental=incremental,
         metrics=metrics,
+        tracer=tracer,
     ).start()
     tasks = SCENARIOS[scenario](runtime, n_tasks)
     return runtime, tasks
@@ -166,12 +171,23 @@ class _Handler(BaseHTTPRequestHandler):
                 status, "application/json",
                 json.dumps(doc, sort_keys=True) + "\n",
             )
+        elif path == "/spans":
+            from repro.obs.tracing import NULL_TRACER, render_chrome_json
+
+            tracer = self.server.tracer
+            if tracer is None:
+                tracer = NULL_TRACER
+            self._send(
+                200, "application/json",
+                render_chrome_json(tracer.to_chrome()),
+            )
         elif path == "/":
             self._send(
                 200, "text/plain; charset=utf-8",
                 "repro.obs telemetry endpoint\n"
                 "  GET /metrics  Prometheus text exposition\n"
-                "  GET /healthz  runtime health JSON\n",
+                "  GET /healthz  runtime health JSON\n"
+                "  GET /spans    span buffer as Chrome trace-event JSON\n",
             )
         else:
             self._send(404, "text/plain; charset=utf-8", "not found\n")
@@ -182,10 +198,11 @@ class _Handler(BaseHTTPRequestHandler):
 
 
 class MetricsHTTPServer(ThreadingHTTPServer):
-    """A threading HTTP server bound to a registry (+ optional runtime).
+    """A threading HTTP server bound to a registry (+ optional runtime
+    and tracer).
 
-    Use as a context manager, or call :meth:`start` /
-    :meth:`shutdown` explicitly::
+    Use as a context manager, or call :meth:`start` / :meth:`stop`
+    explicitly::
 
         with MetricsHTTPServer(registry, runtime, port=0) as srv:
             print(srv.url)          # http://127.0.0.1:<chosen port>
@@ -193,6 +210,12 @@ class MetricsHTTPServer(ThreadingHTTPServer):
     """
 
     daemon_threads = True
+    # Rebind the port immediately after a previous server's shutdown:
+    # without SO_REUSEADDR a restarted `serve` on the same port fails
+    # with EADDRINUSE while the old socket sits in TIME_WAIT.  HTTPServer
+    # sets this today, but the restart story must not hinge on that
+    # default, so state it explicitly.
+    allow_reuse_address = True
 
     def __init__(
         self,
@@ -201,10 +224,12 @@ class MetricsHTTPServer(ThreadingHTTPServer):
         host: str = "127.0.0.1",
         port: int = 9464,
         verbose: bool = False,
+        tracer=None,
     ) -> None:
         super().__init__((host, port), _Handler)
         self.registry = registry
         self.runtime = runtime
+        self.tracer = tracer
         self.verbose = verbose
         self._thread: Optional[threading.Thread] = None
 
@@ -222,12 +247,21 @@ class MetricsHTTPServer(ThreadingHTTPServer):
             self._thread.start()
         return self
 
-    def __enter__(self) -> "MetricsHTTPServer":
-        return self.start()
-
-    def __exit__(self, *exc) -> None:
-        self.shutdown()
+    def stop(self) -> None:
+        """Clean shutdown: stop serving, close the listening socket,
+        join the serving thread.  Idempotent — safe to call twice — and
+        leaves the port immediately rebindable (paired with
+        ``allow_reuse_address`` above), so back-to-back serve cycles on
+        one port never race the previous socket's teardown."""
+        if self._thread is not None:
+            self.shutdown()
         self.server_close()
         if self._thread is not None:
             self._thread.join(5)
             self._thread = None
+
+    def __enter__(self) -> "MetricsHTTPServer":
+        return self.start()
+
+    def __exit__(self, *exc) -> None:
+        self.stop()

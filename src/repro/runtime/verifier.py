@@ -94,6 +94,12 @@ class ArmusRuntime:
         ``python -m repro.obs serve`` exposes.  Defaults to the no-op
         registry: zero telemetry, zero overhead beyond a few no-op
         calls per hook.
+    tracer:
+        Optional :class:`~repro.obs.tracing.Tracer`.  When an enabled
+        tracer is passed, every observer hook opens/closes a
+        ``task.blocked`` span on the task's track — the runtime end of
+        the causal chain runtime → publish → store → check → report.
+        Defaults to the no-op tracer.
     """
 
     def __init__(
@@ -108,6 +114,7 @@ class ArmusRuntime:
         recorder: Optional["TraceRecorder"] = None,
         incremental: bool = False,
         metrics=None,
+        tracer=None,
     ) -> None:
         self.mode = mode
         self.poll_s = poll_s
@@ -118,6 +125,11 @@ class ArmusRuntime:
 
             metrics = NULL_REGISTRY
         self.metrics = metrics
+        if tracer is None:
+            from repro.obs.tracing import NULL_TRACER
+
+            tracer = NULL_TRACER
+        self.tracer = tracer
         checker_cls = IncrementalChecker if incremental else DeadlockChecker
         self.checker = checker_cls(
             model=model, threshold_factor=threshold_factor,
@@ -256,6 +268,11 @@ class ArmusRuntime:
         """
         if self.recorder is not None:
             self.recorder.record_block(task.task_id, status)
+        if self.tracer.enabled:
+            self.tracer.begin(
+                "task.blocked", f"task:{task.task_id}", key=task.task_id,
+                waits=" ".join(sorted(str(e) for e in status.waits)),
+            )
         if self.mode is VerificationMode.OFF:
             return None
         self._m_block_entry.inc()
@@ -275,6 +292,8 @@ class ArmusRuntime:
         """Notify that ``task`` stopped waiting (success, error or abort)."""
         if self.recorder is not None:
             self.recorder.record_unblock(task.task_id)
+        if self.tracer.enabled:
+            self.tracer.end(task.task_id)
         if self.mode is VerificationMode.OFF:
             return
         self._m_block_exit.inc()

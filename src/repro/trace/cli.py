@@ -1,6 +1,6 @@
 """The ``python -m repro.trace`` command line.
 
-Four subcommands cover the record → persist → analyse loop:
+Five subcommands cover the record → persist → analyse → explain loop:
 
 * ``record`` — run a built-in scenario under a recording runtime and
   save the trace (``--scenario crossed|averaging|barrier``;
@@ -22,7 +22,16 @@ Four subcommands cover the record → persist → analyse loop:
   them); ``--smoke`` verifies a small grid in memory (``--parallel N``
   fans the verification out) — the CI sanity job;
 * ``stats`` — summarise a trace file (header, record-kind counts,
-  population).
+  population);
+* ``explain`` — deadlock provenance: replay trace file(s) or corpus
+  directories and, for every report, print which trace records put
+  each cycle edge's statuses into the analysed view, the detection lag
+  (record ordinals from cycle-closing record to reporting check), and
+  a text waterfall of the contributing records.  Output is a pure
+  function of the trace bytes — byte-identical across hash seeds,
+  ``--parallel`` values and both engines.  ``--chrome OUT.json``
+  additionally writes a Chrome trace-event document (load it in
+  Perfetto or ``about:tracing``; single trace input only).
 
 Examples::
 
@@ -32,6 +41,8 @@ Examples::
     python -m repro.trace gen --out corpus/ --cycle-lens 2,3,4
     python -m repro.trace gen --smoke --parallel 2
     python -m repro.trace stats corpus/cycle-L3-F2-S1-R2-dl.jsonl
+    python -m repro.trace explain crossed.trace --report 1
+    python -m repro.trace explain corpus/ --parallel 4
 """
 
 from __future__ import annotations
@@ -486,6 +497,108 @@ def cmd_gen(args: argparse.Namespace) -> int:
 
 
 # ---------------------------------------------------------------------------
+# explain
+# ---------------------------------------------------------------------------
+def _select_reports(reports, wanted: Optional[int], context: str) -> List:
+    """Apply ``--report N`` (1-based); raises ValueError when absent."""
+    if wanted is None:
+        return list(reports)
+    if not 1 <= wanted <= len(reports):
+        raise ValueError(
+            f"{context} has {len(reports)} report(s), no report #{wanted}"
+        )
+    return [reports[wanted - 1]]
+
+
+def cmd_explain(args: argparse.Namespace) -> int:
+    """Replay trace(s) and print each report's record provenance."""
+    from repro.trace.parallel import discover_traces
+
+    paths = discover_traces(args.trace)
+    if not paths:
+        print(f"explain: no trace files under {args.trace}", file=sys.stderr)
+        return 2
+    corpus_input = len(paths) > 1 or any(
+        pathlib.Path(src).is_dir() for src in args.trace
+    )
+    if corpus_input:
+        if args.chrome:
+            print("explain: --chrome needs a single trace file",
+                  file=sys.stderr)
+            return 2
+        return _explain_corpus(paths, args)
+    return _explain_single(pathlib.Path(paths[0]), args)
+
+
+def _explain_single(path: pathlib.Path, args: argparse.Namespace) -> int:
+    from repro.obs.tracing import render_report_provenance
+
+    trace = load_trace(path)
+    result = run_replay(
+        trace,
+        mode=args.mode,
+        model=GraphModel(args.model),
+        check_every=args.check_every,
+        shard_components=args.shard_components,
+        incremental=args.incremental,
+    )
+    print(f"trace: {path} ({result.records_processed} record(s), "
+          f"{len(result.reports)} report(s))")
+    reports = _select_reports(result.reports, args.report, str(path))
+    offset = 1 if args.report is None else args.report
+    if not reports:
+        print("no deadlock found")
+    for i, report in enumerate(reports, offset):
+        print(render_report_provenance(report, i))
+    if args.chrome:
+        from repro.obs.tracing import chrome_trace_from_records, render_chrome_json
+
+        doc = chrome_trace_from_records(trace, result.reports)
+        pathlib.Path(args.chrome).write_text(
+            render_chrome_json(doc), encoding="utf-8"
+        )
+        print(f"chrome trace: {args.chrome} "
+              f"({len(doc['traceEvents'])} event(s))", file=sys.stderr)
+    return 0
+
+
+def _explain_corpus(paths, args: argparse.Namespace) -> int:
+    """Corpus provenance: one block per trace, work-list order, stdout
+    byte-identical for any ``--parallel`` value (same pin as replay)."""
+    from repro.obs.tracing import render_report_provenance
+    from repro.trace.parallel import replay_corpus
+
+    result = replay_corpus(
+        paths,
+        mode=args.mode,
+        model=GraphModel(args.model),
+        check_every=args.check_every,
+        shard_components=args.shard_components,
+        stream=args.stream,
+        incremental=args.incremental,
+        processes=args.parallel,
+    )
+    print(f"corpus: {len(result.entries)} trace(s), mode={result.mode}")
+    explained = 0
+    for entry in result.entries:
+        all_reports = entry.result.reports
+        if args.report is None:
+            reports, offset = list(all_reports), 1
+        elif 1 <= args.report <= len(all_reports):
+            reports, offset = [all_reports[args.report - 1]], args.report
+        else:  # a corpus member without report #N is simply skipped
+            reports, offset = [], 1
+        print(f"--- {entry.path.name}: {len(all_reports)} report(s)")
+        for i, report in enumerate(reports, offset):
+            print(render_report_provenance(report, i))
+            explained += 1
+    deadlocked = sum(1 for e in result.entries if e.result.deadlocked)
+    print(f"explained {explained} report(s) across "
+          f"{deadlocked}/{len(result.entries)} deadlocked trace(s)")
+    return 0
+
+
+# ---------------------------------------------------------------------------
 # stats
 # ---------------------------------------------------------------------------
 def cmd_stats(args: argparse.Namespace) -> int:
@@ -594,6 +707,33 @@ def build_parser() -> argparse.ArgumentParser:
     p_stats = sub.add_parser("stats", help="summarise a trace file")
     p_stats.add_argument("trace")
     p_stats.set_defaults(fn=cmd_stats)
+
+    p_explain = sub.add_parser(
+        "explain", help="map each deadlock report back to its trace records"
+    )
+    p_explain.add_argument("trace", nargs="+",
+                           help="trace file(s) and/or corpus directories")
+    p_explain.add_argument("--report", type=int, default=None, metavar="N",
+                           help="explain only report N (1-based; default: all)")
+    p_explain.add_argument("--mode", choices=("detection", "avoidance"),
+                           default="detection")
+    p_explain.add_argument("--model", choices=("auto", "wfg", "sg"),
+                           default="auto")
+    p_explain.add_argument("--check-every", type=int, default=1)
+    p_explain.add_argument("--parallel", type=int, default=1, metavar="N",
+                           help="fan a corpus out over N worker processes "
+                                "(stdout stays byte-identical to serial)")
+    p_explain.add_argument("--stream", action="store_true",
+                           help="read corpus traces incrementally")
+    p_explain.add_argument("--shard-components", action="store_true",
+                           help="check connected components independently")
+    p_explain.add_argument("--incremental", action="store_true",
+                           help="use the delta-maintained engine (identical "
+                                "provenance)")
+    p_explain.add_argument("--chrome", metavar="OUT.json", default=None,
+                           help="also write a Chrome trace-event JSON "
+                                "(single trace input only)")
+    p_explain.set_defaults(fn=cmd_explain)
     return parser
 
 

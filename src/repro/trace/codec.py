@@ -328,6 +328,17 @@ class BinaryCodec:
             _write_varint(body, len(clear))
             for task in clear:
                 _write_str(body, str(task))
+            trace_ctx = delta.get("trace")
+            if trace_ctx is not None:
+                # Optional trailing section (v2+ causal context): frames
+                # that end right after ``clear`` stay decodable, so old
+                # recordings load unchanged.
+                _write_str(
+                    body,
+                    json.dumps(
+                        dict(trace_ctx), separators=(",", ":"), sort_keys=True
+                    ),
+                )
         frame = bytearray()
         _write_varint(frame, len(body))
         frame.extend(body)
@@ -424,17 +435,25 @@ class BinaryCodec:
             for _ in range(n_clear):
                 task, pos = _read_str(body, pos)
                 clear.append(task)
-            payload = delta_payload_from_obj(
-                {
-                    "v": version,
-                    "stream": delta_stream,
-                    "seq": delta_seq,
-                    "kind": delta_kind,
-                    "set": sections[0],
-                    "restore": sections[1],
-                    "clear": clear,
-                }
-            )
+            obj = {
+                "v": version,
+                "stream": delta_stream,
+                "seq": delta_seq,
+                "kind": delta_kind,
+                "set": sections[0],
+                "restore": sections[1],
+                "clear": clear,
+            }
+            if pos < len(body):
+                # Trailing causal-context section (absent in old frames).
+                trace_json, pos = _read_str(body, pos)
+                try:
+                    obj["trace"] = json.loads(trace_json)
+                except json.JSONDecodeError as exc:
+                    raise TraceFormatError(
+                        "unparseable delta trace context"
+                    ) from exc
+            payload = delta_payload_from_obj(obj)
             rec = TraceRecord(seq=seq, kind=kind, site=site, payload=payload)
         if pos != len(body):
             raise TraceFormatError(f"{len(body) - pos} trailing bytes in frame")

@@ -106,10 +106,14 @@ class _Emitter:
         self._buckets: Dict[str, Dict[str, dict]] = {
             self._site_name(i): {} for i in range(sites)
         }
-        # Fixed stream tokens: generated corpora must be byte-pinnable,
-        # so the publisher's random-incarnation default is overridden.
+        # Fixed stream tokens and fixed cadence: generated corpora must
+        # be byte-pinnable, so both the publisher's random-incarnation
+        # default and the size-sensitive adaptive checkpoint policy are
+        # overridden — the pinned delta/checkpoint schedule must not
+        # move when cadence heuristics are tuned.
         self._publishers: Dict[str, DeltaPublisher] = {
-            name: DeltaPublisher(name, stream=name) for name in self._buckets
+            name: DeltaPublisher(name, stream=name, adaptive=False)
+            for name in self._buckets
         }
 
     def _site_name(self, index: int) -> str:

@@ -30,7 +30,8 @@ Records carry a monotonically increasing ``seq`` stamped by the
 producer; the stream order *is* the semantics, so codecs must preserve
 it.  The format is versioned through :data:`TRACE_VERSION` in the trace
 header; readers accept every version in :data:`SUPPORTED_VERSIONS`
-(version 1 predates ``publish_delta``) and reject the rest.
+(version 1 predates ``publish_delta``; version 3 adds the optional
+``trace`` causal-context field on delta payloads) and reject the rest.
 """
 
 from __future__ import annotations
@@ -42,10 +43,11 @@ from typing import Mapping, Optional, Tuple
 from repro.core.events import BlockedStatus, Event
 
 #: Current trace-format version, written into every header.
-TRACE_VERSION = 2
+TRACE_VERSION = 3
 
-#: Versions this reader understands (v1 lacks ``publish_delta``).
-SUPPORTED_VERSIONS = (1, 2)
+#: Versions this reader understands (v1 lacks ``publish_delta``; v3
+#: added the optional delta ``trace`` context).
+SUPPORTED_VERSIONS = (1, 2, 3)
 
 #: Magic string identifying a trace (JSONL header field / binary magic).
 TRACE_MAGIC = "armus-trace"
@@ -104,9 +106,12 @@ def delta_payload_from_obj(obj: Mapping) -> dict:
 
     Raises :class:`TraceFormatError` on malformed input; returns a plain
     dict with canonical key order (``v``, ``stream``, ``seq``, ``kind``,
-    ``set``, ``restore``, ``clear``).  Every status blob is validated
-    through :func:`status_from_obj` so a bad delta fails at load time,
-    not mid-replay.  (Protocol constants are imported lazily from their
+    ``set``, ``restore``, ``clear``, then ``trace`` when present).
+    Every status blob is validated through :func:`status_from_obj` so a
+    bad delta fails at load time, not mid-replay.  The optional
+    ``trace`` member is the causal context stamped by publishers with
+    tracing enabled — a flat object of scalar values, legal from
+    protocol v2 on.  (Protocol constants are imported lazily from their
     owner, :mod:`repro.distributed.delta` — a top-level import would
     cycle through the trace package init.)
     """
@@ -120,6 +125,7 @@ def delta_payload_from_obj(obj: Mapping) -> dict:
         set_ops = obj["set"]
         restore_ops = obj["restore"]
         clear_ops = obj["clear"]
+        trace_ctx = obj.get("trace")
     except (KeyError, TypeError, ValueError) as exc:
         raise TraceFormatError(f"malformed delta payload: {obj!r}") from exc
     if not stream:
@@ -136,11 +142,23 @@ def delta_payload_from_obj(obj: Mapping) -> dict:
         raise TraceFormatError("delta clear must be a list of task ids")
     if kind == "snapshot" and (restore_ops or list(clear_ops)):
         raise TraceFormatError("snapshot deltas carry only a set section")
+    if trace_ctx is not None:
+        if version < 2:
+            raise TraceFormatError(
+                "delta trace context requires protocol version >= 2"
+            )
+        if not isinstance(trace_ctx, Mapping):
+            raise TraceFormatError("delta trace context must be an object")
+        for key, value in trace_ctx.items():
+            if not isinstance(value, (str, int, float, bool)):
+                raise TraceFormatError(
+                    f"delta trace context value for {key!r} must be scalar"
+                )
     for blob in set_ops.values():
         status_from_obj(blob)
     for blob in restore_ops.values():
         status_from_obj(blob)
-    return {
+    payload = {
         "v": version,
         "stream": stream,
         "seq": seq,
@@ -149,6 +167,9 @@ def delta_payload_from_obj(obj: Mapping) -> dict:
         "restore": {str(t): dict(b) for t, b in restore_ops.items()},
         "clear": [str(t) for t in clear_ops],
     }
+    if trace_ctx is not None:
+        payload["trace"] = {str(k): v for k, v in sorted(trace_ctx.items())}
+    return payload
 
 
 # ---------------------------------------------------------------------------

@@ -68,7 +68,7 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Optional, Set, Union
+from typing import Dict, Iterable, List, Optional, Set, Tuple, Union
 
 from repro.core.checker import CheckStats, DeadlockChecker
 from repro.core.incremental import IncrementalChecker
@@ -76,7 +76,12 @@ from repro.core.report import DeadlockReport
 from repro.core.selection import DEFAULT_THRESHOLD_FACTOR, GraphModel
 from repro.distributed.delta import Cursor, DeltaMergeState, apply_delta_obj
 from repro.distributed.detector import merge_payloads
-from repro.obs.registry import MetricsRegistry
+from repro.obs.registry import (
+    DEFAULT_LATENCY_BUCKETS_S,
+    DEFAULT_SIZE_BUCKETS,
+    MetricsRegistry,
+)
+from repro.obs.tracing import NULL_TRACER, OriginTracker, attach_provenance
 from repro.trace.codec import load_trace
 from repro.trace.events import RecordKind, Trace, TraceRecord
 
@@ -161,6 +166,18 @@ class ReplayEngine:
         :attr:`ReplayResult.metrics`.  Checkers always record into
         private registries merged in at the end, so the hot loop never
         pays for a shared-registry lock.
+    tracer:
+        Optional :class:`~repro.obs.tracing.Tracer` receiving check and
+        report events keyed by record ordinals (deterministic, so the
+        reconstructed timeline is bit-identical across replays).  The
+        default :data:`~repro.obs.tracing.NULL_TRACER` costs one
+        attribute read per check.
+
+    Whatever the tracer, both engines always attach **provenance** to
+    every surfaced report: per-edge record origins, the detection lag
+    in record ordinals, and the reporting check's ordinal — derived
+    from the same :class:`~repro.obs.tracing.OriginTracker` fold in
+    both engines, so enriched reports stay equal between them.
     """
 
     def __init__(
@@ -172,6 +189,7 @@ class ReplayEngine:
         shard_components: bool = False,
         incremental: bool = False,
         metrics: Optional[MetricsRegistry] = None,
+        tracer=NULL_TRACER,
     ) -> None:
         if mode not in (DETECTION, AVOIDANCE):
             raise ValueError(f"unknown replay mode {mode!r}")
@@ -182,6 +200,7 @@ class ReplayEngine:
         self.shard_components = shard_components
         self.incremental = incremental
         self.metrics = metrics
+        self.tracer = tracer if tracer is not None else NULL_TRACER
 
     def run(self, trace: Union[Trace, Iterable[TraceRecord]]) -> ReplayResult:
         """Replay ``trace`` (a :class:`Trace` or any record iterable —
@@ -198,10 +217,13 @@ class ReplayEngine:
         buckets: Dict[str, dict] = {}
         cursors: Dict[str, Cursor] = {}
         kinds = dict.fromkeys(_KIND_NAMES, 0)
+        origins = OriginTracker()
+        lags: List[Tuple[int, float]] = []
         pending = 0
         t0 = time.perf_counter()
         for rec in records:
             result.records_processed += 1
+            origins.observe(rec)
             kind = rec.kind
             if kind is RecordKind.BLOCK:
                 kinds["block"] += 1
@@ -209,7 +231,9 @@ class ReplayEngine:
                     report, _ = checker.check_before_block(rec.task, rec.status)
                     result.checks_run += 1
                     if report is not None:
-                        result.reports.append(report)
+                        self._collect_avoided(
+                            report, rec, checker, origins, lags, result
+                        )
                     continue
                 checker.set_blocked(rec.task, rec.status)
                 pending += 1
@@ -238,14 +262,14 @@ class ReplayEngine:
                 continue
             if self.mode == DETECTION and pending >= self.check_every:
                 pending = 0
-                self._detect(checker, buckets, seen, result)
+                self._detect(checker, buckets, seen, result, origins, lags)
         # Drain: a trailing state change below the cadence still gets
         # analysed, so lowering the cadence never loses final reports.
         if self.mode == DETECTION and pending:
-            self._detect(checker, buckets, seen, result)
+            self._detect(checker, buckets, seen, result, origins, lags)
         result.duration_s = time.perf_counter() - t0
         result.stats = checker.stats
-        self._finish_metrics(result, kinds, [checker])
+        self._finish_metrics(result, kinds, [checker], lags)
         return result
 
     def _detect(
@@ -254,6 +278,8 @@ class ReplayEngine:
         buckets: Dict[str, dict],
         seen: Set[frozenset],
         result: ReplayResult,
+        origins: OriginTracker,
+        lags: List[Tuple[int, float]],
     ) -> None:
         snapshot = merge_payloads(buckets) if buckets else None
         if self.shard_components:
@@ -261,17 +287,36 @@ class ReplayEngine:
         else:
             report = checker.check(snapshot=snapshot)
             reports = [] if report is None else [report]
-        self._collect(reports, seen, result)
+        if snapshot is not None:
+            statuses_fn = lambda: snapshot.statuses  # noqa: E731
+        else:
+            statuses_fn = lambda: checker.dependency.snapshot().statuses  # noqa: E731
+        self._collect(reports, seen, result, origins, statuses_fn, lags)
 
-    def _finish_metrics(self, result, kinds, checkers) -> None:
+    def _collect_avoided(
+        self, report, rec, checker, origins, lags, result
+    ) -> None:
+        """Enrich and store one avoidance refusal (no de-duplication —
+        every refused block is its own report, as before)."""
+        statuses = dict(checker.dependency.snapshot().statuses)
+        statuses[rec.task] = rec.status
+        enriched, lag_s = attach_provenance(report, origins, statuses)
+        lags.append((enriched.detection_lag, lag_s))
+        if self.tracer.enabled:
+            self._trace_report(enriched)
+        result.reports.append(enriched)
+
+    def _finish_metrics(self, result, kinds, checkers, lags) -> None:
         """Fold the run's telemetry into the result's registry.
 
         Engine counters are applied once, from the loop's plain-int
         tallies (zero hot-loop registry cost); checker registries are
         merged in whole, after ``sync_metrics`` has mirrored any
         trailing SCC work done since the last check.  Everything here
-        except the duration histogram is deterministic, so the
-        non-volatile snapshot is byte-identical across runs and hosts.
+        except the duration and seconds-lag histograms is deterministic,
+        so the non-volatile snapshot is byte-identical across runs and
+        hosts — including the record-ordinal detection-lag histogram,
+        which is always created so every snapshot carries the family.
         """
         metrics = self.metrics if self.metrics is not None else MetricsRegistry()
         recs = metrics.counter(
@@ -297,6 +342,23 @@ class ReplayEngine:
             buckets=_DURATION_BUCKETS_S,
             volatile=True,
         ).observe(result.duration_s)
+        lag_records = metrics.histogram(
+            "repro_detection_lag_records",
+            "Record-ordinal distance from the record that closed a "
+            "reported cycle to the check that surfaced it (0 = reported "
+            "at the closing record).",
+            buckets=DEFAULT_SIZE_BUCKETS,
+        )
+        lag_seconds = metrics.histogram(
+            "repro_detection_lag_seconds",
+            "Wall-clock time from the record that closed a reported "
+            "cycle to the check that surfaced it.",
+            buckets=DEFAULT_LATENCY_BUCKETS_S,
+            volatile=True,
+        )
+        for lag, lag_s in lags:
+            lag_records.observe(lag)
+            lag_seconds.observe(lag_s)
         for checker in checkers:
             sync = getattr(checker, "sync_metrics", None)
             if sync is not None:
@@ -304,13 +366,35 @@ class ReplayEngine:
             metrics.merge(checker.stats.metrics)
         result.metrics = metrics
 
+    def _trace_report(self, report: DeadlockReport) -> None:
+        self.tracer.event(
+            "deadlock.report",
+            "checker",
+            ordinal=report.detected_at or 0,
+            cat="report",
+            cycle=" -> ".join(str(v) for v in report.cycle),
+            detection_lag_records=report.detection_lag or 0,
+            model=report.model_used.value,
+        )
+
     def _collect(
         self,
         reports: List[DeadlockReport],
         seen: Set[frozenset],
         result: ReplayResult,
+        origins: OriginTracker,
+        statuses_fn,
+        lags: List[Tuple[int, float]],
     ) -> None:
         result.checks_run += 1
+        if self.tracer.enabled:
+            self.tracer.event(
+                "replay.check", "checker", ordinal=origins.last_ordinal,
+                cat="check",
+            )
+        if not reports:
+            return
+        statuses = statuses_fn()
         for report in reports:
             # De-duplicate on the cycle's vertex set: as more tasks pile
             # onto a persisting deadlock the involved *task* set grows,
@@ -319,7 +403,11 @@ class ReplayEngine:
             if key in seen:
                 continue
             seen.add(key)
-            result.reports.append(report)
+            enriched, lag_s = attach_provenance(report, origins, statuses)
+            lags.append((enriched.detection_lag, lag_s))
+            if self.tracer.enabled:
+                self._trace_report(enriched)
+            result.reports.append(enriched)
 
     # ------------------------------------------------------------------
     # the incremental engine
@@ -353,6 +441,8 @@ class ReplayEngine:
         result = ReplayResult(mode=self.mode)
         seen: Set[frozenset] = set()
         kinds = dict.fromkeys(_KIND_NAMES, 0)
+        origins = OriginTracker()
+        lags: List[Tuple[int, float]] = []
         publishes_seen = False
         pending = 0
         t0 = time.perf_counter()
@@ -364,12 +454,17 @@ class ReplayEngine:
                 # resolves before the next cadence point replays fine),
                 # with the classic merge producing the identical error.
                 merge.raise_on_conflict()
+                statuses_fn = lambda: merge.merged_snapshot().statuses  # noqa: E731
+            else:
+                statuses_fn = lambda: local.dependency.snapshot().statuses  # noqa: E731
             self._detect_incremental(
-                remote if publishes_seen else local, seen, result
+                remote if publishes_seen else local, seen, result,
+                origins, statuses_fn, lags,
             )
 
         for rec in records:
             result.records_processed += 1
+            origins.observe(rec)
             kind = rec.kind
             if kind is RecordKind.BLOCK:
                 kinds["block"] += 1
@@ -377,7 +472,9 @@ class ReplayEngine:
                     report, _ = local.check_before_block(rec.task, rec.status)
                     result.checks_run += 1
                     if report is not None:
-                        result.reports.append(report)
+                        self._collect_avoided(
+                            report, rec, local, origins, lags, result
+                        )
                     continue
                 local.set_blocked(rec.task, rec.status)
                 pending += 1
@@ -412,7 +509,7 @@ class ReplayEngine:
         # Registries fold first: CheckStats.merge below copies remote's
         # check instruments into local's registry, so merging registries
         # afterwards would double-count them.
-        self._finish_metrics(result, kinds, [local, remote])
+        self._finish_metrics(result, kinds, [local, remote], lags)
         result.stats.merge(remote.stats)
         return result
 
@@ -421,13 +518,16 @@ class ReplayEngine:
         checker: IncrementalChecker,
         seen: Set[frozenset],
         result: ReplayResult,
+        origins: OriginTracker,
+        statuses_fn,
+        lags: List[Tuple[int, float]],
     ) -> None:
         if self.shard_components:
             reports = checker.check_sharded()
         else:
             report = checker.check()
             reports = [] if report is None else [report]
-        self._collect(reports, seen, result)
+        self._collect(reports, seen, result, origins, statuses_fn, lags)
 
 def replay(
     source: Union[Trace, Iterable[TraceRecord], str],
@@ -439,6 +539,7 @@ def replay(
     stream: bool = False,
     incremental: bool = False,
     metrics: Optional[MetricsRegistry] = None,
+    tracer=NULL_TRACER,
 ) -> ReplayResult:
     """Convenience front door: replay a trace, record iterable or path.
 
@@ -448,7 +549,8 @@ def replay(
     delta-maintained engine — same reports, O(N) instead of O(N²) on
     ``check_every=1`` replays.  ``metrics`` folds the run's telemetry
     into a caller registry instead of the fresh one on
-    :attr:`ReplayResult.metrics`.
+    :attr:`ReplayResult.metrics`; ``tracer`` receives check/report
+    events keyed by record ordinals.
     """
     if isinstance(source, (str,)) or hasattr(source, "__fspath__"):
         if stream:
@@ -465,5 +567,6 @@ def replay(
         shard_components=shard_components,
         incremental=incremental,
         metrics=metrics,
+        tracer=tracer,
     )
     return engine.run(source)

@@ -250,3 +250,110 @@ class TestMalformedSnapshots:
             DeltaMergeState(IncrementalChecker()).apply_obj("s0", bad)
         with pytest.raises(ValueError, match="snapshot"):
             InMemoryStore().append_delta("s0", bad)
+
+
+class TestAdaptiveCadence:
+    """The byte-ratio checkpoint rule layered over the count ceiling."""
+
+    def _grow(self, pub, rounds):
+        """Commit ``rounds`` cumulative single-task additions; return
+        the committed wire kinds after the initial snapshot."""
+        kinds = []
+        acc = {}
+        for i in range(rounds):
+            acc.update(bucket(**{f"t{i}": waiting_on("p", i + 1, p=i + 1)}))
+            obj = pub.prepare(dict(acc))
+            pub.commit(obj)
+            kinds.append(obj["kind"])
+        return kinds
+
+    def test_ratio_triggers_snapshot_before_count_ceiling(self):
+        # Deltas on a tiny bucket are nearly snapshot-sized, so a low
+        # ratio checkpoints long before the count ceiling of 100.
+        pub = DeltaPublisher(
+            "s0", checkpoint_every=100, adaptive=True, checkpoint_ratio=1.0
+        )
+        kinds = self._grow(pub, 10)
+        assert kinds[0] == "snapshot"
+        assert "snapshot" in kinds[1:], "ratio rule never fired"
+
+    def test_fixed_cadence_when_adaptive_off(self):
+        pub = DeltaPublisher(
+            "s0", checkpoint_every=100, adaptive=False, checkpoint_ratio=1.0
+        )
+        kinds = self._grow(pub, 10)
+        assert kinds[0] == "snapshot"
+        assert kinds[1:] == ["delta"] * 9
+
+    def test_delta_bytes_reset_on_snapshot(self):
+        """A committed delta grows the accumulator; a committed
+        snapshot zeroes it (the ratio restarts from the new base)."""
+        pub = DeltaPublisher("s0", checkpoint_every=100, adaptive=False)
+        pub.commit(pub.prepare(bucket(a=waiting_on("p", 1, p=1))))
+        pub.commit(
+            pub.prepare(
+                bucket(a=waiting_on("p", 1, p=1), b=waiting_on("q", 1, q=1))
+            )
+        )
+        assert pub._delta_bytes > 0
+        pub.commit(
+            pub.prepare_checkpoint(
+                bucket(a=waiting_on("p", 1, p=1), b=waiting_on("q", 1, q=1))
+            )
+        )
+        assert pub._delta_bytes == 0
+
+    def test_count_ceiling_still_applies_when_adaptive(self):
+        # A huge ratio disables the byte rule; the ceiling still fires.
+        pub = DeltaPublisher(
+            "s0", checkpoint_every=3, adaptive=True, checkpoint_ratio=1e9
+        )
+        kinds = self._grow(pub, 8)
+        assert kinds.count("snapshot") >= 2
+
+
+class TestTraceContext:
+    """carry_trace stamps deterministic causal context on the wire."""
+
+    def test_delta_carries_deterministic_span(self):
+        from repro.distributed.delta import delta_trace_context
+
+        pub = DeltaPublisher(
+            "s0", stream="tok", adaptive=False, carry_trace=True
+        )
+        snap = pub.prepare(bucket(a=waiting_on("p", 1, p=1)))
+        assert snap["trace"] == delta_trace_context("s0", "tok", 1)
+        pub.commit(snap)
+        obj = pub.prepare(
+            bucket(a=waiting_on("p", 1, p=1), b=waiting_on("q", 1, q=1))
+        )
+        assert obj["kind"] == "delta"
+        assert obj["trace"] == delta_trace_context("s0", "tok", 2)
+
+    def test_trace_context_matches_span_id_derivation(self):
+        from repro.distributed.delta import delta_trace_context
+        from repro.obs.tracing import span_id
+
+        ctx = delta_trace_context("s0", "tok", 7)
+        assert ctx == {"span": span_id("delta", "s0", "tok", 7)}
+
+    def test_no_trace_field_by_default(self):
+        pub = DeltaPublisher("s0", stream="tok", adaptive=False)
+        snap = pub.prepare(bucket(a=waiting_on("p", 1, p=1)))
+        assert "trace" not in snap
+        pub.commit(snap)
+        obj = pub.prepare(
+            bucket(a=waiting_on("p", 1, p=1), b=waiting_on("q", 1, q=1))
+        )
+        assert "trace" not in obj
+
+    def test_forced_checkpoint_carries_trace(self):
+        from repro.distributed.delta import delta_trace_context
+
+        pub = DeltaPublisher(
+            "s0", stream="tok", adaptive=False, carry_trace=True
+        )
+        pub.commit(pub.prepare(bucket(a=waiting_on("p", 1, p=1))))
+        obj = pub.prepare_checkpoint(bucket(a=waiting_on("p", 1, p=1)))
+        assert obj["kind"] == "snapshot"
+        assert obj["trace"] == delta_trace_context("s0", "tok", 2)

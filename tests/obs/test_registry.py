@@ -217,6 +217,35 @@ class TestMergeAlgebra:
         with pytest.raises(ValueError):
             a.merge(b)
 
+    def test_merge_disjoint_label_sets_unions_children(self):
+        """Per-site snapshots label their series by site; merging two
+        sites with no label overlap must keep every child intact."""
+        a = MetricsRegistry()
+        a.counter("checks_total", labels=("site",)).inc(3, site="s0")
+        a.histogram("lag", labels=("site",), buckets=(1, 10)).observe(
+            2, site="s0"
+        )
+        b = MetricsRegistry()
+        b.counter("checks_total", labels=("site",)).inc(5, site="s1")
+        b.histogram("lag", labels=("site",), buckets=(1, 10)).observe(
+            7, site="s1"
+        )
+        acc = MetricsRegistry()
+        acc.merge(a)
+        acc.merge(b)
+        checks = acc.get("checks_total")
+        assert checks.value(site="s0") == 3
+        assert checks.value(site="s1") == 5
+        assert checks.total() == 8
+        lag = acc.get("lag")
+        assert lag.count_of(site="s0") == 1 and lag.sum_of(site="s0") == 2
+        assert lag.count_of(site="s1") == 1 and lag.sum_of(site="s1") == 7
+        # The union survives a snapshot round-trip order-insensitively.
+        acc2 = MetricsRegistry()
+        acc2.merge(b)
+        acc2.merge(a)
+        assert acc.snapshot() == acc2.snapshot()
+
     def test_merge_null_is_identity(self):
         a = MetricsRegistry()
         a.counter("c_total").inc()

@@ -116,3 +116,97 @@ class TestHealthyServer:
             status, _, body = fetch(server.url + "/metrics")
             assert status == 200
             assert "repro_demo_total 1" in body.decode("utf-8")
+
+
+class TestSpansEndpoint:
+    def test_spans_serve_chrome_trace_json(self):
+        from repro.obs.tracing import Tracer, validate_chrome_trace
+
+        registry = MetricsRegistry()
+        tracer = Tracer()
+        tracer.begin("task.blocked", "task:t1", key="t1")
+        tracer.end("t1")
+        with MetricsHTTPServer(
+            registry, runtime=None, port=0, tracer=tracer
+        ) as server:
+            status, ctype, body = fetch(server.url + "/spans")
+            assert status == 200
+            assert ctype.startswith("application/json")
+            doc = json.loads(body)
+            validate_chrome_trace(doc)
+            names = {e["name"] for e in doc["traceEvents"]}
+            assert "task.blocked" in names
+            status, _, index = fetch(server.url + "/")
+            assert status == 200 and b"/spans" in index
+
+    def test_spans_without_tracer_serves_empty_doc(self):
+        from repro.obs.tracing import validate_chrome_trace
+
+        registry = MetricsRegistry()
+        with MetricsHTTPServer(registry, runtime=None, port=0) as server:
+            status, _, body = fetch(server.url + "/spans")
+            assert status == 200
+            doc = json.loads(body)
+            validate_chrome_trace(doc)
+
+
+class TestServeRestart:
+    """Regression: a restarted serve on the same port must bind cleanly.
+
+    Without SO_REUSEADDR + clean shutdown the second cycle dies with
+    EADDRINUSE while the first socket sits in TIME_WAIT."""
+
+    def test_back_to_back_serve_cycles_on_one_port(self):
+        registry = MetricsRegistry()
+        registry.counter("repro_demo_total").inc()
+        # Let the OS pick a free port, then reuse that exact port for
+        # every subsequent cycle — the restart scenario.
+        probe = MetricsHTTPServer(registry, runtime=None, port=0)
+        port = probe.server_address[1]
+        probe.start()
+        status, _, _ = fetch(probe.url + "/metrics")
+        assert status == 200
+        probe.stop()
+        for _ in range(3):
+            server = MetricsHTTPServer(registry, runtime=None, port=port)
+            server.start()
+            try:
+                status, _, body = fetch(server.url + "/metrics")
+                assert status == 200
+                assert "repro_demo_total 1" in body.decode("utf-8")
+            finally:
+                server.stop()
+
+    def test_stop_is_idempotent(self):
+        registry = MetricsRegistry()
+        server = MetricsHTTPServer(registry, runtime=None, port=0)
+        server.start()
+        server.stop()
+        server.stop()  # second call must be a no-op, not a hang/raise
+
+    def test_stop_without_start(self):
+        registry = MetricsRegistry()
+        server = MetricsHTTPServer(registry, runtime=None, port=0)
+        server.stop()  # never served: still closes the socket cleanly
+
+
+class TestConcurrentScrapes:
+    def test_parallel_metrics_and_healthz_under_mutation(self, live_endpoint):
+        """Several scrapers hitting both routes while the demo runtime
+        keeps mutating the registry: every response parses."""
+        import concurrent.futures
+
+        def scrape(i: int):
+            route = "/metrics" if i % 2 == 0 else "/healthz"
+            status, _, body = fetch(live_endpoint.url + route)
+            if route == "/metrics":
+                assert status == 200
+                parse_prometheus(body.decode("utf-8"))
+            else:
+                assert status in (200, 503)
+                json.loads(body)
+            return status
+
+        with concurrent.futures.ThreadPoolExecutor(max_workers=8) as pool:
+            statuses = list(pool.map(scrape, range(32)))
+        assert len(statuses) == 32

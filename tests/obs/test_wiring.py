@@ -205,7 +205,10 @@ class TestStoreWiring:
         r1 = InMemoryStore(name="r1")
         r2 = InMemoryStore(name="r2")
         rs = ReplicatedStore([r1, r2], metrics=reg)
-        pub = DeltaPublisher("site-a", checkpoint_every=100)
+        # Fixed cadence: the heal-on-write path below needs an ordinary
+        # delta to hit the stale replica (adaptive cadence would turn
+        # the tiny-bucket clear into a checkpoint, which heals nothing).
+        pub = DeltaPublisher("site-a", checkpoint_every=100, adaptive=False)
         delta = pub.prepare(encode_bucket({}))
         rs.append_delta("site-a", delta)
         pub.commit(delta)

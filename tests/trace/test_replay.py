@@ -15,7 +15,9 @@ from test_recorder import join_quietly, run_crossed_deadlock
 class TestDeterminism:
     def test_replay_equals_live_detection_report(self, runtime_factory):
         """The satellite requirement: replaying a recorded deadlocking
-        run reproduces the live DeadlockReport bit-for-bit."""
+        run reproduces the live DeadlockReport bit-for-bit (replay
+        additionally attaches record provenance; the analysis content
+        must match the live report exactly)."""
         recorder = TraceRecorder()
         rt = runtime_factory("detection", recorder=recorder)
         rt.monitor.stop()  # manual poll: the live check point is exact
@@ -23,7 +25,8 @@ class TestDeterminism:
         join_quietly(t1, t2)
         assert len(rt.reports) == 1
         outcome = replay(recorder.trace(), mode=DETECTION)
-        assert outcome.reports == rt.reports
+        assert [r.without_provenance() for r in outcome.reports] == rt.reports
+        assert all(r.provenance for r in outcome.reports)
 
     def test_replay_equals_live_avoidance_report(self, runtime_factory):
         recorder = TraceRecorder()
@@ -32,7 +35,8 @@ class TestDeterminism:
         join_quietly(t1, t2)
         assert len(rt.reports) == 1 and rt.reports[0].avoided
         outcome = replay(recorder.trace(), mode=AVOIDANCE)
-        assert outcome.reports == rt.reports
+        assert [r.without_provenance() for r in outcome.reports] == rt.reports
+        assert all(r.provenance for r in outcome.reports)
 
     def test_replay_is_self_deterministic(self):
         trace = scenario_trace(
