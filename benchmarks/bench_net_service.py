@@ -1,0 +1,203 @@
+"""The network-native checker service under an open-loop publisher fleet.
+
+One :class:`CheckerService` on localhost; ``REPRO_NET_WORKERS`` client
+*processes* (not threads — real sockets, real GIL-free concurrency on
+the client side) each publish ``REPRO_NET_PUBLISHES`` delta rounds for
+its own site as fast as the wire accepts them, while the orchestrator
+concurrently drives ``check`` operations and records their latency.
+
+Reported per run (``extra_info``):
+
+* ``publishes_per_sec`` — fleet-wide sustained append throughput;
+* ``check_p95_ms`` — 95th-percentile service-side detection latency
+  observed by a live client during the storm;
+* ``transport_failures`` — retry accounting across the fleet (expected
+  0 on loopback).
+
+The acceptance floor (≥4 workers sustaining ≥5k publishes/sec) arms at
+the default size; CI runs a reduced fleet via the env knobs and uploads
+the suite as ``BENCH_net_service.json`` (the checked-in copy records
+the full-size numbers).  The byte-identity leg of the acceptance — the
+same cross-site knot, wire path vs in-process path, canonical report
+JSON compared byte-for-byte — runs here too, once per benchmark run.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import subprocess
+import sys
+import time
+
+import pytest
+
+from repro.core.events import waiting_on
+from repro.distributed.delta import DeltaPublisher, encode_bucket
+from repro.distributed.detector import DistributedChecker
+from repro.distributed.net import CheckerService, RemoteStore
+from repro.distributed.store import InMemoryStore
+from repro.trace.events import report_to_obj
+
+#: Acceptance size; CI overrides with a reduced fleet.
+N_WORKERS = int(os.environ.get("REPRO_NET_WORKERS", "4"))
+N_PUBLISHES = int(os.environ.get("REPRO_NET_PUBLISHES", "2500"))
+TASKS_PER_SITE = 8
+
+#: The acceptance floor: fleet-wide sustained publishes per second.
+THROUGHPUT_FLOOR = 5000.0
+
+_SRC = os.path.join(os.path.dirname(os.path.dirname(os.path.abspath(__file__))), "src")
+
+#: The worker process: one site, one RemoteStore, open-loop publishing.
+#: The delta sequence is pre-generated (a real ``DeltaPublisher`` run:
+#: snapshot first, then one-op phase-churn deltas) *before* the clock
+#: starts — open-loop load generation must not be bottlenecked by
+#: payload construction, especially on small machines where the
+#: client fleet and the service share cores.
+_WORKER = """
+import json, sys, time
+sys.path.insert(0, sys.argv[1])
+from repro.core.events import waiting_on
+from repro.distributed.delta import DeltaPublisher, encode_bucket
+from repro.distributed.net import RemoteStore
+
+host, port, tenant, site, n, tasks = (
+    sys.argv[2], int(sys.argv[3]), sys.argv[4], sys.argv[5],
+    int(sys.argv[6]), int(sys.argv[7]),
+)
+publisher = DeltaPublisher(site)
+statuses = {
+    f"{site}-t{k}": waiting_on(f"{site}-e{k}", 1, **{f"{site}-e{k}": 1})
+    for k in range(tasks)
+}
+objs = []
+for r in range(n):
+    k = r % tasks
+    phase = r // tasks + 2
+    statuses[f"{site}-t{k}"] = waiting_on(
+        f"{site}-e{k}", phase, **{f"{site}-e{k}": phase}
+    )
+    obj = publisher.prepare(encode_bucket(statuses))
+    publisher.commit(obj)
+    objs.append(obj)
+with RemoteStore(host, port, tenant=tenant, name=site) as store:
+    store.ping()  # connection established outside the timed window
+    started = time.perf_counter()
+    for obj in objs:
+        store.append_delta(site, obj)
+    elapsed = time.perf_counter() - started
+    print(json.dumps({
+        "published": len(objs),
+        "elapsed": elapsed,
+        "transport_failures": store.transport_failures,
+    }))
+"""
+
+
+def _spawn_worker(service, tenant: str, site: str) -> subprocess.Popen:
+    return subprocess.Popen(
+        [
+            sys.executable, "-c", _WORKER, _SRC,
+            service.host, str(service.port), tenant, site,
+            str(N_PUBLISHES), str(TASKS_PER_SITE),
+        ],
+        stdout=subprocess.PIPE,
+        stderr=subprocess.PIPE,
+        text=True,
+    )
+
+
+def run_fleet() -> dict:
+    """One open-loop storm: spawn the fleet, sample check latency while
+    it runs, gather per-worker stats."""
+    with CheckerService(port=0, check_interval_s=0.05) as service:
+        tenant = "bench"
+        workers = [
+            _spawn_worker(service, tenant, f"w{i}") for i in range(N_WORKERS)
+        ]
+        check_latencies = []
+        with RemoteStore(
+            service.host, service.port, tenant=tenant, name="checker"
+        ) as checker_client:
+            # *Sample* detection latency (200 Hz) rather than hammering
+            # the loop with back-to-back checks: the fleet's appends are
+            # the load under test, the checks are the measurement.
+            while any(w.poll() is None for w in workers):
+                started = time.perf_counter()
+                checker_client.check()
+                check_latencies.append(time.perf_counter() - started)
+                time.sleep(0.005)
+        results = []
+        for worker in workers:
+            out, err = worker.communicate(timeout=60)
+            if worker.returncode != 0:
+                raise RuntimeError(f"worker failed: {err.strip()}")
+            results.append(json.loads(out))
+        published = sum(r["published"] for r in results)
+        # Open-loop throughput: total appends over the slowest worker's
+        # wall clock (they all start within process-spawn jitter).
+        elapsed = max(r["elapsed"] for r in results)
+        check_latencies.sort()
+        p95 = (
+            check_latencies[int(len(check_latencies) * 0.95)]
+            if check_latencies else 0.0
+        )
+        return {
+            "published": published,
+            "elapsed": elapsed,
+            "publishes_per_sec": published / elapsed if elapsed else 0.0,
+            "check_p95_ms": p95 * 1e3,
+            "check_samples": len(check_latencies),
+            "transport_failures": sum(
+                r["transport_failures"] for r in results
+            ),
+        }
+
+
+def knot_reports_byte_identical() -> bool:
+    """The differential leg: the same cross-site knot published through
+    the wire and in-process, canonical report JSON compared by byte."""
+    def tie(store):
+        for i, statuses in enumerate((
+            {"a": waiting_on("p", 1, p=1, q=0)},
+            {"b": waiting_on("q", 1, q=1, p=0)},
+        )):
+            publisher = DeltaPublisher(f"s{i}", stream=f"bench-{i:04d}")
+            obj = publisher.prepare(encode_bucket(statuses))
+            store.append_delta(f"s{i}", obj)
+            publisher.commit(obj)
+
+    local = InMemoryStore()
+    tie(local)
+    local_bytes = json.dumps(
+        report_to_obj(DistributedChecker(local).check_global()),
+        sort_keys=True,
+    )
+    with CheckerService(port=0, check_interval_s=0) as service:
+        with RemoteStore(service.host, service.port, tenant="knot") as remote:
+            tie(remote)
+            wire_bytes = json.dumps(
+                report_to_obj(DistributedChecker(remote).check_global()),
+                sort_keys=True,
+            )
+    return wire_bytes == local_bytes
+
+
+def test_open_loop_publisher_fleet(bench, benchmark):
+    result = bench(run_fleet)
+    assert result["published"] >= N_WORKERS  # every worker got through
+    assert knot_reports_byte_identical()
+    benchmark.extra_info["workers"] = N_WORKERS
+    benchmark.extra_info["publishes_per_worker"] = N_PUBLISHES
+    benchmark.extra_info["tasks_per_site"] = TASKS_PER_SITE
+    benchmark.extra_info["publishes_per_sec"] = round(
+        result["publishes_per_sec"], 1
+    )
+    benchmark.extra_info["check_p95_ms"] = round(result["check_p95_ms"], 3)
+    benchmark.extra_info["check_samples"] = result["check_samples"]
+    benchmark.extra_info["transport_failures"] = result["transport_failures"]
+    benchmark.extra_info["floor_publishes_per_sec"] = THROUGHPUT_FLOOR
+    benchmark.extra_info["reports_byte_identical"] = True
+    if N_WORKERS >= 4 and N_PUBLISHES >= 2500:
+        assert result["publishes_per_sec"] >= THROUGHPUT_FLOOR

@@ -46,8 +46,16 @@ from repro.distributed.detector import (
 )
 from repro.distributed.site import Site
 from repro.distributed.places import Cluster
+from repro.distributed.net import (
+    CheckerService,
+    RemoteProtocolError,
+    RemoteStore,
+)
 
 __all__ = [
+    "CheckerService",
+    "RemoteStore",
+    "RemoteProtocolError",
     "InMemoryStore",
     "ReplicatedStore",
     "StoreUnavailableError",

@@ -1,0 +1,132 @@
+"""The ``python -m repro.distributed`` command line.
+
+One subcommand today::
+
+    python -m repro.distributed serve [--host H] [--port P]
+                                      [--obs-port P | --no-obs]
+                                      [--check-interval S] [--duration S]
+                                      [--model auto|wfg|sg] [--trace]
+
+``serve`` stands up the long-running multi-tenant checker service:
+remote publishers append deltas over TCP (length-prefixed JSON — see
+:class:`~repro.distributed.net.client.RemoteStore`), the service runs
+one maintained :class:`~repro.distributed.detector.DistributedChecker`
+per tenant namespace on a periodic cadence, and telemetry serves over
+the ``repro.obs`` HTTP endpoint next door:
+
+* ``GET /metrics`` — service + per-tenant-store series;
+* ``GET /healthz`` — aggregate service health, ``503`` once any tenant
+  holds a deadlock report (``?tenant=NAME`` scopes to one namespace);
+* ``GET /spans`` — the service tracer's span buffer (with ``--trace``).
+
+``--duration 0`` (the default) serves until interrupted; a positive
+duration exits on its own — what the CI smoke uses.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from typing import Optional, Sequence
+
+from repro.core.selection import GraphModel
+
+
+def cmd_serve(args: argparse.Namespace) -> int:
+    from repro.distributed.net import CheckerService
+    from repro.obs.registry import MetricsRegistry
+    from repro.obs.server import MetricsHTTPServer
+
+    registry = MetricsRegistry()
+    tracer = None
+    if args.trace:
+        from repro.obs.tracing import Tracer
+
+        tracer = Tracer()
+    service = CheckerService(
+        host=args.host,
+        port=args.port,
+        model=GraphModel(args.model),
+        check_interval_s=args.check_interval,
+        metrics=registry,
+        tracer=tracer,
+    )
+    service.start()
+    obs_server = None
+    try:
+        if not args.no_obs:
+            obs_server = MetricsHTTPServer(
+                registry, host=args.host, port=args.obs_port,
+                tracer=tracer, service=service, verbose=args.verbose,
+            ).start()
+        print(
+            f"checker service on {service.address} "
+            + (f"— telemetry on {obs_server.url} (/metrics /healthz /spans)"
+               if obs_server is not None else "— telemetry disabled"),
+            file=sys.stderr,
+        )
+        try:
+            if args.duration > 0:
+                time.sleep(args.duration)
+            else:
+                while True:
+                    time.sleep(3600)
+        except KeyboardInterrupt:
+            pass
+    finally:
+        if obs_server is not None:
+            obs_server.stop()
+        clean = service.stop()
+        if not clean:
+            print("checker service shutdown was dirty", file=sys.stderr)
+    doc = service.health_doc()
+    print(
+        f"served {doc['tenant_count']} tenant(s); "
+        f"{len(doc['deadlocked_tenants'])} deadlocked",
+        file=sys.stderr,
+    )
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    from repro.distributed.net.server import DEFAULT_PORT
+
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.distributed",
+        description="network-native distributed deadlock checking",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    serve = sub.add_parser(
+        "serve", help="run the multi-tenant checker service"
+    )
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument("--port", type=int, default=DEFAULT_PORT,
+                       help="service TCP port (0 picks a free one)")
+    serve.add_argument("--obs-port", type=int, default=9464,
+                       help="telemetry HTTP port (0 picks a free one)")
+    serve.add_argument("--no-obs", action="store_true",
+                       help="do not start the telemetry endpoint")
+    serve.add_argument("--check-interval", type=float, default=0.2,
+                       help="seconds between service-side detection "
+                            "passes per tenant (0 disables)")
+    serve.add_argument("--duration", type=float, default=0.0,
+                       help="seconds to serve; 0 = until interrupted")
+    serve.add_argument("--model", default="auto",
+                       choices=[m.value for m in GraphModel])
+    serve.add_argument("--trace", action="store_true",
+                       help="record causal spans (served at /spans)")
+    serve.add_argument("--verbose", action="store_true",
+                       help="log each telemetry HTTP request")
+    serve.set_defaults(fn=cmd_serve)
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.fn(args)
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via subprocess
+    sys.exit(main())

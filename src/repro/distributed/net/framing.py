@@ -1,0 +1,145 @@
+"""Length-prefixed JSON framing: the checker service's wire format.
+
+One frame is a 4-byte big-endian payload length followed by that many
+bytes of compact UTF-8 JSON.  The framing is deliberately the dumbest
+thing that works: the delta protocol already defines the *semantics*
+that cross the wire (per-site sequenced objects, validated by
+:func:`repro.distributed.delta.validate_extends` on both ends), so the
+transport only needs to move JSON objects intact and detect truncation.
+
+Both halves live here — blocking-socket helpers for the client
+(:func:`send_frame`/:func:`recv_frame`) and asyncio stream helpers for
+the server (:func:`read_frame`/:func:`write_frame`) — so the two sides
+cannot drift: they share :func:`encode_frame`/:func:`decode_payload`.
+
+A frame larger than :data:`MAX_FRAME_BYTES` raises :class:`FrameError`
+on *both* send and receive.  On receive this is the safety property: a
+corrupt or malicious length prefix must fail fast instead of making the
+reader allocate gigabytes.
+"""
+
+from __future__ import annotations
+
+import json
+import socket
+import struct
+from typing import Optional
+
+__all__ = [
+    "FrameError",
+    "MAX_FRAME_BYTES",
+    "encode_frame",
+    "decode_payload",
+    "send_frame",
+    "recv_frame",
+    "read_frame",
+    "write_frame",
+]
+
+#: Frame size ceiling (64 MiB): far above any real checkpoint, far
+#: below anything that could hurt the process.
+MAX_FRAME_BYTES = 64 << 20
+
+_HEADER = struct.Struct(">I")
+
+
+class FrameError(RuntimeError):
+    """A frame violates the wire format (oversized, truncated, not JSON)."""
+
+
+def encode_frame(obj) -> bytes:
+    """One message as wire bytes: length prefix + compact JSON."""
+    payload = json.dumps(obj, separators=(",", ":")).encode("utf-8")
+    if len(payload) > MAX_FRAME_BYTES:
+        raise FrameError(f"frame of {len(payload)} bytes exceeds "
+                         f"{MAX_FRAME_BYTES}-byte ceiling")
+    return _HEADER.pack(len(payload)) + payload
+
+
+def decode_payload(payload: bytes):
+    """The JSON object carried by one frame's payload bytes."""
+    try:
+        return json.loads(payload.decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+        raise FrameError(f"frame payload is not JSON: {exc}") from exc
+
+
+def _check_length(length: int) -> None:
+    if length > MAX_FRAME_BYTES:
+        raise FrameError(f"peer announced a {length}-byte frame "
+                         f"(ceiling {MAX_FRAME_BYTES})")
+
+
+# ---------------------------------------------------------------------------
+# blocking-socket half (the client)
+# ---------------------------------------------------------------------------
+def send_frame(sock: socket.socket, obj) -> None:
+    """Write one message to a blocking socket."""
+    sock.sendall(encode_frame(obj))
+
+
+def _recv_exact(sock: socket.socket, n: int) -> Optional[bytes]:
+    """Exactly ``n`` bytes, or ``None`` on EOF at a frame boundary;
+    EOF *inside* a frame is a truncation and raises."""
+    chunks = []
+    remaining = n
+    while remaining:
+        chunk = sock.recv(remaining)
+        if not chunk:
+            if remaining == n and not chunks:
+                return None
+            raise FrameError(
+                f"connection closed mid-frame ({n - remaining}/{n} bytes)"
+            )
+        chunks.append(chunk)
+        remaining -= len(chunk)
+    return b"".join(chunks)
+
+
+def recv_frame(sock: socket.socket):
+    """Read one message from a blocking socket.
+
+    Returns the decoded object, or ``None`` when the peer closed the
+    connection cleanly between frames.  A close mid-frame — header or
+    payload — raises :class:`FrameError` (the message was truncated).
+    """
+    header = _recv_exact(sock, _HEADER.size)
+    if header is None:
+        return None
+    (length,) = _HEADER.unpack(header)
+    _check_length(length)
+    payload = _recv_exact(sock, length) if length else b""
+    if payload is None:  # EOF right after a header: still truncation
+        raise FrameError("connection closed between header and payload")
+    return decode_payload(payload)
+
+
+# ---------------------------------------------------------------------------
+# asyncio half (the server)
+# ---------------------------------------------------------------------------
+async def read_frame(reader):
+    """Read one message from an asyncio stream reader (``None`` on clean
+    EOF between frames; :class:`FrameError` on truncation)."""
+    import asyncio
+
+    try:
+        header = await reader.readexactly(_HEADER.size)
+    except asyncio.IncompleteReadError as exc:
+        if not exc.partial:
+            return None
+        raise FrameError("connection closed mid-header") from exc
+    (length,) = _HEADER.unpack(header)
+    _check_length(length)
+    try:
+        payload = await reader.readexactly(length) if length else b""
+    except asyncio.IncompleteReadError as exc:
+        raise FrameError(
+            f"connection closed mid-frame ({len(exc.partial)}/{length} bytes)"
+        ) from exc
+    return decode_payload(payload)
+
+
+def write_frame(writer, obj) -> None:
+    """Queue one message on an asyncio stream writer (pair with
+    ``await writer.drain()``)."""
+    writer.write(encode_frame(obj))

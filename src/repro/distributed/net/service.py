@@ -1,0 +1,369 @@
+"""The multi-tenant checker service core (transport-free).
+
+:class:`TenantChecker` is one tenant namespace: its own store (default
+an :class:`~repro.distributed.store.InMemoryStore`, or anything with
+the five-method delta surface — e.g. a
+:class:`~repro.distributed.store.ReplicatedStore` for the
+fault-injection suite), one maintained
+:class:`~repro.distributed.detector.DistributedChecker`
+(``DeltaMergeState`` + ``IncrementalChecker``), a distinct-report log,
+and service-side provenance: every accepted append feeds an
+:class:`~repro.obs.tracing.OriginTracker`, so a report the service
+files carries per-edge ``(site, stream, seq)`` origins — the same
+enrichment the replay engines attach, derived here from the live
+stream instead of a recorded trace.
+
+:class:`CheckerServiceCore` maps wire requests (plain dicts) to tenant
+operations and wire responses, with exceptions encoded faithfully:
+``DeltaSequenceError`` and ``StoreUnavailableError`` cross the wire as
+typed errors and are re-raised as the same classes client-side, which
+is what lets :class:`~repro.distributed.net.client.RemoteStore` be a
+drop-in store — publisher gap recovery and replica-heal semantics
+survive the hop because the error *types* do.
+
+The TCP transport wrapping this core lives in
+:mod:`repro.distributed.net.server`; keeping the core transport-free is
+what the protocol unit tests (and any future transport) build on.
+"""
+
+from __future__ import annotations
+
+import logging
+import threading
+from typing import Callable, Dict, List, Mapping, Optional
+
+from repro.core.report import DeadlockReport
+from repro.core.selection import GraphModel
+from repro.distributed.delta import DeltaSequenceError
+from repro.distributed.detector import DistributedChecker
+from repro.distributed.store import InMemoryStore, StoreUnavailableError
+
+log = logging.getLogger(__name__)
+
+__all__ = ["TenantChecker", "CheckerServiceCore", "DEFAULT_TENANT"]
+
+#: The namespace used when a client does not name one.
+DEFAULT_TENANT = "default"
+
+#: Typed wire errors: error kind <-> exception class, shared with the
+#: client so a server-side raise resurfaces as the same type.
+WIRE_ERRORS = {
+    "sequence": DeltaSequenceError,
+    "unavailable": StoreUnavailableError,
+    "value": ValueError,
+}
+
+
+class _PseudoRecord:
+    """The minimal record surface :class:`OriginTracker.observe` needs,
+    synthesised from a live wire delta (no trace file involved)."""
+
+    __slots__ = ("seq", "kind", "site", "payload", "task")
+
+    def __init__(self, seq: int, kind, site: str, payload: Mapping) -> None:
+        self.seq = seq
+        self.kind = kind
+        self.site = site
+        self.payload = payload
+        self.task = None
+
+
+class TenantChecker:
+    """One tenant namespace of the checker service.
+
+    All mutation goes through ``self._lock`` — the asyncio transport
+    serialises requests per loop, but the periodic check task, the obs
+    HTTP threads (health scrapes) and embedding tests reach in from
+    other threads.  The store keeps its own internal lock; holding the
+    tenant lock across store calls keeps append-order and the origin
+    ordinal consistent.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        store=None,
+        model: GraphModel = GraphModel.AUTO,
+        metrics=None,
+        tracer=None,
+    ) -> None:
+        from repro.obs.tracing import NULL_TRACER, OriginTracker
+
+        self.name = str(name)
+        self.store = store if store is not None else InMemoryStore(
+            name=f"tenant:{self.name}", metrics=metrics
+        )
+        self.tracer = tracer if tracer is not None else NULL_TRACER
+        self.checker = DistributedChecker(
+            self.store, model=model, metrics=metrics, tracer=self.tracer
+        )
+        self.reports: List[DeadlockReport] = []
+        self._seen_cycles: set = set()
+        self._origins = OriginTracker()
+        self._ordinal = 0
+        self._lock = threading.Lock()
+
+    # -- the five-method store surface, tenant-scoped ------------------
+    def append_delta(self, site: str, obj: Mapping) -> None:
+        from repro.trace.events import RecordKind, delta_payload_from_obj
+
+        payload = delta_payload_from_obj(obj)  # reject malformed input loudly
+        with self._lock:
+            self.store.append_delta(site, payload)
+            # Only an *accepted* append advances provenance: a gapped or
+            # rejected delta never entered the analysed view.
+            self._ordinal += 1
+            self._origins.observe(_PseudoRecord(
+                self._ordinal, RecordKind.PUBLISH_DELTA, str(site), payload
+            ))
+
+    def get_deltas(self, site: str, after_seq: int,
+                   stream: Optional[str] = None) -> List[dict]:
+        with self._lock:
+            return self.store.get_deltas(site, after_seq, stream)
+
+    def get_state(self, site: str):
+        with self._lock:
+            return self.store.get_state(site)
+
+    def delta_tail(self, site: str):
+        with self._lock:
+            return self.store.delta_tail(site)
+
+    def delta_sites(self) -> List[str]:
+        with self._lock:
+            return self.store.delta_sites()
+
+    def delete(self, site: str) -> None:
+        with self._lock:
+            self.store.delete(site)
+
+    # -- checking ------------------------------------------------------
+    def check(self) -> Optional[DeadlockReport]:
+        """One detection pass over the tenant's published state.
+
+        Returns the (provenance-enriched) report when the view holds a
+        cycle — every pass, so remote pollers always see it — while the
+        tenant's ``reports`` log keeps one entry per distinct cycle.
+        """
+        from repro.obs.tracing import attach_provenance
+
+        with self._lock:
+            report = self.checker.check_global()
+            if report is None:
+                return None
+            statuses = self.checker.view.merged_snapshot().statuses
+            enriched, _ = attach_provenance(report, self._origins, statuses)
+            key = frozenset(enriched.tasks)
+            if key not in self._seen_cycles:
+                self._seen_cycles.add(key)
+                self.reports.append(enriched)
+            return enriched
+
+    # -- introspection -------------------------------------------------
+    def health_doc(self) -> dict:
+        """The tenant's slice of the ``/healthz`` document."""
+        from repro.obs.health import unique_report_entries
+
+        with self._lock:
+            stats = self.checker.stats
+            blocked = sum(
+                len(bucket) for bucket in self.checker.view.buckets.values()
+            )
+            return {
+                "status": "deadlock" if self.reports else "ok",
+                "tenant": self.name,
+                "sites": sorted(str(s) for s in self.checker.view.sites()),
+                "blocked_tasks": blocked,
+                "checks": stats.checks,
+                "cycles_found": stats.cycles_found,
+                "report_count": len(self.reports),
+                "reports": unique_report_entries(self.reports),
+            }
+
+    def report_objs(self) -> List[dict]:
+        from repro.trace.events import report_to_obj
+
+        with self._lock:
+            return [report_to_obj(r) for r in self.reports]
+
+
+class CheckerServiceCore:
+    """Request dispatch: one wire request dict in, one response dict out.
+
+    Tenants are created on first touch (open tenancy — the service is a
+    lab instrument, not a hardened endpoint); ``store_factory`` lets
+    embedders hand specific tenants specific stores (the network-
+    partition suite backs a tenant with a :class:`ReplicatedStore`).
+    """
+
+    def __init__(
+        self,
+        model: GraphModel = GraphModel.AUTO,
+        metrics=None,
+        tracer=None,
+        store_factory: Optional[Callable[[str], object]] = None,
+    ) -> None:
+        if metrics is None:
+            from repro.obs.registry import NULL_REGISTRY
+
+            metrics = NULL_REGISTRY
+        self.metrics = metrics
+        self.model = model
+        self.tracer = tracer
+        self.store_factory = store_factory
+        self.tenants: Dict[str, TenantChecker] = {}
+        self._tenants_lock = threading.Lock()
+        self._m_requests = metrics.counter(
+            "repro_net_requests_total",
+            "Checker-service requests served, by operation.",
+            labels=("op",),
+        )
+        self._m_errors = metrics.counter(
+            "repro_net_errors_total",
+            "Checker-service requests answered with a typed error.",
+            labels=("error",),
+        )
+        self._ops: Dict[str, Callable] = {
+            "append_delta": self._op_append_delta,
+            "get_deltas": self._op_get_deltas,
+            "get_state": self._op_get_state,
+            "delta_tail": self._op_delta_tail,
+            "delta_sites": self._op_delta_sites,
+            "delete": self._op_delete,
+            "check": self._op_check,
+            "reports": self._op_reports,
+            "health": self._op_health,
+            "ping": self._op_ping,
+        }
+
+    # -- tenancy -------------------------------------------------------
+    def tenant(self, name: str) -> TenantChecker:
+        name = str(name)
+        with self._tenants_lock:
+            tenant = self.tenants.get(name)
+            if tenant is None:
+                store = (
+                    self.store_factory(name)
+                    if self.store_factory is not None else None
+                )
+                tenant = TenantChecker(
+                    name, store=store, model=self.model,
+                    metrics=self.metrics, tracer=self.tracer,
+                )
+                self.tenants[name] = tenant
+        return tenant
+
+    def tenant_names(self) -> List[str]:
+        with self._tenants_lock:
+            return sorted(self.tenants)
+
+    # -- the obs-server integration surface ----------------------------
+    def health_doc(self, tenant: Optional[str] = None) -> dict:
+        """Aggregate (or per-tenant) ``/healthz`` document.  Unknown
+        tenant names raise :class:`KeyError` (the HTTP layer 404s)."""
+        if tenant is not None:
+            with self._tenants_lock:
+                entry = self.tenants[str(tenant)]
+            return entry.health_doc()
+        with self._tenants_lock:
+            tenants = dict(self.tenants)
+        docs = {name: t.health_doc() for name, t in sorted(tenants.items())}
+        deadlocked = sorted(
+            name for name, doc in docs.items() if doc["status"] != "ok"
+        )
+        return {
+            "status": "deadlock" if deadlocked else "ok",
+            "mode": "checker-service",
+            "tenant_count": len(docs),
+            "deadlocked_tenants": deadlocked,
+            "tenants": docs,
+        }
+
+    def tracer_for(self, tenant: Optional[str] = None):
+        """The span source ``/spans`` renders: the service-wide tracer
+        (tenants share it — span tracks are labelled per tenant store)."""
+        return self.tracer
+
+    # -- dispatch ------------------------------------------------------
+    def handle(self, request) -> dict:
+        if not isinstance(request, Mapping) or "op" not in request:
+            return {"ok": False, "error": "protocol",
+                    "message": "request must be an object with an 'op'"}
+        op = request["op"]
+        handler = self._ops.get(op)
+        if handler is None:
+            return {"ok": False, "error": "protocol",
+                    "message": f"unknown op {op!r}"}
+        self._m_requests.inc(op=str(op))
+        try:
+            value = handler(request)
+        except DeltaSequenceError as exc:
+            self._m_errors.inc(error="sequence")
+            return {"ok": False, "error": "sequence", "message": str(exc)}
+        except StoreUnavailableError as exc:
+            self._m_errors.inc(error="unavailable")
+            return {"ok": False, "error": "unavailable", "message": str(exc)}
+        except (ValueError, KeyError, TypeError) as exc:
+            self._m_errors.inc(error="value")
+            return {"ok": False, "error": "value",
+                    "message": f"{type(exc).__name__}: {exc}"}
+        except Exception as exc:  # never let one request kill the server
+            log.exception("checker service: %s request failed", op)
+            self._m_errors.inc(error="internal")
+            return {"ok": False, "error": "internal",
+                    "message": f"{type(exc).__name__}: {exc}"}
+        return {"ok": True, "value": value}
+
+    def _tenant_of(self, request) -> TenantChecker:
+        return self.tenant(request.get("tenant", DEFAULT_TENANT))
+
+    # -- per-op handlers ----------------------------------------------
+    def _op_append_delta(self, request):
+        self._tenant_of(request).append_delta(
+            str(request["site"]), request["obj"]
+        )
+        return None
+
+    def _op_get_deltas(self, request):
+        return self._tenant_of(request).get_deltas(
+            str(request["site"]),
+            int(request["after_seq"]),
+            request.get("stream"),
+        )
+
+    def _op_get_state(self, request):
+        stream, seq, state = self._tenant_of(request).get_state(
+            str(request["site"])
+        )
+        return [stream, seq, state]
+
+    def _op_delta_tail(self, request):
+        tail = self._tenant_of(request).delta_tail(str(request["site"]))
+        return None if tail is None else [tail[0], tail[1]]
+
+    def _op_delta_sites(self, request):
+        return self._tenant_of(request).delta_sites()
+
+    def _op_delete(self, request):
+        self._tenant_of(request).delete(str(request["site"]))
+        return None
+
+    def _op_check(self, request):
+        from repro.trace.events import report_to_obj
+
+        report = self._tenant_of(request).check()
+        return None if report is None else report_to_obj(report)
+
+    def _op_reports(self, request):
+        return self._tenant_of(request).report_objs()
+
+    def _op_health(self, request):
+        name = request.get("tenant")
+        if name is None:
+            return self.health_doc(None)
+        self.tenant(name)  # open tenancy: asking after a namespace opens it
+        return self.health_doc(name)
+
+    def _op_ping(self, request):
+        return {"server": "repro-checker", "tenants": self.tenant_names()}

@@ -33,8 +33,9 @@ Failure injection for tests and fault-tolerance benches:
 
 from __future__ import annotations
 
+import logging
 import threading
-from typing import Callable, List, Optional
+from typing import Callable, Dict, List, Optional
 
 from repro.core.report import DeadlockReport
 from repro.core.selection import GraphModel
@@ -48,6 +49,8 @@ from repro.distributed.detector import DistributedChecker
 from repro.distributed.store import StoreUnavailableError
 from repro.runtime.tasks import Task
 from repro.runtime.verifier import ArmusRuntime, VerificationMode
+
+log = logging.getLogger(__name__)
 
 #: The paper's distributed detection period (Armus-X10: every 200 ms).
 DEFAULT_CHECK_INTERVAL_S = 0.2
@@ -144,6 +147,12 @@ class Site:
         self.reports: List[DeadlockReport] = []
         self.publish_failures = 0
         self.check_failures = 0
+        #: Unexpected loop-body failures, by loop name ("publisher" /
+        #: "checker").  A populated slot means that loop thread is dead:
+        #: the site looks idle from outside but is not publishing (or
+        #: not checking) — callers and health surfaces must be able to
+        #: see the difference.
+        self.loop_errors: Dict[str, BaseException] = {}
         self._seen_cycles: set = set()
         self._stop = threading.Event()
         self._threads: List[threading.Thread] = []
@@ -153,7 +162,8 @@ class Site:
             "repro_site_publishes_total",
             "Publish rounds, by outcome: noop (no change), delta, "
             "checkpoint (cadence), gap_checkpoint (store lost our "
-            "tail), failure (store unreachable).",
+            "tail), failure (store unreachable), error (loop body "
+            "raised; the publisher thread is dead).",
             labels=("site", "outcome"),
         )
         self._m_delta_ops = metrics.histogram(
@@ -182,7 +192,7 @@ class Site:
         ):
             thread = threading.Thread(
                 target=self._loop,
-                args=(target, interval),
+                args=(name, target, interval),
                 name=f"{self.site_id}-{name}",
                 daemon=True,
             )
@@ -190,18 +200,33 @@ class Site:
             self._threads.append(thread)
         return self
 
-    def stop(self, timeout: float = 5.0) -> None:
-        """Graceful shutdown: loops drain, the delta stream is withdrawn."""
+    def stop(self, timeout: float = 5.0) -> bool:
+        """Graceful shutdown: loops drain, the delta stream is withdrawn.
+
+        Returns ``True`` when every loop thread exited within
+        ``timeout``.  A thread still alive after its join — a wedged
+        loop body — is logged and makes the result ``False``; the
+        wedged threads stay tracked (not silently dropped), so a later
+        ``stop`` can observe whether they ever died.
+        """
         self._stop.set()
         for thread in self._threads:
             thread.join(timeout)
-        self._threads.clear()
+            if thread.is_alive():
+                log.warning(
+                    "site %s: loop thread %s still alive %.1fs after stop "
+                    "(wedged body? shutdown is dirty)",
+                    self.site_id, thread.name, timeout,
+                )
+        self._threads = [t for t in self._threads if t.is_alive()]
+        clean = not self._threads
         with self._lock:
             self._alive = False
         try:
             self.store.delete(self.site_id)
         except StoreUnavailableError:
             pass
+        return clean
 
     def kill(self) -> None:
         """Abrupt site death: loops stop, the stale delta stream stays
@@ -231,21 +256,34 @@ class Site:
     # ------------------------------------------------------------------
     # loops
     # ------------------------------------------------------------------
-    def _loop(self, body: Callable[[], None], interval: float) -> None:
+    def _loop(self, name: str, body: Callable[[], None], interval: float) -> None:
         # The body runs once immediately: a site that lives for less
         # than one interval still publishes (and checks) at least once,
         # instead of being invisible to the cluster for its whole life.
+        publishing = name == "publisher"
         while True:
             try:
                 body()
             except StoreUnavailableError:
                 # Fault tolerance: skip the round, try again next period.
-                if body is self._publish_once:
+                if publishing:
                     self.publish_failures += 1
                     self._m_publishes.inc(site=self.site_id, outcome="failure")
                 else:
                     self.check_failures += 1
-            except Exception:  # pragma: no cover - defensive logging path
+            except Exception as exc:
+                # Anything else kills this loop thread.  From the
+                # caller's perspective the site would just go silent —
+                # record the failure where it can be observed (error
+                # slot + failure metric + log) before re-raising.
+                self.loop_errors[name] = exc
+                if publishing:
+                    self._m_publishes.inc(site=self.site_id, outcome="error")
+                log.exception(
+                    "site %s: %s loop died (the site is no longer %s)",
+                    self.site_id, name,
+                    "publishing" if publishing else "checking",
+                )
                 raise
             if self._stop.wait(interval):
                 return

@@ -61,7 +61,8 @@ def cmd_serve(args: argparse.Namespace) -> int:
             except KeyboardInterrupt:
                 pass
     finally:
-        shutdown_demo(runtime, tasks)
+        if not shutdown_demo(runtime, tasks):
+            print("demo shutdown was dirty (see log)", file=sys.stderr)
     if runtime.reports:
         print(
             f"observed {len(runtime.reports)} deadlock report(s)",

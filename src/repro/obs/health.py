@@ -15,7 +15,7 @@ from __future__ import annotations
 
 from typing import Optional
 
-__all__ = ["runtime_health", "health_status"]
+__all__ = ["runtime_health", "health_status", "unique_report_entries"]
 
 
 def health_status(runtime) -> str:
@@ -23,11 +23,16 @@ def health_status(runtime) -> str:
     return "deadlock" if runtime.reports else "ok"
 
 
-def _unique_reports(reports) -> list:
-    # An un-cancelled deadlock is re-reported on every monitor poll;
-    # embedding each repeat would grow the document without bound on a
-    # long-lived endpoint, so distinct cycles are listed once each
-    # (first-seen order) and report_count keeps the raw total.
+def unique_report_entries(reports) -> list:
+    """Distinct deadlock reports as health-document entries.
+
+    An un-cancelled deadlock is re-reported on every monitor poll;
+    embedding each repeat would grow the document without bound on a
+    long-lived endpoint, so distinct cycles are listed once each
+    (first-seen order) and ``report_count`` keeps the raw total.
+    Shared by the runtime health document and the checker service's
+    per-tenant health docs.
+    """
     seen = set()
     unique = []
     for report in reports:
@@ -67,7 +72,7 @@ def runtime_health(runtime, registry=None) -> dict:
             )
         },
         "report_count": len(reports),
-        "reports": _unique_reports(reports),
+        "reports": unique_report_entries(reports),
     }
     if registry is not None:
         doc["instruments"] = len(registry.names())

@@ -24,7 +24,9 @@ monitor while the endpoint serves scrapes.
 from __future__ import annotations
 
 import json
+import logging
 import threading
+import urllib.parse
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from typing import List, Optional
 
@@ -32,10 +34,16 @@ from repro.obs.export import to_prometheus
 from repro.obs.health import runtime_health
 from repro.obs.registry import MetricsRegistry
 
+log = logging.getLogger(__name__)
+
 __all__ = ["MetricsHTTPServer", "build_demo_runtime", "ring_scenario"]
 
 #: Content type Prometheus expects from a text-format scrape target.
 PROMETHEUS_CONTENT_TYPE = "text/plain; version=0.0.4; charset=utf-8"
+
+#: How long a demo ring worker waits for the start gate before failing
+#: loudly (module-level so the regression test can shrink it).
+DEMO_GATE_TIMEOUT_S = 30.0
 
 
 # ---------------------------------------------------------------------------
@@ -63,7 +71,14 @@ def ring_scenario(runtime, n_tasks: int = 3) -> List[object]:
 
     def worker(i: int):
         def run() -> None:
-            gate.wait(30)
+            # A timed-out gate means the demo never actually started its
+            # ring: proceeding would silently run a different scenario,
+            # so fail the task loudly instead (join() surfaces it).
+            if not gate.wait(DEMO_GATE_TIMEOUT_S):
+                raise RuntimeError(
+                    f"ring-t{i}: start gate not released within "
+                    f"{DEMO_GATE_TIMEOUT_S}s"
+                )
             try:
                 phasers[i].arrive_and_await_advance()
             except DeadlockError:
@@ -118,10 +133,20 @@ def build_demo_runtime(
     return runtime, tasks
 
 
-def shutdown_demo(runtime, tasks) -> None:
-    """Cancel the parked demo tasks and stop the runtime."""
-    from repro.core.report import DeadlockError
+def shutdown_demo(runtime, tasks, join_timeout_s: float = 5.0) -> bool:
+    """Cancel the parked demo tasks and stop the runtime.
 
+    Returns ``True`` when every task wound down (normally, cancelled,
+    or by its deadlock error) and the runtime stopped.  A task that is
+    still running after the join, or that died of an unexpected error,
+    makes the shutdown *dirty*: it is logged and ``False`` is returned —
+    never silently swallowed, so a wedged demo is observable to the
+    caller (the CLI and the tests check the flag).
+    """
+    from repro.core.report import DeadlockError
+    from repro.runtime.tasks import TaskFailedError
+
+    clean = True
     for report in list(runtime.reports):
         for task_id in report.tasks:
             task = runtime.task_by_id(task_id)
@@ -129,12 +154,17 @@ def shutdown_demo(runtime, tasks) -> None:
                 task.cancel(report)
     for task in tasks:
         try:
-            task.join(5)
+            task.join(join_timeout_s)
         except DeadlockError:
-            pass
-        except Exception:
-            pass
+            pass  # the expected outcome of a cancelled deadlocked task
+        except TimeoutError:
+            log.warning("demo task %r still running after cancel + join", task)
+            clean = False
+        except TaskFailedError as exc:
+            log.warning("demo task %r failed during shutdown: %s", task, exc)
+            clean = False
     runtime.stop()
+    return clean
 
 
 # ---------------------------------------------------------------------------
@@ -151,16 +181,31 @@ class _Handler(BaseHTTPRequestHandler):
         self.end_headers()
         self.wfile.write(payload)
 
+    def _query_tenant(self, query: str) -> Optional[str]:
+        values = urllib.parse.parse_qs(query).get("tenant", [])
+        return values[0] if values else None
+
     def do_GET(self) -> None:  # noqa: N802 - BaseHTTPRequestHandler API
-        path = self.path.split("?", 1)[0]
+        path, _, query = self.path.partition("?")
         if path == "/metrics":
             self._send(
                 200, PROMETHEUS_CONTENT_TYPE,
                 to_prometheus(self.server.registry),
             )
         elif path == "/healthz":
+            service = self.server.service
             runtime = self.server.runtime
-            if runtime is None:
+            if service is not None:
+                # A checker service: aggregate health, or one tenant's
+                # slice via ?tenant=NAME (unknown tenants 404).
+                try:
+                    doc = service.health_doc(self._query_tenant(query))
+                except KeyError:
+                    self._send(404, "text/plain; charset=utf-8",
+                               "unknown tenant\n")
+                    return
+                status = 200 if doc["status"] == "ok" else 503
+            elif runtime is None:
                 doc = {"status": "ok", "mode": "none",
                        "instruments": len(self.server.registry.names())}
                 status = 200
@@ -174,7 +219,13 @@ class _Handler(BaseHTTPRequestHandler):
         elif path == "/spans":
             from repro.obs.tracing import NULL_TRACER, render_chrome_json
 
-            tracer = self.server.tracer
+            tracer = None
+            if self.server.service is not None:
+                tracer = self.server.service.tracer_for(
+                    self._query_tenant(query)
+                )
+            if tracer is None:
+                tracer = self.server.tracer
             if tracer is None:
                 tracer = NULL_TRACER
             self._send(
@@ -186,7 +237,8 @@ class _Handler(BaseHTTPRequestHandler):
                 200, "text/plain; charset=utf-8",
                 "repro.obs telemetry endpoint\n"
                 "  GET /metrics  Prometheus text exposition\n"
-                "  GET /healthz  runtime health JSON\n"
+                "  GET /healthz  runtime health JSON (?tenant=NAME scopes "
+                "a checker service)\n"
                 "  GET /spans    span buffer as Chrome trace-event JSON\n",
             )
         else:
@@ -225,11 +277,16 @@ class MetricsHTTPServer(ThreadingHTTPServer):
         port: int = 9464,
         verbose: bool = False,
         tracer=None,
+        service=None,
     ) -> None:
         super().__init__((host, port), _Handler)
         self.registry = registry
         self.runtime = runtime
         self.tracer = tracer
+        # A multi-tenant checker service (duck-typed: ``health_doc`` +
+        # ``tracer_for``).  When present it owns /healthz and /spans,
+        # giving both routes per-tenant views via ?tenant=NAME.
+        self.service = service
         self.verbose = verbose
         self._thread: Optional[threading.Thread] = None
 

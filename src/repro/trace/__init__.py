@@ -36,6 +36,8 @@ from repro.trace.events import (
     TraceRecord,
     RecordKind,
     TRACE_VERSION,
+    report_from_obj,
+    report_to_obj,
 )
 from repro.trace.codec import (
     BinaryCodec,
@@ -76,6 +78,8 @@ __all__ = [
     "TraceFormatError",
     "RecordKind",
     "TRACE_VERSION",
+    "report_to_obj",
+    "report_from_obj",
     "JsonlCodec",
     "BinaryCodec",
     "load_trace",

@@ -173,6 +173,139 @@ def delta_payload_from_obj(obj: Mapping) -> dict:
 
 
 # ---------------------------------------------------------------------------
+# report (de)serialisation — the wire form a checker service ships to
+# remote clients (and the canonical form differential tests compare)
+# ---------------------------------------------------------------------------
+def origin_to_obj(origin) -> dict:
+    """One :class:`~repro.core.report.RecordOrigin` as a plain dict
+    (optional members omitted, so local and distributed origins encode
+    minimally)."""
+    obj = {"ordinal": origin.ordinal, "kind": origin.kind}
+    if origin.site is not None:
+        obj["site"] = str(origin.site)
+    if origin.stream is not None:
+        obj["stream"] = str(origin.stream)
+    if origin.seq is not None:
+        obj["seq"] = int(origin.seq)
+    return obj
+
+
+def origin_from_obj(obj: Mapping):
+    """Inverse of :func:`origin_to_obj`."""
+    from repro.core.report import RecordOrigin
+
+    try:
+        return RecordOrigin(
+            ordinal=int(obj["ordinal"]),
+            kind=str(obj["kind"]),
+            site=obj.get("site"),
+            stream=obj.get("stream"),
+            seq=None if obj.get("seq") is None else int(obj["seq"]),
+        )
+    except (KeyError, TypeError, ValueError) as exc:
+        raise TraceFormatError(f"malformed record origin: {obj!r}") from exc
+
+
+def _vertex_to_obj(vertex):
+    # Cycle vertices are tasks (WFG) or events (SG); a tagged pair keeps
+    # the two distinguishable through JSON.
+    if isinstance(vertex, Event):
+        return ["e", str(vertex.phaser), vertex.phase]
+    return ["t", str(vertex)]
+
+
+def _vertex_from_obj(obj):
+    try:
+        tag = obj[0]
+        if tag == "e":
+            return Event(obj[1], int(obj[2]))
+        if tag == "t":
+            return str(obj[1])
+    except (IndexError, TypeError, ValueError) as exc:
+        raise TraceFormatError(f"malformed cycle vertex: {obj!r}") from exc
+    raise TraceFormatError(f"unknown cycle vertex tag in {obj!r}")
+
+
+def report_to_obj(report) -> dict:
+    """Serialise one :class:`~repro.core.report.DeadlockReport` to a
+    plain JSON-able dict.
+
+    Order-preserving for ``tasks``/``events``/``cycle`` (cycle order is
+    semantics) and canonical otherwise, so
+    ``json.dumps(report_to_obj(r), sort_keys=True)`` is a stable byte
+    form — what the network differential tests pin.  Replay/service
+    provenance enrichments encode when present and are omitted when
+    absent, keeping live-path reports minimal.
+    """
+    obj = {
+        "tasks": [str(t) for t in report.tasks],
+        "events": [[str(e.phaser), e.phase] for e in report.events],
+        "cycle": [_vertex_to_obj(v) for v in report.cycle],
+        "model": report.model_used.value,
+        "edge_count": report.edge_count,
+        "avoided": report.avoided,
+    }
+    if report.provenance is not None:
+        obj["provenance"] = [
+            {
+                "source": edge.source,
+                "target": edge.target,
+                "source_task": edge.source_task,
+                "target_task": edge.target_task,
+                "source_origin": origin_to_obj(edge.source_origin),
+                "target_origin": origin_to_obj(edge.target_origin),
+            }
+            for edge in report.provenance
+        ]
+    if report.detection_lag is not None:
+        obj["detection_lag"] = report.detection_lag
+    if report.detected_at is not None:
+        obj["detected_at"] = report.detected_at
+    return obj
+
+
+def report_from_obj(obj: Mapping):
+    """Inverse of :func:`report_to_obj`; raises
+    :class:`TraceFormatError` on malformed input."""
+    from repro.core.report import DeadlockReport, EdgeProvenance
+    from repro.core.selection import GraphModel
+
+    try:
+        provenance = None
+        if obj.get("provenance") is not None:
+            provenance = tuple(
+                EdgeProvenance(
+                    source=str(edge["source"]),
+                    target=str(edge["target"]),
+                    source_task=str(edge["source_task"]),
+                    target_task=str(edge["target_task"]),
+                    source_origin=origin_from_obj(edge["source_origin"]),
+                    target_origin=origin_from_obj(edge["target_origin"]),
+                )
+                for edge in obj["provenance"]
+            )
+        return DeadlockReport(
+            tasks=tuple(str(t) for t in obj["tasks"]),
+            events=tuple(Event(p, int(n)) for p, n in obj["events"]),
+            cycle=tuple(_vertex_from_obj(v) for v in obj["cycle"]),
+            model_used=GraphModel(obj["model"]),
+            edge_count=int(obj["edge_count"]),
+            avoided=bool(obj["avoided"]),
+            provenance=provenance,
+            detection_lag=(
+                None if obj.get("detection_lag") is None
+                else int(obj["detection_lag"])
+            ),
+            detected_at=(
+                None if obj.get("detected_at") is None
+                else int(obj["detected_at"])
+            ),
+        )
+    except (KeyError, TypeError, ValueError) as exc:
+        raise TraceFormatError(f"malformed deadlock report: {obj!r}") from exc
+
+
+# ---------------------------------------------------------------------------
 # records
 # ---------------------------------------------------------------------------
 @dataclass(frozen=True)

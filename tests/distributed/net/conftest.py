@@ -1,0 +1,35 @@
+"""Shared fixtures: a live checker service on an ephemeral port."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.distributed.net import CheckerService, RemoteStore
+
+
+@pytest.fixture()
+def service():
+    """A started service, periodic checks off (tests drive ``check``)."""
+    with CheckerService(port=0, check_interval_s=0) as svc:
+        yield svc
+
+
+@pytest.fixture()
+def make_client(service):
+    """Build tenant-scoped clients against the live service; each is
+    closed at teardown."""
+    clients = []
+
+    def build(tenant: str = "default", **kwargs) -> RemoteStore:
+        kwargs.setdefault("timeout_s", 5.0)
+        kwargs.setdefault("connect_timeout_s", 5.0)
+        kwargs.setdefault("backoff_s", 0.01)
+        client = RemoteStore(
+            service.host, service.port, tenant=tenant, **kwargs
+        )
+        clients.append(client)
+        return client
+
+    yield build
+    for client in clients:
+        client.close()

@@ -1,0 +1,134 @@
+"""The acceptance differential: wire-path reports are byte-identical
+to in-process reports.
+
+Three comparisons, strongest last:
+
+1. a client-side ``DistributedChecker`` over a ``RemoteStore`` versus
+   the same checker over an ``InMemoryStore``, fed identical
+   publications — the drop-in claim at the report level;
+2. the *service-side* check (which adds provenance) versus in-process,
+   compared through ``without_provenance()`` — the enrichment is
+   additive, never report-shape-changing;
+3. a scenario sweep (cross-site rings of growing width, plus
+   no-deadlock controls) pinning ``report_to_obj`` canonical JSON bytes
+   equal across the two paths.
+"""
+
+from __future__ import annotations
+
+import json
+
+from repro.core.events import waiting_on
+from repro.distributed.delta import DeltaPublisher, encode_bucket
+from repro.distributed.detector import DistributedChecker
+from repro.distributed.store import InMemoryStore
+from repro.trace.events import report_to_obj
+
+
+def canonical(report) -> str:
+    return json.dumps(report_to_obj(report), sort_keys=True)
+
+
+def publish(store, site, statuses, stream_seed=None):
+    """Publish with a *deterministic* publisher identity so both paths
+    produce literally identical wire objects."""
+    publisher = DeltaPublisher(site, stream=stream_seed)
+    obj = publisher.prepare(encode_bucket(statuses))
+    if obj is not None:
+        store.append_delta(site, obj)
+        publisher.commit(obj)
+    return publisher
+
+
+def ring_sites(n: int):
+    """``n`` sites, one task each, task i waiting on task i+1 mod n —
+    a deadlock cycle of width n spread over n sites."""
+    sites = {}
+    for i in range(n):
+        me, nxt = f"e{i}", f"e{(i + 1) % n}"
+        sites[f"s{i}"] = {
+            f"t{i}": waiting_on(nxt, 1, **{nxt: 1, me: 0}),
+        }
+    return sites
+
+
+def chain_sites(n: int):
+    """No deadlock: a wait chain with a free tail."""
+    sites = {}
+    for i in range(n):
+        nxt = f"e{i + 1}"
+        sites[f"s{i}"] = {f"t{i}": waiting_on(nxt, 1, **{nxt: 1})}
+    return sites
+
+
+class TestClientSideDifferential:
+    def test_reports_byte_identical_across_transport(self, make_client):
+        remote = make_client("diff-client")
+        local = InMemoryStore()
+        scenario = ring_sites(2)
+        for i, (site, statuses) in enumerate(sorted(scenario.items())):
+            seed = f"stream{i:04d}"
+            publish(remote, site, statuses, stream_seed=seed)
+            publish(local, site, statuses, stream_seed=seed)
+        wire_report = DistributedChecker(remote).check_global()
+        local_report = DistributedChecker(local).check_global()
+        assert wire_report is not None and local_report is not None
+        assert canonical(wire_report) == canonical(local_report)
+
+    def test_scenario_sweep(self, make_client):
+        for width in (2, 3, 5):
+            remote = make_client(f"diff-ring{width}")
+            local = InMemoryStore()
+            for i, (site, statuses) in enumerate(
+                sorted(ring_sites(width).items())
+            ):
+                seed = f"ring{width}-{i:04d}"
+                publish(remote, site, statuses, stream_seed=seed)
+                publish(local, site, statuses, stream_seed=seed)
+            wire_report = DistributedChecker(remote).check_global()
+            local_report = DistributedChecker(local).check_global()
+            assert wire_report is not None
+            assert canonical(wire_report) == canonical(local_report)
+        for width in (2, 4):
+            remote = make_client(f"diff-chain{width}")
+            local = InMemoryStore()
+            for i, (site, statuses) in enumerate(
+                sorted(chain_sites(width).items())
+            ):
+                seed = f"chain{width}-{i:04d}"
+                publish(remote, site, statuses, stream_seed=seed)
+                publish(local, site, statuses, stream_seed=seed)
+            # No-deadlock controls: both paths stay silent.
+            assert DistributedChecker(remote).check_global() is None
+            assert DistributedChecker(local).check_global() is None
+
+
+class TestServiceSideDifferential:
+    def test_service_report_matches_in_process_modulo_provenance(
+        self, make_client
+    ):
+        remote = make_client("diff-service")
+        local = InMemoryStore()
+        for i, (site, statuses) in enumerate(sorted(ring_sites(3).items())):
+            seed = f"svc-{i:04d}"
+            publish(remote, site, statuses, stream_seed=seed)
+            publish(local, site, statuses, stream_seed=seed)
+        service_report = remote.check()  # checked *on the service*
+        local_report = DistributedChecker(local).check_global()
+        assert service_report is not None
+        # The service enriches with wire provenance; strip it and the
+        # report is byte-identical to the in-process path.
+        assert service_report.provenance
+        assert canonical(service_report.without_provenance()) == \
+            canonical(local_report)
+
+    def test_report_objects_roundtrip_the_codec(self, make_client):
+        """What ``reports`` returns client-side decodes to the same
+        canonical bytes the service holds."""
+        remote = make_client("diff-codec")
+        for i, (site, statuses) in enumerate(sorted(ring_sites(2).items())):
+            publish(remote, site, statuses, stream_seed=f"codec-{i:04d}")
+        first = remote.check()
+        listed = remote.reports()
+        assert len(listed) == 1
+        assert canonical(listed[0]) == canonical(first)

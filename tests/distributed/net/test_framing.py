@@ -1,0 +1,171 @@
+"""The wire format: length-prefixed JSON frames, both transport halves.
+
+The blocking half is exercised over a real ``socketpair``; the asyncio
+half over a fed ``StreamReader`` — same bytes, same failure taxonomy:
+clean EOF between frames is ``None``, EOF *inside* a frame (header or
+payload) is a :class:`FrameError`, and a hostile length prefix fails
+fast instead of allocating.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import socket
+import struct
+
+import pytest
+
+from repro.distributed.net import framing
+from repro.distributed.net.framing import (
+    MAX_FRAME_BYTES,
+    FrameError,
+    decode_payload,
+    encode_frame,
+    read_frame,
+    recv_frame,
+    send_frame,
+    write_frame,
+)
+
+
+@pytest.fixture()
+def pair():
+    a, b = socket.socketpair()
+    yield a, b
+    a.close()
+    b.close()
+
+
+class TestEncode:
+    def test_roundtrip(self):
+        obj = {"op": "append_delta", "site": "s0", "n": [1, 2, 3]}
+        wire = encode_frame(obj)
+        (length,) = struct.unpack(">I", wire[:4])
+        assert length == len(wire) - 4
+        assert decode_payload(wire[4:]) == obj
+
+    def test_compact_json(self):
+        assert b" " not in encode_frame({"a": 1, "b": [2, 3]})
+
+    def test_oversized_object_refused_on_send(self, monkeypatch):
+        monkeypatch.setattr(framing, "MAX_FRAME_BYTES", 16)
+        with pytest.raises(FrameError):
+            encode_frame({"blob": "x" * 64})
+
+    def test_non_json_payload_refused(self):
+        with pytest.raises(FrameError):
+            decode_payload(b"\xff\xfenot json")
+
+
+class TestBlockingSocket:
+    def test_roundtrip_and_pipelining(self, pair):
+        a, b = pair
+        send_frame(a, {"seq": 1})
+        send_frame(a, {"seq": 2})
+        assert recv_frame(b) == {"seq": 1}
+        assert recv_frame(b) == {"seq": 2}
+
+    def test_clean_eof_between_frames_is_none(self, pair):
+        a, b = pair
+        send_frame(a, {"seq": 1})
+        a.close()
+        assert recv_frame(b) == {"seq": 1}
+        assert recv_frame(b) is None
+
+    def test_eof_mid_header_is_truncation(self, pair):
+        a, b = pair
+        a.sendall(b"\x00\x00")  # half a header, then gone
+        a.close()
+        with pytest.raises(FrameError):
+            recv_frame(b)
+
+    def test_eof_mid_payload_is_truncation(self, pair):
+        a, b = pair
+        wire = encode_frame({"big": "x" * 100})
+        a.sendall(wire[:-10])
+        a.close()
+        with pytest.raises(FrameError):
+            recv_frame(b)
+
+    def test_eof_between_header_and_payload_is_truncation(self, pair):
+        a, b = pair
+        a.sendall(struct.pack(">I", 32))  # announces 32 bytes, sends none
+        a.close()
+        with pytest.raises(FrameError):
+            recv_frame(b)
+
+    def test_hostile_length_prefix_fails_fast(self, pair):
+        a, b = pair
+        a.sendall(struct.pack(">I", MAX_FRAME_BYTES + 1))
+        with pytest.raises(FrameError):
+            recv_frame(b)
+
+    def test_garbage_payload_raises(self, pair):
+        a, b = pair
+        payload = b"definitely not json"
+        a.sendall(struct.pack(">I", len(payload)) + payload)
+        with pytest.raises(FrameError):
+            recv_frame(b)
+
+
+def drive(coro):
+    return asyncio.run(coro)
+
+
+class TestAsyncioStream:
+    def _reader(self, *chunks: bytes, eof: bool = True) -> asyncio.StreamReader:
+        reader = asyncio.StreamReader()
+        for chunk in chunks:
+            reader.feed_data(chunk)
+        if eof:
+            reader.feed_eof()
+        return reader
+
+    def test_roundtrip(self):
+        async def go():
+            reader = self._reader(encode_frame({"seq": 1}) + encode_frame({"seq": 2}))
+            return await read_frame(reader), await read_frame(reader)
+
+        assert drive(go()) == ({"seq": 1}, {"seq": 2})
+
+    def test_clean_eof_is_none(self):
+        async def go():
+            return await read_frame(self._reader())
+
+        assert drive(go()) is None
+
+    def test_eof_mid_header_raises(self):
+        async def go():
+            return await read_frame(self._reader(b"\x00\x00"))
+
+        with pytest.raises(FrameError):
+            drive(go())
+
+    def test_eof_mid_payload_raises(self):
+        async def go():
+            wire = encode_frame({"big": "x" * 100})
+            return await read_frame(self._reader(wire[:-5]))
+
+        with pytest.raises(FrameError):
+            drive(go())
+
+    def test_hostile_length_prefix_raises(self):
+        async def go():
+            return await read_frame(
+                self._reader(struct.pack(">I", MAX_FRAME_BYTES + 1))
+            )
+
+        with pytest.raises(FrameError):
+            drive(go())
+
+    def test_write_frame_matches_blocking_encoding(self):
+        class SpyWriter:
+            def __init__(self):
+                self.chunks = []
+
+            def write(self, data):
+                self.chunks.append(data)
+
+        writer = SpyWriter()
+        write_frame(writer, {"seq": 7})
+        assert b"".join(writer.chunks) == encode_frame({"seq": 7})

@@ -1,0 +1,308 @@
+"""The checker service: core dispatch, tenancy, periodic detection,
+service-side provenance, obs-endpoint integration, and lifecycle.
+
+The transport-free :class:`CheckerServiceCore` is unit-tested directly
+(requests in, responses out); the socket-level behaviours ride the
+fixtures from ``conftest.py``.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+import urllib.error
+import urllib.request
+
+import pytest
+
+from repro.core.events import waiting_on
+from repro.distributed.delta import DeltaPublisher, encode_bucket, make_snapshot
+from repro.distributed.net import CheckerService, RemoteStore
+from repro.distributed.net.service import CheckerServiceCore
+from repro.distributed.store import encode_statuses
+from repro.obs.registry import MetricsRegistry
+
+
+def publish(store, site, statuses, publisher=None):
+    publisher = publisher or DeltaPublisher(site)
+    obj = publisher.prepare(encode_bucket(statuses))
+    if obj is not None:
+        store.append_delta(site, obj)
+        publisher.commit(obj)
+    return publisher
+
+
+def crossed_knot():
+    return (
+        {"a": waiting_on("p", 1, p=1, q=0)},
+        {"b": waiting_on("q", 1, q=1, p=0)},
+    )
+
+
+def fetch(url: str):
+    try:
+        with urllib.request.urlopen(url, timeout=5) as resp:
+            return resp.status, resp.read()
+    except urllib.error.HTTPError as exc:
+        return exc.code, exc.read()
+
+
+class TestCoreDispatch:
+    def test_non_object_request_refused(self):
+        core = CheckerServiceCore()
+        response = core.handle(["not", "an", "object"])
+        assert response["ok"] is False and response["error"] == "protocol"
+
+    def test_unknown_op_refused(self):
+        core = CheckerServiceCore()
+        response = core.handle({"op": "frobnicate"})
+        assert response["ok"] is False and response["error"] == "protocol"
+
+    def test_missing_argument_is_a_value_error(self):
+        core = CheckerServiceCore()
+        response = core.handle({"op": "get_state"})  # no "site"
+        assert response["ok"] is False and response["error"] == "value"
+
+    def test_ping_lists_tenants(self):
+        core = CheckerServiceCore()
+        core.handle({"op": "append_delta", "tenant": "acme", "site": "s0",
+                     "obj": make_snapshot(1, {}, "S")})
+        response = core.handle({"op": "ping"})
+        assert response["ok"] and response["value"]["tenants"] == ["acme"]
+
+    def test_request_and_error_counters(self):
+        registry = MetricsRegistry()
+        core = CheckerServiceCore(metrics=registry)
+        core.handle({"op": "ping"})
+        core.handle({"op": "get_state"})  # missing "site" -> value error
+        core.handle({"op": "get_state", "site": "ghost"})  # no stream
+        assert core._m_requests.value(op="ping") == 1
+        assert core._m_errors.value(error="value") == 1
+        assert core._m_errors.value(error="sequence") == 1
+
+    def test_check_finds_cross_site_cycle_with_provenance(self):
+        core = CheckerServiceCore()
+        a, b = crossed_knot()
+        tenant = core.tenant("default")
+        publish(tenant, "s0", a)
+        publish(tenant, "s1", b)
+        response = core.handle({"op": "check"})
+        assert response["ok"]
+        obj = response["value"]
+        assert set(obj["tasks"]) == {"a", "b"}
+        # Service-side provenance: every cycle edge carries the live
+        # wire deltas (site, stream, seq) that produced its endpoints.
+        provenance = obj.get("provenance")
+        assert provenance
+        for edge in provenance:
+            for end in ("source_origin", "target_origin"):
+                origin = edge[end]
+                assert origin["kind"] == "publish_delta"
+                assert origin["site"] in {"s0", "s1"}
+                assert origin["seq"] >= 1 and origin.get("stream")
+        sites = {e["source_origin"]["site"] for e in provenance}
+        assert sites == {"s0", "s1"}
+
+    def test_reports_deduplicate_per_cycle(self):
+        core = CheckerServiceCore()
+        tenant = core.tenant("default")
+        a, b = crossed_knot()
+        publish(tenant, "s0", a)
+        publish(tenant, "s1", b)
+        assert core.handle({"op": "check"})["value"] is not None
+        assert core.handle({"op": "check"})["value"] is not None  # re-answered
+        reports = core.handle({"op": "reports"})["value"]
+        assert len(reports) == 1  # ... but logged once
+
+    def test_health_aggregate_and_per_tenant(self):
+        core = CheckerServiceCore()
+        a, b = crossed_knot()
+        calm = core.tenant("calm")
+        publish(calm, "s0", {"t": waiting_on("p", 1, p=1)})
+        stuck = core.tenant("stuck")
+        publish(stuck, "s0", a)
+        publish(stuck, "s1", b)
+        stuck.check()
+        doc = core.health_doc()
+        assert doc["status"] == "deadlock"
+        assert doc["mode"] == "checker-service"
+        assert doc["tenant_count"] == 2
+        assert doc["deadlocked_tenants"] == ["stuck"]
+        assert doc["tenants"]["calm"]["status"] == "ok"
+        one = core.health_doc("stuck")
+        assert one["status"] == "deadlock"
+        assert one["sites"] == ["s0", "s1"]
+        assert one["report_count"] == 1
+        with pytest.raises(KeyError):
+            core.health_doc("nobody")
+
+    def test_store_factory_backs_named_tenants(self):
+        from repro.distributed.store import InMemoryStore
+
+        made = {}
+
+        def factory(name):
+            made[name] = InMemoryStore(name=f"custom:{name}")
+            return made[name]
+
+        core = CheckerServiceCore(store_factory=factory)
+        core.tenant("acme")
+        assert core.tenant("acme").store is made["acme"]
+
+
+class TestPeriodicChecks:
+    def test_service_side_detection_without_client_polling(self):
+        registry = MetricsRegistry()
+        with CheckerService(
+            port=0, check_interval_s=0.02, metrics=registry
+        ) as svc:
+            with RemoteStore(svc.host, svc.port, tenant="auto") as remote:
+                a, b = crossed_knot()
+                publish(remote, "s0", a)
+                publish(remote, "s1", b)
+                deadline = time.time() + 10.0
+                while time.time() < deadline:
+                    if remote.health()["status"] == "deadlock":
+                        break
+                    time.sleep(0.01)
+                doc = remote.health()
+                assert doc["status"] == "deadlock"
+                reports = remote.reports()
+                assert len(reports) == 1
+                assert set(reports[0].tasks) == {"a", "b"}
+        assert registry.counter(
+            "repro_net_check_rounds_total",
+            "Periodic service-side detection rounds, across tenants.",
+            volatile=True,
+        ).total() >= 1
+
+    def test_one_sick_tenant_does_not_stall_the_others(self):
+        from repro.distributed.store import InMemoryStore
+
+        stores = {}
+
+        def factory(name):
+            stores[name] = InMemoryStore(name=name)
+            return stores[name]
+
+        with CheckerService(
+            port=0, check_interval_s=0.01, store_factory=factory
+        ) as svc:
+            with RemoteStore(svc.host, svc.port, tenant="sick") as sick, \
+                 RemoteStore(svc.host, svc.port, tenant="fine") as fine:
+                sick.ping()
+                publish(sick, "s0", {"t": waiting_on("p", 1, p=1)})
+                stores["sick"].set_available(False)  # periodic checks now fail
+                a, b = crossed_knot()
+                publish(fine, "s0", a)
+                publish(fine, "s1", b)
+                deadline = time.time() + 10.0
+                while time.time() < deadline:
+                    if fine.health()["status"] == "deadlock":
+                        break
+                    time.sleep(0.01)
+                assert fine.health()["status"] == "deadlock"
+
+
+class TestObsIntegration:
+    @pytest.fixture()
+    def endpoint(self):
+        from repro.obs.server import MetricsHTTPServer
+
+        registry = MetricsRegistry()
+        svc = CheckerService(port=0, check_interval_s=0, metrics=registry)
+        svc.start()
+        a, b = crossed_knot()
+        stuck = svc.core.tenant("stuck")
+        publish(stuck, "s0", a)
+        publish(stuck, "s1", b)
+        stuck.check()
+        calm = svc.core.tenant("calm")
+        publish(calm, "s0", {"t": waiting_on("p", 1, p=1)})
+        with MetricsHTTPServer(registry, port=0, service=svc) as http:
+            yield http
+        assert svc.stop()
+
+    def test_aggregate_healthz_503_names_the_deadlocked_tenant(self, endpoint):
+        status, body = fetch(endpoint.url + "/healthz")
+        assert status == 503
+        doc = json.loads(body)
+        assert doc["mode"] == "checker-service"
+        assert doc["deadlocked_tenants"] == ["stuck"]
+        assert doc["tenants"]["stuck"]["reports"][0]["tasks"] == ["a", "b"]
+
+    def test_per_tenant_healthz_slices(self, endpoint):
+        status, body = fetch(endpoint.url + "/healthz?tenant=calm")
+        assert status == 200
+        assert json.loads(body)["tenant"] == "calm"
+        status, body = fetch(endpoint.url + "/healthz?tenant=stuck")
+        assert status == 503
+        assert json.loads(body)["cycles_found"] >= 1
+
+    def test_unknown_tenant_404s(self, endpoint):
+        status, _ = fetch(endpoint.url + "/healthz?tenant=nobody")
+        assert status == 404
+
+    def test_metrics_carry_service_series(self, endpoint):
+        from repro.obs.export import parse_prometheus
+
+        status, body = fetch(endpoint.url + "/metrics")
+        assert status == 200
+        families = parse_prometheus(body.decode("utf-8"))
+        # The service's own planes registered through the shared
+        # registry: connection accounting and the tenant stores.
+        assert "repro_net_connections_total" in families
+        assert "repro_store_appends_total" in families
+
+    def test_spans_route_via_service_tracer(self):
+        from repro.obs.server import MetricsHTTPServer
+        from repro.obs.tracing import Tracer, validate_chrome_trace
+
+        registry = MetricsRegistry()
+        tracer = Tracer()
+        with CheckerService(
+            port=0, check_interval_s=0, metrics=registry, tracer=tracer
+        ) as svc:
+            with RemoteStore(svc.host, svc.port, tenant="traced") as remote:
+                remote.append_delta(
+                    "s0",
+                    make_snapshot(
+                        1,
+                        encode_statuses({"t": waiting_on("p", 1, p=1)}),
+                        "S",
+                    ),
+                )
+                remote.check()
+            with MetricsHTTPServer(registry, port=0, service=svc) as http:
+                status, body = fetch(http.url + "/spans")
+                assert status == 200
+                validate_chrome_trace(json.loads(body))
+
+
+class TestLifecycle:
+    def test_ephemeral_port_assigned_on_start(self, service):
+        assert service.port != 0
+        assert service.address.endswith(str(service.port))
+
+    def test_stop_is_clean_and_idempotent(self):
+        svc = CheckerService(port=0, check_interval_s=0).start()
+        assert svc.stop() is True
+        assert svc.stop() is True  # second stop: no-op, still clean
+
+    def test_stop_with_an_open_connection_is_clean(self):
+        svc = CheckerService(port=0, check_interval_s=0).start()
+        remote = RemoteStore(svc.host, svc.port)
+        assert remote.ping()["server"] == "repro-checker"
+        try:
+            assert svc.stop() is True  # open client must not wedge the loop
+        finally:
+            remote.close()
+
+    def test_bind_conflict_surfaces_on_start(self):
+        with CheckerService(port=0, check_interval_s=0) as first:
+            second = CheckerService(port=first.port, check_interval_s=0)
+            with pytest.raises(RuntimeError):
+                second.start()
+
+    def test_start_twice_is_a_noop(self, service):
+        assert service.start() is service

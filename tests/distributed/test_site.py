@@ -189,3 +189,81 @@ class TestBackgroundLoops:
         time.sleep(0.05)
         site.stop()
         assert store.delta_sites() == []
+
+
+class TestLoopFailureVisibility:
+    """Regressions for the shutdown/liveness sweep: a wedged or dead
+    loop must be *observable* — dirty stop flags, error slots, failure
+    metrics — never silently swallowed."""
+
+    def test_wedged_loop_body_makes_stop_dirty(self):
+        import threading
+
+        store = InMemoryStore()
+        site = Site("s0", store, publish_interval_s=0.01)
+        release = threading.Event()
+        site._publish_once = release.wait  # a deliberately wedged body
+        site.start()
+        try:
+            assert site.stop(timeout=0.1) is False  # dirty: logged, flagged
+            assert not site.alive
+        finally:
+            release.set()
+        # The wedged thread stayed tracked; once its body unblocks, a
+        # later stop observes the clean exit.
+        deadline = time.time() + 5.0
+        while any(t.is_alive() for t in site._threads) and time.time() < deadline:
+            time.sleep(0.01)
+        assert site.stop(timeout=1.0) is True
+
+    def test_clean_stop_returns_true(self):
+        site = Site("s0", InMemoryStore(), publish_interval_s=0.01).start()
+        time.sleep(0.03)
+        assert site.stop() is True
+
+    @pytest.mark.filterwarnings(
+        "ignore::pytest.PytestUnhandledThreadExceptionWarning"
+    )  # the re-raise after recording is the contract under test
+    def test_loop_death_recorded_in_error_slot_and_metric(self):
+        from repro.obs.registry import MetricsRegistry
+
+        registry = MetricsRegistry()
+        store = InMemoryStore()
+        site = Site("s0", store, publish_interval_s=0.01, metrics=registry)
+
+        def boom():
+            raise RuntimeError("synthetic publisher failure")
+
+        site._publish_once = boom
+        site.start()
+        try:
+            deadline = time.time() + 5.0
+            while "publisher" not in site.loop_errors and time.time() < deadline:
+                time.sleep(0.01)
+            assert isinstance(site.loop_errors["publisher"], RuntimeError)
+            # The failure is metered before the thread dies...
+            assert site._m_publishes.value(site="s0", outcome="error") == 1
+        finally:
+            site.stop(timeout=1.0)
+        # ... and an outage (StoreUnavailableError) still does NOT use
+        # the error slot — it's tolerated, not fatal (pinned elsewhere:
+        # test_store_outage_counted_and_survived).
+
+    def test_outage_does_not_populate_error_slot(self):
+        store = InMemoryStore()
+        with Site(
+            "s0", store, check_interval_s=0.01, publish_interval_s=0.01
+        ) as site:
+            store.set_available(False)
+            # Give the publisher a change to push, so both loops hit
+            # the dead store (an unchanged round never touches it).
+            load_local_deadlock(site)
+            deadline = time.time() + 5.0
+            while (
+                not (site.publish_failures and site.check_failures)
+                and time.time() < deadline
+            ):
+                time.sleep(0.01)
+            assert site.publish_failures > 0 and site.check_failures > 0
+            assert site.loop_errors == {}  # tolerated, loops still alive
+            store.set_available(True)

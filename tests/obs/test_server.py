@@ -190,6 +190,88 @@ class TestServeRestart:
         server.stop()  # never served: still closes the socket cleanly
 
 
+class TestShutdownVisibility:
+    """Regressions for the shutdown/liveness sweep: ``shutdown_demo``
+    reports a clean/dirty flag instead of swallowing everything, and a
+    ring worker whose start gate never opens fails loudly."""
+
+    def test_clean_shutdown_returns_true(self):
+        registry = MetricsRegistry()
+        runtime, tasks = build_demo_runtime(
+            registry, n_tasks=2, interval_s=0.02
+        )
+        deadline = time.monotonic() + 10
+        while not runtime.reports and time.monotonic() < deadline:
+            time.sleep(0.01)
+        assert runtime.reports
+        assert shutdown_demo(runtime, tasks) is True
+
+    def test_wedged_task_makes_shutdown_dirty(self):
+        import threading
+
+        registry = MetricsRegistry()
+        runtime, tasks = build_demo_runtime(
+            registry, n_tasks=2, interval_s=0.02
+        )
+        release = threading.Event()
+        wedged = runtime.spawn(release.wait, name="wedged")
+        try:
+            deadline = time.monotonic() + 10
+            while not runtime.reports and time.monotonic() < deadline:
+                time.sleep(0.01)
+            # The wedged extra task ignores cancellation: the join times
+            # out, and the dirty flag says so instead of silence.
+            assert shutdown_demo(
+                runtime, tasks + [wedged], join_timeout_s=0.1
+            ) is False
+        finally:
+            release.set()
+            wedged.join(5)
+
+    def test_failed_task_makes_shutdown_dirty(self):
+        registry = MetricsRegistry()
+        runtime, tasks = build_demo_runtime(
+            registry, n_tasks=2, interval_s=0.02
+        )
+
+        def boom():
+            raise RuntimeError("synthetic demo-task failure")
+
+        failed = runtime.spawn(boom, name="failing")
+        deadline = time.monotonic() + 10
+        while not runtime.reports and time.monotonic() < deadline:
+            time.sleep(0.01)
+        assert shutdown_demo(runtime, tasks + [failed]) is False
+
+    def test_ring_worker_fails_loudly_when_gate_never_opens(self, monkeypatch):
+        """A timed-out start gate must fail the task (visible through
+        join and the dirty shutdown flag), not silently run a different
+        scenario."""
+        import threading
+        from types import SimpleNamespace
+
+        from repro.obs import server as server_mod
+        from repro.runtime.tasks import TaskFailedError
+
+        class NeverOpeningGate(threading.Event):
+            def set(self):  # the scenario's gate.set() is lost
+                pass
+
+        monkeypatch.setattr(server_mod, "DEMO_GATE_TIMEOUT_S", 0.05)
+        monkeypatch.setattr(
+            server_mod, "threading",
+            SimpleNamespace(Event=NeverOpeningGate),
+        )
+        registry = MetricsRegistry()
+        runtime, tasks = build_demo_runtime(
+            registry, n_tasks=2, interval_s=0.02
+        )
+        with pytest.raises(TaskFailedError, match="start gate"):
+            for task in tasks:
+                task.join(10)
+        assert shutdown_demo(runtime, tasks) is False
+
+
 class TestConcurrentScrapes:
     def test_parallel_metrics_and_healthz_under_mutation(self, live_endpoint):
         """Several scrapers hitting both routes while the demo runtime
