@@ -107,6 +107,13 @@ class _FrozenPhases(dict):
     def _readonly(self, *args, **kwargs):  # pragma: no cover - guard path
         raise TypeError("BlockedStatus.registered is immutable")
 
+    def __reduce__(self):
+        # Default dict-subclass pickling rebuilds item-by-item through
+        # __setitem__, which the guards above reject; rebuild through
+        # the constructor instead (statuses cross process boundaries in
+        # the corpus-prediction fan-out).
+        return (type(self), (dict(self),))
+
     __setitem__ = _readonly
     __delitem__ = _readonly
     clear = _readonly

@@ -1,0 +1,64 @@
+"""Sound predictive deadlock detection over recorded traces.
+
+All other checking in this codebase is *observed-state*: a report
+requires the wait-for cycle to actually form during the recorded run.
+This package predicts deadlocks from **ok-traces** — runs where the
+cycle did *not* manifest — by reordering the recorded events
+consistently with a happens-before partial order, in the spirit of
+"Sound Dynamic Deadlock Prediction in Linear Time" (Tunç et al.),
+transplanted to the Armus barrier model.
+
+The pipeline has four stages, one module each:
+
+* :mod:`repro.predict.hb` — a vector-clock happens-before model built
+  from replayed trace records: program order per task, phase-advance
+  release ordering per phaser, and published status ops attributed to
+  their tasks (the publish→sync leg of the order);
+* :mod:`repro.predict.candidates` — blocked-interval extraction and the
+  near-miss enumerator: sets of block records, one per task, whose
+  wait-for edges close a cycle and whose intervals are pairwise
+  HB-concurrent (some HB-consistent reordering makes them all pend at
+  once);
+* :mod:`repro.predict.witness` — the sound reordering constructor: each
+  candidate becomes a concrete reordered trace (the HB-downclosed
+  prefix of every candidate task, in original record order), replayable
+  by the ordinary engine;
+* :mod:`repro.predict.engine` — the realisability confirmer: every
+  witness is replayed through the *existing* detection engine, classic
+  and incremental, and only candidates both engines confirm (with
+  byte-identical reports) are reported.  Soundness is a tested
+  differential, not an assumption.
+
+Everything downstream of the trace bytes is deterministic: candidate
+enumeration, witness construction and rendering are pure functions of
+the input, byte-identical across hash seeds, worker counts and engines
+(pinned by the predict corpus golden).
+"""
+
+from repro.predict.candidates import BlockInterval, enumerate_candidates
+from repro.predict.engine import (
+    PredictResult,
+    Prediction,
+    Predictor,
+    predict_trace,
+    render_prediction,
+)
+from repro.predict.hb import HBModel, build_hb_model
+from repro.predict.parallel import CorpusPredictResult, PredictEntry, predict_corpus
+from repro.predict.witness import build_witness
+
+__all__ = [
+    "BlockInterval",
+    "CorpusPredictResult",
+    "HBModel",
+    "PredictEntry",
+    "PredictResult",
+    "Prediction",
+    "Predictor",
+    "build_hb_model",
+    "build_witness",
+    "enumerate_candidates",
+    "predict_corpus",
+    "predict_trace",
+    "render_prediction",
+]

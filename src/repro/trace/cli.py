@@ -1,6 +1,6 @@
 """The ``python -m repro.trace`` command line.
 
-Five subcommands cover the record → persist → analyse → explain loop:
+Six subcommands cover the record → persist → analyse → explain loop:
 
 * ``record`` — run a built-in scenario under a recording runtime and
   save the trace (``--scenario crossed|averaging|barrier``;
@@ -31,7 +31,16 @@ Five subcommands cover the record → persist → analyse → explain loop:
   function of the trace bytes — byte-identical across hash seeds,
   ``--parallel`` values and both engines.  ``--chrome OUT.json``
   additionally writes a Chrome trace-event document (load it in
-  Perfetto or ``about:tracing``; single trace input only).
+  Perfetto or ``about:tracing``; single trace input only);
+* ``predict`` — sound predictive deadlock detection over ok-traces
+  (see :mod:`repro.predict`): build a happens-before model, enumerate
+  near-miss candidates, construct a concrete reordered witness trace
+  per candidate and report only candidates the existing engine
+  confirms by replaying the witness (classic *and* incremental).
+  ``--emit-witness DIR`` saves each confirmed witness as an ordinary
+  replayable trace file; ``--parallel N`` fans a corpus out; stdout is
+  byte-identical across worker counts and hash seeds (same pin as
+  replay/explain).
 
 Examples::
 
@@ -43,6 +52,8 @@ Examples::
     python -m repro.trace stats corpus/cycle-L3-F2-S1-R2-dl.jsonl
     python -m repro.trace explain crossed.trace --report 1
     python -m repro.trace explain corpus/ --parallel 4
+    python -m repro.trace predict corpus/ --parallel 4
+    python -m repro.trace predict near-miss.jsonl --emit-witness out/
 """
 
 from __future__ import annotations
@@ -60,16 +71,19 @@ from repro.trace.corpus import (
     DEFAULT_CHURN_GRID,
     DEFAULT_GRID,
     DEFAULT_KNOT_GRID,
+    DEFAULT_NEARMISS_GRID,
     SMOKE_AIO_GRID,
     SMOKE_BOUNDED_GRID,
     SMOKE_CHURN_GRID,
     SMOKE_GRID,
     SMOKE_KNOT_GRID,
+    SMOKE_NEARMISS_GRID,
     aio_grid_specs,
     bounded_grid_specs,
     churn_grid_specs,
     grid_specs,
     knot_grid_specs,
+    nearmiss_grid_specs,
     verify_corpus,
     write_corpus,
 )
@@ -77,7 +91,7 @@ from repro.trace.recorder import TraceRecorder
 from repro.trace.replay import replay as run_replay
 
 #: Scenario families ``gen`` knows how to write.
-FAMILIES = ("cycle", "churn", "aio", "bounded", "knot")
+FAMILIES = ("cycle", "churn", "aio", "bounded", "knot", "nearmiss")
 
 
 def _ints(text: str) -> List[int]:
@@ -429,6 +443,15 @@ def cmd_gen(args: argparse.Namespace) -> int:
                     SMOKE_KNOT_GRID["verdicts"],
                 )
             )
+        if "nearmiss" in families:
+            specs.extend(
+                nearmiss_grid_specs(
+                    SMOKE_NEARMISS_GRID["chain_lens"],
+                    SMOKE_NEARMISS_GRID["rounds"],
+                    SMOKE_NEARMISS_GRID["site_counts"],
+                    SMOKE_NEARMISS_GRID["realisable"],
+                )
+            )
         results = verify_corpus(specs, processes=args.parallel)
         bad = [spec for spec, ok in results if not ok]
         for spec, ok in results:
@@ -484,6 +507,15 @@ def cmd_gen(args: argparse.Namespace) -> int:
                 args.rounds or DEFAULT_KNOT_GRID["rounds"],
                 args.sites or DEFAULT_KNOT_GRID["site_counts"],
                 DEFAULT_KNOT_GRID["verdicts"],
+            )
+        )
+    if "nearmiss" in families:
+        specs.extend(
+            nearmiss_grid_specs(
+                args.cycle_lens or DEFAULT_NEARMISS_GRID["chain_lens"],
+                args.rounds or DEFAULT_NEARMISS_GRID["rounds"],
+                args.sites or DEFAULT_NEARMISS_GRID["site_counts"],
+                DEFAULT_NEARMISS_GRID["realisable"],
             )
         )
     codecs = ("jsonl", "binary") if args.codec == "both" else (args.codec,)
@@ -599,6 +631,125 @@ def _explain_corpus(paths, args: argparse.Namespace) -> int:
 
 
 # ---------------------------------------------------------------------------
+# predict
+# ---------------------------------------------------------------------------
+def _emit_witnesses(out_dir, stem: str, predictions) -> List[pathlib.Path]:
+    """Save each confirmed prediction's witness as an ordinary trace
+    file — ``<stem>-predicted-<k>.jsonl``, replayable by ``replay``."""
+    from repro.trace.codec import save_trace
+
+    out_dir = pathlib.Path(out_dir)
+    out_dir.mkdir(parents=True, exist_ok=True)
+    paths = []
+    for k, prediction in enumerate(predictions):
+        path = out_dir / f"{stem}-predicted-{k}.jsonl"
+        save_trace(prediction.witness, path, codec="jsonl")
+        paths.append(path)
+    return paths
+
+
+def _print_predict_result(name: str, result, prefix: str = "") -> None:
+    """The deterministic per-trace block both predict modes share."""
+    from repro.predict.engine import MANIFEST, render_prediction
+
+    line = (
+        f"{prefix}{name}: {result.records} record(s), "
+        f"outcome={result.outcome}, "
+        f"{result.candidates_scanned} candidate(s), "
+        f"{len(result.confirmed)} confirmed, {result.refuted} refuted"
+    )
+    if result.truncated:
+        line += " [truncated: enumeration cap hit]"
+    print(line)
+    if result.outcome == MANIFEST:
+        for report in result.manifest_reports:
+            print(report.describe())
+    for number, prediction in enumerate(result.confirmed, 1):
+        print(render_prediction(prediction, number))
+
+
+def cmd_predict(args: argparse.Namespace) -> int:
+    """Predict deadlocks from ok-trace(s); print confirmed predictions."""
+    from repro.trace.parallel import discover_traces
+
+    paths = discover_traces(args.trace)
+    if not paths:
+        print(f"predict: no trace files under {args.trace}", file=sys.stderr)
+        return 2
+    corpus_input = len(paths) > 1 or any(
+        pathlib.Path(src).is_dir() for src in args.trace
+    )
+    if corpus_input:
+        return _predict_corpus(paths, args)
+    return _predict_single(pathlib.Path(paths[0]), args)
+
+
+def _predict_single(path: pathlib.Path, args: argparse.Namespace) -> int:
+    from repro.predict.engine import predict_trace
+
+    result = predict_trace(str(path), max_candidates=args.max_candidates)
+    print(f"trace: {path}")
+    _print_predict_result(path.name, result)
+    if args.emit_witness and result.confirmed:
+        written = _emit_witnesses(args.emit_witness, path.stem,
+                                  result.confirmed)
+        print(f"witnesses: {len(written)} file(s) -> {args.emit_witness}",
+              file=sys.stderr)
+    _emit_metrics(result.metrics, args, volatile=False)
+    sys.stderr.write(
+        f"predicted over {result.records} record(s) in "
+        f"{result.duration_s * 1e3:.1f} ms\n"
+    )
+    return 0
+
+
+def _predict_corpus(paths, args: argparse.Namespace) -> int:
+    """Corpus prediction: deterministic stdout (diffable across
+    ``--parallel`` values and hash seeds), timing on stderr."""
+    from repro.predict.parallel import predict_corpus
+
+    result = predict_corpus(
+        paths,
+        max_candidates=args.max_candidates,
+        processes=args.parallel,
+    )
+    print(f"corpus: {len(result.entries)} trace(s)")
+    written_total = 0
+    for entry in result.entries:
+        _print_predict_result(entry.path.name, entry.result, prefix="--- ")
+        if args.emit_witness and entry.result.confirmed:
+            written_total += len(_emit_witnesses(
+                args.emit_witness, entry.path.stem, entry.result.confirmed
+            ))
+        if not entry.verdict_ok:
+            print(
+                f"PREDICTION MISMATCH: {entry.path.name} expects "
+                f"prediction={entry.expected}",
+                file=sys.stderr,
+            )
+    predicted = sum(1 for e in result.entries if e.result.confirmed)
+    print(
+        f"predictions: {result.confirmed} confirmed "
+        f"({result.candidates_scanned} candidate(s) scanned, "
+        f"{result.refuted} refuted) across {predicted}/"
+        f"{len(result.entries)} trace(s), "
+        f"{len(result.mismatches)} mismatch(es)"
+    )
+    _emit_metrics(result.metrics, args, volatile=False)
+    timing = []
+    if args.emit_witness:
+        timing.append(
+            f"witnesses: {written_total} file(s) -> {args.emit_witness}"
+        )
+    timing.append(
+        f"predicted over {len(result.entries)} trace(s) in "
+        f"{result.duration_s * 1e3:.1f} ms (processes={result.processes})"
+    )
+    sys.stderr.write("\n".join(timing) + "\n")
+    return 1 if result.mismatches else 0
+
+
+# ---------------------------------------------------------------------------
 # stats
 # ---------------------------------------------------------------------------
 def cmd_stats(args: argparse.Namespace) -> int:
@@ -687,7 +838,7 @@ def build_parser() -> argparse.ArgumentParser:
 
     p_gen = sub.add_parser("gen", help="generate a scenario corpus")
     p_gen.add_argument("--out", default=None, help="output directory")
-    p_gen.add_argument("--families", default="cycle,churn,aio,bounded,knot",
+    p_gen.add_argument("--families", default="cycle,churn,aio,bounded,knot,nearmiss",
                        help="comma-separated scenario families "
                             f"(from: {', '.join(FAMILIES)})")
     p_gen.add_argument("--cycle-lens", type=_ints, default=None)
@@ -734,6 +885,30 @@ def build_parser() -> argparse.ArgumentParser:
                            help="also write a Chrome trace-event JSON "
                                 "(single trace input only)")
     p_explain.set_defaults(fn=cmd_explain)
+
+    p_predict = sub.add_parser(
+        "predict",
+        help="soundly predict deadlocks from ok-trace(s) by HB reordering",
+    )
+    p_predict.add_argument("trace", nargs="+",
+                           help="trace file(s) and/or corpus directories")
+    p_predict.add_argument("--parallel", type=int, default=1, metavar="N",
+                           help="fan a corpus out over N worker processes "
+                                "(stdout stays byte-identical to serial)")
+    p_predict.add_argument("--emit-witness", metavar="DIR", default=None,
+                           help="save each confirmed prediction's witness "
+                                "trace to DIR (replayable .jsonl files)")
+    p_predict.add_argument("--max-candidates", type=int, default=64,
+                           metavar="N",
+                           help="cap on enumerated candidates per trace "
+                                "(hitting it is flagged, never silent)")
+    p_predict.add_argument("--metrics-json", metavar="PATH", default=None,
+                           help="write the run's deterministic metrics "
+                                "snapshot (canonical JSON) to PATH")
+    p_predict.add_argument("--metrics-stdout", action="store_true",
+                           help="print the deterministic metrics snapshot "
+                                "to stdout")
+    p_predict.set_defaults(fn=cmd_predict)
     return parser
 
 

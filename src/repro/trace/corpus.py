@@ -28,14 +28,17 @@ checkpoint, subsequent ones carry only the changed task) — the
 distributed one-phase detection under the delta wire protocol, replayed
 from a file.
 
-Five spec families share :func:`build_trace`: :class:`ScenarioSpec`
+Six spec families share :func:`build_trace`: :class:`ScenarioSpec`
 (the cycle grid), :class:`ChurnSpec` (dynamic membership),
 :class:`AioSpec` (the asyncio backend's high-task-count shapes —
 thousand-task rings and whole-pool churn), :class:`BoundedSpec`
 (producer-consumer pipelines over bounded phasers — signal/ack clock
-pairs, deadlocking with every buffer *full*) and :class:`KnotSpec`
+pairs, deadlocking with every buffer *full*), :class:`KnotSpec`
 (mixed lock/barrier knots — locks held across a barrier wait, the
-JArmus ``ReentrantLock`` instrumentation's scenario class).
+JArmus ``ReentrantLock`` instrumentation's scenario class) and
+:class:`NearMissSpec` (ok-traces whose blocked statuses close a cycle
+only under an HB-consistent reordering — the predictor's ground truth,
+with true-negative controls).
 
 The schedules are arranged so that in a ``check_every=1`` detection
 replay a report appears exactly at the record that first closes the
@@ -735,6 +738,161 @@ def aio_trace(spec: AioSpec) -> Trace:
     return Trace(header=header, records=inner.records)
 
 
+# ---------------------------------------------------------------------------
+# predictive near-miss family
+# ---------------------------------------------------------------------------
+@dataclass(frozen=True)
+class NearMissSpec:
+    """One point of the predictive near-miss grid.
+
+    The generated trace is always an **ok-trace** — the recorded
+    schedule resolves every wait — but with ``realisable=True`` its
+    blocked statuses close a wait-for cycle that *some* HB-consistent
+    reordering manifests: the :mod:`repro.predict` pipeline's positive
+    ground truth.  ``realisable=False`` is the matched true-negative
+    control, identical but for the late registrations happening at the
+    phaser's *current* phase, so no status impedes its neighbour and no
+    reordering can deadlock.
+
+    The schedule needs three ingredients a plain crossed-barrier
+    scenario cannot provide (a task that releases a phaser must advance
+    it, permanently raising its own registered phase — a static 2-task
+    near-miss is impossible):
+
+    * a chain of tasks ``t0..t{L-1}``, each blocking *sequentially* on
+      its own phaser ``ci@1`` — at no point are two of them blocked at
+      once, so no checker prefix ever reports;
+    * helper tasks ``h0..h{L-1}`` that release each wait by advancing
+      ``ci`` — the release edge the HB model records;
+    * **late registration**: ``ti`` joins its predecessor's phaser
+      ``c{i-1}`` only when its turn comes, at phase 0 (stale — the
+      racy registration the predictor mines) or at the current phase 1
+      (the control).
+
+    ``rounds`` prepends deadlock-free SPMD warm-up rounds over all
+    ``2L`` tasks (bulk negative events, as in every other family);
+    ``sites > 1`` routes the blocked statuses through the delta wire
+    format, exercising publish→sync ordering in the HB model.
+    """
+
+    chain_len: int = 2
+    rounds: int = 1
+    sites: int = 1
+    realisable: bool = True
+
+    def __post_init__(self) -> None:
+        if self.chain_len < 2:
+            raise ValueError("chain_len must be at least 2")
+        if self.rounds < 0 or self.sites < 1:
+            raise ValueError("rounds must be >= 0, sites >= 1")
+
+    @property
+    def n_tasks(self) -> int:
+        return 2 * self.chain_len
+
+    @property
+    def deadlock(self) -> bool:
+        """Near-miss schedules never deadlock in the recorded run —
+        that is the family's defining property (``verify_corpus``
+        checks it like any other spec's verdict)."""
+        return False
+
+    @property
+    def name(self) -> str:
+        variant = "hit" if self.realisable else "ctl"
+        return (
+            f"nearmiss-L{self.chain_len}-R{self.rounds}"
+            f"-S{self.sites}-{variant}-ok"
+        )
+
+
+def nearmiss_trace(spec: NearMissSpec) -> Trace:
+    """Generate the near-miss trace for ``spec`` (see the class doc)."""
+    emit = _Emitter(spec.sites)
+    length = spec.chain_len
+    chain = [f"t{i}" for i in range(length)]
+    helpers = [f"h{i}" for i in range(length)]
+    tasks = chain + helpers  # position = emitter task index
+    barrier = "bar"
+
+    def phaser(i: int) -> str:
+        return f"c{i % length}"
+
+    # Membership context: warm-up barrier for everyone, own phaser for
+    # every chain task and its helper.  t0 additionally holds the back
+    # edge's registration (c{L-1}) from the start — the cycle's anchor.
+    for name in tasks:
+        if spec.rounds:
+            emit.register(name, barrier, 0)
+    for i, name in enumerate(chain):
+        emit.register(name, phaser(i), 0)
+    emit.register(chain[0], phaser(length - 1), 0)
+    for i, name in enumerate(helpers):
+        emit.register(name, phaser(i), 0)
+
+    # Phase 1: deadlock-free SPMD warm-up rounds over all tasks.
+    for r in range(1, spec.rounds + 1):
+        for idx, name in enumerate(tasks):
+            emit.advance(name, barrier, r)
+            emit.block(
+                idx,
+                name,
+                BlockedStatus(
+                    waits=frozenset({Event(barrier, r)}),
+                    registered={barrier: r},
+                ),
+            )
+        for idx, name in enumerate(tasks):
+            emit.unblock(idx, name)
+
+    # Phase 2: the sequential chain.  ``ti`` late-registers on its
+    # predecessor's phaser (stale phase 0 in the realisable variant,
+    # current phase 1 in the control), arrives at its own phaser and
+    # blocks; its helper releases it before ``t{i+1}`` even starts —
+    # the recorded run never holds two chain waits at once.
+    late_phase = 0 if spec.realisable else 1
+    for i, name in enumerate(chain):
+        prev = phaser(i - 1)
+        prev_phase = 0 if i == 0 else late_phase
+        if i >= 1:
+            emit.register(name, prev, late_phase)
+        emit.advance(name, phaser(i), 1)
+        registered = {phaser(i): 1, prev: prev_phase}
+        if spec.rounds:
+            registered[barrier] = spec.rounds
+        emit.block(
+            i,
+            name,
+            BlockedStatus(
+                waits=frozenset({Event(phaser(i), 1)}), registered=registered
+            ),
+        )
+        emit.advance(helpers[i], phaser(i), 1)
+        if i == 0:
+            # t0 also arrives at the back-edge phaser before t{L-1}
+            # blocks on it — its recorded status keeps the stale phase.
+            emit.unblock(i, name)
+            emit.advance(name, phaser(length - 1), 1)
+        else:
+            emit.unblock(i, name)
+
+    header = TraceHeader(
+        meta={
+            "scenario": spec.name,
+            "family": "nearmiss",
+            "chain_len": spec.chain_len,
+            "rounds": spec.rounds,
+            "sites": spec.sites,
+            "tasks": spec.n_tasks,
+            "realisable": spec.realisable,
+            "expect_deadlock": False,
+            "expect_prediction": spec.realisable,
+            "generator": "repro.trace.corpus",
+        }
+    )
+    return Trace(header=header, records=tuple(emit.records))
+
+
 def build_trace(spec) -> Trace:
     """Generate the trace for any scenario-spec family."""
     if isinstance(spec, ScenarioSpec):
@@ -747,6 +905,8 @@ def build_trace(spec) -> Trace:
         return bounded_trace(spec)
     if isinstance(spec, KnotSpec):
         return knot_trace(spec)
+    if isinstance(spec, NearMissSpec):
+        return nearmiss_trace(spec)
     raise TypeError(f"not a scenario spec: {spec!r}")
 
 
@@ -836,6 +996,38 @@ SMOKE_KNOT_GRID = dict(
     site_counts=(1, 2),
     verdicts=(True, False),
 )
+
+#: Default predictive near-miss grid (both variants of every point —
+#: the control is what makes the family a differential, not a demo).
+DEFAULT_NEARMISS_GRID = dict(
+    chain_lens=(2, 3),
+    rounds=(1,),
+    site_counts=(1, 2),
+    realisable=(True, False),
+)
+
+#: Near-miss specs for --smoke.
+SMOKE_NEARMISS_GRID = dict(
+    chain_lens=(2,),
+    rounds=(1,),
+    site_counts=(1, 2),
+    realisable=(True, False),
+)
+
+
+def nearmiss_grid_specs(
+    chain_lens: Sequence[int],
+    rounds: Sequence[int] = (1,),
+    site_counts: Sequence[int] = (1,),
+    realisable: Sequence[bool] = (True, False),
+) -> List[NearMissSpec]:
+    """The cross product of the near-miss grid axes."""
+    return [
+        NearMissSpec(chain_len=length, rounds=r, sites=sites, realisable=hit)
+        for length, r, sites, hit in itertools.product(
+            chain_lens, rounds, site_counts, realisable
+        )
+    ]
 
 
 def bounded_grid_specs(

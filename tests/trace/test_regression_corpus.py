@@ -30,6 +30,7 @@ from repro.trace.corpus import (
     BoundedSpec,
     ChurnSpec,
     KnotSpec,
+    NearMissSpec,
     ScenarioSpec,
     build_trace,
 )
@@ -57,6 +58,8 @@ GENERATED_SPECS = (
     BoundedSpec(stages=2, bound=1, rounds=1, sites=2, deadlock=False),
     KnotSpec(pairs=2, rounds=1, sites=1, deadlock=True),
     KnotSpec(pairs=1, rounds=1, sites=2, deadlock=False),
+    NearMissSpec(chain_len=3, rounds=1, sites=2, realisable=True),
+    NearMissSpec(chain_len=3, rounds=1, sites=2, realisable=False),
 )
 
 CODEC_EXT = {"jsonl": ".jsonl", "binary": ".trace"}
@@ -76,12 +79,13 @@ def expected_verdict(path: pathlib.Path) -> bool:
 class TestCorpusContents:
     def test_corpus_is_checked_in_and_nonempty(self):
         files = corpus_files()
-        assert len(files) == 28
+        assert len(files) == 32
         assert any(p.name.startswith("recorded-") for p in files)
         assert any(p.name.startswith("churn-") for p in files)
         assert any(p.name.startswith("aio-") for p in files)
         assert any(p.name.startswith("bounded-") for p in files)
         assert any(p.name.startswith("knot-") for p in files)
+        assert any(p.name.startswith("nearmiss-") for p in files)
 
     def test_recorded_members_cover_every_source(self):
         """The ROADMAP's pinned-surface item: live runtime, PL
