@@ -80,7 +80,7 @@ from repro.core.checker import DeadlockChecker, snapshot_components
 from repro.core.dependency import DependencySnapshot, ResourceDependency
 from repro.core.events import BlockedStatus, Event, PhaserId, TaskId
 from repro.core.report import DeadlockReport
-from repro.core.scc import DynamicSCC
+from repro.core.scc import make_dynamic_scc
 from repro.core.selection import (
     DEFAULT_THRESHOLD_FACTOR,
     GraphModel,
@@ -147,7 +147,9 @@ class IncrementalChecker(DeadlockChecker):
         # One lock orders all delta applications and live-state queries;
         # re-entrant because the avoidance path mutates while holding it.
         self._delta_lock = threading.RLock()
-        self._scc = DynamicSCC()
+        # The compiled kernel when built (see repro.core._native), the
+        # pure-Python structure otherwise — interchangeable by contract.
+        self._scc = make_dynamic_scc()
         self._statuses: Dict[TaskId, BlockedStatus] = {}
         # phaser -> local phase -> tasks registered there (blocked only).
         self._phases: Dict[PhaserId, Dict[int, Set[TaskId]]] = {}
@@ -186,11 +188,18 @@ class IncrementalChecker(DeadlockChecker):
         ):
             return
         self._m_resyncs.inc()
-        for task in list(self._statuses):
-            self._retract(task)
-        snapshot = self.dependency.snapshot()
-        for task, status in snapshot.statuses.items():
-            self._insert(task, status)
+        # A resync is a bulk application by nature — one batched
+        # maintenance pass, exactly like an apply_batch of the whole
+        # snapshot (the live monitor's recovery path rides this too).
+        self._scc.begin_batch()
+        try:
+            for task in list(self._statuses):
+                self._retract(task)
+            snapshot = self.dependency.snapshot()
+            for task, status in snapshot.statuses.items():
+                self._insert(task, status)
+        finally:
+            self._scc.end_batch()
         self._my_generation = self.dependency.generation
 
     # ------------------------------------------------------------------
@@ -223,6 +232,59 @@ class IncrementalChecker(DeadlockChecker):
             if task in self._statuses:
                 self._retract(task)
             self._insert(task, status)
+
+    def apply_batch(self, ops) -> None:
+        """Apply an ordered delta sequence with one maintenance pass.
+
+        ``ops`` is a sequence of ``(op, task, status)`` tuples, ``op``
+        one of ``"set"``/``"clear"``/``"restore"`` (``status`` is
+        ignored for ``"clear"``).  Equivalent — same final state, same
+        subsequent verdicts and reports, same
+        ``repro_incremental_delta_ops_total`` totals — to calling
+        :meth:`set_blocked`/:meth:`clear`/:meth:`restore` once per op,
+        but the whole batch pays one lock acquisition, one foreign-write
+        resync check, one metrics flush, and (via
+        :meth:`~repro.core.scc.DynamicSCC.begin_batch`) one scoped
+        SCC resolution per affected component instead of per-edge
+        Pearce-Kelly passes.
+        """
+        if not ops:
+            return
+        tallies = {"set_blocked": 0, "clear": 0, "restore": 0}
+        with self._delta_lock:
+            self._maybe_resync()
+            scc = self._scc
+            statuses = self._statuses
+            scc.begin_batch()
+            try:
+                for op, task, status in ops:
+                    if op == "set":
+                        tallies["set_blocked"] += 1
+                        stamped = super().set_blocked(task, status)
+                        if task in statuses:
+                            self._retract(task)
+                        self._insert(task, stamped)
+                        self._my_generation = stamped.generation
+                    elif op == "clear":
+                        tallies["clear"] += 1
+                        super().clear(task)
+                        if task in statuses:
+                            self._retract(task)
+                    elif op == "restore":
+                        tallies["restore"] += 1
+                        super().restore(task, status)
+                        if task in statuses:
+                            self._retract(task)
+                        self._insert(task, status)
+                    else:
+                        raise ValueError(f"unknown batch op {op!r}")
+            finally:
+                scc.end_batch()
+                # Flushed even on a failing op: the per-op path counts
+                # before applying, so a partial batch accounts the same.
+                for name, count in tallies.items():
+                    if count:
+                        self._m_deltas.inc(count, op=name)
 
     def _insert(self, task: TaskId, status: BlockedStatus) -> None:
         """Fold one newly published status into graph and indexes."""

@@ -61,7 +61,150 @@ from repro.core.graphs import DiGraph
 Vertex = Hashable
 
 
-class DynamicSCC:
+class _ExtractionBase:
+    """Witness-cycle extraction shared across SCC implementations.
+
+    Everything a deadlock *report* is built from lives here, in plain
+    Python, implemented against a tiny adapter surface (``has_cycle``,
+    ``has_edge``, ``_cyclic_labels``, ``_label_members``,
+    ``_label_epoch``, ``_out_of``, ``_vertices``).  The pure-Python
+    :class:`DynamicSCC` and the compiled-kernel wrapper in
+    :mod:`repro.core._native` both extract through this exact code, so
+    their cycles — and therefore their reports — are byte-identical by
+    construction: the kernel only ever answers structural queries.
+
+    Subclasses provide ``_cycle_cache`` (dict) and ``extractions``
+    (int) attributes for the per-component epoch cache.
+    """
+
+    def to_digraph(self) -> DiGraph:
+        """Materialise the current edge set (tests and fallbacks)."""
+        g = DiGraph()
+        for v in self._vertices():
+            g.add_vertex(v)
+            for w in self._out_of(v):
+                g.add_edge(v, w)
+        return g
+
+    def cyclic_components(self) -> List[frozenset]:
+        """Member sets of every cyclic component (dirty ones resolved)."""
+        self.has_cycle()
+        return [
+            frozenset(self._label_members(label))
+            for label in self._cyclic_labels()
+        ]
+
+    def extract_cycle(self) -> Optional[List[Vertex]]:
+        """The canonical witness cycle, from the maintained partition.
+
+        Equals ``find_cycle(self.to_digraph())`` — the cyclic SCC
+        holding the globally minimal vertex, grown by canonical BFS,
+        rotated to its minimal vertex — but touches only the members of
+        components whose verdict is cyclic, and caches each component's
+        extraction against its mutation epoch: re-polling a stable
+        deadlock while unrelated components mutate re-extracts nothing.
+        """
+        if not self.has_cycle():
+            return None
+        labels = self._cyclic_labels()
+        best: Optional[Tuple[str, Tuple[Vertex, ...]]] = None
+        for label in labels:
+            cycle = self._component_cycle(label)
+            key = _vertex_key(cycle[0])
+            if best is None or key < best[0]:
+                best = (key, cycle)
+        # Prune cache entries of labels that stopped being cyclic (or
+        # died): the cache only ever holds currently-cyclic components.
+        if len(self._cycle_cache) > len(labels):
+            keep = set(labels)
+            self._cycle_cache = {
+                label: entry
+                for label, entry in self._cycle_cache.items()
+                if label in keep
+            }
+        assert best is not None
+        return list(best[1])
+
+    def extract_cycle_within(self, vertices) -> Optional[List[Vertex]]:
+        """The canonical witness cycle among ``vertices`` only.
+
+        The per-shard twin of :meth:`extract_cycle`: considers only
+        cyclic components wholly contained in ``vertices`` (components
+        are weakly connected, so a shard built from wait-for
+        connectivity either contains a component or misses it entirely)
+        and picks the one holding the minimal vertex — the same
+        canonical choice ``find_cycle`` makes over the shard's rebuilt
+        subgraph.  Returns ``None`` when no contained component is
+        cyclic.  The shared epoch cache makes re-polling a stable shard
+        free; entries are not pruned here (the global
+        :meth:`extract_cycle` owns cache hygiene).
+        """
+        if not self.has_cycle():
+            return None
+        vset = set(vertices)
+        best: Optional[Tuple[str, Tuple[Vertex, ...]]] = None
+        for label in self._cyclic_labels():
+            if not set(self._label_members(label)) <= vset:
+                continue
+            cycle = self._component_cycle(label)
+            key = _vertex_key(cycle[0])
+            if best is None or key < best[0]:
+                best = (key, cycle)
+        return None if best is None else list(best[1])
+
+    def edges_within(self, vertices) -> int:
+        """Edge count of the subgraph induced by ``vertices``.
+
+        What a per-shard rebuild would report as its graph size — used
+        so maintained-graph sharded checks record the same ``edge_count``
+        accounting as snapshot rebuilds.
+        """
+        vset = set(vertices)
+        return sum(
+            1
+            for u in vset
+            for x in self._out_of(u)
+            if x in vset
+        )
+
+    def _component_cycle(self, label: int) -> Tuple[Vertex, ...]:
+        """Canonical cycle of one cyclic component, epoch-cached.
+
+        Every edge stays inside its component (unions happen on every
+        insertion), so the scoped subgraph contains every SCC of the
+        component's members and the per-component minimal-vertex choice
+        composes into the global one.
+        """
+        epoch = self._label_epoch(label)
+        cached = self._cycle_cache.get(label)
+        if cached is not None and cached[0] == epoch:
+            return cached[1]
+        self.extractions += 1
+        sub = DiGraph()
+        for w in self._label_members(label):
+            sub.add_vertex(w)
+            for x in self._out_of(w):
+                sub.add_edge(w, x)
+        chosen = canonical_cyclic_scc(sub)
+        assert chosen is not None, "cyclic label without a cyclic SCC"
+        entry, scc = chosen
+        cycle = tuple(canonical_rotation(_cycle_containing(sub, scc, entry)))
+        self._cycle_cache[label] = (epoch, cycle)
+        return cycle
+
+    def check_valid(self) -> None:
+        """Invariant check used by the property tests: the maintained
+        verdict must agree with a from-scratch Tarjan run."""
+        actual = False
+        for component in strongly_connected_components(self.to_digraph()):
+            v = component[0]
+            if len(component) > 1 or self.has_edge(v, v):
+                actual = True
+                break
+        assert self.has_cycle() == actual, "DynamicSCC verdict diverged"
+
+
+class DynamicSCC(_ExtractionBase):
     """A mutable digraph with an incrementally maintained cycle verdict.
 
     All operations are idempotent where that is meaningful (re-adding an
@@ -97,6 +240,9 @@ class DynamicSCC:
         self.pk_visits = 0
         #: Scoped recomputes run for dirty components (deletion cost).
         self.resolves = 0
+        # Batch mode: while > 0, order-violating insertions defer
+        # Pearce-Kelly maintenance (see :meth:`begin_batch`).
+        self._batch_depth = 0
 
     # ------------------------------------------------------------------
     # introspection
@@ -128,14 +274,21 @@ class DynamicSCC:
         """The (possibly over-approximated) weak component holding ``v``."""
         return frozenset(self._members[self._label[v]])
 
-    def to_digraph(self) -> DiGraph:
-        """Materialise the current edge set (tests and fallbacks)."""
-        g = DiGraph()
-        for v in self._out:
-            g.add_vertex(v)
-            for w in self._out[v]:
-                g.add_edge(v, w)
-        return g
+    # -- adapter surface for the shared extraction code ----------------
+    def _vertices(self):
+        return self._out
+
+    def _out_of(self, v: Vertex):
+        return self._out.get(v, ())
+
+    def _cyclic_labels(self):
+        return self._cyclic
+
+    def _label_members(self, label: int):
+        return self._members[label]
+
+    def _label_epoch(self, label: int) -> int:
+        return self._epoch[label]
 
     # ------------------------------------------------------------------
     # component labels (union by relabelling the smaller half)
@@ -202,6 +355,15 @@ class DynamicSCC:
         lb, ub = self._ord[v], self._ord[u]
         if ub < lb:
             return  # order-respecting edge: provably no new cycle
+        if self._batch_depth:
+            # Deferred maintenance: inside a batch an order-violating
+            # edge only marks its component unknown.  Sound because
+            # unions are still eager — any cycle through this edge lies
+            # wholly inside this (now dirty) component — and the next
+            # query recomputes dirty components with one scoped Tarjan
+            # each, instead of one Pearce-Kelly pass per edge.
+            self._dirty.add(label)
+            return
         self._pk_insert(u, v, lb, ub, label)
 
     def _pk_insert(self, u: Vertex, v: Vertex, lb: int, ub: int, label: int) -> None:
@@ -241,6 +403,28 @@ class DynamicSCC:
         for w, slot in zip(region, slots):
             self._ord[w] = slot
         self.pk_visits += len(region)
+
+    def begin_batch(self) -> None:
+        """Enter batch mode (re-entrant; pair with :meth:`end_batch`).
+
+        While batched, an order-violating insertion defers Pearce-Kelly
+        maintenance by marking its component dirty, so a whole delta
+        set pays one scoped resolution per affected component at the
+        next query instead of one discovery/reorder pass per edge.
+        Verdicts and extracted cycles are unchanged: only *when* the
+        maintenance runs moves, never what it computes.  Queries issued
+        mid-batch are legal (they resolve what is dirty so far) but
+        forfeit the deferral for the ops already applied.
+        """
+        self._batch_depth += 1
+
+    def end_batch(self) -> None:
+        """Leave batch mode.  Deferred work stays lazy: it runs at the
+        next query (``has_cycle``/extraction), which is where per-edge
+        mode would have had its last word anyway."""
+        if self._batch_depth <= 0:
+            raise RuntimeError("end_batch without begin_batch")
+        self._batch_depth -= 1
 
     def remove_edge(self, u: Vertex, v: Vertex) -> None:
         if v not in self._out.get(u, ()):
@@ -288,107 +472,9 @@ class DynamicSCC:
                 self._resolve(label)
         return bool(self._cyclic)
 
-    def cyclic_components(self) -> List[frozenset]:
-        """Member sets of every cyclic component (dirty ones resolved)."""
-        self.has_cycle()
-        return [frozenset(self._members[label]) for label in self._cyclic]
-
-    def extract_cycle(self) -> Optional[List[Vertex]]:
-        """The canonical witness cycle, from the maintained partition.
-
-        Equals ``find_cycle(self.to_digraph())`` — the cyclic SCC
-        holding the globally minimal vertex, grown by canonical BFS,
-        rotated to its minimal vertex — but touches only the members of
-        components whose verdict is cyclic, and caches each component's
-        extraction against its mutation epoch: re-polling a stable
-        deadlock while unrelated components mutate re-extracts nothing.
-        """
-        if not self.has_cycle():
-            return None
-        best: Optional[Tuple[str, Tuple[Vertex, ...]]] = None
-        for label in self._cyclic:
-            cycle = self._component_cycle(label)
-            key = _vertex_key(cycle[0])
-            if best is None or key < best[0]:
-                best = (key, cycle)
-        # Prune cache entries of labels that stopped being cyclic (or
-        # died): the cache only ever holds currently-cyclic components.
-        if len(self._cycle_cache) > len(self._cyclic):
-            self._cycle_cache = {
-                label: entry
-                for label, entry in self._cycle_cache.items()
-                if label in self._cyclic
-            }
-        assert best is not None
-        return list(best[1])
-
-    def extract_cycle_within(self, vertices) -> Optional[List[Vertex]]:
-        """The canonical witness cycle among ``vertices`` only.
-
-        The per-shard twin of :meth:`extract_cycle`: considers only
-        cyclic components wholly contained in ``vertices`` (components
-        are weakly connected, so a shard built from wait-for
-        connectivity either contains a component or misses it entirely)
-        and picks the one holding the minimal vertex — the same
-        canonical choice ``find_cycle`` makes over the shard's rebuilt
-        subgraph.  Returns ``None`` when no contained component is
-        cyclic.  The shared epoch cache makes re-polling a stable shard
-        free; entries are not pruned here (the global
-        :meth:`extract_cycle` owns cache hygiene).
-        """
-        if not self.has_cycle():
-            return None
-        vset = set(vertices)
-        best: Optional[Tuple[str, Tuple[Vertex, ...]]] = None
-        for label in self._cyclic:
-            if not self._members[label] <= vset:
-                continue
-            cycle = self._component_cycle(label)
-            key = _vertex_key(cycle[0])
-            if best is None or key < best[0]:
-                best = (key, cycle)
-        return None if best is None else list(best[1])
-
-    def edges_within(self, vertices) -> int:
-        """Edge count of the subgraph induced by ``vertices``.
-
-        What a per-shard rebuild would report as its graph size — used
-        so maintained-graph sharded checks record the same ``edge_count``
-        accounting as snapshot rebuilds.
-        """
-        vset = set(vertices)
-        return sum(
-            1
-            for u in vset
-            for x in self._out.get(u, ())
-            if x in vset
-        )
-
-    def _component_cycle(self, label: int) -> Tuple[Vertex, ...]:
-        """Canonical cycle of one cyclic component, epoch-cached.
-
-        Every edge stays inside its component (unions happen on every
-        insertion), so the scoped subgraph contains every SCC of the
-        component's members and the per-component minimal-vertex choice
-        composes into the global one.
-        """
-        epoch = self._epoch[label]
-        cached = self._cycle_cache.get(label)
-        if cached is not None and cached[0] == epoch:
-            return cached[1]
-        self.extractions += 1
-        members = self._members[label]
-        sub = DiGraph()
-        for w in members:
-            sub.add_vertex(w)
-            for x in self._out[w]:
-                sub.add_edge(w, x)
-        chosen = canonical_cyclic_scc(sub)
-        assert chosen is not None, "cyclic label without a cyclic SCC"
-        entry, scc = chosen
-        cycle = tuple(canonical_rotation(_cycle_containing(sub, scc, entry)))
-        self._cycle_cache[label] = (epoch, cycle)
-        return cycle
+    # extract_cycle / extract_cycle_within / cyclic_components /
+    # edges_within / check_valid are inherited from _ExtractionBase and
+    # shared verbatim with the compiled-kernel wrapper.
 
     # ------------------------------------------------------------------
     # scoped recompute
@@ -430,15 +516,21 @@ class DynamicSCC:
                 self._ord[w] = self._next_ord
                 self._next_ord += 1
 
-    # ------------------------------------------------------------------
-    def check_valid(self) -> None:
-        """Invariant check used by the property tests: the maintained
-        verdict must agree with a from-scratch Tarjan run."""
-        actual = False
-        for component in strongly_connected_components(self.to_digraph()):
-            v = component[0]
-            if len(component) > 1 or self.has_edge(v, v):
-                actual = True
-                break
-        assert self.has_cycle() == actual, "DynamicSCC verdict diverged"
+
+def make_dynamic_scc():
+    """The fastest available DynamicSCC implementation.
+
+    Returns a :class:`~repro.core._native.NativeDynamicSCC` (backed by
+    the optional compiled kernel) when the extension is built and not
+    disabled, else a pure-Python :class:`DynamicSCC`.  The two are
+    interchangeable — identical verdicts, partitions, epochs and
+    extracted cycles for any operation sequence (pinned by the
+    differential tests in ``tests/core/test_native.py``) — so callers
+    need not care which they got.  Selection policy lives in
+    :mod:`repro.core._native` (``REPRO_NATIVE`` env var).
+    """
+    from repro.core._native import native_scc_class
+
+    cls = native_scc_class()
+    return cls() if cls is not None else DynamicSCC()
 

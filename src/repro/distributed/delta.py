@@ -73,6 +73,7 @@ the from-scratch/incremental replay engines.
 
 from __future__ import annotations
 
+import contextlib
 import json
 from typing import Dict, List, Mapping, Optional, Set, Tuple
 
@@ -438,6 +439,13 @@ class DeltaMergeState:
         #: Task-level operations applied since construction — the
         #: "per-check merge cost" quantity of the delta benchmark.
         self.ops_applied = 0
+        # Batched checker feeding: when the checker exposes
+        # ``apply_batch`` (the IncrementalChecker surface), each
+        # application entry point collects its task-level ops and hands
+        # the whole set over in one maintenance pass.  ``None`` means
+        # "not collecting" — ops go to the checker directly.
+        self._apply_batch = getattr(checker, "apply_batch", None)
+        self._pending_ops: Optional[List[Tuple[str, str, Optional[BlockedStatus]]]] = None
 
     # -- introspection -------------------------------------------------
     def sites(self) -> List[str]:
@@ -475,31 +483,37 @@ class DeltaMergeState:
         """
         site = str(site)
         cursor = validate_extends(self.cursors.get(site), site, obj)
-        if obj["kind"] == "snapshot":
-            self._replace_bucket(
-                site, {str(t): dict(b) for t, b in obj["set"].items()}
-            )
-        else:
-            bucket = self.buckets.setdefault(site, {})
-            for task in obj["clear"]:
-                if task in bucket:
-                    bucket.pop(task)
-                    self._remove_task(site, task)
-            for task, blob in obj["restore"].items():
-                bucket[task] = dict(blob)
-                self._set_task(site, task, blob)
-            for task, blob in obj["set"].items():
-                bucket[task] = dict(blob)
-                self._set_task(site, task, blob)
+        opened = self._begin_ops()
+        try:
+            if obj["kind"] == "snapshot":
+                self._replace_bucket(
+                    site, {str(t): dict(b) for t, b in obj["set"].items()}
+                )
+            else:
+                bucket = self.buckets.setdefault(site, {})
+                for task in obj["clear"]:
+                    if task in bucket:
+                        bucket.pop(task)
+                        self._remove_task(site, task)
+                for task, blob in obj["restore"].items():
+                    bucket[task] = dict(blob)
+                    self._set_task(site, task, blob)
+                for task, blob in obj["set"].items():
+                    bucket[task] = dict(blob)
+                    self._set_task(site, task, blob)
+        finally:
+            if opened:
+                self._flush_ops()
         self.cursors[site] = cursor
 
     def apply_bucket(self, site: str, new_bucket: Mapping[str, Mapping]) -> None:
         """Fold a whole-bucket replacement (the legacy ``publish``
         record / bucket protocol) into the view, diffing against the
         site's previous bucket so only changed tasks touch the checker."""
-        self._replace_bucket(
-            str(site), {str(t): dict(b) for t, b in new_bucket.items()}
-        )
+        with self.batched():
+            self._replace_bucket(
+                str(site), {str(t): dict(b) for t, b in new_bucket.items()}
+            )
 
     def reset_site(
         self, site: str, stream: str, seq: int, state: Mapping[str, Mapping]
@@ -507,9 +521,10 @@ class DeltaMergeState:
         """Checkpoint resync: replace ``site``'s view wholesale and
         fast-forward its cursor (the consumer detected a gap or a
         foreign stream and requested a snapshot)."""
-        self._replace_bucket(
-            str(site), {str(t): dict(b) for t, b in state.items()}
-        )
+        with self.batched():
+            self._replace_bucket(
+                str(site), {str(t): dict(b) for t, b in state.items()}
+            )
         self.cursors[str(site)] = (str(stream), seq)
 
     def drop_site(self, site: str) -> None:
@@ -517,9 +532,50 @@ class DeltaMergeState:
         every status it owned from the merged view."""
         site = str(site)
         if site in self.buckets:
-            self._replace_bucket(site, {})
+            with self.batched():
+                self._replace_bucket(site, {})
         self.buckets.pop(site, None)
         self.cursors.pop(site, None)
+
+    # -- batched checker feeding ---------------------------------------
+    def _begin_ops(self) -> bool:
+        """Start collecting checker ops; ``True`` if this call opened
+        the collection (re-entrant callers keep the outer batch)."""
+        if self._apply_batch is None or self._pending_ops is not None:
+            return False
+        self._pending_ops = []
+        return True
+
+    def _flush_ops(self) -> None:
+        """Hand the collected ops to the checker in one batch."""
+        ops, self._pending_ops = self._pending_ops, None
+        if ops:
+            self._apply_batch(ops)
+
+    def _checker_set(self, task: str, status: BlockedStatus) -> None:
+        if self._pending_ops is not None:
+            self._pending_ops.append(("set", task, status))
+        else:
+            self.checker.set_blocked(task, status)
+
+    def _checker_clear(self, task: str) -> None:
+        if self._pending_ops is not None:
+            self._pending_ops.append(("clear", task, None))
+        else:
+            self.checker.clear(task)
+
+    @contextlib.contextmanager
+    def batched(self):
+        """Context manager batching every checker op applied inside it
+        into one ``apply_batch`` call — a sync round's worth of deltas,
+        one maintenance pass.  A no-op (empty) batch costs nothing, and
+        checkers without ``apply_batch`` fall back to direct feeding."""
+        opened = self._begin_ops()
+        try:
+            yield self
+        finally:
+            if opened:
+                self._flush_ops()
 
     # -- task-level primitives (the shared ownership semantics) --------
     def _replace_bucket(self, site: str, new: Dict[str, dict]) -> None:
@@ -537,7 +593,7 @@ class DeltaMergeState:
         owners = self._owners.get(task, set())
         owners.discard(site)
         if not owners:
-            self.checker.clear(task)
+            self._checker_clear(task)
             self._owners.pop(task, None)
         elif len(owners) == 1:
             # Conflict resolved by this removal: the survivor's current
@@ -545,11 +601,11 @@ class DeltaMergeState:
             self._conflicted.discard(task)
             (survivor,) = owners
             blob = self.buckets[survivor][task]
-            self.checker.set_blocked(task, decode_blob(blob))
+            self._checker_set(task, decode_blob(blob))
 
     def _set_task(self, site: str, task: str, blob: Mapping) -> None:
         self.ops_applied += 1
-        self.checker.set_blocked(task, decode_blob(blob))
+        self._checker_set(task, decode_blob(blob))
         owners = self._owners.setdefault(task, set())
         owners.add(site)
         if len(owners) > 1:

@@ -240,15 +240,22 @@ class OriginTracker:
     is what keeps enriched reports equal between engines.
     """
 
-    __slots__ = ("origins", "walls", "last_ordinal", "_site_tasks")
+    __slots__ = ("origins", "walls", "last_ordinal", "_site_tasks", "_kinds")
 
     def __init__(self) -> None:
+        # Imported here, not at module level: repro.trace pulls this
+        # module in through replay, so a top-level import would be
+        # circular.  Caching the enum per tracker keeps the per-record
+        # fold free of import-machinery lookups.
+        from repro.trace.events import RecordKind
+
         self.origins: Dict[object, RecordOrigin] = {}
         #: task -> perf_counter at origin (volatile lag only; never
         #: reaches a report).
         self.walls: Dict[object, float] = {}
         self.last_ordinal = 0
         self._site_tasks: Dict[str, Set[str]] = {}
+        self._kinds = RecordKind
 
     def _set(self, task, origin: RecordOrigin) -> None:
         self.origins[task] = origin
@@ -260,7 +267,7 @@ class OriginTracker:
 
     def observe(self, rec) -> None:
         """Fold one trace record into the origin map."""
-        from repro.trace.events import RecordKind
+        RecordKind = self._kinds
 
         self.last_ordinal = rec.seq
         kind = rec.kind
@@ -305,8 +312,34 @@ class OriginTracker:
         # REGISTER / ADVANCE: context only — the ordinal already moved.
 
 
+def _attribution_index(report: DeadlockReport, statuses):
+    """Precompute SG-vertex attribution for one report.
+
+    Returns ``(waiters, min_task)`` where ``waiters`` maps each awaited
+    event to the minimal (string-ordered) report task whose status
+    waits on it, and ``min_task`` is the minimal report task overall
+    (the no-waiter fallback).  One pass over the report's tasks replaces
+    the per-vertex scan the old code sorted out for every cycle edge.
+    """
+    waiters: Dict[object, Tuple[str, object]] = {}
+    min_key: Optional[Tuple[str, object]] = None
+    for task in report.tasks:
+        key = (str(task), task)
+        if min_key is None or key < min_key:
+            min_key = key
+        if task not in statuses:
+            continue
+        for event in statuses[task].waits:
+            held = waiters.get(event)
+            if held is None or key < held:
+                waiters[event] = key
+    min_task = None if min_key is None else min_key[1]
+    return waiters, min_task
+
+
 def _attribute(vertex, report: DeadlockReport, statuses,
-               tracker: OriginTracker) -> Tuple[RecordOrigin, str]:
+               tracker: OriginTracker,
+               index=None) -> Tuple[RecordOrigin, str]:
     """Attribute one cycle vertex to ``(origin, task)``.
 
     A WFG vertex *is* a task: its own origin.  An SG vertex is an
@@ -320,13 +353,11 @@ def _attribute(vertex, report: DeadlockReport, statuses,
     if vertex in statuses or not report.tasks:
         # A task vertex without a tracked origin (avoidance refusal).
         return fallback, str(vertex)
-    candidates = sorted(
-        (str(t), t) for t in report.tasks
-        if t in statuses and vertex in statuses[t].waits
-    )
-    if not candidates:
-        candidates = sorted((str(t), t) for t in report.tasks)
-    task = candidates[0][1]
+    if index is None:
+        index = _attribution_index(report, statuses)
+    waiters, min_task = index
+    held = waiters.get(vertex)
+    task = min_task if held is None else held[1]
     return tracker.origins.get(task, fallback), str(task)
 
 
@@ -342,9 +373,10 @@ def attach_provenance(
     """
     current = tracker.last_ordinal
     edges: List[EdgeProvenance] = []
+    index = _attribution_index(report, statuses)
     for a, b in zip(report.cycle, report.cycle[1:]):
-        origin_a, task_a = _attribute(a, report, statuses, tracker)
-        origin_b, task_b = _attribute(b, report, statuses, tracker)
+        origin_a, task_a = _attribute(a, report, statuses, tracker, index)
+        origin_b, task_b = _attribute(b, report, statuses, tracker, index)
         edges.append(EdgeProvenance(
             source=str(a), target=str(b),
             source_task=task_a, target_task=task_b,

@@ -279,9 +279,27 @@ def cmd_replay(args: argparse.Namespace) -> int:
     corpus_input = len(paths) > 1 or any(
         pathlib.Path(src).is_dir() for src in args.trace
     )
-    if not corpus_input:
-        return _replay_single(pathlib.Path(paths[0]), args)
-    return _replay_corpus(paths, args)
+    if args.profile is None:
+        if not corpus_input:
+            return _replay_single(pathlib.Path(paths[0]), args)
+        return _replay_corpus(paths, args)
+    # --profile wraps the whole replay (load + engine + reporting) so
+    # the stats show where the wall-clock actually goes; the stats file
+    # is written even when replay fails, so slow *failing* runs can be
+    # profiled too.
+    import cProfile
+
+    profiler = cProfile.Profile()
+    profiler.enable()
+    try:
+        if not corpus_input:
+            return _replay_single(pathlib.Path(paths[0]), args)
+        return _replay_corpus(paths, args)
+    finally:
+        profiler.disable()
+        profiler.dump_stats(args.profile)
+        print(f"profile: wrote {args.profile} "
+              "(inspect with `python -m pstats`)", file=sys.stderr)
 
 
 def _replay_single(path: pathlib.Path, args: argparse.Namespace) -> int:
@@ -831,6 +849,9 @@ def build_parser() -> argparse.ArgumentParser:
                           help="write the run's deterministic metrics "
                                "snapshot (canonical JSON; byte-identical "
                                "for any --parallel value) to PATH")
+    p_replay.add_argument("--profile", metavar="OUT.pstats", default=None,
+                          help="profile the replay with cProfile and dump "
+                               "pstats data to this path")
     p_replay.add_argument("--metrics-stdout", action="store_true",
                           help="print the deterministic metrics snapshot "
                                "to stdout")

@@ -351,6 +351,46 @@ class BinaryCodec:
         except json.JSONDecodeError as exc:
             raise TraceFormatError("unparseable binary header meta") from exc
 
+    # -- zero-copy frame scan ------------------------------------------
+    def scan_frames(
+        self, buf: Union[bytes, memoryview], pos: int = 0
+    ) -> Iterator[memoryview]:
+        """Walk framed records as zero-copy ``memoryview`` slices.
+
+        ``buf`` must start at a frame boundary (``pos`` past the header
+        for a whole-file buffer).  Each yielded slice is one frame body
+        — no bytes are copied and nothing is decoded; feed a slice to
+        :meth:`decode_record_frame` for the record or to
+        :meth:`lazy_record` for a decode-on-demand view.  A frame
+        running past the end of the buffer raises
+        :class:`TraceFormatError` ("truncated frame").
+        """
+        if not isinstance(buf, memoryview):
+            buf = memoryview(buf)
+        end = len(buf)
+        while pos < end:
+            length, pos = _read_varint(buf, pos)
+            if pos + length > end:
+                raise TraceFormatError("truncated frame")
+            yield buf[pos : pos + length]
+            pos += length
+
+    def lazy_record(self, body: memoryview) -> "LazyRecord":
+        """A decode-on-demand view of one frame body.
+
+        The kind tag and ``seq`` are decoded eagerly (one byte plus one
+        varint — enough to classify and order the record, and unknown
+        tags fail as loudly here as under eager decoding); everything
+        else waits for first field access.
+        """
+        if len(body) == 0:
+            raise TraceFormatError("empty frame")
+        kind = _TAG_KINDS.get(body[0])
+        if kind is None:
+            raise TraceFormatError(f"unknown record tag {body[0]}")
+        seq, _ = _read_varint(body, 1)
+        return LazyRecord(kind, seq, body)
+
     # -- whole-file methods --------------------------------------------
     def dump(self, trace: Trace, fp: BinaryIO) -> None:
         """Write ``trace`` to the binary file object ``fp``."""
@@ -370,14 +410,9 @@ class BinaryCodec:
         pos = len(BINARY_MAGIC) + 1
         meta_json, pos = _read_str(buf, pos)
         header = TraceHeader(version=version, meta=self.decode_meta(meta_json))
-        records: List[TraceRecord] = []
-        while pos < len(buf):
-            length, pos = _read_varint(buf, pos)
-            if pos + length > len(buf):
-                raise TraceFormatError("truncated frame")
-            records.append(self.decode_record_frame(buf[pos : pos + length]))
-            pos += length
-        return Trace(header=header, records=tuple(records))
+        decode = self.decode_record_frame
+        records = tuple(decode(body) for body in self.scan_frames(buf, pos))
+        return Trace(header=header, records=records)
 
     def decode_record_frame(self, body: memoryview) -> TraceRecord:
         if len(body) == 0:
@@ -458,6 +493,51 @@ class BinaryCodec:
         if pos != len(body):
             raise TraceFormatError(f"{len(body) - pos} trailing bytes in frame")
         return rec
+
+
+class LazyRecord:
+    """A binary frame posing as a :class:`TraceRecord`, decoded on need.
+
+    ``kind`` and ``seq`` are plain attributes set by
+    :meth:`BinaryCodec.lazy_record`; reading any other record field
+    (``task``, ``status``, ``payload``, ...) materialises the full
+    :class:`TraceRecord` through ``decode_record_frame`` on first access
+    and delegates.  Consumers that classify records before touching
+    their fields — the replay engines read only ``kind`` and ``seq``
+    from register/advance context records — therefore never pay for
+    decoding the frames they skip.
+
+    The flip side: a frame whose *interior* is malformed only raises
+    when (and if) it is materialised, where eager decoding raises at
+    scan time.  The frame envelope (length, kind tag) is still
+    validated up front, so truncation and unknown-tag corruption stay
+    as loud as ever.  The view holds its ``memoryview`` slice, keeping
+    the underlying buffer alive for as long as the record is.
+    """
+
+    __slots__ = ("kind", "seq", "_body", "_rec")
+
+    def __init__(self, kind: RecordKind, seq: int, body: memoryview) -> None:
+        self.kind = kind
+        self.seq = seq
+        self._body = body
+        self._rec = None
+
+    def materialize(self) -> TraceRecord:
+        """Decode (once) and return the full record."""
+        rec = self._rec
+        if rec is None:
+            rec = self._rec = CODECS["binary"].decode_record_frame(self._body)
+        return rec
+
+    def __getattr__(self, name: str):
+        # Only fires for names outside __slots__ — i.e. the record
+        # fields that genuinely need the full decode.
+        return getattr(self.materialize(), name)
+
+    def __repr__(self) -> str:
+        state = "decoded" if self._rec is not None else "undecoded"
+        return f"<LazyRecord kind={self.kind.value} seq={self.seq} {state}>"
 
 
 # ---------------------------------------------------------------------------

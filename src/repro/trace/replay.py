@@ -207,6 +207,13 @@ class ReplayEngine:
         including a lazy :class:`~repro.trace.stream.StreamedTrace`);
         records are consumed one at a time, never materialised."""
         records = trace.records if isinstance(trace, Trace) else trace
+        # Streamed binary traces offer a decode-on-demand iteration:
+        # frames are scanned zero-copy and only materialised when a
+        # field beyond kind/seq is read, so context records (register/
+        # advance) skip decoding entirely on this path.
+        lazy = getattr(records, "lazy_records", None)
+        if lazy is not None:
+            records = lazy()
         if self.incremental:
             return self._run_incremental(records)
         checker = DeadlockChecker(
@@ -394,7 +401,11 @@ class ReplayEngine:
             )
         if not reports:
             return
-        statuses = statuses_fn()
+        # The snapshot is only needed to enrich *fresh* reports — a
+        # persisting deadlock surfaces the same cycle at every cadence
+        # point, and rebuilding the full status view each time made
+        # check_every=1 replays of deadlocked traces quadratic.
+        statuses = None
         for report in reports:
             # De-duplicate on the cycle's vertex set: as more tasks pile
             # onto a persisting deadlock the involved *task* set grows,
@@ -403,6 +414,8 @@ class ReplayEngine:
             if key in seen:
                 continue
             seen.add(key)
+            if statuses is None:
+                statuses = statuses_fn()
             enriched, lag_s = attach_provenance(report, origins, statuses)
             lags.append((enriched.detection_lag, lag_s))
             if self.tracer.enabled:
@@ -445,9 +458,18 @@ class ReplayEngine:
         lags: List[Tuple[int, float]] = []
         publishes_seen = False
         pending = 0
+        # Detection-mode local ops queue up between cadence points and
+        # apply through one ``apply_batch`` maintenance pass right
+        # before the check — a replay frame's worth of status ops, one
+        # SCC pass.  (Avoidance vets each block as it arrives, so its
+        # ops stay per-record.)
+        local_ops: List[Tuple[str, object, object]] = []
         t0 = time.perf_counter()
 
         def detect() -> None:
+            if local_ops:
+                local.apply_batch(local_ops)
+                local_ops.clear()
             if publishes_seen:
                 # Mirror the from-scratch engine: cross-site duplication
                 # is rejected at *check* time (a transient overlap that
@@ -476,11 +498,14 @@ class ReplayEngine:
                             report, rec, local, origins, lags, result
                         )
                     continue
-                local.set_blocked(rec.task, rec.status)
+                local_ops.append(("set", rec.task, rec.status))
                 pending += 1
             elif kind is RecordKind.UNBLOCK:
                 kinds["unblock"] += 1
-                local.clear(rec.task)
+                if self.mode == AVOIDANCE:
+                    local.clear(rec.task)
+                    continue
+                local_ops.append(("clear", rec.task, None))
                 pending += 1
             elif kind in _PUBLISH_KINDS:
                 if self.mode == AVOIDANCE:

@@ -48,6 +48,11 @@ from repro.trace.recorder import TraceRecorder
 #: Accepted ``on_truncation`` policies.
 TRUNCATION_POLICIES = ("error", "ignore")
 
+#: Bytes per read of the zero-copy binary frame scan.  Small enough
+#: that streaming stays far below eager load's footprint (pinned by
+#: ``tests/trace/test_stream.py``), large enough to amortise syscalls.
+_SCAN_CHUNK = 1 << 16
+
 
 class _TruncatedTail(TraceFormatError):
     """Internal: the stream ended mid-frame (recoverable in ignore mode)."""
@@ -154,26 +159,82 @@ class StreamedTrace:
         return self._iter_jsonl()
 
     def _iter_binary(self) -> Iterator[TraceRecord]:
-        codec = CODECS["binary"]
+        decode = CODECS["binary"].decode_record_frame
+        for body in self._scan_binary_frames():
+            yield decode(body)
+
+    def _scan_binary_frames(self) -> Iterator[memoryview]:
+        """Zero-copy frame scan: chunked reads, ``memoryview`` slices.
+
+        The streaming counterpart of
+        :meth:`~repro.trace.codec.BinaryCodec.scan_frames`: the file is
+        read in fixed chunks (memory stays O(chunk), not O(file)) and
+        each complete frame body inside a chunk is yielded as a slice
+        of that chunk's buffer — no per-frame ``bytes`` copy and no
+        byte-at-a-time varint reads.  A frame split across the chunk
+        boundary carries its prefix into the next read; leftover bytes
+        at EOF are the crash tail the truncation policy governs.  The
+        chunk buffers are immutable ``bytes``, so a consumer holding a
+        yielded slice (a lazy record) keeps its chunk alive and valid.
+        """
         with open(self.path, "rb") as fp:
             _read_binary_header(fp)
+            tail = b""
             while True:
-                try:
-                    length = _read_varint_stream(fp)
-                except _TruncatedTail:
-                    if self.on_truncation == "ignore":
-                        return
-                    raise TraceFormatError(
-                        "truncated frame at end of stream"
-                    ) from None
-                if length is None:
+                chunk = fp.read(_SCAN_CHUNK)
+                if not chunk:
+                    if tail:
+                        if self.on_truncation == "ignore":
+                            return
+                        raise TraceFormatError("truncated frame at end of stream")
                     return
-                body = fp.read(length)
-                if len(body) < length:
-                    if self.on_truncation == "ignore":
-                        return
-                    raise TraceFormatError("truncated frame at end of stream")
-                yield codec.decode_record_frame(memoryview(body))
+                data = tail + chunk if tail else chunk
+                buf = memoryview(data)
+                end = len(buf)
+                pos = 0
+                while True:
+                    # Frame-length varint, tolerant of a chunk-boundary
+                    # split (p < 0 below means "need more data", which
+                    # is only truncation if the file ends here).
+                    length = 0
+                    shift = 0
+                    p = pos
+                    while True:
+                        if p >= end:
+                            p = -1
+                            break
+                        byte = buf[p]
+                        p += 1
+                        length |= (byte & 0x7F) << shift
+                        if not byte & 0x80:
+                            break
+                        shift += 7
+                        if shift > 63:
+                            raise TraceFormatError("varint too long")
+                    if p < 0 or p + length > end:
+                        break
+                    yield buf[p : p + length]
+                    pos = p + length
+                tail = data[pos:] if pos < end else b""
+
+    def lazy_records(self) -> Iterator[TraceRecord]:
+        """Iterate records, deferring binary frame decoding to first use.
+
+        The replay fast path: binary frames come back as
+        :class:`~repro.trace.codec.LazyRecord` views (``kind``/``seq``
+        eager, everything else decoded on first field access), so
+        records a consumer never inspects beyond their kind are never
+        decoded at all.  JSONL has no framed fast path and falls back
+        to eager line decoding.  Truncation policy and envelope
+        validation match :meth:`__iter__`; see
+        :class:`~repro.trace.codec.LazyRecord` for the one semantic
+        difference (interior corruption of a skipped frame goes
+        unreported).
+        """
+        if not self.is_binary:
+            return self._iter_jsonl()
+        lazy = CODECS["binary"].lazy_record
+        return map(lazy, self._scan_binary_frames())
 
     def _iter_jsonl(self) -> Iterator[TraceRecord]:
         codec = CODECS["jsonl"]

@@ -1,0 +1,166 @@
+"""apply_batch property tests: batched == stepwise, always.
+
+:meth:`~repro.core.incremental.IncrementalChecker.apply_batch` promises
+that applying an ordered delta sequence in one call is *observationally
+equivalent* to applying it one
+``set_blocked``/``clear``/``restore`` call at a time: the same final
+store state, the same verdicts and canonical reports afterwards (plain
+and sharded), and the same ``repro_incremental_delta_ops_total``
+accounting — only the amount of graph maintenance paid may differ.
+These tests drive randomised op sequences through one checker per
+strategy, slicing the stream into random batch sizes, and compare after
+every batch boundary.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.core.events import BlockedStatus, Event
+from repro.core.incremental import IncrementalChecker
+
+OPS_METRIC_LABELS = ("set_blocked", "clear", "restore")
+
+
+def random_status(rng, phasers):
+    waits = frozenset(
+        Event(rng.choice(phasers), rng.randint(1, 3))
+        for _ in range(rng.randint(1, 2))
+    )
+    registered = {
+        p: rng.randint(0, 3)
+        for p in rng.sample(phasers, rng.randint(0, len(phasers)))
+    }
+    return BlockedStatus(waits=waits, registered=registered)
+
+
+def random_ops(rng, count, tasks, phasers):
+    """A random ``(op, task, status)`` sequence for apply_batch."""
+    ops = []
+    blocked = set()
+    restorable = {}
+    for _ in range(count):
+        roll = rng.random()
+        if roll < 0.6 or not blocked:
+            task = rng.choice(tasks)
+            status = random_status(rng, phasers)
+            ops.append(("set", task, status))
+            blocked.add(task)
+            restorable.setdefault(task, status)
+        elif roll < 0.85:
+            task = rng.choice(sorted(blocked))
+            ops.append(("clear", task, None))
+            blocked.discard(task)
+        else:
+            task = rng.choice(sorted(restorable))
+            ops.append(("restore", task, restorable[task]))
+            blocked.add(task)
+    return ops
+
+
+def apply_stepwise(checker, ops):
+    for op, task, status in ops:
+        if op == "set":
+            checker.set_blocked(task, status)
+        elif op == "clear":
+            checker.clear(task)
+        else:
+            checker.restore(task, status)
+
+
+def delta_op_totals(checker):
+    return {
+        label: checker._m_deltas.value(op=label)
+        for label in OPS_METRIC_LABELS
+    }
+
+
+def assert_checkers_equivalent(batched, stepwise):
+    assert batched.check() == stepwise.check()
+    assert batched.check_sharded() == stepwise.check_sharded()
+    assert batched.wfg_edge_count == stepwise.wfg_edge_count
+    assert batched.mutation_epoch == stepwise.mutation_epoch
+    assert delta_op_totals(batched) == delta_op_totals(stepwise)
+
+
+class TestApplyBatchEquivalence:
+    @pytest.mark.parametrize("seed", range(10))
+    def test_random_batches_match_stepwise(self, seed):
+        rng = random.Random(seed)
+        tasks = [f"t{i}" for i in range(8)]
+        phasers = [f"p{i}" for i in range(4)]
+        ops = random_ops(rng, 200, tasks, phasers)
+        batched = IncrementalChecker()
+        stepwise = IncrementalChecker()
+        pos = 0
+        while pos < len(ops):
+            size = rng.randint(1, 12)
+            chunk = ops[pos:pos + size]
+            pos += size
+            batched.apply_batch(chunk)
+            apply_stepwise(stepwise, chunk)
+            assert_checkers_equivalent(batched, stepwise)
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_whole_stream_as_one_batch(self, seed):
+        """The extreme slicing: the entire op stream in a single call."""
+        rng = random.Random(100 + seed)
+        tasks = [f"t{i}" for i in range(6)]
+        phasers = [f"p{i}" for i in range(3)]
+        ops = random_ops(rng, 150, tasks, phasers)
+        batched = IncrementalChecker()
+        stepwise = IncrementalChecker()
+        batched.apply_batch(ops)
+        apply_stepwise(stepwise, ops)
+        assert_checkers_equivalent(batched, stepwise)
+
+    def test_empty_batch_is_a_noop(self):
+        checker = IncrementalChecker()
+        before = checker.mutation_epoch
+        checker.apply_batch([])
+        assert checker.mutation_epoch == before
+        assert delta_op_totals(checker) == {
+            "set_blocked": 0, "clear": 0, "restore": 0
+        }
+
+    def test_unknown_op_raises_and_accounts_partial_batch(self):
+        """A failing op mid-batch must not lose the ops already applied
+        (the per-op path counts before applying, so accounting matches)
+        and must leave batch mode balanced for later calls."""
+        checker = IncrementalChecker()
+        status = BlockedStatus(
+            waits=frozenset({Event("p", 1)}), registered={"p": 1}
+        )
+        with pytest.raises(ValueError, match="unknown batch op"):
+            checker.apply_batch([
+                ("set", "a", status),
+                ("frobnicate", "b", None),
+            ])
+        assert delta_op_totals(checker)["set_blocked"] == 1
+        # the structure is out of batch mode: a later batch still works
+        checker.apply_batch([("clear", "a", None)])
+        assert checker.check() is None
+
+    @pytest.mark.parametrize("seed", range(3))
+    def test_batches_against_deadlock_traces(self, seed):
+        """Sequences biased to build waits-for knots: reports (not just
+        verdict booleans) must match stepwise application exactly."""
+        rng = random.Random(500 + seed)
+        tasks = [f"t{i}" for i in range(5)]
+        phasers = [f"p{i}" for i in range(2)]  # tiny pool: knots likely
+        ops = random_ops(rng, 120, tasks, phasers)
+        batched = IncrementalChecker()
+        stepwise = IncrementalChecker()
+        deadlocks = 0
+        pos = 0
+        while pos < len(ops):
+            chunk = ops[pos:pos + rng.randint(2, 10)]
+            pos += len(chunk)
+            batched.apply_batch(chunk)
+            apply_stepwise(stepwise, chunk)
+            a, b = batched.check(), stepwise.check()
+            assert a == b
+            deadlocks += a is not None
+        assert deadlocks > 0, "sequence never deadlocked; weak test"

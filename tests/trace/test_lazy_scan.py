@@ -1,0 +1,169 @@
+"""The zero-copy codec scan and decode-on-demand records.
+
+Three layers of pins:
+
+* :meth:`BinaryCodec.scan_frames` — frame slicing without copying or
+  decoding: slices reproduce the framed bodies exactly, truncation is
+  loud.
+* :class:`LazyRecord` / :meth:`BinaryCodec.lazy_record` — ``kind`` and
+  ``seq`` come for free; nothing else is decoded until a field is
+  touched; unknown tags and empty frames still fail at scan time.
+* :meth:`StreamedTrace.lazy_records` and the replay engines — lazy
+  iteration yields the same logical records as eager loading, replay
+  results are unchanged, and the engines really do skip decoding the
+  register/advance context frames (the point of the fast path).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.trace import codec as codec_mod
+from repro.trace.codec import CODECS, LazyRecord, TraceFormatError, dumps
+from repro.trace.corpus import ScenarioSpec, build_trace
+from repro.trace.events import RecordKind
+from repro.trace.replay import replay
+from repro.trace.stream import iter_load
+
+BINARY = CODECS["binary"]
+
+SPEC = ScenarioSpec(cycle_len=3, fan_out=2, sites=1, rounds=2, deadlock=False)
+SPEC_DL = ScenarioSpec(cycle_len=2, fan_out=1, sites=1, rounds=1, deadlock=True)
+
+
+@pytest.fixture(scope="module")
+def trace():
+    return build_trace(SPEC)
+
+
+@pytest.fixture(scope="module")
+def blob(trace):
+    return dumps(trace, "binary")
+
+
+def frames_of(blob):
+    """Scan past the header the same way BinaryCodec.load does."""
+    pos = len(codec_mod.BINARY_MAGIC) + 1
+    _, pos = codec_mod._read_str(memoryview(blob), pos)
+    return BINARY.scan_frames(blob, pos), pos
+
+
+class TestScanFrames:
+    def test_slices_are_zero_copy_views(self, blob):
+        frames, _ = frames_of(blob)
+        first = next(frames)
+        assert isinstance(first, memoryview)
+        assert first.obj is blob  # a view of the original buffer
+
+    def test_scan_decodes_to_eager_records(self, trace, blob):
+        frames, _ = frames_of(blob)
+        decoded = [BINARY.decode_record_frame(body) for body in frames]
+        assert tuple(decoded) == trace.records
+
+    def test_truncated_frame_raises(self, blob):
+        frames, _ = frames_of(blob[:-3])
+        with pytest.raises(TraceFormatError, match="truncated frame"):
+            list(frames)
+
+    def test_empty_buffer_yields_nothing(self):
+        assert list(BINARY.scan_frames(b"")) == []
+
+
+class TestLazyRecord:
+    def test_kind_and_seq_without_decoding(self, monkeypatch, blob):
+        calls = []
+        real = BINARY.decode_record_frame
+        monkeypatch.setattr(
+            type(BINARY), "decode_record_frame",
+            lambda self, body: calls.append(1) or real(body),
+        )
+        frames, _ = frames_of(blob)
+        lazies = [BINARY.lazy_record(body) for body in frames]
+        kinds = [(rec.kind, rec.seq) for rec in lazies]
+        assert not calls, "kind/seq access must not decode the frame"
+        assert all(isinstance(k, RecordKind) for k, _ in kinds)
+        assert [s for _, s in kinds] == sorted(s for _, s in kinds)
+
+    def test_field_access_materialises_once(self, trace, blob):
+        frames, _ = frames_of(blob)
+        body = next(frames)
+        lazy = BINARY.lazy_record(body)
+        eager = trace.records[0]
+        assert lazy.kind is eager.kind
+        assert lazy.task == eager.task  # triggers materialisation
+        assert lazy.materialize() is lazy.materialize()  # cached
+        assert lazy.materialize() == eager
+
+    def test_unknown_tag_raises_at_scan_time(self):
+        with pytest.raises(TraceFormatError, match="unknown record tag"):
+            BINARY.lazy_record(memoryview(b"\xfe\x01"))
+
+    def test_empty_frame_raises(self):
+        with pytest.raises(TraceFormatError, match="empty frame"):
+            BINARY.lazy_record(memoryview(b""))
+
+    def test_repr_does_not_crash(self, blob):
+        frames, _ = frames_of(blob)
+        assert "LazyRecord" in repr(BINARY.lazy_record(next(frames)))
+
+
+class TestLazyStream:
+    @pytest.mark.parametrize("spec", [SPEC, SPEC_DL], ids=lambda s: s.name)
+    def test_lazy_records_match_eager_iteration(self, tmp_path, spec):
+        trace = build_trace(spec)
+        path = tmp_path / "t.trace"
+        path.write_bytes(dumps(trace, "binary"))
+        stream = iter_load(path)
+        lazy = list(stream.lazy_records())
+        assert [type(r) for r in lazy] == [LazyRecord] * len(trace.records)
+        assert tuple(r.materialize() for r in lazy) == trace.records
+        # plain iteration still yields eager records, unchanged
+        assert tuple(iter_load(path)) == trace.records
+
+    def test_lazy_records_on_jsonl_falls_back_to_eager(self, tmp_path):
+        trace = build_trace(SPEC)
+        path = tmp_path / "t.jsonl"
+        path.write_bytes(dumps(trace, "jsonl"))
+        lazy = tuple(iter_load(path).lazy_records())
+        assert lazy == trace.records  # no framing to scan: real records
+
+    @pytest.mark.parametrize("spec", [SPEC, SPEC_DL], ids=lambda s: s.name)
+    @pytest.mark.parametrize("incremental", [False, True],
+                             ids=["classic", "incremental"])
+    def test_replay_over_lazy_stream_matches_eager(
+        self, tmp_path, spec, incremental
+    ):
+        trace = build_trace(spec)
+        path = tmp_path / "t.trace"
+        path.write_bytes(dumps(trace, "binary"))
+        eager = replay(trace, check_every=1, incremental=incremental)
+        streamed = replay(
+            iter_load(path), check_every=1, incremental=incremental
+        )
+        assert streamed.reports == eager.reports
+        assert streamed.checks_run == eager.checks_run
+        assert streamed.records_processed == eager.records_processed
+
+    def test_replay_skips_decoding_context_frames(
+        self, monkeypatch, tmp_path
+    ):
+        """The laziness payoff, pinned: replaying a streamed binary
+        trace materialises only the records the engine inspects —
+        register/advance context frames stay undecoded."""
+        trace = build_trace(SPEC)
+        path = tmp_path / "t.trace"
+        path.write_bytes(dumps(trace, "binary"))
+        context = sum(
+            1 for r in trace.records
+            if r.kind in (RecordKind.REGISTER, RecordKind.ADVANCE)
+        )
+        assert context > 0, "scenario produced no context records"
+        decoded = []
+        real = type(BINARY).decode_record_frame
+        monkeypatch.setattr(
+            type(BINARY), "decode_record_frame",
+            lambda self, body: decoded.append(1) or real(self, body),
+        )
+        result = replay(iter_load(path), check_every=1)
+        assert result.records_processed == len(trace.records)
+        assert len(decoded) == len(trace.records) - context

@@ -1,0 +1,106 @@
+"""Full-corpus differential: compiled kernel vs pure Python.
+
+The compiled core's acceptance bar is *byte-identity at the report
+level*: with ``REPRO_NATIVE=require`` every checked-in golden —
+replay (serial, parallel, sharded), explain, predict — must reproduce
+the exact bytes the pure-Python engines produce, over both codecs, and
+the incremental engine's report lists must match the pure run pointwise
+per trace.  The whole module probe-skips on machines where the
+extension was never built (the pure-Python CI leg).
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+import pytest
+
+from repro.core._native import NATIVE_ENV, native_available
+from repro.trace.cli import main
+from repro.trace.parallel import discover_traces
+from repro.trace.replay import replay
+from repro.trace.stream import iter_load
+
+pytestmark = pytest.mark.skipif(
+    not native_available(),
+    reason="compiled kernel not built (run `python setup.py build_ext "
+    "--inplace`)",
+)
+
+CORPUS = pathlib.Path(__file__).parent / "corpus"
+GOLDEN_REPLAY = CORPUS / "expected_replay.txt"
+GOLDEN_SHARDED = CORPUS / "expected_replay_sharded.txt"
+GOLDEN_EXPLAIN = CORPUS / "expected_explain.txt"
+GOLDEN_PREDICT = CORPUS / "expected_predict.txt"
+
+
+def corpus_files():
+    return discover_traces(CORPUS)
+
+
+@pytest.fixture
+def native_required(monkeypatch):
+    monkeypatch.setenv(NATIVE_ENV, "require")
+
+
+class TestPointwiseReports:
+    """Per-trace, per-engine report equality: pure vs kernel."""
+
+    @pytest.mark.parametrize("path", corpus_files(), ids=lambda p: p.name)
+    def test_incremental_reports_match_pure(self, monkeypatch, path):
+        records = list(iter_load(path))
+        monkeypatch.setenv(NATIVE_ENV, "0")
+        pure = replay(records, check_every=1, incremental=True)
+        monkeypatch.setenv(NATIVE_ENV, "require")
+        compiled = replay(records, check_every=1, incremental=True)
+        assert compiled.reports == pure.reports
+        assert compiled.checks_run == pure.checks_run
+        assert compiled.records_processed == pure.records_processed
+
+    @pytest.mark.parametrize("path", corpus_files(), ids=lambda p: p.name)
+    def test_sharded_incremental_reports_match_pure(self, monkeypatch, path):
+        records = list(iter_load(path))
+        monkeypatch.setenv(NATIVE_ENV, "0")
+        pure = replay(
+            records, check_every=1, incremental=True, shard_components=True
+        )
+        monkeypatch.setenv(NATIVE_ENV, "require")
+        compiled = replay(
+            records, check_every=1, incremental=True, shard_components=True
+        )
+        assert compiled.reports == pure.reports
+
+
+class TestGoldenBytesWithKernel:
+    """The checked-in goldens, reproduced byte-for-byte with the kernel
+    required.  The corpus holds every scenario family in both codecs,
+    so one corpus pass covers jsonl and binary framing alike."""
+
+    def run_cli(self, capsys, *argv) -> str:
+        assert main(list(argv)) == 0
+        return capsys.readouterr().out
+
+    def test_incremental_replay(self, native_required, capsys):
+        out = self.run_cli(capsys, "replay", str(CORPUS), "--incremental")
+        assert out == GOLDEN_REPLAY.read_text()
+
+    def test_incremental_replay_parallel(self, native_required, capsys):
+        out = self.run_cli(
+            capsys, "replay", str(CORPUS), "--incremental", "--parallel", "2"
+        )
+        assert out == GOLDEN_REPLAY.read_text()
+
+    def test_sharded_incremental_replay(self, native_required, capsys):
+        out = self.run_cli(
+            capsys, "replay", str(CORPUS), "--incremental",
+            "--shard-components",
+        )
+        assert out == GOLDEN_SHARDED.read_text()
+
+    def test_explain(self, native_required, capsys):
+        out = self.run_cli(capsys, "explain", str(CORPUS), "--incremental")
+        assert out == GOLDEN_EXPLAIN.read_text()
+
+    def test_predict(self, native_required, capsys):
+        out = self.run_cli(capsys, "predict", str(CORPUS))
+        assert out == GOLDEN_PREDICT.read_text()
